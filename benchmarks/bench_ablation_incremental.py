@@ -1,0 +1,70 @@
+"""Ablation: standing (incremental) queries vs one-shot re-evaluation.
+
+The paper's future-work direction, quantified: after an intra-fragment edge
+update, an incremental session re-evaluates one fragment (1 visit) versus
+disReach's full pass over every site.  The gap is the point of combining
+partial evaluation with incrementality.
+"""
+
+import random
+
+import pytest
+
+from conftest import dataset_key, graph_of
+from repro.core.incremental import IncrementalReachSession
+from repro.core.reachability import dis_reach
+from repro.distributed import SimulatedCluster
+
+CARD = 8
+
+
+def _setup():
+    graph = graph_of(dataset_key("amazon", 0.005))
+    cluster = SimulatedCluster.from_graph(graph, CARD, partitioner="chunk")
+    nodes = sorted(graph.nodes())
+    source, target = nodes[0], nodes[-1]
+    placement = cluster.fragmentation.placement
+    rng = random.Random(7)
+    flips = []
+    while len(flips) < 6:
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        if u != v and placement[u] == placement[v] and not graph.has_edge(u, v):
+            flips.append((u, v))
+    return cluster, source, target, flips
+
+
+@pytest.mark.parametrize("mode", ["incremental", "full-reevaluation"])
+def test_ablation_incremental(benchmark, mode):
+    cluster, source, target, flips = _setup()
+    session = IncrementalReachSession(cluster, (source, target))
+    session.initialize()
+
+    if mode == "incremental":
+
+        def run():
+            visits = 0
+            for u, v in flips:
+                visits += session.add_edge(u, v).stats.total_visits
+            for u, v in flips:
+                visits += session.remove_edge(u, v).stats.total_visits
+            return visits
+
+    else:
+
+        def run():
+            visits = 0
+            for u, v in flips:
+                frag = cluster.fragmentation.fragment_of(u)
+                frag.local_graph.add_edge(u, v)
+                visits += dis_reach(cluster, (source, target)).stats.total_visits
+            for u, v in flips:
+                frag = cluster.fragmentation.fragment_of(u)
+                frag.local_graph.remove_edge(u, v)
+                visits += dis_reach(cluster, (source, target)).stats.total_visits
+            return visits
+
+    benchmark.group = "ablation:incremental"
+    visits = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {"mode": mode, "updates": 2 * len(flips), "total_visits": visits}
+    )

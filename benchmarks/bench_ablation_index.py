@@ -1,0 +1,31 @@
+"""Ablation (Section 3 remark): the local reachability engine of localEval.
+
+Compares the default shared bitmask sweep against per-question oracles
+(BFS, transitive-closure matrix, GRAIL, 2-hop) on the Amazon analog.
+Index build cost is included (worst case: build per query) — the point of
+the paper's remark is that the framework is agnostic to this choice.
+"""
+
+import pytest
+
+from conftest import cluster_for, dataset_key, reach_queries
+from repro.core.reachability import dis_reach
+from repro.index import REACHABILITY_INDEXES
+
+ENGINES = ["sweep"] + sorted(REACHABILITY_INDEXES)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_ablation_index(benchmark, engine):
+    key = dataset_key("amazon", 0.005)
+    cluster = cluster_for(key, 4)
+    queries = reach_queries(key, count=3, seed=0)
+    factory = None if engine == "sweep" else REACHABILITY_INDEXES[engine]
+
+    def run():
+        return [dis_reach(cluster, q, oracle_factory=factory).answer for q in queries]
+
+    benchmark.group = "ablation:index"
+    answers = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["answers"] = "".join("T" if a else "F" for a in answers)

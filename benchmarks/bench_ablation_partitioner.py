@@ -1,0 +1,40 @@
+"""Ablation: partition quality vs disReach cost.
+
+Theorem 1's bounds are in terms of |Vf|, which the partitioner controls.
+This bench quantifies the constants: locality-preserving partitioners
+(chunk, bfs) versus placement-oblivious ones (random, hash) on the Amazon
+analog — per-node random placement shows the O(|Vf|^2) worst case the
+paper's "no constraints on fragmentation" generality admits.
+"""
+
+import pytest
+
+from conftest import dataset_key, graph_of, reach_queries
+from repro.bench.harness import run_workload
+from repro.distributed import SimulatedCluster
+from repro.partition import PARTITIONERS
+
+CARD = 8
+
+
+@pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+def test_ablation_partitioner(benchmark, partitioner):
+    key = dataset_key("amazon", 0.005)
+    graph = graph_of(key)
+    cluster = SimulatedCluster.from_graph(graph, CARD, partitioner=partitioner, seed=0)
+    queries = reach_queries(key, count=3, seed=0)
+
+    def run():
+        return run_workload(cluster, queries, "disReach")
+
+    benchmark.group = "ablation:partitioner"
+    metrics = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "partitioner": partitioner,
+            "Vf": cluster.fragmentation.num_boundary_nodes,
+            "cross_edges": cluster.fragmentation.num_cross_edges,
+            "response_ms": round(metrics.mean_response_seconds * 1e3, 3),
+            "traffic_bytes": round(metrics.mean_traffic_bytes),
+        }
+    )

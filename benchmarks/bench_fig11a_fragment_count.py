@@ -1,0 +1,23 @@
+"""Fig. 11(a): reachability time vs card(F) on the LiveJournal analog.
+
+Expected shape: disReach and disReachn get *faster* as card(F) grows
+(smaller fragments to evaluate/ship); disReachm gets *slower* (more
+cross-fragment activations through the master).
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, dataset_key, reach_queries
+
+CARDS = [2, 8, 14, 20]
+ALGORITHMS = ["disReach", "disReachn", "disReachm"]
+
+
+@pytest.mark.parametrize("card", CARDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11a(benchmark, card, algorithm):
+    key = dataset_key("livejournal", 0.001)
+    cluster = cluster_for(key, card)
+    queries = reach_queries(key, count=3, seed=0)
+    benchmark.group = f"fig11a:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm)

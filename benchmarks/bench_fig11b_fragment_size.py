@@ -1,0 +1,32 @@
+"""Fig. 11(b): reachability time vs size(F), card(F) = 8 (synthetic).
+
+Expected shape: every algorithm slows as fragments grow; disReach is the
+least sensitive (its per-site work is one linear sweep of the fragment).
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, reach_queries, synthetic_key
+
+# The paper's size(F) ticks, scaled: |G| = size_F * card * scale.
+SIZE_TICKS = [35_000, 155_000, 315_000]
+CARD = 8
+SCALE = 0.002
+ALGORITHMS = ["disReach", "disReachn", "disReachm"]
+
+
+def _key(size_f: int):
+    total = int(size_f * CARD * SCALE)
+    num_nodes = max(int(total / 2.4), 50)
+    return synthetic_key(num_nodes, max(total - num_nodes, num_nodes))
+
+
+@pytest.mark.parametrize("size_f", SIZE_TICKS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11b(benchmark, size_f, algorithm):
+    key = _key(size_f)
+    cluster = cluster_for(key, CARD)
+    queries = reach_queries(key, count=3, seed=0)
+    benchmark.group = f"fig11b:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm)
+    benchmark.extra_info["size_F"] = size_f

@@ -1,0 +1,23 @@
+"""Fig. 11(c): disReach vs disReachm on the large synthetic graph.
+
+Paper: 36M nodes / 360M edges, card(F) from 10 to 20.  Scaled 1/2000 here
+(18k nodes / 180k edges).  Expected: disReach flat-to-decreasing with
+card(F); disReachm increasing.
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, reach_queries, synthetic_key
+
+CARDS = [10, 14, 20]
+ALGORITHMS = ["disReach", "disReachm"]
+KEY = synthetic_key(18_000, 180_000)
+
+
+@pytest.mark.parametrize("card", CARDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11c(benchmark, card, algorithm):
+    cluster = cluster_for(KEY, card)
+    queries = reach_queries(KEY, count=2, seed=0)
+    benchmark.group = f"fig11c:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm, rounds=1)

@@ -1,0 +1,21 @@
+"""Fig. 11(d): disDist vs disDistn on the WikiTalk analog, l = 10.
+
+Expected shape: both fall as card(F) grows (the paper's main trend).
+"""
+
+import pytest
+
+from conftest import bench_workload, bounded_queries, cluster_for, dataset_key
+
+CARDS = [2, 8, 14, 20]
+ALGORITHMS = ["disDist", "disDistn"]
+
+
+@pytest.mark.parametrize("card", CARDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11d(benchmark, card, algorithm):
+    key = dataset_key("wikitalk")
+    cluster = cluster_for(key, card)
+    queries = bounded_queries(key, count=3, bound=10, seed=0)
+    benchmark.group = f"fig11d:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm)

@@ -1,0 +1,24 @@
+"""Fig. 11(e): RPQ response time on the four labeled datasets.
+
+Queries of complexity (|Vq|, |Eq|, |Lq|) = (8, 16, 8); card(F) as in the
+paper's table (10/11/12/10).  Expected: disRPQ < disRPQd < disRPQn.
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, dataset_key, regular_queries
+from repro.workload import DATASETS
+
+NAMES = ["youtube", "meme", "citation", "internet"]
+ALGORITHMS = ["disRPQ", "disRPQn", "disRPQd"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11e(benchmark, name, algorithm):
+    key = dataset_key(name)
+    cluster = cluster_for(key, DATASETS[name].paper_fragments or 10)
+    queries = regular_queries(key, count=2, seed=0)
+    benchmark.group = f"fig11e:{name}"
+    bench_workload(benchmark, cluster, queries, algorithm)
+    benchmark.extra_info["dataset"] = name

@@ -1,0 +1,23 @@
+"""Fig. 11(f): RPQ network traffic on the four labeled datasets (log axis
+in the paper).  The reproduced metric is ``extra_info['traffic_bytes']``;
+expected shape: disRPQ ≤ disRPQd << disRPQn (disRPQn ships the graphs).
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, dataset_key, regular_queries
+from repro.workload import DATASETS
+
+NAMES = ["youtube", "meme", "citation", "internet"]
+ALGORITHMS = ["disRPQ", "disRPQn", "disRPQd"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11f(benchmark, name, algorithm):
+    key = dataset_key(name)
+    cluster = cluster_for(key, DATASETS[name].paper_fragments or 10)
+    queries = regular_queries(key, count=2, seed=1)
+    benchmark.group = f"fig11f:{name}"
+    bench_workload(benchmark, cluster, queries, algorithm, rounds=1)
+    benchmark.extra_info["dataset"] = name

@@ -1,0 +1,28 @@
+"""Fig. 11(g): RPQ time vs query complexity (|Vq|, |Eq|) on Youtube.
+
+|Lq| fixed at 8; (|Vq|, |Eq|) swept from (4, 8) to (18, 36).  Expected:
+all algorithms grow with complexity; disRPQn is the most sensitive.
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, dataset_key, regular_queries
+
+COMPLEXITIES = [(4, 8), (10, 20), (18, 36)]
+ALGORITHMS = ["disRPQ", "disRPQn", "disRPQd"]
+CARD = 12  # the paper's card(F) for Youtube
+
+
+@pytest.mark.parametrize("complexity", COMPLEXITIES, ids=lambda c: f"Vq{c[0]}-Eq{c[1]}")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11g(benchmark, complexity, algorithm):
+    num_states, num_transitions = complexity
+    key = dataset_key("youtube")
+    cluster = cluster_for(key, CARD)
+    queries = regular_queries(
+        key, count=2, num_states=num_states, num_transitions=num_transitions, seed=0
+    )
+    benchmark.group = f"fig11g:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm)
+    benchmark.extra_info["Vq"] = num_states
+    benchmark.extra_info["Eq"] = num_transitions

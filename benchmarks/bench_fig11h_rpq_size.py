@@ -1,0 +1,31 @@
+"""Fig. 11(h): RPQ time vs size(F), card(F) = 10 (synthetic, |L| = 8).
+
+Expected: all grow with size(F); disRPQ scales best (16s at 1.5M nodes in
+the paper's full-scale run).
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, regular_queries, synthetic_key
+
+SIZE_TICKS = [35_000, 155_000, 315_000]
+CARD = 10
+SCALE = 0.002
+ALGORITHMS = ["disRPQ", "disRPQn", "disRPQd"]
+
+
+def _key(size_f: int):
+    total = int(size_f * CARD * SCALE)
+    num_nodes = max(int(total / 2.4), 50)
+    return synthetic_key(num_nodes, max(total - num_nodes, num_nodes), 8)
+
+
+@pytest.mark.parametrize("size_f", SIZE_TICKS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11h(benchmark, size_f, algorithm):
+    key = _key(size_f)
+    cluster = cluster_for(key, CARD)
+    queries = regular_queries(key, count=2, seed=0)
+    benchmark.group = f"fig11h:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm)
+    benchmark.extra_info["size_F"] = size_f

@@ -1,0 +1,22 @@
+"""Fig. 11(i): RPQ time vs card(F) (paper: 1.2M nodes / 4.8M edges).
+
+Expected: disRPQ improves with card(F) (75% less time at 20 vs 6 in the
+paper); disRPQd and disRPQn improve too but stay above it.
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, regular_queries, synthetic_key
+
+CARDS = [6, 12, 20]
+ALGORITHMS = ["disRPQ", "disRPQn", "disRPQd"]
+KEY = synthetic_key(6_000, 24_000, 8)  # 1/200 of the paper's graph
+
+
+@pytest.mark.parametrize("card", CARDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11i(benchmark, card, algorithm):
+    cluster = cluster_for(KEY, card)
+    queries = regular_queries(KEY, count=2, seed=0)
+    benchmark.group = f"fig11i:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm)

@@ -1,0 +1,22 @@
+"""Fig. 11(j): disRPQ vs disRPQd on the large synthetic graph (|L| = 50).
+
+Paper: 36M nodes / 360M edges, card(F) in 10..20; scaled 1/2000 here.
+Expected: both improve with card(F); disRPQ consistently below disRPQd.
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, regular_queries, synthetic_key
+
+CARDS = [10, 14, 20]
+ALGORITHMS = ["disRPQ", "disRPQd"]
+KEY = synthetic_key(18_000, 180_000, 50)
+
+
+@pytest.mark.parametrize("card", CARDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11j(benchmark, card, algorithm):
+    cluster = cluster_for(KEY, card)
+    queries = regular_queries(KEY, count=2, seed=0)
+    benchmark.group = f"fig11j:{algorithm}"
+    bench_workload(benchmark, cluster, queries, algorithm, rounds=1)

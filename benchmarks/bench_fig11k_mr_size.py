@@ -1,0 +1,50 @@
+"""Fig. 11(k): MRdRPQ time vs size(F) for queries Q1..Q4 (10 mappers).
+
+Expected: response grows with size(F), and with query complexity
+(Q1 ≤ Q2 ≤ Q3 ≤ Q4 roughly).
+"""
+
+import pytest
+
+from conftest import graph_of, regular_queries, synthetic_key
+from repro.mapreduce import MapReduceRuntime, mrd_rpq
+
+SIZE_TICKS = [35_000, 155_000, 315_000]
+MAPPERS = 10
+SCALE = 0.002
+QUERIES = {"Q1": (4, 6, 8), "Q2": (6, 8, 8), "Q3": (10, 12, 8), "Q4": (12, 14, 8)}
+
+
+def _key(size_f: int):
+    total = int(size_f * MAPPERS * SCALE)
+    num_nodes = max(int(total / 2.4), 50)
+    return synthetic_key(num_nodes, max(total - num_nodes, num_nodes), 12)
+
+
+@pytest.mark.parametrize("size_f", SIZE_TICKS)
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+def test_fig11k(benchmark, size_f, qname):
+    num_states, num_transitions, num_labels = QUERIES[qname]
+    key = _key(size_f)
+    graph = graph_of(key)
+    queries = regular_queries(
+        key, count=2, num_states=num_states,
+        num_transitions=num_transitions, num_labels=num_labels, seed=0,
+    )
+    runtime = MapReduceRuntime()
+
+    def run():
+        return [mrd_rpq(graph, q, MAPPERS, runtime=runtime) for q in queries]
+
+    benchmark.group = f"fig11k:{qname}"
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "size_F": size_f,
+            "query": qname,
+            "response_ms": round(
+                sum(r.stats.response_seconds for r in results) / len(results) * 1e3, 3
+            ),
+            "ecc_bytes": max(r.stats.ecc_bytes for r in results),
+        }
+    )

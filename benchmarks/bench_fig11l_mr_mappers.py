@@ -1,0 +1,41 @@
+"""Fig. 11(l): MRdRPQ time vs number of mappers for Q1..Q4 (Youtube analog).
+
+Expected: response falls as mappers grow (the paper reports ~50% less time
+for Q1 at 30 mappers vs 5).
+"""
+
+import pytest
+
+from conftest import dataset_key, graph_of, regular_queries
+from repro.mapreduce import MapReduceRuntime, mrd_rpq
+
+MAPPER_COUNTS = [5, 15, 30]
+QUERIES = {"Q1": (4, 6, 8), "Q2": (6, 8, 8), "Q3": (10, 12, 8), "Q4": (12, 14, 8)}
+KEY = dataset_key("youtube", 0.005)
+
+
+@pytest.mark.parametrize("mappers", MAPPER_COUNTS)
+@pytest.mark.parametrize("qname", sorted(QUERIES))
+def test_fig11l(benchmark, mappers, qname):
+    num_states, num_transitions, num_labels = QUERIES[qname]
+    graph = graph_of(KEY)
+    queries = regular_queries(
+        KEY, count=2, num_states=num_states,
+        num_transitions=num_transitions, num_labels=num_labels, seed=0,
+    )
+    runtime = MapReduceRuntime()
+
+    def run():
+        return [mrd_rpq(graph, q, mappers, runtime=runtime) for q in queries]
+
+    benchmark.group = f"fig11l:{qname}"
+    results = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "mappers": mappers,
+            "query": qname,
+            "response_ms": round(
+                sum(r.stats.response_seconds for r in results) / len(results) * 1e3, 3
+            ),
+        }
+    )

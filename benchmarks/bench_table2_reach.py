@@ -1,0 +1,25 @@
+"""Table 2: reachability time and data shipment on five real-life graphs.
+
+Paper setting: card(F) = 4; ~30% positive random queries; columns are the
+response time and shipped bytes of disReach / disReachn / disReachm.
+Expected shape: disReach fastest; traffic disReachm < disReach << disReachn.
+"""
+
+import pytest
+
+from conftest import bench_workload, cluster_for, dataset_key, reach_queries
+
+DATASETS = ["livejournal", "wikitalk", "berkstan", "notredame", "amazon"]
+ALGORITHMS = ["disReach", "disReachn", "disReachm"]
+CARD = 4
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table2(benchmark, name, algorithm):
+    key = dataset_key(name)
+    cluster = cluster_for(key, CARD)
+    queries = reach_queries(key, count=3, seed=0)
+    benchmark.group = f"table2:{name}"
+    bench_workload(benchmark, cluster, queries, algorithm)
+    benchmark.extra_info["dataset"] = name

@@ -1,0 +1,112 @@
+"""Shared helpers for the per-figure pytest benchmarks.
+
+Benchmarks mirror the experiments of Section 7 at reduced scale (see
+DESIGN.md §4): each parametrized case is one datapoint of one table/figure.
+Graphs and clusters are cached per session; every benchmark records the
+paper's non-time metrics (traffic, visits, answers) in ``extra_info`` so a
+single ``pytest benchmarks/ --benchmark-only`` regenerates both axes of
+every figure.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.core.engine import evaluate
+from repro.distributed import SimulatedCluster
+from repro.graph import DiGraph, synthetic_graph
+from repro.workload import (
+    load_dataset,
+    random_bounded_queries,
+    random_reach_queries,
+    random_regular_queries,
+)
+
+#: Benchmark-wide scale relative to the paper's graph sizes.
+BENCH_SCALE = 0.002
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str, scale: float = BENCH_SCALE, seed: int = 0) -> DiGraph:
+    return load_dataset(name, scale=scale, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def synthetic(num_nodes: int, num_edges: int, num_labels: int = 0, seed: int = 0) -> DiGraph:
+    return synthetic_graph(num_nodes, num_edges, num_labels=num_labels, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def cluster_for(graph_key, card: int, partitioner: str = "chunk") -> SimulatedCluster:
+    kind, args = graph_key
+    graph = dataset(*args) if kind == "dataset" else synthetic(*args)
+    return SimulatedCluster.from_graph(graph, card, partitioner=partitioner)
+
+
+def dataset_key(name: str, scale: float = BENCH_SCALE, seed: int = 0):
+    return ("dataset", (name, scale, seed))
+
+
+def synthetic_key(num_nodes: int, num_edges: int, num_labels: int = 0, seed: int = 0):
+    return ("synthetic", (num_nodes, num_edges, num_labels, seed))
+
+
+def graph_of(graph_key) -> DiGraph:
+    kind, args = graph_key
+    return dataset(*args) if kind == "dataset" else synthetic(*args)
+
+
+def reach_queries(graph_key, count: int = 3, seed: int = 0):
+    return random_reach_queries(graph_of(graph_key), count, seed=seed)
+
+
+def bounded_queries(graph_key, count: int = 3, bound: int = 10, seed: int = 0):
+    return random_bounded_queries(graph_of(graph_key), count, bound=bound, seed=seed)
+
+
+def regular_queries(
+    graph_key, count: int = 2, num_states: int = 8, num_transitions: int = 16,
+    num_labels: int = 8, seed: int = 0,
+):
+    return random_regular_queries(
+        graph_of(graph_key), count, num_states=num_states,
+        num_transitions=num_transitions, num_labels=num_labels, seed=seed,
+    )
+
+
+def bench_workload(
+    benchmark,
+    cluster: SimulatedCluster,
+    queries: Sequence,
+    algorithm: str,
+    rounds: int = 2,
+) -> None:
+    """Benchmark one (cluster, workload, algorithm) cell.
+
+    Times the full workload evaluation; afterwards records the mean
+    simulated response time, traffic, and visit counts in ``extra_info``.
+    """
+
+    def run():
+        return [evaluate(cluster, query, algorithm) for query in queries]
+
+    benchmark.pedantic(run, rounds=rounds, iterations=1, warmup_rounds=0)
+    metrics = run_workload(cluster, queries, algorithm)
+    benchmark.extra_info.update(
+        {
+            "algorithm": algorithm,
+            "response_ms": round(metrics.mean_response_seconds * 1e3, 3),
+            "traffic_bytes": round(metrics.mean_traffic_bytes),
+            "max_visits_per_site": metrics.max_visits_per_site,
+            "total_visits": metrics.total_visits,
+            "positive_fraction": metrics.positive_fraction,
+            "num_queries": metrics.num_queries,
+            "card": cluster.num_sites,
+            "Vf": cluster.fragmentation.num_boundary_nodes,
+            "Fm": cluster.fragmentation.max_fragment_size,
+        }
+    )

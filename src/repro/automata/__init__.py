@@ -1,0 +1,49 @@
+"""Regular expressions, Glushkov analysis, NFAs and query automata (Sec. 5.1)."""
+
+from .ast import (
+    Concat,
+    Epsilon,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+    Wildcard,
+    concat,
+    optional,
+    plus,
+    star,
+    union,
+)
+from .glushkov import GlushkovAnalysis, analyze
+from .nfa import START, PositionNFA
+from .parser import parse_regex, tokenize
+from .query_automaton import US, UT, QueryAutomaton, State
+from .sampling import sample_word, sample_words, to_python_regex
+
+__all__ = [
+    "Concat",
+    "Epsilon",
+    "GlushkovAnalysis",
+    "PositionNFA",
+    "QueryAutomaton",
+    "RegexNode",
+    "START",
+    "Star",
+    "State",
+    "Symbol",
+    "US",
+    "UT",
+    "Union",
+    "Wildcard",
+    "analyze",
+    "concat",
+    "optional",
+    "parse_regex",
+    "plus",
+    "sample_word",
+    "sample_words",
+    "star",
+    "to_python_regex",
+    "tokenize",
+    "union",
+]

@@ -1,0 +1,193 @@
+"""Regular-expression abstract syntax (paper Section 2.2).
+
+The grammar is the paper's::
+
+    R ::= ε | a | R R | R ∪ R | R*
+
+extended with the wildcard ``.`` (the paper's Remark (1): a wildcard is
+shorthand for the union of every label in Σ, letting plain and bounded
+reachability be expressed as regular reachability) and the usual sugar
+``R+`` (= ``R R*``) and ``R?`` (= ``R ∪ ε``), which the parser desugars.
+
+Nodes are immutable and hashable so they can serve as dict keys and be
+deduplicated by hypothesis strategies in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Tuple
+
+
+class RegexNode:
+    """Base class of the regex AST; use the concrete subclasses below."""
+
+    def __or__(self, other: "RegexNode") -> "RegexNode":
+        return Union((self, other))
+
+    def __add__(self, other: "RegexNode") -> "RegexNode":
+        return Concat((self, other))
+
+    def star(self) -> "RegexNode":
+        return Star(self)
+
+    # Subclasses override:
+    def children(self) -> Tuple["RegexNode", ...]:
+        return ()
+
+    def walk(self) -> Iterator["RegexNode"]:
+        """Preorder traversal of the AST."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def symbols(self) -> FrozenSet[str]:
+        """All labels mentioned (wildcards excluded)."""
+        return frozenset(
+            node.label for node in self.walk() if isinstance(node, Symbol)
+        )
+
+    @property
+    def size(self) -> int:
+        """``|R|``: the number of AST nodes — the paper's query-size measure."""
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """The empty word ε."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Symbol(RegexNode):
+    """A single label ``a ∈ Σ``."""
+
+    label: str
+
+    def __str__(self) -> str:
+        if self.label and all(c.isalnum() or c in "_-" for c in self.label):
+            return self.label
+        return '"' + self.label.replace('"', '\\"') + '"'
+
+
+@dataclass(frozen=True)
+class Wildcard(RegexNode):
+    """``.`` — matches any label (Remark (1) of Section 2.2)."""
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """``R1 R2 ... Rn`` — concatenation."""
+
+    parts: Tuple[RegexNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat needs at least two parts")
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return " ".join(_wrap(p, for_concat=True) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    """``R1 ∪ R2 ∪ ... ∪ Rn`` — alternation."""
+
+    parts: Tuple[RegexNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Union needs at least two parts")
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return " | ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """``R*`` — Kleene closure."""
+
+    inner: RegexNode
+
+    def children(self) -> Tuple[RegexNode, ...]:
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return _wrap(self.inner, for_concat=False) + "*"
+
+
+def _wrap(node: RegexNode, for_concat: bool) -> str:
+    """Parenthesize sub-expressions whose precedence requires it."""
+    needs = isinstance(node, Union) or (for_concat and isinstance(node, Concat) and False)
+    if isinstance(node, Union):
+        needs = True
+    elif not for_concat and isinstance(node, Concat):
+        needs = True
+    return f"({node})" if needs else str(node)
+
+
+def concat(*parts: RegexNode) -> RegexNode:
+    """Smart constructor: flattens nesting, drops ε, handles 0/1 parts."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        elif isinstance(part, Epsilon):
+            continue
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: RegexNode) -> RegexNode:
+    """Smart constructor: flattens nesting and deduplicates identical arms."""
+    flat = []
+    seen = set()
+    for part in parts:
+        sub = part.parts if isinstance(part, Union) else (part,)
+        for node in sub:
+            if node not in seen:
+                seen.add(node)
+                flat.append(node)
+    if not flat:
+        raise ValueError("union of nothing")
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(inner: RegexNode) -> RegexNode:
+    """Smart constructor: ``(R*)* = R*`` and ``ε* = ε``."""
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, Epsilon):
+        return Epsilon()
+    return Star(inner)
+
+
+def plus(inner: RegexNode) -> RegexNode:
+    """``R+`` desugars to ``R R*``."""
+    return concat(inner, star(inner))
+
+
+def optional(inner: RegexNode) -> RegexNode:
+    """``R?`` desugars to ``R ∪ ε``."""
+    if isinstance(inner, Epsilon):
+        return inner
+    return Union((inner, Epsilon()))

@@ -1,0 +1,113 @@
+"""Glushkov (position) analysis of regular expressions.
+
+The query automaton of Section 5.1 labels *states* with symbols and checks
+labels at the target of each transition — exactly the shape of the Glushkov
+position automaton, where each state is an occurrence ("position") of a
+symbol in the expression and transitions are label-free.  We compute the
+classic four functions:
+
+* ``nullable(R)`` — does ε ∈ L(R)?
+* ``first(R)``    — positions that can start a word;
+* ``last(R)``     — positions that can end a word;
+* ``follow(p)``   — positions that may immediately follow position ``p``.
+
+The construction is O(|R|^2) in the worst case (follow-set unions); the
+paper cites the O(|R| log |R|) refinement of Hromkovic et al. [15], which is
+unnecessary at the query sizes of the evaluation (|R| ≤ ~40).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union as TUnion
+
+from .ast import Concat, Epsilon, RegexNode, Star, Symbol, Union, Wildcard
+
+#: A position's "symbol": a concrete label, or None for the wildcard.
+PositionLabel = Optional[str]
+
+
+@dataclass(frozen=True)
+class GlushkovAnalysis:
+    """Position analysis of one regular expression."""
+
+    regex: RegexNode
+    position_labels: Tuple[PositionLabel, ...]  # index -> label (None = wildcard)
+    nullable: bool
+    first: FrozenSet[int]
+    last: FrozenSet[int]
+    follow: Tuple[FrozenSet[int], ...]  # index -> follow set
+
+    @property
+    def num_positions(self) -> int:
+        return len(self.position_labels)
+
+
+@dataclass
+class _NodeFacts:
+    nullable: bool
+    first: Set[int]
+    last: Set[int]
+
+
+def analyze(regex: RegexNode) -> GlushkovAnalysis:
+    """Compute the Glushkov analysis of ``regex``."""
+    position_labels: List[PositionLabel] = []
+    follow: List[Set[int]] = []
+
+    def visit(node: RegexNode) -> _NodeFacts:
+        if isinstance(node, Epsilon):
+            return _NodeFacts(True, set(), set())
+        if isinstance(node, (Symbol, Wildcard)):
+            pos = len(position_labels)
+            position_labels.append(node.label if isinstance(node, Symbol) else None)
+            follow.append(set())
+            return _NodeFacts(False, {pos}, {pos})
+        if isinstance(node, Union):
+            facts = [visit(p) for p in node.parts]
+            return _NodeFacts(
+                any(f.nullable for f in facts),
+                set().union(*(f.first for f in facts)),
+                set().union(*(f.last for f in facts)),
+            )
+        if isinstance(node, Concat):
+            facts = [visit(p) for p in node.parts]
+            # follow: last(left prefix) -> first of the next part
+            for i in range(len(facts) - 1):
+                nxt_first = facts[i + 1].first
+                for p in facts[i].last:
+                    follow[p] |= nxt_first
+                # nullable parts let follow flow through them
+                j = i + 1
+                while j + 1 < len(facts) and facts[j].nullable:
+                    for p in facts[i].last:
+                        follow[p] |= facts[j + 1].first
+                    j += 1
+            nullable = all(f.nullable for f in facts)
+            first: Set[int] = set()
+            for f in facts:
+                first |= f.first
+                if not f.nullable:
+                    break
+            last: Set[int] = set()
+            for f in reversed(facts):
+                last |= f.last
+                if not f.nullable:
+                    break
+            return _NodeFacts(nullable, first, last)
+        if isinstance(node, Star):
+            inner = visit(node.inner)
+            for p in inner.last:
+                follow[p] |= inner.first
+            return _NodeFacts(True, set(inner.first), set(inner.last))
+        raise TypeError(f"unknown regex node {node!r}")
+
+    facts = visit(regex)
+    return GlushkovAnalysis(
+        regex=regex,
+        position_labels=tuple(position_labels),
+        nullable=facts.nullable,
+        first=frozenset(facts.first),
+        last=frozenset(facts.last),
+        follow=tuple(frozenset(f) for f in follow),
+    )

@@ -1,0 +1,181 @@
+"""Parser for the textual regular-expression syntax.
+
+Labels in the paper are multi-character tokens (``HR``, ``DB``, ``CTO``), so
+the concrete syntax is whitespace-tolerant and token-based rather than
+character-based::
+
+    expr    := term ('|' term)*           # '∪' and 'U' also accepted
+    term    := factor+                    # juxtaposition = concatenation
+    factor  := atom ('*' | '+' | '?')*
+    atom    := LABEL | '"' any '"' | '.' | '(' expr ')' | '()' | 'ε' | 'eps'
+
+Examples::
+
+    DB* | HR*                 (the paper's running query, Example 1)
+    (CTO DB*) | HR*           (Example 6's second automaton)
+    . . .                     exactly three intermediate nodes of any label
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union as TUnion
+
+from ..errors import RegexSyntaxError
+from . import ast
+from .ast import RegexNode
+
+_UNION_WORDS = {"|", "∪", "U"}
+_EPSILON_WORDS = {"ε", "eps", "epsilon"}
+_PUNCT = {"(", ")", "*", "+", "?", "|", ".", "∪"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'label' | 'punct'
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            out = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    j += 1
+                out.append(text[j])
+                j += 1
+            if j >= n:
+                raise RegexSyntaxError("unterminated quoted label", i)
+            tokens.append(_Token("label", "".join(out), i))
+            i = j + 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(_Token("punct", ch, i))
+            i += 1
+            continue
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in _PUNCT and text[j] != '"':
+            j += 1
+        tokens.append(_Token("label", text[i:j], i))
+        i = j
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def expect_punct(self, text: str) -> None:
+        tok = self.peek()
+        if tok is None or tok.kind != "punct" or tok.text != text:
+            pos = tok.pos if tok else len(self.text)
+            raise RegexSyntaxError(f"expected {text!r}", pos)
+        self.advance()
+
+    # grammar -----------------------------------------------------------
+    def parse_expr(self) -> RegexNode:
+        arms = [self.parse_term()]
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            is_union = (tok.kind == "punct" and tok.text in {"|", "∪"}) or (
+                tok.kind == "label" and tok.text in _UNION_WORDS
+            )
+            if not is_union:
+                break
+            self.advance()
+            arms.append(self.parse_term())
+        return ast.union(*arms) if len(arms) > 1 else arms[0]
+
+    def parse_term(self) -> RegexNode:
+        parts = [self.parse_factor()]
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if tok.kind == "punct" and tok.text in {")", "|", "∪"}:
+                break
+            if tok.kind == "label" and tok.text in _UNION_WORDS:
+                break
+            parts.append(self.parse_factor())
+        return ast.concat(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_factor(self) -> RegexNode:
+        node = self.parse_atom()
+        while True:
+            tok = self.peek()
+            if tok is None or tok.kind != "punct" or tok.text not in {"*", "+", "?"}:
+                break
+            self.advance()
+            if tok.text == "*":
+                node = ast.star(node)
+            elif tok.text == "+":
+                node = ast.plus(node)
+            else:
+                node = ast.optional(node)
+        return node
+
+    def parse_atom(self) -> RegexNode:
+        tok = self.peek()
+        if tok is None:
+            raise RegexSyntaxError("unexpected end of expression", len(self.text))
+        if tok.kind == "punct":
+            if tok.text == "(":
+                self.advance()
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == "punct" and nxt.text == ")":
+                    self.advance()
+                    return ast.Epsilon()
+                inner = self.parse_expr()
+                self.expect_punct(")")
+                return inner
+            if tok.text == ".":
+                self.advance()
+                return ast.Wildcard()
+            raise RegexSyntaxError(f"unexpected {tok.text!r}", tok.pos)
+        self.advance()
+        if tok.text in _EPSILON_WORDS:
+            return ast.Epsilon()
+        return ast.Symbol(tok.text)
+
+
+def parse_regex(source: TUnion[str, RegexNode]) -> RegexNode:
+    """Parse a textual regular expression (idempotent on AST input).
+
+    >>> str(parse_regex("DB* | HR*"))
+    'DB* | HR*'
+    """
+    if isinstance(source, RegexNode):
+        return source
+    tokens = tokenize(source)
+    if not tokens:
+        raise RegexSyntaxError("empty regular expression", 0)
+    parser = _Parser(tokens, source)
+    node = parser.parse_expr()
+    trailing = parser.peek()
+    if trailing is not None:
+        raise RegexSyntaxError(f"unexpected trailing {trailing.text!r}", trailing.pos)
+    return node

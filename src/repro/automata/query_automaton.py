@@ -1,0 +1,136 @@
+"""Query automata ``Gq(R)`` (paper Section 5.1).
+
+A query automaton for ``qrr(s, t, R)`` accepts *paths* rather than words:
+its start state ``us`` stands for the source node ``s``, its final state
+``ut`` for the target ``t``, and every other state is a Glushkov position of
+``R`` labeled with a symbol.  A path ``(s, v1, ..., vn, t)`` is accepted iff
+the sequence of intermediate labels ``L(v1)..L(vn)`` drives the position
+automaton from ``us`` to ``ut`` — matching the paper's definition where the
+path label excludes both endpoints (Section 2.1).
+
+States are small integers: ``US = -1``, ``UT = -2`` and positions ``0..n-1``,
+so vectors indexed by state are cheap and the (node, state) pairs shipped by
+``localEvalr`` stay compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union as TUnion
+
+from ..graph.digraph import DiGraph, Node
+from .ast import RegexNode
+from .glushkov import GlushkovAnalysis, analyze
+from .parser import parse_regex
+
+US = -1  # start state, denotes the query's source node s
+UT = -2  # final state, denotes the query's target node t
+
+State = int
+
+
+@dataclass(frozen=True)
+class QueryAutomaton:
+    """``Gq(R) = <Vq, Eq, Lq, us, ut>`` for a concrete (s, t) pair."""
+
+    analysis: GlushkovAnalysis
+    source: Node
+    target: Node
+
+    @classmethod
+    def build(
+        cls,
+        regex: TUnion[str, RegexNode],
+        source: Node,
+        target: Node,
+    ) -> "QueryAutomaton":
+        """Compile ``regex`` into a query automaton for ``(source, target)``."""
+        return cls(analyze(parse_regex(regex)), source, target)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def states(self) -> Tuple[State, ...]:
+        """``Vq``: start, every position, final."""
+        return (US, *range(self.analysis.num_positions), UT)
+
+    @property
+    def num_states(self) -> int:
+        """``|Vq|``."""
+        return self.analysis.num_positions + 2
+
+    def successors(self, state: State) -> Tuple[State, ...]:
+        """``Eq`` transitions out of ``state``."""
+        if state == UT:
+            return ()
+        if state == US:
+            out: List[State] = list(self.analysis.first)
+            if self.analysis.nullable:
+                out.append(UT)
+            return tuple(out)
+        out = list(self.analysis.follow[state])
+        if state in self.analysis.last:
+            out.append(UT)
+        return tuple(out)
+
+    def transitions(self) -> Iterable[Tuple[State, State]]:
+        for state in self.states():
+            for nxt in self.successors(state):
+                yield (state, nxt)
+
+    @property
+    def num_transitions(self) -> int:
+        """``|Eq|``."""
+        return sum(1 for _ in self.transitions())
+
+    @property
+    def size(self) -> int:
+        """``|Gq| = |Vq| + |Eq|`` — what the coordinator ships to every site."""
+        return self.num_states + self.num_transitions
+
+    def state_label(self, state: State) -> str:
+        """Human-readable ``Lq`` (used by examples and __str__)."""
+        if state == US:
+            return f"start:{self.source}"
+        if state == UT:
+            return f"final:{self.target}"
+        label = self.analysis.position_labels[state]
+        return "." if label is None else str(label)
+
+    # ------------------------------------------------------------------
+    # matching (Section 5.1: L(v) must equal Lq(u) at each step)
+    # ------------------------------------------------------------------
+    def node_matches(self, node: Node, label: object, state: State) -> bool:
+        """May ``node`` (carrying ``label``) occupy ``state``?
+
+        ``us``/``ut`` match the query's endpoints *by identity*; position
+        states match by label (wildcard positions match anything).
+        """
+        if state == US:
+            return node == self.source
+        if state == UT:
+            return node == self.target
+        expected = self.analysis.position_labels[state]
+        return expected is None or expected == label
+
+    def match_fn(self, graph: DiGraph) -> Callable[[Node, State], bool]:
+        """Bind :meth:`node_matches` to a graph's labeling for product search."""
+        label_of = graph.label
+
+        def matches(node: Node, state: State) -> bool:
+            return self.node_matches(node, label_of(node), state)
+
+        return matches
+
+    def matching_states(self, node: Node, label: object) -> Tuple[State, ...]:
+        """Every state that ``node`` may occupy (used to seed rvec entries)."""
+        return tuple(
+            state for state in self.states() if self.node_matches(node, label, state)
+        )
+
+    def __str__(self) -> str:
+        lines = [f"QueryAutomaton(|Vq|={self.num_states}, |Eq|={self.num_transitions})"]
+        for state in self.states():
+            succ = ", ".join(self.state_label(n) for n in self.successors(state))
+            lines.append(f"  {self.state_label(state)} -> [{succ}]")
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Sampling words from the language of a regular expression.
+
+Used by the workload generator (to plant paths that *satisfy* a query, so
+benchmarks get a controllable fraction of ``true`` answers, mirroring the
+paper's "around 30% return true") and by tests as a source of known-positive
+words for NFA/product cross-checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union as TUnion
+
+from .ast import Concat, Epsilon, RegexNode, Star, Symbol, Union, Wildcard
+from .parser import parse_regex
+
+
+def sample_word(
+    regex: TUnion[str, RegexNode],
+    rng: Optional[random.Random] = None,
+    alphabet: Sequence[str] = ("a",),
+    max_star_repeats: int = 3,
+) -> List[str]:
+    """Draw one word of ``L(R)`` uniformly-ish at random.
+
+    Wildcards are instantiated from ``alphabet``; each star picks 0..
+    ``max_star_repeats`` repetitions geometrically.
+    """
+    node = parse_regex(regex)
+    rng = rng or random.Random(0)
+
+    def gen(n: RegexNode) -> List[str]:
+        if isinstance(n, Epsilon):
+            return []
+        if isinstance(n, Symbol):
+            return [n.label]
+        if isinstance(n, Wildcard):
+            return [rng.choice(list(alphabet))]
+        if isinstance(n, Concat):
+            out: List[str] = []
+            for part in n.parts:
+                out.extend(gen(part))
+            return out
+        if isinstance(n, Union):
+            return gen(rng.choice(n.parts))
+        if isinstance(n, Star):
+            out = []
+            repeats = 0
+            while repeats < max_star_repeats and rng.random() < 0.6:
+                out.extend(gen(n.inner))
+                repeats += 1
+            return out
+        raise TypeError(f"unknown regex node {n!r}")
+
+    return gen(node)
+
+
+def sample_words(
+    regex: TUnion[str, RegexNode],
+    count: int,
+    seed: int = 0,
+    alphabet: Sequence[str] = ("a",),
+) -> List[List[str]]:
+    """Draw ``count`` words (duplicates possible for tiny languages)."""
+    rng = random.Random(seed)
+    node = parse_regex(regex)
+    return [sample_word(node, rng, alphabet) for _ in range(count)]
+
+
+def to_python_regex(
+    regex: TUnion[str, RegexNode],
+    symbol_map: Optional[dict] = None,
+) -> str:
+    """Render as a Python ``re`` pattern over single characters.
+
+    ``symbol_map`` maps each label to one character; identity by default
+    (labels must then be single characters).  Tests use this to compare NFA
+    acceptance with ``re.fullmatch`` on random words.
+    """
+    node = parse_regex(regex)
+
+    def render(n: RegexNode) -> str:
+        if isinstance(n, Epsilon):
+            return "(?:)"
+        if isinstance(n, Symbol):
+            ch = symbol_map[n.label] if symbol_map else n.label
+            if len(ch) != 1:
+                raise ValueError(f"label {n.label!r} must map to a single character")
+            return "\\" + ch if ch in ".^$*+?{}[]()|\\" else ch
+        if isinstance(n, Wildcard):
+            return "."
+        if isinstance(n, Concat):
+            return "".join(f"(?:{render(p)})" for p in n.parts)
+        if isinstance(n, Union):
+            return "|".join(f"(?:{render(p)})" for p in n.parts)
+        if isinstance(n, Star):
+            return f"(?:{render(n.inner)})*"
+        raise TypeError(f"unknown regex node {n!r}")
+
+    return render(node)

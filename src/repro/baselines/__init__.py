@@ -1,0 +1,28 @@
+"""Baseline algorithms the paper evaluates against (Section 7)."""
+
+from .message_passing import dis_reach_m
+from .pregel import PregelEngine, VertexContext
+from .pregel_programs import dis_dist_m, pregel_bfs_levels, pregel_sssp
+from .ship_all import dis_dist_n, dis_reach_n, dis_rpq_n
+from .suciu import (
+    AccessibilityRelation,
+    assemble_accessibility,
+    dis_rpq_d,
+    local_accessibility,
+)
+
+__all__ = [
+    "AccessibilityRelation",
+    "PregelEngine",
+    "VertexContext",
+    "assemble_accessibility",
+    "dis_dist_m",
+    "dis_dist_n",
+    "dis_reach_m",
+    "dis_reach_n",
+    "dis_rpq_d",
+    "dis_rpq_n",
+    "local_accessibility",
+    "pregel_bfs_levels",
+    "pregel_sssp",
+]

@@ -1,0 +1,79 @@
+"""disReachm: the message-passing distributed BFS baseline (Section 7).
+
+Following [21] (Pregel), with the exact protocol the paper describes:
+
+(i)   every node carries a status flag, initially ``inactive``;
+(ii)  a token "T" flows only from active nodes to inactive children, which
+      then become active;
+(iii) no active node ever becomes inactive again;
+(iv)  a worker may send "T", "idle", or a virtual node to the master, which
+      redirects virtual-node tokens to the owning worker.
+
+The run returns *true* the moment "T" reaches the target (the worker reports
+to the master), and *false* once every worker is idle.  Performance-wise
+this serializes BFS frontiers into supersteps and pays a master round-trip
+for every cross-fragment activation — hence unbounded site visits and a
+response time that grows with fragment count, the paper's Exp-1 story.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from ..core.queries import ReachQuery
+from ..core.results import QueryResult
+from ..distributed.cluster import SimulatedCluster
+from ..distributed.messages import MessageKind
+from ..graph.digraph import Node
+from .pregel import PregelEngine, VertexContext
+
+
+def dis_reach_m(
+    cluster: SimulatedCluster,
+    query: Union[ReachQuery, Tuple[Node, Node]],
+) -> QueryResult:
+    """Distributed BFS over the Pregel substrate."""
+    if not isinstance(query, ReachQuery):
+        query = ReachQuery(*query)
+    cluster.site_of(query.source)
+    cluster.site_of(query.target)
+
+    run = cluster.start_run("disReachm")
+    if query.source == query.target:
+        stats = run.finish()
+        return QueryResult(True, stats, {"trivial": True})
+
+    # The master posts the query to every worker.
+    run.broadcast(query, MessageKind.QUERY)
+
+    engine = PregelEngine(cluster, run)
+    target = query.target
+
+    def compute(ctx: VertexContext, messages: List[str]) -> None:
+        if ctx.value:  # already active: tokens to active nodes are dropped (iii)
+            return
+        ctx.set_value(True)
+        if ctx.vertex == target:
+            # "if T reaches the node t, Si sends message T to Sc" (ii).
+            ctx.engine.run.send_to_coordinator(
+                ctx.site_id, "T", MessageKind.CONTROL
+            )
+            ctx.halt_with(True)
+            return
+        for child in ctx.successors():
+            ctx.send(child, "T")
+
+    result = engine.execute(compute, {query.source: ["T"]})
+    answer = bool(result)
+
+    if not answer:
+        # "when no message is propagating in Si, it sends 'idle' to Sc" (iv).
+        for site in cluster.sites:
+            run.send_to_coordinator(site.site_id, "idle", MessageKind.CONTROL)
+
+    stats = run.finish()
+    return QueryResult(
+        answer,
+        stats,
+        {"supersteps": stats.supersteps, "activated": len(engine.values)},
+    )

@@ -1,0 +1,155 @@
+"""A minimal Pregel-style vertex-centric BSP substrate (after [21]).
+
+disReachm — the message-passing baseline of Section 7 — needs a Pregel-like
+system: workers hold fragments, vertices exchange messages in synchronous
+supersteps, and cross-fragment messages are *routed through the master*
+(the paper's protocol: "Si sends a message v to Sc, which redirects the
+message to workers Sj").
+
+Accounting, on top of :class:`~repro.distributed.cluster.Run`:
+
+* every cross-fragment message is two transfers (worker → master → worker)
+  and the delivery to the destination worker counts as a **site visit** —
+  this is what makes disReachm's visit count unbounded (Exp-1 reports ~2500
+  total visits on 4 sites, vs. exactly 4 for disReach);
+* every superstep pays one compute round (max worker time) and one routing
+  round (latency + max transferred bytes) — the serialization cost the
+  paper attributes to message passing.
+
+The engine is generic: computations are callbacks over a per-vertex value
+store, so other vertex programs (e.g. SSSP) can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..distributed.cluster import Run, SimulatedCluster
+from ..distributed.messages import COORDINATOR, MessageKind, payload_size
+from ..errors import DistributedError
+from ..graph.digraph import Node
+
+
+class VertexContext:
+    """What one vertex sees during one superstep."""
+
+    __slots__ = ("engine", "vertex", "site_id", "superstep", "_outbox")
+
+    def __init__(self, engine: "PregelEngine", vertex: Node, site_id: int, superstep: int):
+        self.engine = engine
+        self.vertex = vertex
+        self.site_id = site_id
+        self.superstep = superstep
+        self._outbox: List[Tuple[Node, Any]] = []
+
+    # -- state ----------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        return self.engine.values.get(self.vertex)
+
+    def set_value(self, value: Any) -> None:
+        self.engine.values[self.vertex] = value
+
+    # -- topology -------------------------------------------------------
+    def successors(self) -> Iterable[Node]:
+        """Successors in the owner fragment's local graph — both internal
+        edges and cross edges to virtual nodes."""
+        fragment = self.engine.cluster.fragmentation.fragment_of(self.vertex)
+        return fragment.local_graph.successors(self.vertex)
+
+    # -- actions --------------------------------------------------------
+    def send(self, target: Node, value: Any) -> None:
+        self._outbox.append((target, value))
+
+    def halt_with(self, result: Any) -> None:
+        """Report a global result to the master; the engine stops after this
+        superstep (the worker's "T"-to-master message is charged)."""
+        self.engine._result = result
+        self.engine._halted = True
+
+
+Compute = Callable[[VertexContext, List[Any]], None]
+
+
+class PregelEngine:
+    """Synchronous superstep executor over one cluster + accounting run."""
+
+    def __init__(self, cluster: SimulatedCluster, run: Run) -> None:
+        self.cluster = cluster
+        self.run = run
+        self.values: Dict[Node, Any] = {}
+        self.owner: Dict[Node, int] = cluster.node_site_map()
+        self._result: Any = None
+        self._halted = False
+
+    def execute(
+        self,
+        compute: Compute,
+        initial_messages: Dict[Node, List[Any]],
+        max_supersteps: int = 100_000,
+    ) -> Any:
+        """Run supersteps until no messages remain or a result is reported.
+
+        ``initial_messages`` seeds superstep 0 (e.g. a token at the source
+        vertex).  Returns whatever a vertex passed to ``halt_with``, else
+        ``None``.
+        """
+        pending = dict(initial_messages)
+        superstep = 0
+        while pending and not self._halted:
+            if superstep >= max_supersteps:
+                raise DistributedError(
+                    f"Pregel computation exceeded {max_supersteps} supersteps"
+                )
+            by_site: Dict[int, Dict[Node, List[Any]]] = {}
+            for vertex, msgs in pending.items():
+                site_id = self.owner[vertex]
+                by_site.setdefault(site_id, {})[vertex] = msgs
+
+            outboxes: List[Tuple[int, Node, Any]] = []
+            with self.run.parallel_phase() as phase:
+                for site_id, vertex_msgs in by_site.items():
+                    with phase.at(site_id):
+                        for vertex, msgs in vertex_msgs.items():
+                            ctx = VertexContext(self, vertex, site_id, superstep)
+                            compute(ctx, msgs)
+                            for target, value in ctx._outbox:
+                                outboxes.append((site_id, target, value))
+
+            pending = self._route(outboxes)
+            superstep += 1
+        return self._result
+
+    # ------------------------------------------------------------------
+    def _route(self, outboxes: List[Tuple[int, Node, Any]]) -> Dict[Node, List[Any]]:
+        """Deliver messages; cross-fragment ones go through the master."""
+        nxt: Dict[Node, List[Any]] = {}
+        up_bytes: Dict[int, int] = {}  # worker -> master, per source site
+        down_bytes: Dict[int, int] = {}  # master -> worker, per destination site
+        routed = 0
+        for src_site, target, value in outboxes:
+            dst_site = self.owner.get(target)
+            if dst_site is None:
+                raise DistributedError(f"message to unknown vertex {target!r}")
+            nxt.setdefault(target, []).append(value)
+            if dst_site == src_site:
+                continue  # intra-worker delivery: free
+            size = payload_size(target) + payload_size(value)
+            self.run.stats.record_message(
+                src_site, COORDINATOR, MessageKind.TOKEN, size
+            )
+            # The redirect counts as a visit to the destination site.
+            self.run.stats.record_message(
+                COORDINATOR, dst_site, MessageKind.TOKEN, size
+            )
+            up_bytes[src_site] = up_bytes.get(src_site, 0) + size
+            down_bytes[dst_site] = down_bytes.get(dst_site, 0) + size
+            routed += 1
+        if up_bytes:
+            self.run.network_round(up_bytes)
+        if down_bytes:
+            self.run.network_round(down_bytes)
+        # The master handles each redirected message individually — the
+        # serialization cost the paper criticizes in message passing.
+        self.run.serialized_routing(routed)
+        return nxt

@@ -1,0 +1,82 @@
+"""Ship-all baselines: disReachn, disDistn, disRPQn (Section 7, "(5) Algorithms").
+
+"disReachn ships all the fragments to a coordinator in parallel, which calls
+a centralized BFS algorithm to evaluate the query [31]" — and likewise for
+the other two query classes.  The coordinator pays:
+
+* traffic: the whole graph (every fragment's local storage);
+* time: one parallel shipping round (max fragment / bandwidth) + graph
+  restoration + the centralized algorithm.
+
+This is the "naive method" of Example 1: correct, but its data shipment is
+linear in |G| and may be forbidden outright by data privacy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..core.centralized import evaluate_centralized
+from ..core.queries import (
+    BoundedReachQuery,
+    Query,
+    ReachQuery,
+    RegularReachQuery,
+)
+from ..core.results import QueryResult
+from ..distributed.cluster import SimulatedCluster
+from ..distributed.messages import MessageKind
+from ..graph.digraph import Node
+
+
+def _ship_all(cluster: SimulatedCluster, query: Query, algorithm: str) -> QueryResult:
+    cluster.site_of(query.source)
+    cluster.site_of(query.target)
+
+    run = cluster.start_run(algorithm)
+    # The coordinator requests every fragment (one visit per site) ...
+    run.broadcast(query, MessageKind.QUERY)
+    # ... and the sites serialize and ship their entire local graphs back,
+    # in parallel (serialization is site-side compute, inside the phase).
+    with run.parallel_phase() as phase:
+        for site in cluster.sites:
+            with phase.at(site.site_id):
+                for fragment in site.fragments:
+                    run.send_to_coordinator(
+                        site.site_id, fragment.local_graph, MessageKind.DATA
+                    )
+
+    with run.coordinator_work():
+        graph = cluster.fragmentation.restore_graph()
+        answer = evaluate_centralized(graph, query)
+
+    stats = run.finish()
+    return QueryResult(answer, stats, {"restored_size": graph.size})
+
+
+def dis_reach_n(
+    cluster: SimulatedCluster, query: Union[ReachQuery, Tuple[Node, Node]]
+) -> QueryResult:
+    """disReachn: ship everything, run centralized BFS."""
+    if not isinstance(query, ReachQuery):
+        query = ReachQuery(*query)
+    return _ship_all(cluster, query, "disReachn")
+
+
+def dis_dist_n(
+    cluster: SimulatedCluster, query: Union[BoundedReachQuery, Tuple[Node, Node, int]]
+) -> QueryResult:
+    """disDistn: ship everything, run centralized bounded BFS."""
+    if not isinstance(query, BoundedReachQuery):
+        query = BoundedReachQuery(*query)
+    return _ship_all(cluster, query, "disDistn")
+
+
+def dis_rpq_n(
+    cluster: SimulatedCluster,
+    query: Union[RegularReachQuery, Tuple[Node, Node, object]],
+) -> QueryResult:
+    """disRPQn: ship everything, run the centralized product search."""
+    if not isinstance(query, RegularReachQuery):
+        query = RegularReachQuery(*query)
+    return _ship_all(cluster, query, "disRPQn")

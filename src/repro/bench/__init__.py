@@ -1,0 +1,14 @@
+"""Experiment harness reproducing every table and figure of Section 7."""
+
+from .experiments import EXPERIMENTS, MR_QUERIES, SCALE, SIZE_F_TICKS
+from .harness import AggregateMetrics, ExperimentResult, run_workload
+
+__all__ = [
+    "AggregateMetrics",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "MR_QUERIES",
+    "SCALE",
+    "SIZE_F_TICKS",
+    "run_workload",
+]

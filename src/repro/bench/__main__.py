@@ -1,0 +1,70 @@
+"""CLI: reproduce the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # list experiments
+    python -m repro.bench table2          # one experiment
+    python -m repro.bench all             # every experiment
+    python -m repro.bench fig11a --scale 0.005 --csv out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the evaluation tables/figures of Fan et al., VLDB 2012.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see list below), or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="graph scale override")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--queries", type=int, default=None, help="queries per point")
+    parser.add_argument("--csv", type=Path, default=None, help="also write CSV here")
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for name, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:22s} {doc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    csv_chunks = []
+    for name in names:
+        kwargs = {"seed": args.seed}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.queries is not None:
+            kwargs["num_queries"] = args.queries
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](**kwargs)
+        elapsed = time.perf_counter() - start
+        print(result.format_table())
+        print(f"(ran in {elapsed:.1f}s)\n")
+        csv_chunks.append(f"# {name}\n" + result.to_csv())
+    if args.csv:
+        args.csv.write_text("\n".join(csv_chunks), encoding="utf-8")
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

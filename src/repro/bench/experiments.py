@@ -1,0 +1,572 @@
+"""One function per table/figure of the paper's evaluation (Section 7).
+
+Every experiment reproduces the corresponding artifact's *rows/series* —
+same datasets (stand-ins), same x-axes, same algorithm line-up — at a
+configurable ``scale`` (default 1/100 of the paper's graph sizes; see
+DESIGN.md §4).  Absolute times are not comparable to the paper's Java/EC2
+numbers; the *shapes* (who wins, how curves move with card(F), size(F) and
+query complexity) are, and EXPERIMENTS.md records both.
+
+All functions return :class:`~repro.bench.harness.ExperimentResult` and are
+registered in :data:`EXPERIMENTS` for the CLI (``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.queries import RegularReachQuery
+from ..distributed.cluster import SimulatedCluster
+from ..graph.digraph import DiGraph
+from ..graph.generators import synthetic_graph
+from ..index import REACHABILITY_INDEXES
+from ..mapreduce.mrd_rpq import mrd_rpq
+from ..mapreduce.runtime import MapReduceRuntime
+from ..partition.partitioners import PARTITIONERS
+from ..workload.datasets import DATASETS, load_dataset
+from ..workload.query_gen import (
+    random_bounded_queries,
+    random_reach_queries,
+    random_regular_queries,
+)
+from .harness import AggregateMetrics, ExperimentResult, run_workload
+
+#: Default reproduction scale relative to the paper's graph sizes.
+SCALE = 0.01
+
+# The paper's size(F) x-axis ticks (Figs. 11(b), 11(h), 11(k)).
+SIZE_F_TICKS = [35_000, 75_000, 115_000, 155_000, 195_000, 235_000, 275_000, 315_000]
+
+# Query complexities (|Vq|, |Eq|) of Fig. 11(g), with |Lq| = 8.
+FIG11G_COMPLEXITIES = [(4, 8), (6, 12), (8, 16), (10, 20), (12, 24), (14, 28), (16, 32), (18, 36)]
+
+# Q1..Q4 of Exp-4: (|Vq|, |Eq|, |Lq|).
+MR_QUERIES = {"Q1": (4, 6, 8), "Q2": (6, 8, 8), "Q3": (10, 12, 8), "Q4": (12, 14, 8)}
+
+
+def _cluster(graph: DiGraph, card: int, seed: int = 0) -> SimulatedCluster:
+    """Size-controlled contiguous fragmentation.
+
+    The paper "randomly partitioned ... controlled by card(F) and the
+    average size of the fragments" — a size-controlled split (like Hadoop's
+    input splits, which Section 6 uses explicitly).  We use contiguous
+    chunks of the generator's node order, which keeps boundary sets
+    realistic; *per-node* random placement (where virtually every node
+    becomes a boundary node and the O(|Vf|^2) worst case dominates) is
+    exercised separately in the partitioner ablation.
+    """
+    return SimulatedCluster.from_graph(graph, card, partitioner="chunk", seed=seed)
+
+
+def _sized_synthetic(
+    size_f: int, card: int, scale: float, num_labels: int, seed: int,
+    edge_ratio: float = 1.4,
+) -> DiGraph:
+    """A synthetic graph whose (scaled) per-fragment size is ``size_f``.
+
+    ``size_f`` is the paper's size(F) tick; |G| = size_f * card, split
+    |V| + |E| with |E| = edge_ratio * |V|, then scaled.
+    """
+    total = max(int(size_f * card * scale), 60)
+    num_nodes = max(int(total / (1.0 + edge_ratio)), 30)
+    num_edges = max(total - num_nodes, num_nodes)
+    return synthetic_graph(num_nodes, num_edges, num_labels=num_labels, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Exp-1: reachability
+# ---------------------------------------------------------------------------
+def exp_table2(
+    scale: float = SCALE / 5,
+    card: int = 4,
+    num_queries: int = 6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 2: time and data shipment of disReach / disReachn / disReachm
+    on the five real-life reachability datasets, card(F) = 4."""
+    result = ExperimentResult(
+        "table2",
+        "Efficiency and data shipment: real-life data (reachability)",
+        ["dataset", "algorithm", "time_ms", "traffic_KB", "max_visits", "total_visits", "positive"],
+        notes=f"scale={scale}, card(F)={card}, {num_queries} queries per dataset",
+    )
+    for name in ["livejournal", "wikitalk", "berkstan", "notredame", "amazon"]:
+        graph = load_dataset(name, scale=scale, seed=seed)
+        cluster = _cluster(graph, card, seed=seed)
+        queries = random_reach_queries(graph, num_queries, seed=seed)
+        for algorithm in ["disReach", "disReachn", "disReachm"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            result.add_row(
+                dataset=name,
+                algorithm=algorithm,
+                time_ms=metrics.mean_response_seconds * 1e3,
+                traffic_KB=metrics.mean_traffic_bytes / 1e3,
+                max_visits=metrics.max_visits_per_site,
+                total_visits=metrics.total_visits,
+                positive=metrics.positive_fraction,
+            )
+    return result
+
+
+def exp_fig11a(
+    scale: float = SCALE / 5,
+    cards: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
+    num_queries: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(a): reachability time vs card(F) on LiveJournal."""
+    graph = load_dataset("livejournal", scale=scale, seed=seed)
+    queries = random_reach_queries(graph, num_queries, seed=seed)
+    result = ExperimentResult(
+        "fig11a",
+        "Reachability: varying fragment number (LiveJournal analog)",
+        ["card", "disReach_ms", "disReachn_ms", "disReachm_ms"],
+        notes=f"scale={scale}, {num_queries} queries",
+    )
+    for card in cards:
+        cluster = _cluster(graph, card, seed=seed)
+        row: Dict[str, object] = {"card": card}
+        for algorithm in ["disReach", "disReachn", "disReachm"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+def exp_fig11b(
+    scale: float = SCALE,
+    card: int = 8,
+    size_ticks: Sequence[int] = tuple(SIZE_F_TICKS),
+    num_queries: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(b): reachability time vs size(F), card(F) = 8 (synthetic)."""
+    result = ExperimentResult(
+        "fig11b",
+        "Reachability: varying fragment size (densification-law synthetic)",
+        ["size_F", "disReach_ms", "disReachn_ms", "disReachm_ms"],
+        notes=f"scale={scale}, card(F)={card}",
+    )
+    for size_f in size_ticks:
+        graph = _sized_synthetic(size_f, card, scale, num_labels=0, seed=seed)
+        cluster = _cluster(graph, card, seed=seed)
+        queries = random_reach_queries(graph, num_queries, seed=seed)
+        row: Dict[str, object] = {"size_F": size_f}
+        for algorithm in ["disReach", "disReachn", "disReachm"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+def exp_fig11c(
+    scale: float = SCALE / 10,
+    cards: Sequence[int] = (10, 12, 14, 16, 18, 20),
+    num_queries: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(c): large synthetic graph (paper: 36M nodes / 360M edges),
+    disReach vs disReachm, card(F) in 10..20."""
+    num_nodes = max(int(36_000_000 * scale), 1000)
+    num_edges = max(int(360_000_000 * scale), num_nodes)
+    graph = synthetic_graph(num_nodes, num_edges, seed=seed)
+    queries = random_reach_queries(graph, num_queries, seed=seed)
+    result = ExperimentResult(
+        "fig11c",
+        "Reachability on a large synthetic graph: varying fragment number",
+        ["card", "disReach_ms", "disReachm_ms"],
+        notes=f"|V|={num_nodes}, |E|={num_edges} (paper: 36M/360M)",
+    )
+    for card in cards:
+        cluster = _cluster(graph, card, seed=seed)
+        row: Dict[str, object] = {"card": card}
+        for algorithm in ["disReach", "disReachm"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Exp-2: bounded reachability
+# ---------------------------------------------------------------------------
+def exp_fig11d(
+    scale: float = SCALE / 2,
+    cards: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
+    bound: int = 10,
+    num_queries: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(d): disDist vs disDistn on WikiTalk, l = 10."""
+    graph = load_dataset("wikitalk", scale=scale, seed=seed)
+    queries = random_bounded_queries(graph, num_queries, bound=bound, seed=seed)
+    result = ExperimentResult(
+        "fig11d",
+        "Bounded reachability: varying fragment number (WikiTalk analog)",
+        ["card", "disDist_ms", "disDistn_ms"],
+        notes=f"scale={scale}, l={bound}, {num_queries} queries",
+    )
+    for card in cards:
+        cluster = _cluster(graph, card, seed=seed)
+        row: Dict[str, object] = {"card": card}
+        for algorithm in ["disDist", "disDistn"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Exp-3: regular reachability
+# ---------------------------------------------------------------------------
+_RPQ_DATASETS = ["youtube", "meme", "citation", "internet"]
+
+
+def _rpq_real_metrics(
+    scale: float, num_queries: int, seed: int
+) -> Dict[str, Dict[str, AggregateMetrics]]:
+    out: Dict[str, Dict[str, AggregateMetrics]] = {}
+    for name in _RPQ_DATASETS:
+        spec = DATASETS[name]
+        graph = load_dataset(name, scale=scale, seed=seed)
+        card = spec.paper_fragments or 10
+        cluster = _cluster(graph, card, seed=seed)
+        queries = random_regular_queries(
+            graph, num_queries, num_states=8, num_transitions=16, num_labels=8,
+            seed=seed,
+        )
+        out[name] = {
+            algorithm: run_workload(cluster, queries, algorithm)
+            for algorithm in ["disRPQ", "disRPQn", "disRPQd"]
+        }
+    return out
+
+
+def exp_fig11e(
+    scale: float = SCALE,
+    num_queries: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(e): RPQ response time on the four labeled datasets."""
+    metrics = _rpq_real_metrics(scale, num_queries, seed)
+    result = ExperimentResult(
+        "fig11e",
+        "Regular reachability: response time on real-life labeled graphs",
+        ["dataset", "disRPQ_ms", "disRPQn_ms", "disRPQd_ms"],
+        notes=f"scale={scale}, queries (|Vq|,|Eq|,|Lq|)=(8,16,8), card(F) per paper",
+    )
+    for name in _RPQ_DATASETS:
+        result.add_row(
+            dataset=name,
+            **{
+                f"{algo}_ms": metrics[name][algo].mean_response_seconds * 1e3
+                for algo in ["disRPQ", "disRPQn", "disRPQd"]
+            },
+        )
+    return result
+
+
+def exp_fig11f(
+    scale: float = SCALE,
+    num_queries: int = 4,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(f): RPQ network traffic on the four labeled datasets."""
+    metrics = _rpq_real_metrics(scale, num_queries, seed)
+    result = ExperimentResult(
+        "fig11f",
+        "Regular reachability: network traffic on real-life labeled graphs",
+        ["dataset", "disRPQ_KB", "disRPQn_KB", "disRPQd_KB"],
+        notes=f"scale={scale}; paper plots MB on a log axis",
+    )
+    for name in _RPQ_DATASETS:
+        result.add_row(
+            dataset=name,
+            **{
+                f"{algo}_KB": metrics[name][algo].mean_traffic_bytes / 1e3
+                for algo in ["disRPQ", "disRPQn", "disRPQd"]
+            },
+        )
+    return result
+
+
+def exp_fig11g(
+    scale: float = SCALE,
+    complexities: Sequence[Tuple[int, int]] = tuple(FIG11G_COMPLEXITIES),
+    num_queries: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(g): RPQ time vs query complexity (|Vq|, |Eq|) on Youtube."""
+    graph = load_dataset("youtube", scale=scale, seed=seed)
+    card = DATASETS["youtube"].paper_fragments
+    cluster = _cluster(graph, card, seed=seed)
+    result = ExperimentResult(
+        "fig11g",
+        "Regular reachability: varying query complexity (Youtube analog)",
+        ["Vq", "Eq", "disRPQ_ms", "disRPQn_ms", "disRPQd_ms"],
+        notes=f"scale={scale}, |Lq|=8, card(F)={card}",
+    )
+    for num_states, num_transitions in complexities:
+        queries = random_regular_queries(
+            graph, num_queries, num_states=num_states,
+            num_transitions=num_transitions, num_labels=8, seed=seed,
+        )
+        row: Dict[str, object] = {"Vq": num_states, "Eq": num_transitions}
+        for algorithm in ["disRPQ", "disRPQn", "disRPQd"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+def exp_fig11h(
+    scale: float = SCALE,
+    card: int = 10,
+    size_ticks: Sequence[int] = tuple(SIZE_F_TICKS),
+    num_queries: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(h): RPQ time vs size(F), card(F) = 10 (synthetic, |L| = 8)."""
+    result = ExperimentResult(
+        "fig11h",
+        "Regular reachability: varying fragment size (synthetic)",
+        ["size_F", "disRPQ_ms", "disRPQn_ms", "disRPQd_ms"],
+        notes=f"scale={scale}, card(F)={card}, queries (8,16,8)",
+    )
+    for size_f in size_ticks:
+        graph = _sized_synthetic(size_f, card, scale, num_labels=8, seed=seed)
+        cluster = _cluster(graph, card, seed=seed)
+        queries = random_regular_queries(
+            graph, num_queries, num_states=8, num_transitions=16, num_labels=8,
+            seed=seed,
+        )
+        row: Dict[str, object] = {"size_F": size_f}
+        for algorithm in ["disRPQ", "disRPQn", "disRPQd"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+def exp_fig11i(
+    scale: float = SCALE / 2,
+    cards: Sequence[int] = (6, 8, 10, 12, 14, 16, 18, 20),
+    num_queries: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(i): RPQ time vs card(F) (paper: 1.2M nodes / 4.8M edges)."""
+    num_nodes = max(int(1_200_000 * scale), 500)
+    num_edges = max(int(4_800_000 * scale), num_nodes)
+    graph = synthetic_graph(num_nodes, num_edges, num_labels=8, seed=seed)
+    queries = random_regular_queries(
+        graph, num_queries, num_states=8, num_transitions=16, num_labels=8, seed=seed
+    )
+    result = ExperimentResult(
+        "fig11i",
+        "Regular reachability: varying fragment number (synthetic)",
+        ["card", "disRPQ_ms", "disRPQn_ms", "disRPQd_ms"],
+        notes=f"|V|={num_nodes}, |E|={num_edges} (paper: 1.2M/4.8M)",
+    )
+    for card in cards:
+        cluster = _cluster(graph, card, seed=seed)
+        row: Dict[str, object] = {"card": card}
+        for algorithm in ["disRPQ", "disRPQn", "disRPQd"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+def exp_fig11j(
+    scale: float = SCALE / 20,
+    cards: Sequence[int] = (10, 12, 14, 16, 18, 20),
+    num_queries: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(j): RPQ on a large synthetic graph (paper: 36M/360M, |L|=50),
+    disRPQ vs disRPQd."""
+    num_nodes = max(int(36_000_000 * scale), 1000)
+    num_edges = max(int(360_000_000 * scale), num_nodes)
+    graph = synthetic_graph(num_nodes, num_edges, num_labels=50, seed=seed)
+    queries = random_regular_queries(
+        graph, num_queries, num_states=8, num_transitions=16, num_labels=8, seed=seed
+    )
+    result = ExperimentResult(
+        "fig11j",
+        "Regular reachability on a large synthetic graph (|L|=50)",
+        ["card", "disRPQ_ms", "disRPQd_ms"],
+        notes=f"|V|={num_nodes}, |E|={num_edges} (paper: 36M/360M)",
+    )
+    for card in cards:
+        cluster = _cluster(graph, card, seed=seed)
+        row: Dict[str, object] = {"card": card}
+        for algorithm in ["disRPQ", "disRPQd"]:
+            metrics = run_workload(cluster, queries, algorithm)
+            row[f"{algorithm}_ms"] = metrics.mean_response_seconds * 1e3
+        result.add_row(**row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Exp-4: MapReduce
+# ---------------------------------------------------------------------------
+def _mr_workload(
+    graph: DiGraph, complexity: Tuple[int, int, int], num_queries: int, seed: int
+) -> List[RegularReachQuery]:
+    num_states, num_transitions, num_labels = complexity
+    return random_regular_queries(
+        graph, num_queries, num_states=num_states,
+        num_transitions=num_transitions, num_labels=num_labels, seed=seed,
+    )
+
+
+def _mr_mean_ms(
+    graph: DiGraph,
+    queries: Sequence[RegularReachQuery],
+    num_mappers: int,
+) -> float:
+    runtime = MapReduceRuntime()
+    total = 0.0
+    for query in queries:
+        result = mrd_rpq(graph, query, num_mappers, runtime=runtime)
+        total += result.stats.response_seconds
+    return total / len(queries) * 1e3
+
+
+def exp_fig11k(
+    scale: float = SCALE,
+    num_mappers: int = 10,
+    size_ticks: Sequence[int] = tuple(SIZE_F_TICKS),
+    num_queries: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(k): MRdRPQ time vs size(F) for queries Q1..Q4, 10 mappers."""
+    result = ExperimentResult(
+        "fig11k",
+        "MRdRPQ: varying fragment size (Youtube-shaped synthetic)",
+        ["size_F"] + [f"{q}_ms" for q in MR_QUERIES],
+        notes=f"scale={scale}, {num_mappers} mappers",
+    )
+    for size_f in size_ticks:
+        graph = _sized_synthetic(size_f, num_mappers, scale, num_labels=12, seed=seed)
+        row: Dict[str, object] = {"size_F": size_f}
+        for qname, complexity in MR_QUERIES.items():
+            queries = _mr_workload(graph, complexity, num_queries, seed)
+            row[f"{qname}_ms"] = _mr_mean_ms(graph, queries, num_mappers)
+        result.add_row(**row)
+    return result
+
+
+def exp_fig11l(
+    scale: float = SCALE,
+    mapper_counts: Sequence[int] = (5, 10, 15, 20, 25, 30),
+    num_queries: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(l): MRdRPQ time vs number of mappers for Q1..Q4 (Youtube)."""
+    graph = load_dataset("youtube", scale=scale, seed=seed)
+    result = ExperimentResult(
+        "fig11l",
+        "MRdRPQ: varying mapper number (Youtube analog)",
+        ["mappers"] + [f"{q}_ms" for q in MR_QUERIES],
+        notes=f"scale={scale}",
+    )
+    workloads = {
+        qname: _mr_workload(graph, complexity, num_queries, seed)
+        for qname, complexity in MR_QUERIES.items()
+    }
+    for mappers in mapper_counts:
+        row: Dict[str, object] = {"mappers": mappers}
+        for qname, queries in workloads.items():
+            row[f"{qname}_ms"] = _mr_mean_ms(graph, queries, mappers)
+        result.add_row(**row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (not in the paper; Section 3 "Remarks" design choices)
+# ---------------------------------------------------------------------------
+def exp_ablation_index(
+    scale: float = SCALE / 2,
+    card: int = 4,
+    num_queries: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """How the local reachability engine changes disReach's local-eval cost."""
+    from ..core.reachability import dis_reach
+
+    graph = load_dataset("amazon", scale=scale, seed=seed)
+    cluster = _cluster(graph, card, seed=seed)
+    queries = random_reach_queries(graph, num_queries, seed=seed)
+    result = ExperimentResult(
+        "ablation-index",
+        "disReach local-evaluation engine ablation (Amazon analog)",
+        ["engine", "time_ms", "answers"],
+        notes=f"scale={scale}, card(F)={card}; 'sweep' is the default bitmask DP",
+    )
+    engines: Dict[str, Optional[Callable]] = {"sweep": None}
+    engines.update(REACHABILITY_INDEXES)
+    for name, factory in engines.items():
+        start = time.perf_counter()
+        answers = []
+        for query in queries:
+            # Index engines rebuild per call here (worst case); site-level
+            # caching is exercised separately in the unit tests.
+            answers.append(dis_reach(cluster, query, oracle_factory=factory).answer)
+        elapsed = (time.perf_counter() - start) / len(queries)
+        result.add_row(
+            engine=name,
+            time_ms=elapsed * 1e3,
+            answers="".join("T" if a else "F" for a in answers),
+        )
+    return result
+
+
+def exp_ablation_partitioner(
+    scale: float = SCALE / 2,
+    card: int = 8,
+    num_queries: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """How partition quality (|Vf|) moves disReach's traffic and time —
+    quantifying the constants that Theorem 1 leaves partition-dependent."""
+    graph = load_dataset("amazon", scale=scale, seed=seed)
+    queries = random_reach_queries(graph, num_queries, seed=seed)
+    result = ExperimentResult(
+        "ablation-partitioner",
+        "Partitioner ablation for disReach (Amazon analog)",
+        ["partitioner", "Vf", "cross_edges", "time_ms", "traffic_KB"],
+        notes=f"scale={scale}, card(F)={card}",
+    )
+    for name in PARTITIONERS:
+        cluster = SimulatedCluster.from_graph(graph, card, partitioner=name, seed=seed)
+        metrics = run_workload(cluster, queries, "disReach")
+        result.add_row(
+            partitioner=name,
+            Vf=cluster.fragmentation.num_boundary_nodes,
+            cross_edges=cluster.fragmentation.num_cross_edges,
+            time_ms=metrics.mean_response_seconds * 1e3,
+            traffic_KB=metrics.mean_traffic_bytes / 1e3,
+        )
+    return result
+
+
+#: CLI registry: experiment id -> callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table2": exp_table2,
+    "fig11a": exp_fig11a,
+    "fig11b": exp_fig11b,
+    "fig11c": exp_fig11c,
+    "fig11d": exp_fig11d,
+    "fig11e": exp_fig11e,
+    "fig11f": exp_fig11f,
+    "fig11g": exp_fig11g,
+    "fig11h": exp_fig11h,
+    "fig11i": exp_fig11i,
+    "fig11j": exp_fig11j,
+    "fig11k": exp_fig11k,
+    "fig11l": exp_fig11l,
+    "ablation-index": exp_ablation_index,
+    "ablation-partitioner": exp_ablation_partitioner,
+}

@@ -1,0 +1,49 @@
+"""The paper's contribution: partial-evaluation distributed reachability."""
+
+from .bes import TRUE, BooleanEquationSystem
+from .bounded import assemble_bounded, dis_dist, local_eval_bounded
+from .centralized import (
+    bounded_reachable,
+    distance,
+    evaluate_centralized,
+    reachable,
+    regular_reachable,
+)
+from .engine import REGISTRY, algorithms_for, evaluate
+from .incremental import IncrementalReachSession, IncrementalRegularSession
+from .minplus import TARGET, MinPlusSystem
+from .queries import BoundedReachQuery, Query, ReachQuery, RegularReachQuery
+from .reachability import assemble_reach, dis_reach, local_eval_reach
+from .regular import assemble_regular, dis_rpq, local_eval_regular
+from .results import QueryResult
+
+__all__ = [
+    "BooleanEquationSystem",
+    "BoundedReachQuery",
+    "IncrementalReachSession",
+    "IncrementalRegularSession",
+    "MinPlusSystem",
+    "Query",
+    "QueryResult",
+    "REGISTRY",
+    "ReachQuery",
+    "RegularReachQuery",
+    "TARGET",
+    "TRUE",
+    "algorithms_for",
+    "assemble_bounded",
+    "assemble_reach",
+    "assemble_regular",
+    "bounded_reachable",
+    "dis_dist",
+    "dis_reach",
+    "dis_rpq",
+    "distance",
+    "evaluate",
+    "evaluate_centralized",
+    "local_eval_bounded",
+    "local_eval_reach",
+    "local_eval_regular",
+    "reachable",
+    "regular_reachable",
+]

@@ -1,0 +1,193 @@
+"""Disjunctive Boolean Equation Systems and their solvers (procedure evalDG).
+
+The partial answers of disReach and disRPQ are systems of equations
+
+    Xv = Xw1 ∨ Xw2 ∨ ... ∨ [true]
+
+over variables that may be *recursively* defined (graphs are cyclic, unlike
+the trees of prior partial-evaluation work [3, 6]).  For such purely
+disjunctive systems the least fixpoint assigns ``true`` to exactly the
+variables that can reach a ``true``-containing equation in the *dependency
+graph* (Fig. 4 / Fig. 5(a)); an O(|system|) reachability search solves it,
+matching the O(|Vf|^2) bound via |Gd| ∈ O(|Vf|^2) [14].
+
+Two solvers are provided: the dependency-graph search the paper uses, and a
+naive Kleene fixpoint iteration kept as an independent oracle for
+property-based tests.  Variables are arbitrary hashables — node ids for
+disReach, ``(node, state)`` pairs for disRPQ.
+
+Variables *used* but never *defined* are ``false`` (they correspond to
+boundary nodes from which the target was locally proven unreachable — the
+paper's formulas simply never mention them; we allow them for robustness).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Set, Tuple, Union
+
+from ..errors import ReproError
+from ..graph.digraph import DiGraph
+
+Var = Hashable
+
+
+class _TrueToken:
+    """The ``true`` disjunct (a dedicated sentinel: ``True == 1`` in Python,
+    so the builtin ``True`` could collide with integer node ids)."""
+
+    _instance = None
+
+    def __new__(cls) -> "_TrueToken":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+    def payload_size(self) -> int:
+        return 1
+
+
+TRUE = _TrueToken()
+Disjunct = Union[Var, _TrueToken]
+
+
+class BooleanEquationSystem:
+    """A disjunctive BES: ``var -> frozenset of disjuncts``."""
+
+    def __init__(self) -> None:
+        self._equations: Dict[Var, FrozenSet[Disjunct]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_equation(self, var: Var, disjuncts: Iterable[Disjunct]) -> None:
+        """Define ``var``; redefinition unions the disjunct sets (idempotent
+        for identical equations, which lets fragments be merged blindly)."""
+        new = frozenset(disjuncts)
+        if var in self._equations:
+            new = self._equations[var] | new
+        self._equations[var] = new
+
+    def update(self, equations: Mapping[Var, Iterable[Disjunct]]) -> None:
+        for var, disjuncts in equations.items():
+            self.add_equation(var, disjuncts)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def variables(self) -> Iterator[Var]:
+        return iter(self._equations)
+
+    def disjuncts_of(self, var: Var) -> FrozenSet[Disjunct]:
+        return self._equations.get(var, frozenset())
+
+    def __len__(self) -> int:
+        return len(self._equations)
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self._equations
+
+    @property
+    def num_disjuncts(self) -> int:
+        return sum(len(d) for d in self._equations.values())
+
+    def dependency_graph(self) -> DiGraph:
+        """``Gd`` (Section 3): one node per variable, plus a ``TRUE`` node
+        merged from every true-containing equation (Fig. 4, line 3)."""
+        gd = DiGraph()
+        gd.add_node(TRUE, label="true")
+        for var in self._equations:
+            gd.add_node(var)
+        for var, disjuncts in self._equations.items():
+            for d in disjuncts:
+                gd.add_edge(var, d, create=True)
+        return gd
+
+    # ------------------------------------------------------------------
+    # solvers
+    # ------------------------------------------------------------------
+    def solve_reachability(self, start: Var) -> bool:
+        """Procedure ``evalDG``: is ``start`` true in the least fixpoint?
+
+        BFS over the dependency edges from ``start``; true iff some
+        ``true``-containing equation is reached.  Early-exits without
+        materializing ``Gd``.
+
+        Equations produced by ``localEval`` share disjunct-set objects
+        between variables of the same local SCC; an already-expanded set
+        contributes nothing new, so it is skipped by identity — this keeps
+        the search linear in *distinct* set content even when the nominal
+        disjunct count is quadratic.
+        """
+        if start is TRUE:
+            return True
+        seen: Set[Var] = {start}
+        expanded_sets: Set[int] = set()
+        queue = deque([start])
+        while queue:
+            var = queue.popleft()
+            disjuncts = self._equations.get(var)
+            if not disjuncts:
+                continue
+            if id(disjuncts) in expanded_sets:
+                continue
+            expanded_sets.add(id(disjuncts))
+            for d in disjuncts:
+                if d is TRUE:
+                    return True
+                if d not in seen:
+                    seen.add(d)
+                    queue.append(d)
+        return False
+
+    def solve_all(self) -> Dict[Var, bool]:
+        """Least fixpoint for every defined variable (reverse reachability
+        from the ``true`` equations — linear in the system size)."""
+        reverse: Dict[Var, Set[Var]] = {}
+        roots: deque = deque()
+        for var, disjuncts in self._equations.items():
+            if TRUE in disjuncts:
+                roots.append(var)
+            for d in disjuncts:
+                if d is not TRUE:
+                    reverse.setdefault(d, set()).add(var)
+        true_vars: Set[Var] = set()
+        while roots:
+            var = roots.popleft()
+            if var in true_vars:
+                continue
+            true_vars.add(var)
+            for user in reverse.get(var, ()):
+                if user not in true_vars:
+                    roots.append(user)
+        return {var: var in true_vars for var in self._equations}
+
+    def solve_fixpoint(self, max_rounds: int = 0) -> Dict[Var, bool]:
+        """Naive Kleene iteration — the test oracle for the two solvers above.
+
+        Starts everything at ``false`` and re-evaluates equations until
+        stable; guaranteed to converge in at most ``len(self)`` rounds for a
+        monotone disjunctive system.
+        """
+        value: Dict[Var, bool] = {var: False for var in self._equations}
+        limit = max_rounds or (len(self._equations) + 1)
+        for _ in range(limit):
+            changed = False
+            for var, disjuncts in self._equations.items():
+                if value[var]:
+                    continue
+                new = any(
+                    d is TRUE or value.get(d, False) for d in disjuncts
+                )
+                if new:
+                    value[var] = True
+                    changed = True
+            if not changed:
+                return value
+        raise ReproError("fixpoint iteration failed to converge (bug)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BooleanEquationSystem(vars={len(self)}, disjuncts={self.num_disjuncts})"

@@ -1,0 +1,181 @@
+"""disDist: distributed bounded reachability (Section 4).
+
+Same partial-evaluation skeleton as disReach, with distances in place of
+Booleans:
+
+* ``localEvald`` — for every in-node ``v``, ship the *min-plus terms*
+  ``(Xv', dist_Fi(v, v'))`` for every boundary node ``v'`` that ``v``
+  reaches within the query bound (``Xt`` is the constant 0);
+* ``evalDGd`` — assemble the weighted dependency graph (Fig. 5(b)) and run
+  Dijkstra from ``Xs``; answer ``true`` iff the distance to ``Xt`` is ≤ l.
+
+Fidelity note (DESIGN.md §3.3): the paper prunes local legs with
+``dist(v, v') < l``; we keep ``<= l``, since a leg of length exactly ``l``
+ending at ``t`` still witnesses ``dist(s, t) <= l``.
+
+Guarantees (Theorem 2): identical to Theorem 1 — one visit per site,
+``O(|Vf|^2)`` traffic, ``O(|Fm||Vf|)`` time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+from ..distributed.cluster import SimulatedCluster
+from ..distributed.messages import MessageKind, payload_size
+from ..graph.digraph import Node
+from ..graph.traversal import bfs_distances
+from ..index.distance import DistanceOracleFactory
+from ..partition.fragment import Fragment
+from .minplus import TARGET, MinPlusSystem, Term
+from .queries import BoundedReachQuery
+from .results import QueryResult
+
+#: One fragment's partial answer: in-node -> min-plus terms of its equation.
+BoundedEquations = Dict[Node, Tuple[Term, ...]]
+
+
+@dataclass(frozen=True)
+class BoundedPartialAnswer:
+    """What a site ships: ``Fi.rvset`` of min-plus equations.
+
+    Wire format mirrors the Boolean case (shared column table of boundary
+    ids) except each set entry also carries its local distance — 2 bytes of
+    column index + 4 bytes of distance per term, bounded by O(|Vf|^2) total
+    as Theorem 2 requires."""
+
+    equations: BoundedEquations
+
+    def payload_size(self) -> int:
+        columns = {var for terms in self.equations.values() for var, _ in terms}
+        total = 2
+        for row_id in self.equations:
+            total += payload_size(row_id)
+        for col_id in columns:
+            total += payload_size(col_id)
+        for terms in self.equations.values():
+            total += 6 * len(terms)
+        return total
+
+
+def local_eval_bounded(
+    fragment: Fragment,
+    query: BoundedReachQuery,
+    oracle_factory: Optional[DistanceOracleFactory] = None,
+) -> BoundedEquations:
+    """Procedure ``localEvald`` on one fragment.
+
+    Local distances are computed with one *reverse* BFS per boundary node
+    (cut off at the bound), so the work is ``O(|Fi.O| · |Fi|)`` regardless
+    of how many in-nodes ask.  An optional distance oracle (e.g. the
+    per-fragment distance matrix of :mod:`repro.index.distance`) replaces
+    the BFS sweeps.
+    """
+    iset = set(fragment.in_nodes)
+    oset = set(fragment.virtual_nodes)
+    if query.source in fragment.nodes:
+        iset.add(query.source)
+    if query.target in fragment.nodes:
+        oset.add(query.target)
+    if not iset or not oset:
+        return {v: () for v in iset}
+
+    def as_term_var(boundary: Node) -> Hashable:
+        return TARGET if boundary == query.target else boundary
+
+    terms: Dict[Node, list] = {v: [] for v in iset}
+    local = fragment.local_graph
+    if oracle_factory is not None:
+        oracle = oracle_factory(local)
+        for v in iset:
+            for o in oset:
+                d = oracle.distance(v, o)
+                if d is not None and d <= query.bound:
+                    terms[v].append((as_term_var(o), float(d)))
+        return {v: tuple(ts) for v, ts in terms.items()}
+
+    # One BFS per node on the smaller side of the (iset × oset) rectangle:
+    # forward out-balls from in-nodes, or reverse in-balls from boundary
+    # nodes — whichever needs fewer sweeps.  (On hub-dominated graphs the
+    # ball shapes differ enormously, so this is a large constant factor.)
+    if len(iset) <= len(oset):
+        for v in iset:
+            dist_from_v = bfs_distances(local, v, cutoff=query.bound)
+            for o in oset:
+                d = dist_from_v.get(o)
+                if d is not None and d <= query.bound:
+                    terms[v].append((as_term_var(o), float(d)))
+    else:
+        reverse_successors = local.predecessors
+        for o in oset:
+            dist_to_o = bfs_distances(
+                None, o, successors=reverse_successors, cutoff=query.bound
+            )
+            term_var = as_term_var(o)
+            for v in iset:
+                d = dist_to_o.get(v)
+                if d is not None and d <= query.bound:
+                    terms[v].append((term_var, float(d)))
+    return {v: tuple(ts) for v, ts in terms.items()}
+
+
+def assemble_bounded(
+    partials: Dict[int, BoundedEquations],
+    query: BoundedReachQuery,
+) -> Tuple[bool, Optional[float], MinPlusSystem]:
+    """Procedure ``evalDGd``: Dijkstra over the weighted dependency graph."""
+    system = MinPlusSystem()
+    for equations in partials.values():
+        system.update(equations)
+    dist = system.solve_distance(query.source, cutoff=float(query.bound))
+    answer = dist is not None and dist <= query.bound
+    return answer, dist, system
+
+
+def dis_dist(
+    cluster: SimulatedCluster,
+    query: Union[BoundedReachQuery, Tuple[Node, Node, int]],
+    oracle_factory: Optional[DistanceOracleFactory] = None,
+    collect_details: bool = False,
+) -> QueryResult:
+    """Algorithm ``disDist`` (Section 4) on a simulated cluster."""
+    if not isinstance(query, BoundedReachQuery):
+        query = BoundedReachQuery(*query)
+    cluster.site_of(query.source)
+    cluster.site_of(query.target)
+
+    run = cluster.start_run("disDist")
+    if query.source == query.target:
+        stats = run.finish()
+        return QueryResult(True, stats, {"distance": 0.0, "trivial": True})
+
+    run.broadcast(query, MessageKind.QUERY)
+    partials: Dict[int, BoundedEquations] = {}  # keyed by fragment id
+    with run.parallel_phase() as phase:
+        for site in cluster.sites:
+            site_equations: BoundedEquations = {}
+            with phase.at(site.site_id):
+                for fragment in site.fragments:
+                    equations = local_eval_bounded(fragment, query, oracle_factory)
+                    partials[fragment.fid] = equations
+                    site_equations.update(equations)
+            run.send_to_coordinator(
+                site.site_id, BoundedPartialAnswer(site_equations), MessageKind.PARTIAL
+            )
+
+    with run.coordinator_work():
+        answer, dist, system = assemble_bounded(partials, query)
+
+    stats = run.finish()
+    details: Dict[str, object] = {
+        "distance": dist,
+        "num_variables": len(system),
+        "num_terms": system.num_terms,
+    }
+    if collect_details:
+        details["equations"] = {
+            site_id: dict(equations) for site_id, equations in partials.items()
+        }
+        details["system"] = system
+    return QueryResult(answer, stats, details)

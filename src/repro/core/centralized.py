@@ -1,0 +1,88 @@
+"""Centralized (single-site) reference algorithms.
+
+These answer the three query classes on an undistributed graph:
+
+* reachability   — early-exit BFS;
+* bounded        — BFS distance with cutoff;
+* regular        — reachability in the lazy (graph × query automaton) product.
+
+They serve three masters: the ship-all baselines (disReachn/disDistn/disRPQn
+evaluate the restored graph with exactly these), the examples, and the test
+suite (every distributed algorithm must agree with them on every input).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..automata.ast import RegexNode
+from ..automata.query_automaton import US, UT, QueryAutomaton
+from ..errors import QueryError
+from ..graph.digraph import DiGraph, Node
+from ..graph.product import product_successors
+from ..graph.traversal import bfs_distance, is_reachable
+from .queries import BoundedReachQuery, ReachQuery, RegularReachQuery
+
+
+def _require_nodes(graph: DiGraph, source: Node, target: Node) -> None:
+    if not graph.has_node(source):
+        raise QueryError(f"query source {source!r} is not in the graph")
+    if not graph.has_node(target):
+        raise QueryError(f"query target {target!r} is not in the graph")
+
+
+def reachable(graph: DiGraph, source: Node, target: Node) -> bool:
+    """``qr(s, t)`` on a centralized graph."""
+    _require_nodes(graph, source, target)
+    return is_reachable(graph, source, target)
+
+
+def distance(graph: DiGraph, source: Node, target: Node) -> Optional[int]:
+    """``dist(s, t)``, or ``None`` when unreachable."""
+    _require_nodes(graph, source, target)
+    return bfs_distance(graph, source, target)
+
+
+def bounded_reachable(graph: DiGraph, source: Node, target: Node, bound: int) -> bool:
+    """``qbr(s, t, l)`` on a centralized graph."""
+    if bound < 0:
+        raise QueryError(f"bound must be non-negative, got {bound}")
+    _require_nodes(graph, source, target)
+    d = bfs_distance(graph, source, target, cutoff=bound)
+    return d is not None and d <= bound
+
+
+def regular_reachable(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+    regex: Union[str, RegexNode, QueryAutomaton],
+) -> bool:
+    """``qrr(s, t, R)``: product-graph search, per Lemma 4.
+
+    ``s`` matches ``us`` iff ``(s, us)`` reaches ``(t, ut)`` in the product;
+    additionally, when ``s = t`` the zero-length path has label ε, so a
+    nullable ``R`` is satisfied outright.
+    """
+    _require_nodes(graph, source, target)
+    if isinstance(regex, QueryAutomaton):
+        automaton = regex
+        if automaton.source != source or automaton.target != target:
+            raise QueryError("query automaton was built for different endpoints")
+    else:
+        automaton = QueryAutomaton.build(regex, source, target)
+    if source == target and automaton.analysis.nullable:
+        return True
+    successors = product_successors(graph, automaton.successors, automaton.match_fn(graph))
+    return is_reachable(None, (source, US), (target, UT), successors=successors)
+
+
+def evaluate_centralized(graph: DiGraph, query) -> bool:
+    """Dispatch any of the three query types to its centralized algorithm."""
+    if isinstance(query, ReachQuery):
+        return reachable(graph, query.source, query.target)
+    if isinstance(query, BoundedReachQuery):
+        return bounded_reachable(graph, query.source, query.target, query.bound)
+    if isinstance(query, RegularReachQuery):
+        return regular_reachable(graph, query.source, query.target, query.automaton())
+    raise QueryError(f"unsupported query type {type(query).__name__}")

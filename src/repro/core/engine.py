@@ -1,0 +1,97 @@
+"""Uniform front end over all distributed algorithms.
+
+``evaluate(cluster, query)`` dispatches to the paper's partial-evaluation
+algorithm for the query's class; ``algorithm=`` selects a baseline instead.
+The registry keys are the paper's algorithm names (Section 7):
+
+=============  ======================  =================================
+name           query class             strategy
+=============  ======================  =================================
+``disReach``   ReachQuery              partial evaluation (Section 3)
+``disReachn``  ReachQuery              ship-all + centralized BFS
+``disReachm``  ReachQuery              Pregel-style message passing [21]
+``disDist``    BoundedReachQuery       partial evaluation (Section 4)
+``disDistn``   BoundedReachQuery       ship-all + centralized BFS
+``disRPQ``     RegularReachQuery       partial evaluation (Section 5)
+``disRPQn``    RegularReachQuery       ship-all + centralized product BFS
+``disRPQd``    RegularReachQuery       Suciu-variant, two visits [30]
+=============  ======================  =================================
+
+(The MapReduce algorithm ``MRdRPQ`` lives in :mod:`repro.mapreduce`; it runs
+on a graph + mapper count rather than on a prebuilt cluster.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from ..baselines.message_passing import dis_reach_m
+from ..baselines.pregel_programs import dis_dist_m
+from ..baselines.ship_all import dis_dist_n, dis_reach_n, dis_rpq_n
+from ..baselines.suciu import dis_rpq_d
+from ..distributed.cluster import SimulatedCluster
+from ..errors import QueryError
+from .bounded import dis_dist
+from .queries import BoundedReachQuery, Query, ReachQuery, RegularReachQuery
+from .reachability import dis_reach
+from .regular import dis_rpq
+from .results import QueryResult
+
+Algorithm = Callable[[SimulatedCluster, Query], QueryResult]
+
+#: name -> (query class, implementation)
+REGISTRY: Dict[str, Tuple[Type, Algorithm]] = {
+    "disReach": (ReachQuery, dis_reach),
+    "disReachn": (ReachQuery, dis_reach_n),
+    "disReachm": (ReachQuery, dis_reach_m),
+    "disDist": (BoundedReachQuery, dis_dist),
+    "disDistn": (BoundedReachQuery, dis_dist_n),
+    # extension: message-passing bounded reachability (not in the paper)
+    "disDistm": (BoundedReachQuery, dis_dist_m),
+    "disRPQ": (RegularReachQuery, dis_rpq),
+    "disRPQn": (RegularReachQuery, dis_rpq_n),
+    "disRPQd": (RegularReachQuery, dis_rpq_d),
+}
+
+_DEFAULTS: Dict[Type, str] = {
+    ReachQuery: "disReach",
+    BoundedReachQuery: "disDist",
+    RegularReachQuery: "disRPQ",
+}
+
+
+def algorithms_for(query: Query) -> Tuple[str, ...]:
+    """Names of every registered algorithm applicable to ``query``."""
+    return tuple(
+        name
+        for name, (query_type, _) in REGISTRY.items()
+        if isinstance(query, query_type)
+    )
+
+
+def evaluate(
+    cluster: SimulatedCluster,
+    query: Query,
+    algorithm: Optional[str] = None,
+) -> QueryResult:
+    """Evaluate ``query`` on ``cluster``.
+
+    With no ``algorithm``, the paper's partial-evaluation algorithm for the
+    query's class is used.
+    """
+    if algorithm is None:
+        try:
+            algorithm = _DEFAULTS[type(query)]
+        except KeyError:
+            raise QueryError(f"unsupported query type {type(query).__name__}") from None
+    try:
+        query_type, fn = REGISTRY[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise QueryError(f"unknown algorithm {algorithm!r}; known: {known}") from None
+    if not isinstance(query, query_type):
+        raise QueryError(
+            f"algorithm {algorithm!r} evaluates {query_type.__name__}, "
+            f"got {type(query).__name__}"
+        )
+    return fn(cluster, query)

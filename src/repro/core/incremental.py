@@ -1,0 +1,204 @@
+"""Incremental distributed reachability (the paper's future-work direction).
+
+The Conclusion sketches "combin[ing] partial evaluation and incremental
+computation, to provide efficient distributed graph query evaluation
+strategies in the dynamic world."  Partial evaluation makes this nearly
+free: the coordinator's equation system is a *join* of independent
+per-fragment contributions, so when an edge changes inside fragment ``Fi``
+
+* only site ``Si`` recomputes its partial answer (one visit, one rvset
+  shipped — every other site is left alone), and
+* the coordinator swaps ``Fi``'s equations and re-solves the BES, which is
+  O(|Vf|^2) regardless of |G|.
+
+:class:`IncrementalReachSession` and :class:`IncrementalRegularSession`
+maintain a *standing query* under intra-fragment edge insertions and
+deletions.  Cross-fragment updates change the fragmentation itself
+(virtual nodes and in-node sets move between sites); supporting them is
+bookkeeping, not algorithmics, and is out of scope here — the sessions
+reject them explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from ..automata.query_automaton import QueryAutomaton
+from ..distributed.cluster import Run, SimulatedCluster
+from ..distributed.messages import MessageKind
+from ..errors import QueryError
+from ..graph.digraph import Node
+from .queries import ReachQuery, RegularReachQuery
+from .reachability import ReachPartialAnswer, assemble_reach, local_eval_reach
+from .regular import RegularPartialAnswer, assemble_regular, local_eval_regular
+from .results import QueryResult
+
+
+class _IncrementalSession:
+    """Shared machinery: cached per-site partial answers + re-solve."""
+
+    algorithm = "incremental"
+
+    def __init__(self, cluster: SimulatedCluster) -> None:
+        self.cluster = cluster
+        self._partials: Dict[int, dict] = {}
+        self._answer: Optional[bool] = None
+        self.updates_applied = 0
+
+    # -- subclass hooks --------------------------------------------------
+    def _local_eval(self, fragment) -> dict:
+        raise NotImplementedError
+
+    def _assemble(self, partials: Dict[int, dict]) -> bool:
+        raise NotImplementedError
+
+    def _wrap_payload(self, equations: dict):
+        raise NotImplementedError
+
+    def _broadcast_payload(self):
+        raise NotImplementedError
+
+    # -- lifecycle --------------------------------------------------------
+    def initialize(self) -> QueryResult:
+        """The initial full evaluation (identical to the one-shot algorithm)."""
+        run = self.cluster.start_run(f"{self.algorithm}:init")
+        run.broadcast(self._broadcast_payload(), MessageKind.QUERY)
+        with run.parallel_phase() as phase:
+            for site in self.cluster.sites:
+                site_equations: dict = {}
+                with phase.at(site.site_id):
+                    for fragment in site.fragments:
+                        equations = self._local_eval(fragment)
+                        self._partials[fragment.fid] = equations
+                        site_equations.update(equations)
+                run.send_to_coordinator(
+                    site.site_id,
+                    self._wrap_payload(site_equations),
+                    MessageKind.PARTIAL,
+                )
+        with run.coordinator_work():
+            self._answer = self._assemble(self._partials)
+        return QueryResult(self._answer, run.finish(), {"incremental": "init"})
+
+    @property
+    def answer(self) -> bool:
+        if self._answer is None:
+            raise QueryError("session not initialized; call initialize() first")
+        return self._answer
+
+    # -- updates ----------------------------------------------------------
+    def _owning_fragment(self, u: Node, v: Node):
+        frag_u = self.cluster.fragmentation.fragment_of(u)
+        frag_v = self.cluster.fragmentation.fragment_of(v)
+        if frag_u.fid != frag_v.fid:
+            raise QueryError(
+                f"edge ({u!r}, {v!r}) crosses fragments {frag_u.fid} and "
+                f"{frag_v.fid}; incremental sessions support intra-fragment "
+                "updates only (cross edges change the fragmentation itself)"
+            )
+        return frag_u
+
+    def _after_mutation(self, fragment) -> QueryResult:
+        """Re-evaluate the touched fragment, re-solve at the coordinator."""
+        run = self.cluster.start_run(f"{self.algorithm}:update")
+        site = self.cluster.site_of_fragment(fragment.fid)
+        site.invalidate_indexes()
+        run.send_to_site(site.site_id, self._broadcast_payload(), MessageKind.QUERY)
+        with run.parallel_phase() as phase:
+            with phase.at(site.site_id):
+                equations = self._local_eval(fragment)
+            self._partials[fragment.fid] = equations
+            run.send_to_coordinator(
+                site.site_id, self._wrap_payload(equations), MessageKind.PARTIAL
+            )
+        with run.coordinator_work():
+            self._answer = self._assemble(self._partials)
+        self.updates_applied += 1
+        stats = run.finish()
+        return QueryResult(
+            self._answer, stats, {"incremental": "update", "site": site.site_id}
+        )
+
+    def resync(self, node: Node) -> QueryResult:
+        """Re-evaluate the fragment owning ``node``.
+
+        For changes applied *outside* this session (another session sharing
+        the cluster, or direct fragment mutation): one visit, one rvset.
+        """
+        fragment = self.cluster.fragmentation.fragment_of(node)
+        return self._after_mutation(fragment)
+
+    def add_edge(self, u: Node, v: Node) -> QueryResult:
+        """Insert an intra-fragment edge and refresh the standing answer."""
+        fragment = self._owning_fragment(u, v)
+        fragment.local_graph.add_edge(u, v)
+        return self._after_mutation(fragment)
+
+    def remove_edge(self, u: Node, v: Node) -> QueryResult:
+        """Delete an intra-fragment edge and refresh the standing answer."""
+        fragment = self._owning_fragment(u, v)
+        fragment.local_graph.remove_edge(u, v)
+        return self._after_mutation(fragment)
+
+
+class IncrementalReachSession(_IncrementalSession):
+    """A standing ``qr(s, t)`` maintained under edge updates."""
+
+    algorithm = "incReach"
+
+    def __init__(self, cluster: SimulatedCluster, query: Union[ReachQuery, Tuple]):
+        super().__init__(cluster)
+        if not isinstance(query, ReachQuery):
+            query = ReachQuery(*query)
+        if query.source == query.target:
+            raise QueryError("trivial query (s == t) needs no standing session")
+        cluster.site_of(query.source)
+        cluster.site_of(query.target)
+        self.query = query
+
+    def _broadcast_payload(self):
+        return self.query
+
+    def _local_eval(self, fragment):
+        return local_eval_reach(fragment, self.query)
+
+    def _wrap_payload(self, equations):
+        return ReachPartialAnswer(equations)
+
+    def _assemble(self, partials):
+        answer, _ = assemble_reach(partials, self.query)
+        return answer
+
+
+class IncrementalRegularSession(_IncrementalSession):
+    """A standing ``qrr(s, t, R)`` maintained under edge updates."""
+
+    algorithm = "incRPQ"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        query: Union[RegularReachQuery, Tuple],
+    ):
+        super().__init__(cluster)
+        if not isinstance(query, RegularReachQuery):
+            query = RegularReachQuery(*query)
+        cluster.site_of(query.source)
+        cluster.site_of(query.target)
+        self.query = query
+        self.automaton: QueryAutomaton = query.automaton()
+        if query.source == query.target and self.automaton.analysis.nullable:
+            raise QueryError("trivially-true query needs no standing session")
+
+    def _broadcast_payload(self):
+        return self.automaton
+
+    def _local_eval(self, fragment):
+        return local_eval_regular(fragment, self.automaton)
+
+    def _wrap_payload(self, equations):
+        return RegularPartialAnswer(equations)
+
+    def _assemble(self, partials):
+        answer, _ = assemble_regular(partials, self.automaton)
+        return answer

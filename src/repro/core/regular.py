@@ -1,0 +1,208 @@
+"""disRPQ: distributed regular reachability (Section 5).
+
+The same partial-evaluation skeleton a third time, now over *(node, state)*
+pairs of the query automaton ``Gq(R)``:
+
+1. the coordinator compiles ``Gq(R)`` once and posts it to every site;
+2. every site runs :func:`local_eval_regular` (procedures ``localEvalr`` /
+   ``cmpRvec`` / ``cmposeVec``) producing, for every in-node ``v`` and every
+   state ``u`` it may occupy, a Boolean formula over variables
+   ``X(w, uw)`` — "virtual node ``w`` matches state ``uw``" — with ``true``
+   for pairs that locally reach ``(t, ut)``;
+3. the coordinator assembles the vectors into a BES over (node, state)
+   variables and solves it (procedure ``evalDGr``): the answer is the value
+   of ``X(s, us)`` (Lemma 4).
+
+Instead of the paper's recursive ``cmpRvec`` memoization — which, as
+written, does not terminate on cyclic fragments (the ``visit`` flag is only
+set after the recursion returns) — we compute all vectors simultaneously
+with one seed-bitmask sweep over the *local product graph* (fragment ×
+``Gq``); DESIGN.md §3.2 documents the equivalence.
+
+Guarantees (Theorem 3): one visit per site, ``O(|R|^2 |Vf|^2)`` traffic,
+``O(|Fm||R|^2 + |R|^2|Vf|^2)`` time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from dataclasses import dataclass
+
+from ..automata.query_automaton import US, UT, QueryAutomaton, State
+from ..distributed.cluster import SimulatedCluster
+from ..distributed.messages import MessageKind, equation_set_size
+from ..graph.digraph import Node
+from ..graph.product import product_successors
+from ..graph.reachsets import reachable_seed_masks_from
+from ..partition.fragment import Fragment
+from .bes import TRUE, BooleanEquationSystem, Disjunct
+from .queries import RegularReachQuery
+from .results import QueryResult
+
+#: A (node, state) product pair — the variables of the regular BES.
+Pair = Tuple[Node, State]
+#: One fragment's partial answer: (in-node, state) -> disjuncts.
+RegularEquations = Dict[Pair, FrozenSet[Disjunct]]
+
+
+@dataclass(frozen=True)
+class RegularPartialAnswer:
+    """What a site ships to the coordinator: the vector set ``Fi.rvset``.
+
+    Wire format per Section 5's traffic analysis
+    (``O(|R|^2 |Fi.I| |Fi.O|)``): a shared column table of boundary
+    (node, state) pairs plus one bitset-or-sparse row per in-node vector
+    entry."""
+
+    equations: RegularEquations
+
+    def payload_size(self) -> int:
+        columns = set()
+        for disjuncts in self.equations.values():
+            columns |= disjuncts
+        return equation_set_size(
+            row_ids=self.equations.keys(),
+            col_ids=columns,
+            row_counts=[len(d) for d in self.equations.values()],
+            num_cols=len(columns),
+        )
+
+
+def local_eval_regular(
+    fragment: Fragment,
+    automaton: QueryAutomaton,
+) -> RegularEquations:
+    """Procedures ``localEvalr``/``cmpRvec`` (Fig. 7) on one fragment.
+
+    Every consistent (node, state) pair of the local product graph is a
+    product vertex; seeds are the boundary pairs — ``(w, uw)`` for virtual
+    ``w`` — plus ``(t, ut)`` when the target is local, which contributes
+    ``true``.  The returned equations cover every in-node (and the source,
+    when local) at every state it matches.
+    """
+    source, target = automaton.source, automaton.target
+    iset = set(fragment.in_nodes)
+    oset = set(fragment.virtual_nodes)
+    if source in fragment.nodes:
+        iset.add(source)
+    if target in fragment.nodes:
+        oset.add(target)
+    if not iset:
+        return {}
+
+    local = fragment.local_graph
+    matches = automaton.match_fn(local)
+
+    # Seeds: every state a boundary node may occupy.  (t, UT) is the
+    # ``true`` seed; (w, US) is unreachable by construction (no transition
+    # enters the start state) and is omitted.
+    seeds: List[Pair] = []
+    for o in sorted(oset, key=repr):
+        for state in automaton.states():
+            if state != US and matches(o, state):
+                seeds.append((o, state))
+    if not seeds:
+        return {
+            (v, state): frozenset()
+            for v in iset
+            for state in automaton.states()
+            if matches(v, state)
+        }
+
+    def as_disjunct(pair: Pair) -> Disjunct:
+        return TRUE if pair == (target, UT) else pair
+
+    successors = product_successors(local, automaton.successors, matches)
+    # Sweep only the product vertices some in-pair can actually see: one
+    # shared forward closure from every (in-node, state) row, instead of
+    # enumerating the full |Fi| × |Vq| product (or, as the per-pair
+    # formulation of [30] does, re-walking it once per row).
+    roots = [
+        (v, state)
+        for v in sorted(iset, key=repr)
+        for state in automaton.states()
+        if matches(v, state)
+    ]
+    masks = reachable_seed_masks_from(roots, successors, seeds)
+
+    equations: RegularEquations = {}
+    decoded: Dict[int, FrozenSet[Disjunct]] = {}
+    for v in iset:
+        for state in automaton.states():
+            if not matches(v, state):
+                continue
+            mask = masks[(v, state)]
+            disjuncts = decoded.get(mask)
+            if disjuncts is None:
+                disjuncts = frozenset(
+                    as_disjunct(seed)
+                    for i, seed in enumerate(seeds)
+                    if mask >> i & 1
+                )
+                decoded[mask] = disjuncts
+            equations[(v, state)] = disjuncts
+    return equations
+
+
+def assemble_regular(
+    partials: Dict[int, RegularEquations],
+    automaton: QueryAutomaton,
+) -> Tuple[bool, BooleanEquationSystem]:
+    """Procedure ``evalDGr``: solve the (node, state) BES for ``X(s, us)``."""
+    bes = BooleanEquationSystem()
+    for equations in partials.values():
+        bes.update(equations)
+    return bes.solve_reachability((automaton.source, US)), bes
+
+
+def dis_rpq(
+    cluster: SimulatedCluster,
+    query: Union[RegularReachQuery, Tuple[Node, Node, object]],
+    collect_details: bool = False,
+) -> QueryResult:
+    """Algorithm ``disRPQ`` (Section 5.2) on a simulated cluster."""
+    if not isinstance(query, RegularReachQuery):
+        query = RegularReachQuery(*query)
+    cluster.site_of(query.source)
+    cluster.site_of(query.target)
+
+    run = cluster.start_run("disRPQ")
+    automaton = query.automaton()
+    if query.source == query.target and automaton.analysis.nullable:
+        stats = run.finish()
+        return QueryResult(True, stats, {"trivial": True})
+
+    # Step 1: the coordinator builds Gq(R) once and posts it (not the raw
+    # regex) to every site — its size is O(|R|), independent of |G|.
+    run.broadcast(automaton, MessageKind.QUERY)
+    partials: Dict[int, RegularEquations] = {}  # keyed by fragment id
+    with run.parallel_phase() as phase:
+        for site in cluster.sites:
+            site_equations: RegularEquations = {}
+            with phase.at(site.site_id):
+                for fragment in site.fragments:
+                    equations = local_eval_regular(fragment, automaton)
+                    partials[fragment.fid] = equations
+                    site_equations.update(equations)
+            run.send_to_coordinator(
+                site.site_id, RegularPartialAnswer(site_equations), MessageKind.PARTIAL
+            )
+
+    with run.coordinator_work():
+        answer, bes = assemble_regular(partials, automaton)
+
+    stats = run.finish()
+    details: Dict[str, object] = {
+        "num_variables": len(bes),
+        "num_disjuncts": bes.num_disjuncts,
+        "automaton_states": automaton.num_states,
+        "automaton_transitions": automaton.num_transitions,
+    }
+    if collect_details:
+        details["equations"] = {
+            site_id: dict(equations) for site_id, equations in partials.items()
+        }
+        details["bes"] = bes
+        details["automaton"] = automaton
+    return QueryResult(answer, stats, details)

@@ -1,0 +1,36 @@
+"""Query results: the Boolean answer plus the run's performance evidence.
+
+Every distributed evaluation returns a :class:`QueryResult` bundling the
+answer with the :class:`~repro.distributed.stats.ExecutionStats` that the
+paper's guarantees speak about, so tests and benchmarks can assert e.g.
+``result.stats.max_visits_per_site == 1`` right next to correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..distributed.stats import ExecutionStats
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query evaluation."""
+
+    answer: bool
+    stats: ExecutionStats
+    #: Algorithm-specific extras: 'distance' for bounded reachability,
+    #: 'num_equations' / 'num_variables' for the BES-based algorithms, etc.
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.answer
+
+    @property
+    def distance(self) -> Optional[float]:
+        """Shortest distance found (bounded reachability only)."""
+        return self.details.get("distance")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult(answer={self.answer}, {self.stats.summary()})"

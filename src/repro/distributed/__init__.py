@@ -1,0 +1,19 @@
+"""Simulated distributed runtime: sites, coordinator, traffic/visit accounting."""
+
+from .cluster import Run, SimulatedCluster
+from .messages import COORDINATOR, Message, MessageKind, payload_size
+from .site import Site
+from .stats import ExecutionStats, PhaseTimer, stopwatch
+
+__all__ = [
+    "COORDINATOR",
+    "ExecutionStats",
+    "Message",
+    "MessageKind",
+    "PhaseTimer",
+    "Run",
+    "SimulatedCluster",
+    "Site",
+    "payload_size",
+    "stopwatch",
+]

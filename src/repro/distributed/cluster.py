@@ -1,0 +1,290 @@
+"""The simulated distributed cluster: coordinator ``Sc`` plus sites ``S1..Sk``.
+
+The cluster executes distributed algorithms *sequentially* in one process
+while accounting for exactly what a real deployment would measure (see
+DESIGN.md §3.1 and §4):
+
+* every payload that crosses a site boundary is charged to traffic;
+* every delivery of work to a site counts as a *visit*;
+* per-site compute time is measured and combined per-phase as a maximum,
+  because in the real system the sites run concurrently ("partial evaluation
+  is conducted in parallel at each site, without waiting for the outcome or
+  messages from any other site", Section 1);
+* network time is modeled as ``latency + bytes / bandwidth`` per round, with
+  transfers inside one parallel round overlapping (max, not sum).  This is
+  what makes the baselines behave as in the paper: ship-all gets faster as
+  fragments shrink, message passing pays latency once per superstep.
+
+Algorithms drive a :class:`Run`::
+
+    run = cluster.start_run("disReach")
+    run.broadcast(query)                       # 1 visit per site
+    with run.parallel_phase() as phase:
+        for site in cluster.sites:
+            with phase.at(site.site_id):
+                answer = local_eval(site.fragment, ...)
+            run.send_to_coordinator(site.site_id, answer)
+    with run.coordinator_work():
+        result = assemble(...)
+    stats = run.finish()
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import DistributedError, QueryError
+from ..graph.digraph import DiGraph, Node
+from ..partition.builder import build_fragmentation
+from ..partition.fragment import Fragmentation
+from ..partition.partitioners import get_partitioner
+from .messages import COORDINATOR, MessageKind, payload_size
+from .site import Site
+from .stats import ExecutionStats, PhaseTimer
+
+#: Defaults for the network model: a 2012-era cloud link (the paper ran on
+#: EC2) with sub-ms latency — effective TCP throughput around 50 MB/s.
+DEFAULT_BANDWIDTH = 50e6  # bytes / second
+DEFAULT_LATENCY = 5e-4  # seconds per communication round
+#: Per-message handling time at a coordinating master that must route
+#: messages one by one (RPC parse + lookup + forward).  This is the
+#: serialization cost the paper attributes to message passing [21]; the
+#: partial-evaluation algorithms never pay it (they send one bulk message
+#: per site per phase).
+DEFAULT_MASTER_SERVICE = 5e-5  # seconds per routed message
+
+
+class Run:
+    """Accounting context for one distributed query evaluation."""
+
+    def __init__(self, cluster: "SimulatedCluster", algorithm: str) -> None:
+        self.cluster = cluster
+        self.stats = ExecutionStats(algorithm=algorithm, num_sites=len(cluster.sites))
+        self._start = time.perf_counter()
+        self._finished = False
+        self._phase_bytes: Optional[Dict[int, int]] = None  # per-sender, in-phase
+
+    # ------------------------------------------------------------------
+    # network model
+    # ------------------------------------------------------------------
+    def _transfer_seconds(self, size: int) -> float:
+        return size / self.cluster.bandwidth
+
+    def _charge_round(self, max_bytes: int) -> None:
+        self.stats.response_seconds += self.cluster.latency + self._transfer_seconds(
+            max_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: object, kind: MessageKind = MessageKind.QUERY) -> None:
+        """Coordinator posts ``payload`` to every site (1 visit each).
+
+        All transfers happen concurrently: one latency, one payload time.
+        """
+        size = payload_size(payload)
+        for site in self.cluster.sites:
+            self.stats.record_message(COORDINATOR, site.site_id, kind, size)
+        self._charge_round(size)
+
+    def send_to_site(
+        self,
+        site_id: int,
+        payload: object,
+        kind: MessageKind = MessageKind.QUERY,
+        src: int = COORDINATOR,
+        charge_time: bool = True,
+    ) -> None:
+        """Targeted delivery of work to one site (counts as a visit).
+
+        Round-based algorithms that batch many sends should pass
+        ``charge_time=False`` and account the round via :meth:`network_round`.
+        """
+        self.cluster.site(site_id)  # validates the id
+        size = payload_size(payload)
+        self.stats.record_message(src, site_id, kind, size)
+        if charge_time:
+            self._charge_round(size)
+
+    def send_to_coordinator(
+        self,
+        site_id: int,
+        payload: object,
+        kind: MessageKind = MessageKind.PARTIAL,
+    ) -> None:
+        """Site ships a payload to ``Sc``.
+
+        Inside a parallel phase the transfer overlaps with the other sites'
+        transfers (network time = max over sites, charged at phase end);
+        outside, it is charged immediately as its own round.
+        """
+        size = payload_size(payload)
+        self.stats.record_message(site_id, COORDINATOR, kind, size)
+        if self._phase_bytes is not None:
+            self._phase_bytes[site_id] = self._phase_bytes.get(site_id, 0) + size
+        else:
+            self._charge_round(size)
+
+    def network_round(self, bytes_by_site: Dict[int, int]) -> None:
+        """Charge one communication round of concurrent transfers."""
+        self._charge_round(max(bytes_by_site.values(), default=0))
+
+    def serialized_routing(self, num_messages: int) -> None:
+        """Charge the master's one-by-one handling of routed messages."""
+        if num_messages > 0:
+            self.stats.response_seconds += (
+                num_messages * self.cluster.master_service
+            )
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def parallel_phase(self) -> Iterator[PhaseTimer]:
+        """One round in which all sites compute (and ship) concurrently."""
+        if self._phase_bytes is not None:
+            raise DistributedError("parallel phases cannot nest")
+        timer = PhaseTimer()
+        self._phase_bytes = {}
+        try:
+            yield timer
+        finally:
+            phase_bytes = self._phase_bytes
+            self._phase_bytes = None
+        self.stats.add_parallel_phase(timer.site_seconds)
+        if phase_bytes:
+            self._charge_round(max(phase_bytes.values()))
+        self.stats.supersteps += 1
+
+    @contextmanager
+    def coordinator_work(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats.add_coordinator_time(time.perf_counter() - start)
+
+    def finish(self) -> ExecutionStats:
+        if self._finished:
+            raise DistributedError("Run.finish() called twice")
+        self._finished = True
+        self.stats.wall_seconds = time.perf_counter() - self._start
+        return self.stats
+
+
+class SimulatedCluster:
+    """Sites holding the fragments of one graph, plus a coordinator."""
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        master_service: float = DEFAULT_MASTER_SERVICE,
+        fragment_assignment: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """``fragment_assignment`` maps fragment id -> site id, letting one
+        site host several fragments (Section 2.1's remark: "multiple
+        fragments may reside in a single site"); by default each fragment
+        gets its own site."""
+        if len(fragmentation) == 0:
+            raise DistributedError("a cluster needs at least one fragment")
+        if bandwidth <= 0:
+            raise DistributedError("bandwidth must be positive")
+        if latency < 0:
+            raise DistributedError("latency must be non-negative")
+        if master_service < 0:
+            raise DistributedError("master_service must be non-negative")
+        self.fragmentation = fragmentation
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.master_service = master_service
+        if fragment_assignment is None:
+            fragment_assignment = {frag.fid: frag.fid for frag in fragmentation}
+        missing = [f.fid for f in fragmentation if f.fid not in fragment_assignment]
+        if missing:
+            raise DistributedError(f"fragment_assignment misses fragment(s) {missing}")
+        by_site: Dict[int, List] = {}
+        for frag in fragmentation:
+            by_site.setdefault(fragment_assignment[frag.fid], []).append(frag)
+        site_ids = sorted(by_site)
+        if site_ids != list(range(len(site_ids))):
+            raise DistributedError(f"site ids must be contiguous from 0, got {site_ids}")
+        self._site_of_fragment: Dict[int, int] = dict(fragment_assignment)
+        self.sites: List[Site] = [Site(sid, by_site[sid]) for sid in site_ids]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DiGraph,
+        num_fragments: int,
+        partitioner: Union[str, Callable] = "random",
+        seed: int = 0,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+        master_service: float = DEFAULT_MASTER_SERVICE,
+    ) -> "SimulatedCluster":
+        """Partition ``graph`` into ``num_fragments`` and build the cluster.
+
+        ``partitioner`` is a name from
+        :data:`repro.partition.partitioners.PARTITIONERS` or a callable
+        ``(graph, k) -> assignment``.
+        """
+        if callable(partitioner):
+            assignment = partitioner(graph, num_fragments)
+        else:
+            fn = get_partitioner(partitioner)
+            try:
+                assignment = fn(graph, num_fragments, seed=seed)  # type: ignore[call-arg]
+            except TypeError:
+                assignment = fn(graph, num_fragments)
+        fragmentation = build_fragmentation(graph, assignment, num_fragments)
+        return cls(
+            fragmentation,
+            bandwidth=bandwidth,
+            latency=latency,
+            master_service=master_service,
+        )
+
+    # ------------------------------------------------------------------
+    def site(self, site_id: int) -> Site:
+        if not (0 <= site_id < len(self.sites)):
+            raise DistributedError(
+                f"no site {site_id} in a {len(self.sites)}-site cluster"
+            )
+        return self.sites[site_id]
+
+    def site_of(self, node: Node) -> Site:
+        """The site owning ``node`` (raises QueryError for unknown nodes)."""
+        if not self.fragmentation.has_node(node):
+            raise QueryError(f"node {node!r} is not stored at any site")
+        fid = self.fragmentation.fragment_of(node).fid
+        return self.sites[self._site_of_fragment[fid]]
+
+    def site_of_fragment(self, fid: int) -> Site:
+        """The site hosting fragment ``fid``."""
+        try:
+            return self.sites[self._site_of_fragment[fid]]
+        except KeyError:
+            raise DistributedError(f"no fragment {fid} in this cluster") from None
+
+    def node_site_map(self) -> Dict[Node, int]:
+        """node -> hosting site id, for algorithms that route per vertex."""
+        return {
+            node: self._site_of_fragment[fid]
+            for node, fid in self.fragmentation.placement.items()
+        }
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def start_run(self, algorithm: str) -> Run:
+        return Run(self, algorithm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedCluster(sites={len(self.sites)}, {self.fragmentation!r})"

@@ -1,0 +1,57 @@
+"""A site holding one or more fragments.
+
+The common case is one fragment per site ("We assume w.l.o.g. that each Fi
+is stored at site Si", Section 2.1) — but the same section notes that
+"multiple fragments may reside in a single site, and our algorithms can be
+easily adapted to accommodate this."  :class:`Site` therefore holds a list
+of fragments; the algorithms evaluate all of a site's fragments during its
+single visit and ship one combined partial answer.
+
+Sites stay thin otherwise: the algorithms are pure functions over
+fragments, and the site adds identity plus an optional cache of local
+reachability indexes (the paper's Section 3 remark that "any indexing
+techniques ... can be applied here").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import DistributedError
+from ..partition.fragment import Fragment
+
+
+class Site:
+    """One storage/compute site of the simulated cluster."""
+
+    def __init__(self, site_id: int, fragments: Sequence[Fragment]) -> None:
+        if not fragments:
+            raise DistributedError(f"site {site_id} must hold at least one fragment")
+        self.site_id = site_id
+        self.fragments: List[Fragment] = list(fragments)
+        # (index name, fragment id) -> built index; populated lazily.
+        self.index_cache: Dict[object, object] = {}
+
+    @property
+    def fragment(self) -> Fragment:
+        """The site's fragment, when it holds exactly one (the common case)."""
+        if len(self.fragments) != 1:
+            raise DistributedError(
+                f"site {self.site_id} holds {len(self.fragments)} fragments; "
+                "iterate site.fragments instead"
+            )
+        return self.fragments[0]
+
+    def get_index(self, name: str, builder, fragment: Fragment = None) -> object:
+        """Build-once cache for local indexes (reachability matrix, 2-hop...)."""
+        fragment = fragment if fragment is not None else self.fragment
+        key = (name, fragment.fid)
+        if key not in self.index_cache:
+            self.index_cache[key] = builder(fragment)
+        return self.index_cache[key]
+
+    def invalidate_indexes(self) -> None:
+        self.index_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Site(id={self.site_id}, fragments={[f.fid for f in self.fragments]})"

@@ -1,0 +1,126 @@
+"""Execution statistics: the three quantities the paper guarantees.
+
+For every query evaluation the simulator tracks
+
+1. **site visits** — how many times each site received work.  The paper's
+   partial-evaluation algorithms visit every site exactly once; message
+   passing (disReachm) visits sites hundreds of times (Section 7, Exp-1).
+2. **network traffic** — total bytes shipped between sites, under the model
+   of :mod:`repro.distributed.messages`.
+3. **response time** — simulated *parallel* time: the run is a sequence of
+   phases, each phase contributing the maximum of its per-site durations
+   (sites compute concurrently) plus any coordinator-side time.  This is the
+   quantity Theorems 1–3 bound by ``O(|Vf||Fm|)`` etc.
+
+``wall_seconds`` additionally records real elapsed time of the whole
+(single-process) simulation, which upper-bounds the parallel time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .messages import COORDINATOR, Message, MessageKind
+
+
+@dataclass
+class ExecutionStats:
+    """Counters for one distributed query evaluation."""
+
+    algorithm: str
+    num_sites: int
+    visits: Counter = field(default_factory=Counter)
+    messages: List[Message] = field(default_factory=list)
+    traffic_bytes: int = 0
+    response_seconds: float = 0.0
+    coordinator_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    supersteps: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_message(self, src: int, dst: int, kind: MessageKind, size: int) -> None:
+        self.messages.append(Message(src, dst, kind, size))
+        self.traffic_bytes += size
+        if dst != COORDINATOR:
+            self.visits[dst] += 1
+
+    def add_parallel_phase(self, site_seconds: Dict[int, float]) -> None:
+        """One round of concurrent local work: charge the slowest site."""
+        if site_seconds:
+            self.response_seconds += max(site_seconds.values())
+
+    def add_coordinator_time(self, seconds: float) -> None:
+        self.coordinator_seconds += seconds
+        self.response_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def num_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_visits(self) -> int:
+        return sum(self.visits.values())
+
+    @property
+    def max_visits_per_site(self) -> int:
+        return max(self.visits.values(), default=0)
+
+    def visits_per_site(self) -> Dict[int, int]:
+        return {sid: self.visits.get(sid, 0) for sid in range(self.num_sites)}
+
+    def traffic_by_kind(self) -> Dict[MessageKind, int]:
+        out: Dict[MessageKind, int] = {}
+        for msg in self.messages:
+            out[msg.kind] = out.get(msg.kind, 0) + msg.size_bytes
+        return out
+
+    def summary(self) -> str:
+        kinds = ", ".join(
+            f"{kind.value}={size}B" for kind, size in sorted(
+                self.traffic_by_kind().items(), key=lambda kv: kv[0].value
+            )
+        )
+        return (
+            f"[{self.algorithm}] visits/site(max)={self.max_visits_per_site} "
+            f"total_visits={self.total_visits} messages={self.num_messages} "
+            f"traffic={self.traffic_bytes}B ({kinds}) "
+            f"response={self.response_seconds * 1e3:.2f}ms "
+            f"wall={self.wall_seconds * 1e3:.2f}ms"
+        )
+
+
+class PhaseTimer:
+    """Times per-site work inside one parallel phase."""
+
+    def __init__(self) -> None:
+        self.site_seconds: Dict[int, float] = {}
+
+    @contextmanager
+    def at(self, site_id: int) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.site_seconds[site_id] = self.site_seconds.get(site_id, 0.0) + elapsed
+
+
+@contextmanager
+def stopwatch() -> Iterator[List[float]]:
+    """``with stopwatch() as sw: ...`` — ``sw[0]`` holds the elapsed seconds."""
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

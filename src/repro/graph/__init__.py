@@ -1,0 +1,66 @@
+"""Graph substrate: labeled digraphs, traversal, SCCs, reach-sets, generators."""
+
+from .digraph import DiGraph, Edge, Label, Node
+from .generators import (
+    assign_labels,
+    erdos_renyi,
+    forest_fire,
+    preferential_attachment,
+    synthetic_graph,
+)
+from .graph_io import from_edge_list, from_json, load, save, to_edge_list, to_json
+from .product import product_nodes, product_successors
+from .reachsets import decode_mask, reachable_seed_masks, reachable_seed_sets
+from .scc import condensation, is_acyclic, tarjan_scc
+from .shortest_paths import (
+    bellman_ford,
+    dijkstra,
+    dijkstra_distance,
+    graph_weighted_successors,
+)
+from .traversal import (
+    bfs_distance,
+    bfs_distances,
+    bfs_order,
+    descendants,
+    dfs_order,
+    is_reachable,
+    topological_order,
+)
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "Label",
+    "Node",
+    "assign_labels",
+    "bellman_ford",
+    "bfs_distance",
+    "bfs_distances",
+    "bfs_order",
+    "condensation",
+    "decode_mask",
+    "descendants",
+    "dfs_order",
+    "dijkstra",
+    "dijkstra_distance",
+    "erdos_renyi",
+    "forest_fire",
+    "from_edge_list",
+    "from_json",
+    "graph_weighted_successors",
+    "is_acyclic",
+    "is_reachable",
+    "load",
+    "preferential_attachment",
+    "product_nodes",
+    "product_successors",
+    "reachable_seed_masks",
+    "reachable_seed_sets",
+    "save",
+    "synthetic_graph",
+    "tarjan_scc",
+    "to_edge_list",
+    "to_json",
+    "topological_order",
+]

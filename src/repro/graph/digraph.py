@@ -1,0 +1,250 @@
+"""Node-labeled directed graphs (paper Section 2.1).
+
+A graph ``G = (V, E, L)`` has a finite node set ``V``, directed edges
+``E ⊆ V × V`` and a labeling function ``L`` assigning each node a label from
+an alphabet ``Σ``.  Nodes may be any hashable value; labels default to
+``None`` (unlabeled), which plain reachability queries ignore.
+
+The implementation keeps both successor and predecessor adjacency as sets, so
+edge insertion is idempotent (parallel edges collapse — reachability-style
+queries cannot observe multiplicity) and both traversal directions are O(1)
+per neighbor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from ..errors import GraphError, NodeNotFound
+
+Node = Hashable
+Label = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DiGraph:
+    """A mutable, node-labeled directed graph.
+
+    >>> g = DiGraph()
+    >>> g.add_node("Ann", label="CTO")
+    >>> g.add_node("Walt", label="HR")
+    >>> g.add_edge("Ann", "Walt")
+    >>> g.label("Ann")
+    'CTO'
+    >>> sorted(g.successors("Ann"))
+    ['Walt']
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels", "_num_edges")
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._labels: Dict[Node, Label] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        labels: Optional[Mapping[Node, Label]] = None,
+        nodes: Iterable[Node] = (),
+    ) -> "DiGraph":
+        """Build a graph from an edge iterable plus optional labels/isolated nodes."""
+        graph = cls()
+        for node in nodes:
+            graph.add_node(node)
+        for u, v in edges:
+            graph.add_edge(u, v, create=True)
+        if labels:
+            for node, label in labels.items():
+                if not graph.has_node(node):
+                    graph.add_node(node)
+                graph.set_label(node, label)
+        return graph
+
+    def add_node(self, node: Node, label: Label = None) -> None:
+        """Add ``node`` (idempotent).  A label given here overwrites any prior one."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+            self._labels[node] = label
+        elif label is not None:
+            self._labels[node] = label
+
+    def add_edge(self, u: Node, v: Node, create: bool = False) -> None:
+        """Add the directed edge ``(u, v)``.
+
+        With ``create=True`` missing endpoints are added (unlabeled);
+        otherwise referencing an unknown node raises :class:`NodeNotFound`.
+        """
+        if create:
+            self.add_node(u)
+            self.add_node(v)
+        else:
+            if u not in self._succ:
+                raise NodeNotFound(u)
+            if v not in self._succ:
+                raise NodeNotFound(v)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if u not in self._succ or v not in self._succ[u]:
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        if node not in self._succ:
+            raise NodeNotFound(node)
+        for v in tuple(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in tuple(self._pred[node]):
+            self.remove_edge(u, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._labels[node]
+
+    def set_label(self, node: Node, label: Label) -> None:
+        if node not in self._succ:
+            raise NodeNotFound(node)
+        self._labels[node] = label
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def label(self, node: Node) -> Label:
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        for u, targets in self._succ.items():
+            for v in targets:
+                yield (u, v)
+
+    def labels(self) -> Mapping[Node, Label]:
+        """Read-only view of the label mapping."""
+        return dict(self._labels)
+
+    def label_alphabet(self) -> Set[Label]:
+        """The set Σ of labels actually used (``None`` excluded)."""
+        return {lab for lab in self._labels.values() if lab is not None}
+
+    def successors(self, node: Node) -> Set[Node]:
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def out_degree(self, node: Node) -> int:
+        return len(self.successors(node))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self.predecessors(node))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V| + |E|`` — the size measure used throughout the paper."""
+        return self.num_nodes + self.num_edges
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The node-induced subgraph on ``nodes`` (paper Section 2.1(2))."""
+        keep = set(nodes)
+        missing = keep - self._succ.keys()
+        if missing:
+            raise NodeNotFound(next(iter(missing)))
+        sub = DiGraph()
+        for node in keep:
+            sub.add_node(node, self._labels[node])
+        for node in keep:
+            for v in self._succ[node]:
+                if v in keep:
+                    sub.add_edge(node, v)
+        return sub
+
+    def reverse(self) -> "DiGraph":
+        """A new graph with every edge flipped."""
+        rev = DiGraph()
+        for node in self._succ:
+            rev.add_node(node, self._labels[node])
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def copy(self) -> "DiGraph":
+        dup = DiGraph()
+        for node in self._succ:
+            dup.add_node(node, self._labels[node])
+        for u, v in self.edges():
+            dup.add_edge(u, v)
+        return dup
+
+    def payload_size(self) -> int:
+        """Wire size under the traffic model of
+        :func:`repro.distributed.messages.payload_size`: every node id with
+        its label, plus both endpoints of every edge."""
+        from ..distributed.messages import payload_size as _size
+
+        total = 2
+        for node, label in self._labels.items():
+            total += _size(node) + _size(label)
+        for u, targets in self._succ.items():
+            su = _size(u)
+            for v in targets:
+                total += su + _size(v)
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._succ == other._succ
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable
+        raise TypeError("DiGraph objects are unhashable")

@@ -1,0 +1,88 @@
+"""Serialization of labeled digraphs: edge-list text and JSON documents.
+
+The edge-list dialect matches what SNAP-style datasets use (one ``u v`` pair
+per line, ``#`` comments), extended with an optional label section so the
+labeled datasets (Citation/Youtube analogs) round-trip too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..errors import GraphError
+from .digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+def to_edge_list(graph: DiGraph) -> str:
+    """Render ``graph`` as edge-list text (labels in a trailing section)."""
+    lines = [f"# nodes {graph.num_nodes} edges {graph.num_edges}"]
+    for node in sorted(graph.nodes(), key=repr):
+        if not graph.successors(node) and not graph.predecessors(node):
+            lines.append(f"n {node}")
+    for u, v in sorted(graph.edges(), key=repr):
+        lines.append(f"{u} {v}")
+    labeled = {n: l for n, l in graph.labels().items() if l is not None}
+    if labeled:
+        lines.append("# labels")
+        for node in sorted(labeled, key=repr):
+            lines.append(f"l {node} {labeled[node]}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str) -> DiGraph:
+    """Parse the :func:`to_edge_list` dialect (node names become strings)."""
+    graph = DiGraph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "n" and len(parts) == 2:
+            graph.add_node(parts[1])
+        elif parts[0] == "l" and len(parts) == 3:
+            graph.add_node(parts[1])
+            graph.set_label(parts[1], parts[2])
+        elif len(parts) == 2:
+            graph.add_edge(parts[0], parts[1], create=True)
+        else:
+            raise GraphError(f"unparseable edge-list line {lineno}: {raw!r}")
+    return graph
+
+
+def to_json(graph: DiGraph) -> str:
+    """Render ``graph`` as a JSON document (stable key order)."""
+    doc = {
+        "nodes": [
+            {"id": node, "label": graph.label(node)}
+            for node in sorted(graph.nodes(), key=repr)
+        ],
+        "edges": sorted(([u, v] for u, v in graph.edges()), key=repr),
+    }
+    return json.dumps(doc, sort_keys=True)
+
+
+def from_json(text: str) -> DiGraph:
+    doc = json.loads(text)
+    graph = DiGraph()
+    for entry in doc.get("nodes", ()):
+        graph.add_node(entry["id"], label=entry.get("label"))
+    for u, v in doc.get("edges", ()):
+        graph.add_edge(u, v, create=True)
+    return graph
+
+
+def save(graph: DiGraph, path: PathLike) -> None:
+    """Write a graph; format chosen by extension (``.json`` or edge list)."""
+    path = Path(path)
+    text = to_json(graph) if path.suffix == ".json" else to_edge_list(graph)
+    path.write_text(text, encoding="utf-8")
+
+
+def load(path: PathLike) -> DiGraph:
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    return from_json(text) if path.suffix == ".json" else from_edge_list(text)

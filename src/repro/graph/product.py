@@ -1,0 +1,60 @@
+"""Lazy product of a graph with a query automaton.
+
+Regular reachability is reachability in the product graph whose nodes are
+``(graph node, automaton state)`` pairs and whose edges pair graph edges with
+automaton transitions, subject to the label-matching rule of Section 5.1:
+a transition into state ``u'`` may land on node ``w`` only if ``w`` *matches*
+``u'`` (state label equals node label, wildcard, or the special start/final
+states that match ``s``/``t`` by identity).
+
+The product is never materialized: callers get a successors function usable
+with the generic traversal/SCC/reachset helpers, which keeps the memory
+footprint at O(visited pairs) — important because ``|Fi| × |Vq|`` pairs per
+fragment is the dominant cost of ``localEvalr``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, List, Tuple
+
+from .digraph import DiGraph, Node
+
+State = Hashable
+Pair = Tuple[Node, State]
+MatchFn = Callable[[Node, State], bool]
+StateSuccFn = Callable[[State], Iterable[State]]
+
+
+def product_successors(
+    graph: DiGraph,
+    state_successors: StateSuccFn,
+    matches: MatchFn,
+) -> Callable[[Pair], List[Pair]]:
+    """Successors function of the (graph × automaton) product."""
+
+    def successors(pair: Pair) -> List[Pair]:
+        v, u = pair
+        out: List[Pair] = []
+        next_states = tuple(state_successors(u))
+        if not next_states:
+            return out
+        for w in graph.successors(v):
+            for u2 in next_states:
+                if matches(w, u2):
+                    out.append((w, u2))
+        return out
+
+    return successors
+
+
+def product_nodes(
+    graph: DiGraph,
+    states: Iterable[State],
+    matches: MatchFn,
+) -> Iterator[Pair]:
+    """All *consistent* product pairs: node ``v`` matched at state ``u``."""
+    state_list = tuple(states)
+    for v in graph.nodes():
+        for u in state_list:
+            if matches(v, u):
+                yield (v, u)

@@ -1,0 +1,100 @@
+"""Weighted shortest paths: Dijkstra (assembler of disDist) and Bellman–Ford.
+
+Procedure ``evalDGd`` (Section 4) runs Dijkstra on the weighted dependency
+graph assembled from the per-fragment min-plus equations.  The functions here
+are generic over a ``weighted_successors`` callable so they serve both that
+dependency graph and ordinary :class:`~repro.graph.digraph.DiGraph` wrappers.
+
+Bellman–Ford is retained as an independent oracle for property-based tests
+(it tolerates arbitrary iteration orders and, unlike Dijkstra, does not rely
+on non-negativity — our weights are always non-negative, so agreement is
+expected and asserted).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .digraph import DiGraph, Node
+
+WeightedSuccessorsFn = Callable[[Node], Iterable[Tuple[Node, float]]]
+
+
+def dijkstra(
+    source: Node,
+    weighted_successors: WeightedSuccessorsFn,
+    target: Optional[Node] = None,
+    cutoff: Optional[float] = None,
+) -> Dict[Node, float]:
+    """Single-source shortest distances with non-negative weights.
+
+    Stops early once ``target`` is settled; ``cutoff`` prunes any path longer
+    than the given bound (used by bounded reachability, where distances above
+    the query bound ``l`` can never matter).
+    """
+    dist: Dict[Node, float] = {}
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 1  # tie-breaker: keeps heap entries comparable for any node type
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        if node == target:
+            break
+        for nxt, weight in weighted_successors(node):
+            if weight < 0:
+                raise ValueError(f"negative edge weight {weight!r} from {node!r}")
+            nd = d + weight
+            if cutoff is not None and nd > cutoff:
+                continue
+            if nxt not in dist:
+                heapq.heappush(heap, (nd, counter, nxt))
+                counter += 1
+    return dist
+
+
+def dijkstra_distance(
+    source: Node,
+    target: Node,
+    weighted_successors: WeightedSuccessorsFn,
+    cutoff: Optional[float] = None,
+) -> Optional[float]:
+    """Distance from ``source`` to ``target`` or ``None`` if unreachable."""
+    dist = dijkstra(source, weighted_successors, target=target, cutoff=cutoff)
+    return dist.get(target)
+
+
+def bellman_ford(
+    nodes: Iterable[Node],
+    weighted_edges: Iterable[Tuple[Node, Node, float]],
+    source: Node,
+) -> Dict[Node, float]:
+    """Reference fixpoint solver used to cross-check Dijkstra in tests."""
+    INF = float("inf")
+    dist: Dict[Node, float] = {node: INF for node in nodes}
+    dist.setdefault(source, INF)
+    dist[source] = 0.0
+    edges = list(weighted_edges)
+    for _ in range(max(len(dist) - 1, 0)):
+        changed = False
+        for u, v, w in edges:
+            du = dist.get(u, INF)
+            if du + w < dist.get(v, INF):
+                dist[v] = du + w
+                changed = True
+        if not changed:
+            break
+    return {node: d for node, d in dist.items() if d < INF}
+
+
+def graph_weighted_successors(
+    graph: DiGraph, weight: float = 1.0
+) -> WeightedSuccessorsFn:
+    """Adapt an unweighted :class:`DiGraph` to the weighted-successors protocol."""
+
+    def successors(node: Node) -> Iterable[Tuple[Node, float]]:
+        return ((nxt, weight) for nxt in graph.successors(node))
+
+    return successors

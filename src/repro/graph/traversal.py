@@ -1,0 +1,177 @@
+"""Graph traversal primitives: BFS/DFS orders, descendants, distances.
+
+These are the centralized building blocks the paper assumes ("we use DFS/BFS
+search", Section 3): ``descendants`` implements ``des(v, Fi)``, and the BFS
+distance helpers back the bounded-reachability algorithm and the ship-all
+baselines.
+
+All functions accept either a :class:`~repro.graph.digraph.DiGraph` or a
+``(nodes, successors)`` pair via the ``successors`` keyword, so the same code
+runs on fragment-local graphs and on lazily-materialized product graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set
+
+from .digraph import DiGraph, Node
+
+SuccessorsFn = Callable[[Node], Iterable[Node]]
+
+
+def _successors_fn(graph: Optional[DiGraph], successors: Optional[SuccessorsFn]) -> SuccessorsFn:
+    if successors is not None:
+        return successors
+    if graph is None:
+        raise ValueError("either a graph or a successors function is required")
+    return graph.successors
+
+
+def bfs_order(graph: DiGraph, source: Node) -> Iterator[Node]:
+    """Yield nodes in breadth-first order from ``source``."""
+    succ = graph.successors
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for nxt in succ(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+
+
+def dfs_order(graph: DiGraph, source: Node) -> Iterator[Node]:
+    """Yield nodes in (iterative, preorder) depth-first order from ``source``."""
+    succ = graph.successors
+    seen = {source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        yield node
+        for nxt in succ(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+
+
+def descendants(
+    graph: Optional[DiGraph],
+    source: Node,
+    successors: Optional[SuccessorsFn] = None,
+    include_source: bool = False,
+) -> Set[Node]:
+    """``des(source, G)``: every node reachable from ``source``.
+
+    By default the source itself is excluded unless it lies on a cycle back
+    to itself — matching the paper's use where ``v' ∈ des(v, Fi)`` asks for a
+    (possibly empty-prefix) *path*; pass ``include_source=True`` to treat
+    every node as trivially reaching itself.
+    """
+    succ = _successors_fn(graph, successors)
+    seen: Set[Node] = set()
+    queue = deque(succ(source))
+    while queue:
+        node = queue.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+        queue.extend(succ(node))
+    if include_source:
+        seen.add(source)
+    return seen
+
+
+def is_reachable(
+    graph: Optional[DiGraph],
+    source: Node,
+    target: Node,
+    successors: Optional[SuccessorsFn] = None,
+) -> bool:
+    """Early-exit BFS reachability check (``source`` reaches itself trivially)."""
+    if source == target:
+        return True
+    succ = _successors_fn(graph, successors)
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nxt in succ(node):
+            if nxt == target:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return False
+
+
+def bfs_distances(
+    graph: Optional[DiGraph],
+    source: Node,
+    successors: Optional[SuccessorsFn] = None,
+    cutoff: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Unweighted shortest-path distances from ``source``.
+
+    ``cutoff`` bounds the exploration radius: nodes farther than ``cutoff``
+    hops are omitted — used by ``localEvald`` to prune legs longer than the
+    query bound ``l``.
+    """
+    succ = _successors_fn(graph, successors)
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if cutoff is not None and d >= cutoff:
+            continue
+        for nxt in succ(node):
+            if nxt not in dist:
+                dist[nxt] = d + 1
+                queue.append(nxt)
+    return dist
+
+
+def bfs_distance(
+    graph: Optional[DiGraph],
+    source: Node,
+    target: Node,
+    successors: Optional[SuccessorsFn] = None,
+    cutoff: Optional[int] = None,
+) -> Optional[int]:
+    """``dist(source, target)`` or ``None`` when unreachable (within ``cutoff``)."""
+    if source == target:
+        return 0
+    succ = _successors_fn(graph, successors)
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if cutoff is not None and d >= cutoff:
+            continue
+        for nxt in succ(node):
+            if nxt == target:
+                return d + 1
+            if nxt not in dist:
+                dist[nxt] = d + 1
+                queue.append(nxt)
+    return None
+
+
+def topological_order(graph: DiGraph) -> List[Node]:
+    """Kahn topological order; raises ``ValueError`` if the graph is cyclic."""
+    indeg = {node: graph.in_degree(node) for node in graph.nodes()}
+    queue = deque(node for node, d in indeg.items() if d == 0)
+    order: List[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for nxt in graph.successors(node):
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    if len(order) != graph.num_nodes:
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order

@@ -1,0 +1,34 @@
+"""Pluggable local reachability/distance indexes (Section 3's remark)."""
+
+from .base import BFSOracle, OracleFactory, ReachabilityOracle
+from .distance import (
+    BFSDistanceOracle,
+    DistanceMatrixOracle,
+    DistanceOracle,
+    DistanceOracleFactory,
+)
+from .grail import GrailOracle
+from .transitive_closure import TransitiveClosureOracle
+from .twohop import TwoHopOracle
+
+#: name -> oracle factory, for the index-choice ablation bench.
+REACHABILITY_INDEXES = {
+    "bfs": BFSOracle,
+    "transitive-closure": TransitiveClosureOracle,
+    "grail": GrailOracle,
+    "2hop": TwoHopOracle,
+}
+
+__all__ = [
+    "BFSDistanceOracle",
+    "BFSOracle",
+    "DistanceMatrixOracle",
+    "DistanceOracle",
+    "DistanceOracleFactory",
+    "GrailOracle",
+    "OracleFactory",
+    "REACHABILITY_INDEXES",
+    "ReachabilityOracle",
+    "TransitiveClosureOracle",
+    "TwoHopOracle",
+]

@@ -1,0 +1,59 @@
+"""Local distance oracles for ``localEvald`` (Section 4's index remark).
+
+The paper notes that local evaluation cost can be cut "e.g., with constant
+time via a distance matrix".  :class:`DistanceMatrixOracle` precomputes
+all-pairs BFS distances of a fragment-local graph once and answers lookups
+in O(1); :class:`BFSDistanceOracle` is the index-free default.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+from ..graph.digraph import DiGraph, Node
+from ..graph.traversal import bfs_distance, bfs_distances
+
+DistanceOracleFactory = Callable[[DiGraph], "DistanceOracle"]
+
+
+class DistanceOracle(ABC):
+    """Answers ``dist(u, v)`` questions on one fixed graph."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+
+    @abstractmethod
+    def distance(self, source: Node, target: Node) -> Optional[int]:
+        """Hop distance, or ``None`` when unreachable."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class BFSDistanceOracle(DistanceOracle):
+    """Index-free: one cutoff-free BFS per question."""
+
+    def distance(self, source: Node, target: Node) -> Optional[int]:
+        return bfs_distance(self.graph, source, target)
+
+
+class DistanceMatrixOracle(DistanceOracle):
+    """All-pairs BFS distances, materialized once per fragment.
+
+    Memory is O(reachable pairs) — acceptable for fragment-local graphs,
+    which is exactly where the paper suggests a distance matrix.
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        self._rows: Dict[Node, Dict[Node, int]] = {
+            node: bfs_distances(graph, node) for node in graph.nodes()
+        }
+
+    def distance(self, source: Node, target: Node) -> Optional[int]:
+        row = self._rows.get(source)
+        if row is None:
+            return None
+        return row.get(target)

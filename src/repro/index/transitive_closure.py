@@ -1,0 +1,51 @@
+"""Reachability-matrix index: the full transitive closure as bitsets [31].
+
+The paper's Section 3 remark names the "reachability matrix" as a local
+index option.  Building it costs one SCC condensation plus a reverse-
+topological bitset sweep (each node's row is a Python big-int); queries are
+O(1) bit tests.  Memory is Θ(|V|²/8) bytes — fine for fragment-local
+graphs, which is the only place the algorithms build it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph.digraph import DiGraph, Node
+from ..graph.scc import tarjan_scc
+from .base import ReachabilityOracle
+
+
+class TransitiveClosureOracle(ReachabilityOracle):
+    """All-pairs reachability, materialized once."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        nodes = list(graph.nodes())
+        self._bit: Dict[Node, int] = {node: 1 << i for i, node in enumerate(nodes)}
+        comps = tarjan_scc(nodes, graph.successors)
+        comp_of: Dict[Node, int] = {}
+        for cid, members in enumerate(comps):
+            for node in members:
+                comp_of[node] = cid
+        comp_mask: List[int] = [0] * len(comps)
+        # Reverse topological order (Tarjan's output): successors first.
+        for cid, members in enumerate(comps):
+            mask = 0
+            for node in members:
+                mask |= self._bit[node]
+                for nxt in graph.successors(node):
+                    ncid = comp_of[nxt]
+                    if ncid != cid:
+                        mask |= comp_mask[ncid]
+            comp_mask[cid] = mask
+        self._row: Dict[Node, int] = {
+            node: comp_mask[comp_of[node]] for node in nodes
+        }
+
+    def reaches(self, source: Node, target: Node) -> bool:
+        row = self._row.get(source)
+        bit = self._bit.get(target)
+        if row is None or bit is None:
+            return False
+        return bool(row & bit)

@@ -1,0 +1,101 @@
+"""Pruned 2-hop reachability labeling (Cohen et al. [5]).
+
+Every node gets an *out-label* (hubs it reaches) and an *in-label* (hubs
+that reach it); ``u`` reaches ``v`` iff their labels intersect.  We build
+the labeling with pruned BFS in descending-degree hub order (the classic
+pruned-landmark construction): when a BFS from hub ``h`` arrives at a node
+whose existing labels already certify ``h``-reachability, the subtree is
+pruned, which keeps labels small on hub-dominated graphs.
+
+Cycles are handled by labeling the condensation and sharing labels within
+each SCC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from ..graph.digraph import DiGraph, Node
+from ..graph.scc import tarjan_scc
+from .base import ReachabilityOracle
+
+
+class TwoHopOracle(ReachabilityOracle):
+    """2-hop cover over the condensation DAG."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        comps = tarjan_scc(list(graph.nodes()), graph.successors)
+        self._comp_of: Dict[Node, int] = {}
+        for cid, members in enumerate(comps):
+            for node in members:
+                self._comp_of[node] = cid
+        num_comps = len(comps)
+        succ: List[Set[int]] = [set() for _ in range(num_comps)]
+        pred: List[Set[int]] = [set() for _ in range(num_comps)]
+        for u, v in graph.edges():
+            cu, cv = self._comp_of[u], self._comp_of[v]
+            if cu != cv:
+                succ[cu].add(cv)
+                pred[cv].add(cu)
+
+        self._out_labels: List[Set[int]] = [set() for _ in range(num_comps)]
+        self._in_labels: List[Set[int]] = [set() for _ in range(num_comps)]
+        # Hub order: decreasing (in+out) degree in the condensation.
+        hubs = sorted(
+            range(num_comps), key=lambda c: -(len(succ[c]) + len(pred[c]))
+        )
+        for hub in hubs:
+            self._pruned_bfs(hub, succ, self._out_labels, self._in_labels, forward=True)
+            self._pruned_bfs(hub, pred, self._in_labels, self._out_labels, forward=False)
+
+    def _pruned_bfs(
+        self,
+        hub: int,
+        adjacency: List[Set[int]],
+        own_labels: List[Set[int]],
+        other_labels: List[Set[int]],
+        forward: bool,
+    ) -> None:
+        """Label everything (anti)reachable from ``hub``, pruning covered nodes.
+
+        ``forward=True`` walks successors and fills *in-labels* of reached
+        components (hub reaches them); ``forward=False`` mirrors it.
+        """
+        target_labels = self._in_labels if forward else self._out_labels
+        queue = deque([hub])
+        seen = {hub}
+        while queue:
+            comp = queue.popleft()
+            if comp != hub:
+                # Prune: if an existing common hub already certifies
+                # hub -> comp (or comp -> hub), skip labeling this subtree.
+                if self._covered(hub, comp, forward):
+                    continue
+                target_labels[comp].add(hub)
+            for nxt in adjacency[comp]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+
+    def _covered(self, hub: int, comp: int, forward: bool) -> bool:
+        """Is hub→comp (forward) or comp→hub already certified by a
+        previously-assigned third hub?"""
+        if forward:
+            common = (self._out_labels[hub] | {hub}) & (self._in_labels[comp] | {comp})
+        else:
+            common = (self._out_labels[comp] | {comp}) & (self._in_labels[hub] | {hub})
+        return bool(common - {hub, comp})
+
+    # ------------------------------------------------------------------
+    def reaches(self, source: Node, target: Node) -> bool:
+        cu = self._comp_of.get(source)
+        cv = self._comp_of.get(target)
+        if cu is None or cv is None:
+            return False
+        if cu == cv:
+            return True
+        out_u = self._out_labels[cu] | {cu}
+        in_v = self._in_labels[cv] | {cv}
+        return bool(out_u & in_v)

@@ -1,0 +1,14 @@
+"""Simulated MapReduce runtime and the MRdRPQ algorithm (Section 6)."""
+
+from .mrd_rpq import MapReduceResult, mrd_dist, mrd_reach, mrd_rpq
+from .runtime import KeyValue, MapReduceRuntime, MapReduceStats
+
+__all__ = [
+    "KeyValue",
+    "MapReduceResult",
+    "MapReduceRuntime",
+    "MapReduceStats",
+    "mrd_dist",
+    "mrd_reach",
+    "mrd_rpq",
+]

@@ -1,0 +1,152 @@
+"""A simulated MapReduce runtime with elapsed-communication-cost accounting.
+
+Implements the programming model of Dean & Ghemawat [7] used in Section 6:
+key/value inputs are assigned to mappers, each mapper emits intermediate
+key/value pairs which are hash-partitioned to reducers, and each reducer
+folds the values of its keys.  Everything runs in-process; what is
+*simulated* is the cost model of Afrati & Ullman [1] the paper adopts:
+
+* a **process path** runs coordinator → one mapper → one reducer;
+* the **cost of a path** is the size of the input data shipped to the nodes
+  on it (the mapper's input split + the reducer's total input);
+* the **ECC** of the job is the maximum cost over all process paths.
+
+Simulated response time mirrors the cluster model: one parallel map round
+(max mapper compute + max input/output transfer) followed by the reduce
+round — mappers and reducers are sites of the same simulated network.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..distributed.cluster import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
+from ..distributed.messages import payload_size
+from ..errors import MapReduceError
+
+KeyValue = Tuple[Hashable, Any]
+MapFn = Callable[[Hashable, Any], Iterable[KeyValue]]
+ReduceFn = Callable[[Hashable, List[Any]], Iterable[KeyValue]]
+
+
+@dataclass
+class MapReduceStats:
+    """Accounting for one job, in the terms of [1] (Section 6)."""
+
+    num_mappers: int
+    num_reducers: int
+    mapper_input_bytes: List[int] = field(default_factory=list)
+    mapper_output_bytes: List[int] = field(default_factory=list)
+    reducer_input_bytes: List[int] = field(default_factory=list)
+    map_seconds: List[float] = field(default_factory=list)
+    reduce_seconds: List[float] = field(default_factory=list)
+    ecc_bytes: int = 0
+    response_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(self.reducer_input_bytes)
+
+    def summary(self) -> str:
+        return (
+            f"[MapReduce] mappers={self.num_mappers} reducers={self.num_reducers} "
+            f"ECC={self.ecc_bytes}B shuffle={self.total_shuffle_bytes}B "
+            f"response={self.response_seconds * 1e3:.2f}ms "
+            f"wall={self.wall_seconds * 1e3:.2f}ms"
+        )
+
+
+class MapReduceRuntime:
+    """Executes jobs; reusable across jobs (it holds only the cost model)."""
+
+    def __init__(
+        self,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        latency: float = DEFAULT_LATENCY,
+    ) -> None:
+        if bandwidth <= 0:
+            raise MapReduceError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.latency = latency
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Sequence[KeyValue],
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        num_reducers: int = 1,
+        partitioner: Optional[Callable[[Hashable, int], int]] = None,
+    ) -> Tuple[List[KeyValue], MapReduceStats]:
+        """Run one job; each input pair feeds one mapper.
+
+        Returns the reducers' emitted pairs (in reducer order) plus stats.
+        """
+        if num_reducers <= 0:
+            raise MapReduceError("num_reducers must be positive")
+        if not inputs:
+            raise MapReduceError("a MapReduce job needs at least one input split")
+        partition = partitioner or (lambda key, n: hash(key) % n)
+
+        wall_start = time.perf_counter()
+        stats = MapReduceStats(num_mappers=len(inputs), num_reducers=num_reducers)
+
+        # --- map phase (conceptually parallel over mappers) -------------
+        per_reducer_inputs: List[Dict[Hashable, List[Any]]] = [
+            {} for _ in range(num_reducers)
+        ]
+        mapper_to_reducer_bytes: List[List[int]] = []
+        for key, value in inputs:
+            stats.mapper_input_bytes.append(payload_size(key) + payload_size(value))
+            start = time.perf_counter()
+            emitted = list(map_fn(key, value))
+            stats.map_seconds.append(time.perf_counter() - start)
+            sent = [0] * num_reducers
+            for out_key, out_value in emitted:
+                rid = partition(out_key, num_reducers)
+                if not (0 <= rid < num_reducers):
+                    raise MapReduceError(f"partitioner returned invalid reducer {rid}")
+                per_reducer_inputs[rid].setdefault(out_key, []).append(out_value)
+                sent[rid] += payload_size(out_key) + payload_size(out_value)
+            mapper_to_reducer_bytes.append(sent)
+            stats.mapper_output_bytes.append(sum(sent))
+
+        stats.reducer_input_bytes = [
+            sum(mapper_to_reducer_bytes[m][r] for m in range(len(inputs)))
+            for r in range(num_reducers)
+        ]
+
+        # --- reduce phase ------------------------------------------------
+        outputs: List[KeyValue] = []
+        for rid in range(num_reducers):
+            start = time.perf_counter()
+            for key, values in per_reducer_inputs[rid].items():
+                outputs.extend(reduce_fn(key, values))
+            stats.reduce_seconds.append(time.perf_counter() - start)
+
+        # --- cost model ----------------------------------------------------
+        # ECC: max over process paths (mapper m -> reducer r actually used).
+        ecc = 0
+        for m in range(len(inputs)):
+            for r in range(num_reducers):
+                if mapper_to_reducer_bytes[m][r] == 0 and len(inputs) > 1:
+                    continue  # no data flows on this path
+                ecc = max(ecc, stats.mapper_input_bytes[m] + stats.reducer_input_bytes[r])
+        stats.ecc_bytes = ecc
+
+        # Response time: distribute splits (parallel), map (parallel),
+        # shuffle (parallel), reduce (parallel over reducers).
+        transfer = lambda size: size / self.bandwidth  # noqa: E731
+        stats.response_seconds = (
+            self.latency
+            + transfer(max(stats.mapper_input_bytes))
+            + max(stats.map_seconds)
+            + self.latency
+            + transfer(max(stats.reducer_input_bytes) if stats.reducer_input_bytes else 0)
+            + (max(stats.reduce_seconds) if stats.reduce_seconds else 0.0)
+        )
+        stats.wall_seconds = time.perf_counter() - wall_start
+        return outputs, stats

@@ -1,0 +1,30 @@
+"""Fragmentation of graphs across sites (paper Section 2.1)."""
+
+from .builder import build_fragmentation
+from .fragment import Fragment, Fragmentation
+from .partitioners import (
+    PARTITIONERS,
+    Partitioner,
+    bfs_partition,
+    chunk_partition,
+    get_partitioner,
+    greedy_edge_cut_partition,
+    hash_partition,
+    random_partition,
+)
+from .validation import check_fragmentation
+
+__all__ = [
+    "Fragment",
+    "Fragmentation",
+    "PARTITIONERS",
+    "Partitioner",
+    "bfs_partition",
+    "build_fragmentation",
+    "check_fragmentation",
+    "chunk_partition",
+    "get_partitioner",
+    "greedy_edge_cut_partition",
+    "hash_partition",
+    "random_partition",
+]

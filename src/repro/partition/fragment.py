@@ -1,0 +1,174 @@
+"""Fragments and fragmentations (paper Section 2.1).
+
+A fragmentation ``F = (F, Gf)`` of ``G = (V, E, L)``:
+
+* ``F = (F1, ..., Fk)`` where fragment ``Fi = (Vi ∪ Fi.O, Ei ∪ cEi, Li)``:
+  - ``(V1, ..., Vk)`` partitions ``V``;
+  - ``Fi.O`` ("virtual nodes") holds one placeholder for every node in
+    another fragment that some node of ``Vi`` points to;
+  - ``cEi`` ("cross edges") are exactly the edges from ``Vi`` into ``Fi.O``;
+  - ``Fi.I`` ("in-nodes") are the nodes of ``Vi`` with an incoming cross
+    edge from some other fragment.
+* the fragment graph ``Gf = (Vf, Ef)`` collects every in-node, virtual node
+  and cross edge — and nothing internal to any fragment.
+
+No constraint is placed on *how* the graph is fragmented (the paper's
+guarantees are partition-agnostic); :mod:`repro.partition.partitioners`
+offers several strategies, and :mod:`repro.partition.validation` checks the
+invariants above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..errors import FragmentationError, NodeNotFound
+from ..graph.digraph import DiGraph, Edge, Node
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One fragment ``Fi``, stored at one site.
+
+    ``local_graph`` is what the site can traverse without communication:
+    the induced subgraph on ``Vi`` plus the virtual nodes and cross edges.
+    Virtual nodes keep the labels of the remote nodes they stand for (the
+    paper: cross edges carry "IRIs or semantic labels of the virtual
+    nodes"), which regular reachability needs for state matching.
+    """
+
+    fid: int
+    local_graph: DiGraph
+    nodes: FrozenSet[Node]  # Vi
+    virtual_nodes: FrozenSet[Node]  # Fi.O
+    in_nodes: FrozenSet[Node]  # Fi.I
+    cross_edges: Tuple[Edge, ...]  # cEi
+
+    @property
+    def num_internal_edges(self) -> int:
+        """``|Ei|`` — edges fully inside ``Vi``."""
+        return self.local_graph.num_edges - len(self.cross_edges)
+
+    @property
+    def size(self) -> int:
+        """``|Fi|`` = nodes + edges of the locally stored graph."""
+        return self.local_graph.size
+
+    def __contains__(self, node: Node) -> bool:
+        """Membership means *ownership*: virtual nodes do not count."""
+        return node in self.nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fragment(fid={self.fid}, |Vi|={len(self.nodes)}, "
+            f"|Fi.I|={len(self.in_nodes)}, |Fi.O|={len(self.virtual_nodes)}, "
+            f"|cEi|={len(self.cross_edges)})"
+        )
+
+
+class Fragmentation:
+    """A complete fragmentation: the fragments plus node placement."""
+
+    def __init__(self, fragments: Sequence[Fragment], placement: Mapping[Node, int]):
+        self._fragments: Tuple[Fragment, ...] = tuple(fragments)
+        self._placement: Dict[Node, int] = dict(placement)
+        self._fragment_graph: Optional[DiGraph] = None
+
+    @property
+    def fragments(self) -> Tuple[Fragment, ...]:
+        return self._fragments
+
+    @property
+    def placement(self) -> Mapping[Node, int]:
+        return self._placement
+
+    def __len__(self) -> int:
+        """``card(F)`` — the number of fragments."""
+        return len(self._fragments)
+
+    def __iter__(self) -> Iterator[Fragment]:
+        return iter(self._fragments)
+
+    def __getitem__(self, fid: int) -> Fragment:
+        return self._fragments[fid]
+
+    def fragment_of(self, node: Node) -> Fragment:
+        """The fragment that *owns* ``node``."""
+        try:
+            return self._fragments[self._placement[node]]
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._placement
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._placement)
+
+    @property
+    def max_fragment_size(self) -> int:
+        """``|Fm|`` — size of the largest fragment (Theorems 1–3)."""
+        return max((f.size for f in self._fragments), default=0)
+
+    @property
+    def average_fragment_size(self) -> float:
+        """``size(F)`` as used in the experiments (|G| / card(F))."""
+        if not self._fragments:
+            return 0.0
+        return sum(f.size for f in self._fragments) / len(self._fragments)
+
+    def fragment_graph(self) -> DiGraph:
+        """``Gf = (Vf, Ef)``: boundary nodes and cross edges only.
+
+        ``Vf`` holds every endpoint of a cross edge — all in-nodes, all
+        virtual nodes, and the sources of outgoing cross edges (the paper's
+        Fig. 2 keeps e.g. ``Bill``, a pure cross-edge source, in ``Gf``).
+        """
+        if self._fragment_graph is None:
+            gf = DiGraph()
+            for frag in self._fragments:
+                for node in frag.in_nodes:
+                    gf.add_node(node, frag.local_graph.label(node))
+                for node in frag.virtual_nodes:
+                    gf.add_node(node, frag.local_graph.label(node))
+                for u, v in frag.cross_edges:
+                    gf.add_node(u, frag.local_graph.label(u))
+            for frag in self._fragments:
+                for u, v in frag.cross_edges:
+                    gf.add_edge(u, v)
+            self._fragment_graph = gf
+        return self._fragment_graph
+
+    @property
+    def num_boundary_nodes(self) -> int:
+        """``|Vf|`` — the node count of the fragment graph."""
+        return self.fragment_graph().num_nodes
+
+    @property
+    def num_cross_edges(self) -> int:
+        """``|Ef|`` — total cross edges over all fragments."""
+        return sum(len(f.cross_edges) for f in self._fragments)
+
+    def restore_graph(self) -> DiGraph:
+        """Reassemble the original global graph ``G`` from the fragments.
+
+        Used by the ship-all baselines (disReachn etc.) after "receiving"
+        every fragment at the coordinator.
+        """
+        graph = DiGraph()
+        for frag in self._fragments:
+            for node in frag.nodes:
+                graph.add_node(node, frag.local_graph.label(node))
+        for frag in self._fragments:
+            for node in frag.nodes:
+                for nxt in frag.local_graph.successors(node):
+                    graph.add_edge(node, nxt, create=True)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fragmentation(card={len(self)}, |V|={self.num_nodes}, "
+            f"|Vf|={self.num_boundary_nodes}, |Ef|={self.num_cross_edges})"
+        )

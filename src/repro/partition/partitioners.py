@@ -1,0 +1,153 @@
+"""Node→site partitioning strategies.
+
+The paper stresses that its guarantees hold "no matter how G is fragmented
+and distributed" and uses *random* partitioning in the experiments
+(Section 7, "(3) Graph fragmentation").  We provide that plus common
+alternatives so the ablation benches can measure how partition quality
+(i.e. |Vf|) moves the constants:
+
+* :func:`random_partition`   — uniform random placement (the paper's choice);
+* :func:`hash_partition`     — deterministic hash placement (stable across runs);
+* :func:`chunk_partition`    — contiguous equal-size splits (Hadoop's default
+  splitter, used by ``preMRPQ``);
+* :func:`bfs_partition`      — BFS region growing (locality-preserving);
+* :func:`greedy_edge_cut_partition` — linear deterministic greedy streaming
+  heuristic that favors the fragment already holding most neighbors.
+
+Every partitioner returns a ``dict`` node→fragment-id covering all nodes,
+ready for :func:`repro.partition.builder.build_fragmentation`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Mapping
+
+from ..errors import FragmentationError
+from ..graph.digraph import DiGraph, Node
+
+Partitioner = Callable[[DiGraph, int], Dict[Node, int]]
+
+
+def _check_k(graph: DiGraph, k: int) -> None:
+    if k <= 0:
+        raise FragmentationError(f"number of fragments must be positive, got {k}")
+
+
+def random_partition(graph: DiGraph, k: int, seed: int = 0) -> Dict[Node, int]:
+    """Uniform random placement (the paper's experimental setting)."""
+    _check_k(graph, k)
+    rng = random.Random(seed)
+    return {node: rng.randrange(k) for node in graph.nodes()}
+
+
+def hash_partition(graph: DiGraph, k: int) -> Dict[Node, int]:
+    """Placement by a deterministic string hash of the node id."""
+    _check_k(graph, k)
+
+    def bucket(node: Node) -> int:
+        h = 0
+        for ch in repr(node):
+            h = (h * 131 + ord(ch)) & 0xFFFFFFFF
+        return h % k
+
+    return {node: bucket(node) for node in graph.nodes()}
+
+
+def chunk_partition(graph: DiGraph, k: int) -> Dict[Node, int]:
+    """Contiguous equal-size chunks of ⌈|V|/k⌉ nodes, in node order.
+
+    This mirrors Hadoop's default input splitting, which ``preMRPQ``
+    (Section 6) relies on: "fragments ... of equal size ⌈|G|/K⌉".
+    """
+    _check_k(graph, k)
+    nodes = list(graph.nodes())
+    chunk = max(1, -(-len(nodes) // k))  # ceil division
+    return {node: min(i // chunk, k - 1) for i, node in enumerate(nodes)}
+
+
+def bfs_partition(graph: DiGraph, k: int, seed: int = 0) -> Dict[Node, int]:
+    """Grow ``k`` regions breadth-first from random seeds (locality-friendly)."""
+    _check_k(graph, k)
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    capacity = max(1, -(-len(nodes) // k))
+    assignment: Dict[Node, int] = {}
+    sizes = [0] * k
+    fid = 0
+    for start in nodes:
+        if start in assignment:
+            continue
+        if sizes[fid] >= capacity:
+            fid = min(range(k), key=lambda f: sizes[f])
+        queue = deque([start])
+        while queue and sizes[fid] < capacity:
+            node = queue.popleft()
+            if node in assignment:
+                continue
+            assignment[node] = fid
+            sizes[fid] += 1
+            for nxt in graph.successors(node):
+                if nxt not in assignment:
+                    queue.append(nxt)
+    return assignment
+
+
+def greedy_edge_cut_partition(graph: DiGraph, k: int, seed: int = 0) -> Dict[Node, int]:
+    """Linear deterministic greedy (LDG) streaming partitioner.
+
+    Each node (in random stream order) joins the fragment holding the most
+    of its already-placed neighbors, discounted by fullness — a standard
+    one-pass heuristic that reduces |Vf| versus random placement.
+    """
+    _check_k(graph, k)
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    # Slack above the perfectly balanced size keeps the discount factor
+    # positive while fragments fill, as in the original LDG formulation.
+    capacity = max(1.0, 1.25 * len(nodes) / k)
+    assignment: Dict[Node, int] = {}
+    sizes = [0] * k
+    for node in nodes:
+        neighbor_count = [0] * k
+        for other in graph.successors(node):
+            if other in assignment:
+                neighbor_count[assignment[other]] += 1
+        for other in graph.predecessors(node):
+            if other in assignment:
+                neighbor_count[assignment[other]] += 1
+        # Maximize the LDG score; break ties toward the least-loaded
+        # fragment (otherwise zero-neighbor streaks all pile into fragment 0).
+        best_fid = min(range(k), key=lambda f: sizes[f])
+        best_score = neighbor_count[best_fid] * (1.0 - sizes[best_fid] / capacity)
+        for fid in range(k):
+            score = neighbor_count[fid] * (1.0 - sizes[fid] / capacity)
+            if score > best_score or (
+                score == best_score and sizes[fid] < sizes[best_fid]
+            ):
+                best_score = score
+                best_fid = fid
+        assignment[node] = best_fid
+        sizes[best_fid] += 1
+    return assignment
+
+
+PARTITIONERS: Mapping[str, Partitioner] = {
+    "random": random_partition,
+    "hash": hash_partition,
+    "chunk": chunk_partition,
+    "bfs": bfs_partition,
+    "greedy": greedy_edge_cut_partition,
+}
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Look up a partitioner by name (raises with the known names listed)."""
+    try:
+        return PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PARTITIONERS))
+        raise FragmentationError(f"unknown partitioner {name!r}; known: {known}") from None

@@ -1,0 +1,137 @@
+"""Invariant checks for fragmentations (Definition in Section 2.1).
+
+``check_fragmentation`` raises :class:`~repro.errors.FragmentationError`
+with a precise message on the first violated invariant; property-based
+tests run it on randomly generated fragmentations, and examples call it to
+demonstrate the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import FragmentationError
+from ..graph.digraph import DiGraph, Node
+from .fragment import Fragmentation
+
+
+def check_fragmentation(graph: DiGraph, fragmentation: Fragmentation) -> None:
+    """Verify that ``fragmentation`` is a valid fragmentation of ``graph``."""
+    _check_partition(graph, fragmentation)
+    _check_induced_subgraphs(graph, fragmentation)
+    _check_cross_edges(graph, fragmentation)
+    _check_in_out_nodes(graph, fragmentation)
+    _check_fragment_graph(fragmentation)
+
+
+def _check_partition(graph: DiGraph, fragmentation: Fragmentation) -> None:
+    seen: Dict[Node, int] = {}
+    for frag in fragmentation:
+        for node in frag.nodes:
+            if node in seen:
+                raise FragmentationError(
+                    f"node {node!r} owned by fragments {seen[node]} and {frag.fid}"
+                )
+            if not graph.has_node(node):
+                raise FragmentationError(
+                    f"fragment {frag.fid} owns {node!r}, absent from the graph"
+                )
+            seen[node] = frag.fid
+    missing = set(graph.nodes()) - seen.keys()
+    if missing:
+        raise FragmentationError(
+            f"{len(missing)} node(s) unowned, e.g. {next(iter(missing))!r}"
+        )
+    for node, fid in fragmentation.placement.items():
+        if seen.get(node) != fid:
+            raise FragmentationError(
+                f"placement says {node!r} -> {fid} but fragment sets disagree"
+            )
+
+
+def _check_induced_subgraphs(graph: DiGraph, fragmentation: Fragmentation) -> None:
+    for frag in fragmentation:
+        for node in frag.nodes:
+            local_succ = {
+                v for v in frag.local_graph.successors(node) if v in frag.nodes
+            }
+            expected = {v for v in graph.successors(node) if v in frag.nodes}
+            if local_succ != expected:
+                raise FragmentationError(
+                    f"fragment {frag.fid} is not induced at node {node!r}"
+                )
+        for node in frag.nodes:
+            if frag.local_graph.label(node) != graph.label(node):
+                raise FragmentationError(
+                    f"fragment {frag.fid} mislabels node {node!r}"
+                )
+
+
+def _check_cross_edges(graph: DiGraph, fragmentation: Fragmentation) -> None:
+    placement = fragmentation.placement
+    expected_cross = [
+        (u, v)
+        for u, v in graph.edges()
+        if placement[u] != placement[v]
+    ]
+    actual: Set = set()
+    for frag in fragmentation:
+        for u, v in frag.cross_edges:
+            if u not in frag.nodes:
+                raise FragmentationError(
+                    f"cross edge ({u!r}, {v!r}) in fragment {frag.fid}: "
+                    f"source is not owned"
+                )
+            if v not in frag.virtual_nodes:
+                raise FragmentationError(
+                    f"cross edge ({u!r}, {v!r}) in fragment {frag.fid}: "
+                    f"target is not a virtual node"
+                )
+            actual.add((u, v))
+    if actual != set(expected_cross):
+        raise FragmentationError(
+            f"cross edges mismatch: expected {len(expected_cross)}, got {len(actual)}"
+        )
+
+
+def _check_in_out_nodes(graph: DiGraph, fragmentation: Fragmentation) -> None:
+    placement = fragmentation.placement
+    for frag in fragmentation:
+        expected_virtual = {
+            v
+            for u in frag.nodes
+            for v in graph.successors(u)
+            if placement[v] != frag.fid
+        }
+        if frag.virtual_nodes != expected_virtual:
+            raise FragmentationError(
+                f"fragment {frag.fid}: Fi.O mismatch "
+                f"({len(frag.virtual_nodes)} vs {len(expected_virtual)})"
+            )
+        expected_in = {
+            v
+            for v in frag.nodes
+            if any(placement[u] != frag.fid for u in graph.predecessors(v))
+        }
+        if frag.in_nodes != expected_in:
+            raise FragmentationError(
+                f"fragment {frag.fid}: Fi.I mismatch "
+                f"({len(frag.in_nodes)} vs {len(expected_in)})"
+            )
+
+
+def _check_fragment_graph(fragmentation: Fragmentation) -> None:
+    gf = fragmentation.fragment_graph()
+    expected_nodes: Set = set()
+    for frag in fragmentation:
+        expected_nodes |= frag.in_nodes | frag.virtual_nodes
+        expected_nodes |= {u for u, _ in frag.cross_edges}
+    if set(gf.nodes()) != expected_nodes:
+        raise FragmentationError(
+            "fragment graph nodes != cross-edge endpoints (Fi.I ∪ Fi.O ∪ sources)"
+        )
+    expected_edges = {
+        (u, v) for frag in fragmentation for (u, v) in frag.cross_edges
+    }
+    if set(gf.edges()) != expected_edges:
+        raise FragmentationError("fragment graph edges != union of cross edges")

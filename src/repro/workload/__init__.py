@@ -1,0 +1,25 @@
+"""Workloads: dataset stand-ins and random query generators (Section 7)."""
+
+from .datasets import DATASETS, DEFAULT_SCALE, DatasetSpec, load_dataset
+from .paper_example import figure1_fragmentation, figure1_graph
+from .query_gen import (
+    planted_path_query,
+    query_complexity,
+    random_bounded_queries,
+    random_reach_queries,
+    random_regular_queries,
+)
+
+__all__ = [
+    "DATASETS",
+    "DEFAULT_SCALE",
+    "DatasetSpec",
+    "figure1_fragmentation",
+    "figure1_graph",
+    "load_dataset",
+    "planted_path_query",
+    "query_complexity",
+    "random_bounded_queries",
+    "random_reach_queries",
+    "random_regular_queries",
+]

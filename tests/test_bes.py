@@ -1,0 +1,132 @@
+"""Unit tests for the Boolean Equation System solvers (evalDG)."""
+
+import pytest
+
+from repro.core import TRUE, BooleanEquationSystem
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def paper_system():
+    """The BES of Example 3 / Fig. 5(a)."""
+    bes = BooleanEquationSystem()
+    bes.add_equation("Ann", {"Pat", "Mat"})
+    bes.add_equation("Fred", {"Emmy"})
+    bes.add_equation("Mat", {"Fred"})
+    bes.add_equation("Jack", {"Fred"})
+    bes.add_equation("Emmy", {"Fred", "Ross"})
+    bes.add_equation("Ross", {TRUE})
+    bes.add_equation("Pat", {"Jack"})
+    return bes
+
+
+class TestConstruction:
+    def test_redefinition_unions(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", {"a"})
+        bes.add_equation("x", {"b"})
+        assert bes.disjuncts_of("x") == {"a", "b"}
+
+    def test_update_from_mapping(self):
+        bes = BooleanEquationSystem()
+        bes.update({"x": {"y"}, "y": {TRUE}})
+        assert len(bes) == 2
+        assert bes.num_disjuncts == 2
+
+    def test_contains_and_variables(self, paper_system):
+        assert "Ann" in paper_system
+        assert "nope" not in paper_system
+        assert set(paper_system.variables()) == {
+            "Ann", "Fred", "Mat", "Jack", "Emmy", "Ross", "Pat"
+        }
+
+    def test_true_is_singleton(self):
+        from repro.core.bes import _TrueToken
+
+        assert _TrueToken() is TRUE
+
+    def test_true_does_not_collide_with_int_one(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", {1})  # variable named 1, NOT true
+        assert not bes.solve_reachability("x")
+
+
+class TestDependencyGraphSolver:
+    def test_paper_example4(self, paper_system):
+        """Example 4: XAnn reaches Xtrue — the answer is true."""
+        assert paper_system.solve_reachability("Ann")
+
+    def test_recursive_definitions(self, paper_system):
+        # xFred is defined indirectly in terms of itself (the paper notes
+        # this); the cycle must not prevent or fabricate an answer.
+        assert paper_system.solve_reachability("Fred")
+
+    def test_no_true_equation_is_false(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", {"y"})
+        bes.add_equation("y", {"x"})
+        assert not bes.solve_reachability("x")
+
+    def test_undefined_variable_is_false(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", {"ghost"})
+        assert not bes.solve_reachability("x")
+        assert not bes.solve_reachability("never-mentioned")
+
+    def test_true_start(self, paper_system):
+        assert paper_system.solve_reachability(TRUE)
+
+    def test_empty_disjuncts_false(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", set())
+        assert not bes.solve_reachability("x")
+
+    def test_self_loop_is_not_true(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", {"x"})
+        assert not bes.solve_reachability("x")
+
+
+class TestSolveAll:
+    def test_matches_paper(self, paper_system):
+        values = paper_system.solve_all()
+        assert values == {
+            "Ann": True, "Fred": True, "Mat": True, "Jack": True,
+            "Emmy": True, "Ross": True, "Pat": True,
+        }
+
+    def test_mixed_values(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("t", {TRUE})
+        bes.add_equation("a", {"t"})
+        bes.add_equation("dead", {"deader"})
+        bes.add_equation("deader", set())
+        values = bes.solve_all()
+        assert values["a"] and values["t"]
+        assert not values["dead"] and not values["deader"]
+
+
+class TestFixpointOracle:
+    def test_agrees_with_solve_all(self, paper_system):
+        assert paper_system.solve_fixpoint() == paper_system.solve_all()
+
+    def test_agrees_on_cycles(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("a", {"b"})
+        bes.add_equation("b", {"a", "c"})
+        bes.add_equation("c", set())
+        assert bes.solve_fixpoint() == bes.solve_all()
+
+
+class TestDependencyGraph:
+    def test_paper_figure5a_shape(self, paper_system):
+        gd = paper_system.dependency_graph()
+        assert gd.has_edge("Ann", "Mat")
+        assert gd.has_edge("Ross", TRUE)
+        assert gd.has_node(TRUE)
+
+    def test_edges_to_undefined_vars_exist(self):
+        bes = BooleanEquationSystem()
+        bes.add_equation("x", {"ghost"})
+        gd = bes.dependency_graph()
+        assert gd.has_edge("x", "ghost")

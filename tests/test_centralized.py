@@ -1,0 +1,111 @@
+"""Unit tests for the centralized reference algorithms."""
+
+import pytest
+
+from repro.core import (
+    BoundedReachQuery,
+    ReachQuery,
+    RegularReachQuery,
+    bounded_reachable,
+    distance,
+    evaluate_centralized,
+    reachable,
+    regular_reachable,
+)
+from repro.errors import QueryError
+from repro.graph import DiGraph
+
+
+class TestReachable:
+    def test_basic(self, diamond):
+        assert reachable(diamond, "a", "d")
+        assert not reachable(diamond, "d", "a")
+        assert reachable(diamond, "b", "b")
+
+    def test_unknown_nodes_raise(self, diamond):
+        with pytest.raises(QueryError):
+            reachable(diamond, "zzz", "a")
+        with pytest.raises(QueryError):
+            reachable(diamond, "a", "zzz")
+
+
+class TestDistance:
+    def test_values(self, chain_graph):
+        assert distance(chain_graph, 0, 0) == 0
+        assert distance(chain_graph, 0, 9) == 9
+        assert distance(chain_graph, 9, 0) is None
+
+
+class TestBoundedReachable:
+    def test_boundary_inclusive(self, chain_graph):
+        assert bounded_reachable(chain_graph, 0, 5, 5)
+        assert not bounded_reachable(chain_graph, 0, 5, 4)
+
+    def test_zero_bound(self, chain_graph):
+        assert bounded_reachable(chain_graph, 3, 3, 0)
+        assert not bounded_reachable(chain_graph, 3, 4, 0)
+
+    def test_rejects_negative(self, chain_graph):
+        with pytest.raises(QueryError):
+            bounded_reachable(chain_graph, 0, 1, -1)
+
+
+class TestRegularReachable:
+    def test_labels_exclude_endpoints(self, chain_graph):
+        # path 0..3: intermediates are 1 (B) and 2 (A)
+        assert regular_reachable(chain_graph, 0, 3, "B A")
+        assert not regular_reachable(chain_graph, 0, 3, "A B")
+
+    def test_direct_edge_needs_nullable(self, chain_graph):
+        assert regular_reachable(chain_graph, 0, 1, "()")
+        assert regular_reachable(chain_graph, 0, 1, "A*")
+        assert not regular_reachable(chain_graph, 0, 1, "A")
+
+    def test_source_equals_target_nullable(self, chain_graph):
+        assert regular_reachable(chain_graph, 0, 0, "Z*")
+
+    def test_source_equals_target_via_cycle(self, cycle_graph):
+        for node in (0, 1, 2, 3):
+            cycle_graph.set_label(node, "X")
+        # non-nullable regex, but a real cycle 0->1->2->0 with 2 intermediates
+        assert regular_reachable(cycle_graph, 0, 0, "X X")
+        assert not regular_reachable(cycle_graph, 3, 3, "X X")
+
+    def test_wildcard_star_equals_plain_reachability(self, diamond):
+        for s in diamond.nodes():
+            for t in diamond.nodes():
+                assert regular_reachable(diamond, s, t, ". *") == reachable(
+                    diamond, s, t
+                )
+
+    def test_nonsimple_paths_allowed(self):
+        # s -> a -> b -> a -> t needs revisiting node a; the paper allows it.
+        g = DiGraph.from_edges(
+            [("s", "a"), ("a", "b"), ("b", "a"), ("a", "t")],
+            labels={"a": "X", "b": "Y"},
+        )
+        assert regular_reachable(g, "s", "t", "X Y X")
+
+    def test_accepts_prebuilt_automaton(self, diamond):
+        from repro.automata import QueryAutomaton
+
+        automaton = QueryAutomaton.build("HR | DB", "a", "d")
+        assert regular_reachable(diamond, "a", "d", automaton)
+
+    def test_rejects_mismatched_automaton(self, diamond):
+        from repro.automata import QueryAutomaton
+
+        automaton = QueryAutomaton.build("HR", "x", "y")
+        with pytest.raises(QueryError):
+            regular_reachable(diamond, "a", "d", automaton)
+
+
+class TestDispatch:
+    def test_all_three_query_types(self, diamond):
+        assert evaluate_centralized(diamond, ReachQuery("a", "d"))
+        assert evaluate_centralized(diamond, BoundedReachQuery("a", "d", 2))
+        assert evaluate_centralized(diamond, RegularReachQuery("a", "d", "HR | DB"))
+
+    def test_rejects_unknown_type(self, diamond):
+        with pytest.raises(QueryError):
+            evaluate_centralized(diamond, "not a query")

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.bench`` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig11l" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["not-an-experiment"]) == 2
+
+    def test_runs_one_experiment(self, capsys):
+        code = main(
+            ["ablation-partitioner", "--scale", "0.0005", "--queries", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Partitioner ablation" in out
+        assert "random" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        code = main(
+            [
+                "ablation-partitioner",
+                "--scale", "0.0005",
+                "--queries", "1",
+                "--csv", str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "partitioner" in text

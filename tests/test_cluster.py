@@ -1,0 +1,139 @@
+"""Unit tests for the simulated cluster and run accounting."""
+
+import pytest
+
+from repro.distributed import MessageKind, SimulatedCluster
+from repro.errors import DistributedError, QueryError
+from repro.graph import erdos_renyi
+from repro.partition import build_fragmentation
+
+
+@pytest.fixture
+def cluster():
+    g = erdos_renyi(30, 60, seed=1)
+    return SimulatedCluster.from_graph(g, 3, partitioner="chunk")
+
+
+class TestConstruction:
+    def test_from_graph_partitioner_names(self):
+        g = erdos_renyi(20, 40, seed=0)
+        for name in ["random", "hash", "chunk", "bfs", "greedy"]:
+            c = SimulatedCluster.from_graph(g, 2, partitioner=name, seed=1)
+            assert c.num_sites == 2
+
+    def test_from_graph_custom_partitioner(self):
+        g = erdos_renyi(10, 20, seed=0)
+        c = SimulatedCluster.from_graph(g, 2, partitioner=lambda g, k: {n: 0 for n in g.nodes()})
+        assert c.fragmentation[0].nodes == set(g.nodes())
+
+    def test_rejects_empty_fragmentation(self):
+        from repro.partition import Fragmentation
+
+        with pytest.raises(DistributedError):
+            SimulatedCluster(Fragmentation([], {}))
+
+    def test_rejects_bad_network_params(self):
+        g = erdos_renyi(5, 5, seed=0)
+        frag = build_fragmentation(g, {n: 0 for n in g.nodes()}, 1)
+        with pytest.raises(DistributedError):
+            SimulatedCluster(frag, bandwidth=0)
+        with pytest.raises(DistributedError):
+            SimulatedCluster(frag, latency=-1)
+
+    def test_site_lookup(self, cluster):
+        assert cluster.site(0).site_id == 0
+        with pytest.raises(DistributedError):
+            cluster.site(99)
+
+    def test_site_of(self, cluster):
+        node = next(iter(cluster.fragmentation.placement))
+        site = cluster.site_of(node)
+        assert node in site.fragment.nodes
+        with pytest.raises(QueryError):
+            cluster.site_of("not-a-node")
+
+
+class TestRunAccounting:
+    def test_broadcast_visits_every_site_once(self, cluster):
+        run = cluster.start_run("x")
+        run.broadcast({"q": 1})
+        stats = run.finish()
+        assert stats.visits_per_site() == {0: 1, 1: 1, 2: 1}
+        assert stats.num_messages == 3
+
+    def test_broadcast_charges_one_round(self, cluster):
+        run = cluster.start_run("x")
+        run.broadcast("abcd")
+        stats = run.finish()
+        expected = cluster.latency + 4 / cluster.bandwidth
+        assert stats.response_seconds == pytest.approx(expected)
+
+    def test_send_to_coordinator_outside_phase(self, cluster):
+        run = cluster.start_run("x")
+        run.send_to_coordinator(0, "abcd")
+        stats = run.finish()
+        assert stats.total_visits == 0
+        assert stats.traffic_bytes == 4
+        assert stats.response_seconds > 0
+
+    def test_phase_overlaps_transfers(self, cluster):
+        run = cluster.start_run("x")
+        with run.parallel_phase() as phase:
+            for sid in range(3):
+                with phase.at(sid):
+                    pass
+                run.send_to_coordinator(sid, "x" * 100)
+        stats = run.finish()
+        # network time = one latency + max(site bytes) / bandwidth
+        assert stats.response_seconds < 3 * (cluster.latency + 100 / cluster.bandwidth) + 0.01
+        assert stats.traffic_bytes == 300
+        assert stats.supersteps == 1
+
+    def test_phases_cannot_nest(self, cluster):
+        run = cluster.start_run("x")
+        with pytest.raises(DistributedError):
+            with run.parallel_phase():
+                with run.parallel_phase():
+                    pass
+
+    def test_coordinator_work_charged(self, cluster):
+        run = cluster.start_run("x")
+        with run.coordinator_work():
+            sum(range(10000))
+        stats = run.finish()
+        assert stats.coordinator_seconds > 0
+
+    def test_finish_twice_raises(self, cluster):
+        run = cluster.start_run("x")
+        run.finish()
+        with pytest.raises(DistributedError):
+            run.finish()
+
+    def test_send_to_site_counts_visit(self, cluster):
+        run = cluster.start_run("x")
+        run.send_to_site(1, "payload", MessageKind.TOKEN)
+        stats = run.finish()
+        assert stats.visits[1] == 1
+
+    def test_wall_seconds_set(self, cluster):
+        run = cluster.start_run("x")
+        stats = run.finish()
+        assert stats.wall_seconds >= 0
+
+
+class TestSiteIndexCache:
+    def test_get_index_builds_once(self, cluster):
+        calls = []
+
+        def builder(fragment):
+            calls.append(fragment.fid)
+            return object()
+
+        site = cluster.site(0)
+        first = site.get_index("tc", builder)
+        second = site.get_index("tc", builder)
+        assert first is second
+        assert calls == [0]
+        site.invalidate_indexes()
+        site.get_index("tc", builder)
+        assert len(calls) == 2

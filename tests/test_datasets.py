@@ -1,0 +1,77 @@
+"""Unit tests for the dataset stand-ins."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import DATASETS, load_dataset
+
+
+class TestSpecs:
+    def test_all_nine_paper_datasets_present(self):
+        assert set(DATASETS) == {
+            "livejournal", "wikitalk", "berkstan", "notredame", "amazon",
+            "citation", "meme", "youtube", "internet",
+        }
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["livejournal"].paper_nodes == 2_541_032
+        assert DATASETS["livejournal"].paper_edges == 20_000_001
+        assert DATASETS["youtube"].num_labels == 12
+        assert DATASETS["citation"].num_labels == 6300
+        assert DATASETS["internet"].paper_fragments == 10
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+class TestLoading:
+    def test_scaled_sizes(self, name):
+        g = load_dataset(name, scale=0.002, seed=1)
+        spec = DATASETS[name]
+        expected_nodes = max(200, int(spec.paper_nodes * 0.002))
+        assert g.num_nodes == expected_nodes
+        expected_edges = max(expected_nodes, int(spec.paper_edges * 0.002))
+        assert abs(g.num_edges - expected_edges) <= expected_edges * 0.15
+
+    def test_labels_match_spec(self, name):
+        g = load_dataset(name, scale=0.002, seed=1)
+        spec = DATASETS[name]
+        if spec.num_labels:
+            assert 0 < len(g.label_alphabet()) <= spec.num_labels
+        else:
+            assert g.label_alphabet() == set()
+
+    def test_deterministic(self, name):
+        assert load_dataset(name, scale=0.002, seed=3) == load_dataset(
+            name, scale=0.002, seed=3
+        )
+
+
+class TestErrors:
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(ReproError):
+            load_dataset("amazon", scale=0)
+
+
+class TestShapes:
+    def test_social_graph_has_hubs(self):
+        g = load_dataset("livejournal", scale=0.001, seed=2)
+        indegs = sorted((g.in_degree(n) for n in g.nodes()), reverse=True)
+        assert indegs[0] >= 10  # heavy-tailed head
+
+    def test_citation_is_mostly_backward(self):
+        g = load_dataset("citation", scale=0.002, seed=2)
+        backward = sum(1 for u, v in g.edges() if v < u)
+        assert backward == g.num_edges  # strictly acyclic by construction
+
+    def test_copurchase_is_local(self):
+        g = load_dataset("amazon", scale=0.002, seed=2)
+        n = g.num_nodes
+        local = sum(
+            1
+            for u, v in g.edges()
+            if min((v - u) % n, (u - v) % n) < 20  # either direction: basket locality
+        )
+        assert local / g.num_edges > 0.9

@@ -1,0 +1,165 @@
+"""Unit tests for the labeled digraph core."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFound
+from repro.graph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.size == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_add_node_with_label(self):
+        g = DiGraph()
+        g.add_node("a", label="HR")
+        assert g.has_node("a")
+        assert g.label("a") == "HR"
+
+    def test_add_node_idempotent_keeps_label(self):
+        g = DiGraph()
+        g.add_node("a", label="HR")
+        g.add_node("a")
+        assert g.label("a") == "HR"
+
+    def test_add_node_overwrites_label_when_given(self):
+        g = DiGraph()
+        g.add_node("a", label="HR")
+        g.add_node("a", label="DB")
+        assert g.label("a") == "DB"
+
+    def test_add_edge_requires_nodes(self):
+        g = DiGraph()
+        g.add_node("a")
+        with pytest.raises(NodeNotFound):
+            g.add_edge("a", "missing")
+        with pytest.raises(NodeNotFound):
+            g.add_edge("missing", "a")
+
+    def test_add_edge_create(self):
+        g = DiGraph()
+        g.add_edge("a", "b", create=True)
+        assert g.has_edge("a", "b")
+        assert g.num_nodes == 2
+
+    def test_parallel_edges_collapse(self):
+        g = DiGraph()
+        g.add_edge("a", "b", create=True)
+        g.add_edge("a", "b")
+        assert g.num_edges == 1
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_edge("a", "a", create=True)
+        assert g.has_edge("a", "a")
+
+    def test_from_edges_with_labels_and_isolated(self):
+        g = DiGraph.from_edges(
+            [("a", "b")], labels={"a": "X", "c": "Y"}, nodes=["d"]
+        )
+        assert g.has_node("c") and g.has_node("d")
+        assert g.label("a") == "X"
+        assert g.label("c") == "Y"
+        assert g.label("d") is None
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = DiGraph.from_edges([("a", "b")])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.num_edges == 0
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(GraphError):
+            g.remove_edge("b", "a")
+
+    def test_remove_node_cleans_edges(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "b")])
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.num_edges == 0
+        assert "b" not in g.successors("a")
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFound):
+            g.remove_node("nope")
+
+    def test_set_label_on_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFound):
+            g.set_label("nope", "X")
+
+
+class TestInspection:
+    def test_successors_predecessors(self, diamond):
+        assert diamond.successors("a") == {"b", "c"}
+        assert diamond.predecessors("d") == {"b", "c"}
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("d") == 2
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(NodeNotFound):
+            diamond.successors("zzz")
+        with pytest.raises(NodeNotFound):
+            diamond.label("zzz")
+
+    def test_contains_and_len(self, diamond):
+        assert "a" in diamond
+        assert "zzz" not in diamond
+        assert len(diamond) == 4
+
+    def test_label_alphabet_excludes_none(self):
+        g = DiGraph.from_edges([("a", "b")], labels={"a": "X"})
+        assert g.label_alphabet() == {"X"}
+
+    def test_size_is_nodes_plus_edges(self, diamond):
+        assert diamond.size == 4 + 4
+
+
+class TestDerivedGraphs:
+    def test_subgraph_is_induced(self, diamond):
+        sub = diamond.subgraph(["a", "b", "d"])
+        assert set(sub.nodes()) == {"a", "b", "d"}
+        assert sub.has_edge("a", "b") and sub.has_edge("b", "d")
+        assert not sub.has_edge("a", "d")
+        assert sub.label("b") == "HR"
+
+    def test_subgraph_missing_node_raises(self, diamond):
+        with pytest.raises(NodeNotFound):
+            diamond.subgraph(["a", "zzz"])
+
+    def test_reverse(self, diamond):
+        rev = diamond.reverse()
+        assert rev.has_edge("b", "a")
+        assert not rev.has_edge("a", "b")
+        assert rev.num_edges == diamond.num_edges
+        assert rev.label("b") == "HR"
+
+    def test_copy_is_independent(self, diamond):
+        dup = diamond.copy()
+        dup.add_edge("d", "a")
+        assert not diamond.has_edge("d", "a")
+        assert dup == dup.copy()
+
+    def test_equality(self, diamond):
+        assert diamond == diamond.copy()
+        other = diamond.copy()
+        other.set_label("b", "XX")
+        assert diamond != other
+
+    def test_graphs_unhashable(self, diamond):
+        with pytest.raises(TypeError):
+            hash(diamond)
+
+    def test_payload_size_monotone(self, diamond):
+        smaller = diamond.copy()
+        smaller.remove_edge("a", "b")
+        assert smaller.payload_size() < diamond.payload_size()

@@ -1,0 +1,168 @@
+"""Unit tests for disReach (Section 3)."""
+
+import pytest
+
+from repro.core import ReachQuery, dis_reach, local_eval_reach, reachable
+from repro.core.bes import TRUE
+from repro.core.reachability import ReachPartialAnswer, assemble_reach
+from repro.distributed import MessageKind, SimulatedCluster, payload_size
+from repro.errors import QueryError
+from repro.index import TransitiveClosureOracle
+
+
+class TestLocalEval:
+    def test_figure1_equations(self, figure1):
+        """Example 3's equation table, verbatim."""
+        _, fragmentation, _ = figure1
+        query = ReachQuery("Ann", "Mark")
+        f1, f2, f3 = fragmentation.fragments
+        assert local_eval_reach(f1, query) == {
+            "Ann": frozenset({"Pat", "Mat"}),
+            "Fred": frozenset({"Emmy"}),
+        }
+        assert local_eval_reach(f2, query) == {
+            "Mat": frozenset({"Fred"}),
+            "Jack": frozenset({"Fred"}),
+            "Emmy": frozenset({"Fred", "Ross"}),
+        }
+        assert local_eval_reach(f3, query) == {
+            "Ross": frozenset({TRUE}),
+            "Pat": frozenset({"Jack"}),
+        }
+
+    def test_source_gets_equation_in_home_fragment(self, figure1):
+        _, fragmentation, _ = figure1
+        equations = local_eval_reach(fragmentation[0], ReachQuery("Walt", "Mark"))
+        assert "Walt" in equations
+
+    def test_local_target_becomes_true(self, figure1):
+        _, fragmentation, _ = figure1
+        # target Emmy lives in F2; F1's Fred reaches the virtual Emmy directly
+        equations = local_eval_reach(fragmentation[0], ReachQuery("Ann", "Emmy"))
+        assert equations["Fred"] == frozenset({TRUE})
+
+    def test_target_in_node_reaches_itself(self, figure1):
+        _, fragmentation, _ = figure1
+        # Fred is an in-node of F1 and the target: X_Fred must be true.
+        equations = local_eval_reach(fragmentation[0], ReachQuery("Ann", "Fred"))
+        assert TRUE in equations["Fred"]
+
+    def test_empty_iset(self):
+        from repro.graph import DiGraph
+        from repro.partition import build_fragmentation
+
+        g = DiGraph.from_edges([("a", "b")])
+        frag = build_fragmentation(g, {"a": 0, "b": 0}, 2)
+        assert local_eval_reach(frag[1], ReachQuery("a", "b")) == {}
+
+    def test_no_boundary_no_disjuncts(self):
+        from repro.graph import DiGraph
+        from repro.partition import build_fragmentation
+
+        g = DiGraph.from_edges([("a", "b")])
+        frag = build_fragmentation(g, {"a": 0, "b": 0}, 1)
+        # source in fragment, target elsewhere? target also here -> oset={b}
+        eqs = local_eval_reach(frag[0], ReachQuery("a", "b"))
+        assert eqs["a"] == frozenset({TRUE})
+
+    def test_oracle_factory_gives_same_equations(self, figure1):
+        _, fragmentation, _ = figure1
+        query = ReachQuery("Ann", "Mark")
+        for frag in fragmentation:
+            default = local_eval_reach(frag, query)
+            indexed = local_eval_reach(frag, query, TransitiveClosureOracle)
+            assert default == indexed
+
+
+class TestAssemble:
+    def test_assemble_true(self, figure1):
+        _, fragmentation, _ = figure1
+        query = ReachQuery("Ann", "Mark")
+        partials = {
+            frag.fid: local_eval_reach(frag, query) for frag in fragmentation
+        }
+        answer, bes = assemble_reach(partials, query)
+        assert answer
+        assert len(bes) == 7
+
+    def test_assemble_false(self, figure1):
+        _, fragmentation, _ = figure1
+        query = ReachQuery("Mark", "Ann")
+        partials = {
+            frag.fid: local_eval_reach(frag, query) for frag in fragmentation
+        }
+        answer, _ = assemble_reach(partials, query)
+        assert not answer
+
+
+class TestDisReach:
+    def test_figure1_answer(self, figure1):
+        _, _, cluster = figure1
+        assert dis_reach(cluster, ("Ann", "Mark")).answer is True
+        assert dis_reach(cluster, ("Mark", "Ann")).answer is False
+
+    def test_accepts_query_object(self, figure1):
+        _, _, cluster = figure1
+        assert dis_reach(cluster, ReachQuery("Ann", "Mark")).answer
+
+    def test_source_equals_target(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach(cluster, ("Tom", "Tom"))
+        assert result.answer
+        assert result.details.get("trivial")
+        assert result.stats.total_visits == 0
+
+    def test_unknown_endpoint_raises(self, figure1):
+        _, _, cluster = figure1
+        with pytest.raises(QueryError):
+            dis_reach(cluster, ("Ann", "Nobody"))
+
+    def test_each_site_visited_exactly_once(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach(cluster, ("Ann", "Mark"))
+        assert result.stats.visits_per_site() == {0: 1, 1: 1, 2: 1}
+
+    def test_message_pattern(self, figure1):
+        """Example 1's promise: besides the query, only partial-answer
+        messages to the coordinator."""
+        _, _, cluster = figure1
+        result = dis_reach(cluster, ("Ann", "Mark"))
+        kinds = [m.kind for m in result.stats.messages]
+        assert kinds.count(MessageKind.QUERY) == 3
+        assert kinds.count(MessageKind.PARTIAL) == 3
+        assert len(kinds) == 6
+
+    def test_details(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach(cluster, ("Ann", "Mark"), collect_details=True)
+        assert result.details["num_variables"] == 7
+        assert 1 in result.details["equations"]
+
+    def test_agrees_with_centralized(self, random_case):
+        for seed in range(5):
+            graph, cluster = random_case(seed)
+            nodes = sorted(graph.nodes())
+            for s in nodes[::7]:
+                for t in nodes[::5]:
+                    expected = reachable(graph, s, t)
+                    assert dis_reach(cluster, (s, t)).answer == expected
+
+    def test_single_fragment_cluster(self, diamond):
+        cluster = SimulatedCluster.from_graph(diamond, 1)
+        assert dis_reach(cluster, ("a", "d")).answer
+        assert not dis_reach(cluster, ("d", "a")).answer
+
+
+class TestPartialAnswerPayload:
+    def test_size_scales_with_equations(self):
+        small = ReachPartialAnswer({"a": frozenset({"x"})})
+        big = ReachPartialAnswer(
+            {"a": frozenset({"x"}), "b": frozenset({"x", "y"})}
+        )
+        assert payload_size(small) < payload_size(big)
+
+    def test_dense_rows_capped_by_bitset(self):
+        cols = frozenset(range(800))
+        dense = ReachPartialAnswer({"a": cols})
+        # header 2 + row id 1 + column table 800*8 + bitset row ceil(800/8)
+        assert payload_size(dense) == 2 + 1 + 800 * 8 + 100

@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DistributedError,
+    FragmentationError,
+    GraphError,
+    MapReduceError,
+    NodeNotFound,
+    QueryError,
+    RegexSyntaxError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            NodeNotFound,
+            RegexSyntaxError,
+            FragmentationError,
+            QueryError,
+            DistributedError,
+            MapReduceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_node_not_found_is_graph_error(self):
+        assert issubclass(NodeNotFound, GraphError)
+
+    def test_node_not_found_carries_node(self):
+        err = NodeNotFound(("x", 3))
+        assert err.node == ("x", 3)
+        assert "('x', 3)" in str(err)
+
+    def test_regex_error_position_formatting(self):
+        err = RegexSyntaxError("bad", position=7)
+        assert "position 7" in str(err)
+        assert err.position == 7
+
+    def test_regex_error_without_position(self):
+        err = RegexSyntaxError("bad")
+        assert str(err) == "bad"
+        assert err.position is None
+
+    def test_one_catch_for_everything(self):
+        for exc in (GraphError("x"), QueryError("y"), MapReduceError("z")):
+            with pytest.raises(ReproError):
+                raise exc

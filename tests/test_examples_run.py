@@ -1,0 +1,48 @@
+"""The example scripts must run end to end (they are executable docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "social_recommendation.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_shows_guarantee():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    assert "visits per site" in proc.stdout
+
+
+def test_social_recommendation_matches_paper():
+    script = next(p for p in EXAMPLES if p.name == "social_recommendation.py")
+    proc = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    out = proc.stdout
+    assert "xAnn = xMat ∨ xPat" in out or "xAnn = xPat ∨ xMat" in out
+    assert "Example 7" in out

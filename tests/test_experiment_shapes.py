@@ -1,0 +1,141 @@
+"""Shape tests: the paper's qualitative experimental claims, asserted.
+
+These run the actual experiment workloads at reduced scale and check the
+*relationships* the paper reports (Section 7 Summary) — who wins, and how
+curves move with card(F).  They are the automated counterpart of
+EXPERIMENTS.md.  Marked slow: ~1 minute total.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.distributed import SimulatedCluster
+from repro.workload import (
+    load_dataset,
+    random_reach_queries,
+    random_regular_queries,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def table2_metrics():
+    out = {}
+    for name in ["livejournal", "wikitalk", "berkstan", "notredame", "amazon"]:
+        graph = load_dataset(name, scale=0.002, seed=0)
+        cluster = SimulatedCluster.from_graph(graph, 4, "chunk")
+        queries = random_reach_queries(graph, 4, seed=0)
+        out[name] = {
+            algo: run_workload(cluster, queries, algo)
+            for algo in ["disReach", "disReachn", "disReachm"]
+        }
+    return out
+
+
+class TestTable2Shapes:
+    """Table 2 / Exp-1: 'disReach is far more efficient than disReachn and
+    disReachm'; traffic of disReach ~9% of disReachn; disReachm ships least
+    but visits sites unboundedly."""
+
+    def test_time_ordering(self, table2_metrics):
+        for name, m in table2_metrics.items():
+            t = {a: m[a].mean_response_seconds for a in m}
+            assert t["disReach"] < t["disReachn"], name
+            assert t["disReach"] < t["disReachm"], name
+
+    def test_traffic_ordering(self, table2_metrics):
+        for name, m in table2_metrics.items():
+            b = {a: m[a].mean_traffic_bytes for a in m}
+            assert b["disReach"] < b["disReachn"], name
+            # disReachm ships least in the paper; at our scale it is
+            # comparable-or-less (within ~15% on the two smallest analogs).
+            assert b["disReachm"] <= b["disReach"] * 1.15, name
+
+    def test_disreach_ships_small_fraction_of_graph(self, table2_metrics):
+        for name, m in table2_metrics.items():
+            ratio = (
+                m["disReach"].mean_traffic_bytes
+                / m["disReachn"].mean_traffic_bytes
+            )
+            assert ratio < 0.35, (name, ratio)  # paper: <=11% on average
+
+    def test_visit_counts(self, table2_metrics):
+        for name, m in table2_metrics.items():
+            assert m["disReach"].max_visits_per_site == 1, name
+            assert m["disReachn"].max_visits_per_site == 1, name
+            assert m["disReachm"].max_visits_per_site > 4, name
+
+
+class TestFig11aShape:
+    """disReach gets faster with card(F); disReachm gets slower."""
+
+    def test_trends(self):
+        graph = load_dataset("livejournal", scale=0.001, seed=0)
+        queries = random_reach_queries(graph, 3, seed=0)
+        times = {}
+        for card in (2, 10, 20):
+            cluster = SimulatedCluster.from_graph(graph, card, "chunk")
+            times[card] = {
+                algo: run_workload(cluster, queries, algo).mean_response_seconds
+                for algo in ["disReach", "disReachm"]
+            }
+        assert times[20]["disReach"] < times[2]["disReach"]
+        assert times[20]["disReachm"] > times[2]["disReachm"]
+
+
+class TestFig11efShapes:
+    """disRPQ beats disRPQn and disRPQd; ships at most what disRPQd ships
+    and far less than disRPQn."""
+
+    @pytest.fixture(scope="class")
+    def rpq_metrics(self):
+        out = {}
+        for name in ["youtube", "citation"]:
+            graph = load_dataset(name, scale=0.005, seed=0)
+            cluster = SimulatedCluster.from_graph(graph, 10, "chunk")
+            queries = random_regular_queries(graph, 3, num_states=8, seed=0)
+            out[name] = {
+                algo: run_workload(cluster, queries, algo)
+                for algo in ["disRPQ", "disRPQn", "disRPQd"]
+            }
+        return out
+
+    def test_time_ordering(self, rpq_metrics):
+        for name, m in rpq_metrics.items():
+            t = {a: m[a].mean_response_seconds for a in m}
+            assert t["disRPQ"] < t["disRPQn"], name
+            # vs disRPQd the single-digit-ms datapoints carry timing noise;
+            # allow 35% (EXPERIMENTS.md documents one genuine inversion on
+            # the label-heavy citation analog).
+            assert t["disRPQ"] <= t["disRPQd"] * 1.35, name
+
+    def test_traffic_ordering(self, rpq_metrics):
+        for name, m in rpq_metrics.items():
+            b = {a: m[a].mean_traffic_bytes for a in m}
+            assert b["disRPQ"] <= b["disRPQd"], name
+            assert b["disRPQ"] < 0.5 * b["disRPQn"], name
+
+    def test_visits(self, rpq_metrics):
+        for name, m in rpq_metrics.items():
+            assert m["disRPQ"].max_visits_per_site == 1, name
+            assert m["disRPQd"].max_visits_per_site == 2, name
+
+
+class TestFig11lShape:
+    """MRdRPQ gets faster with more mappers."""
+
+    def test_mapper_scaling(self):
+        from repro.mapreduce import MapReduceRuntime, mrd_rpq
+
+        graph = load_dataset("youtube", scale=0.005, seed=0)
+        queries = random_regular_queries(graph, 2, num_states=6, seed=0)
+        runtime = MapReduceRuntime()
+
+        def mean_response(mappers):
+            return sum(
+                mrd_rpq(graph, q, mappers, runtime=runtime).stats.response_seconds
+                for q in queries
+            ) / len(queries)
+
+        assert mean_response(20) < mean_response(2)

@@ -1,0 +1,116 @@
+"""Unit tests for fragments and fragmentations (Section 2.1)."""
+
+import pytest
+
+from repro.errors import FragmentationError, NodeNotFound
+from repro.graph import DiGraph
+from repro.partition import Fragmentation, build_fragmentation
+
+
+@pytest.fixture
+def two_frag():
+    """a,b at site 0; c,d at site 1; edges a->b->c->d and d->a."""
+    g = DiGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+        labels={"a": "A", "b": "B", "c": "C", "d": "D"},
+    )
+    assignment = {"a": 0, "b": 0, "c": 1, "d": 1}
+    return g, build_fragmentation(g, assignment)
+
+
+class TestBuilder:
+    def test_ownership(self, two_frag):
+        _, frag = two_frag
+        assert frag[0].nodes == {"a", "b"}
+        assert frag[1].nodes == {"c", "d"}
+
+    def test_virtual_nodes(self, two_frag):
+        _, frag = two_frag
+        assert frag[0].virtual_nodes == {"c"}
+        assert frag[1].virtual_nodes == {"a"}
+
+    def test_in_nodes(self, two_frag):
+        _, frag = two_frag
+        assert frag[0].in_nodes == {"a"}
+        assert frag[1].in_nodes == {"c"}
+
+    def test_cross_edges(self, two_frag):
+        _, frag = two_frag
+        assert frag[0].cross_edges == (("b", "c"),)
+        assert frag[1].cross_edges == (("d", "a"),)
+
+    def test_local_graph_contains_virtuals_with_labels(self, two_frag):
+        _, frag = two_frag
+        local = frag[0].local_graph
+        assert local.has_node("c")
+        assert local.label("c") == "C"
+        assert local.has_edge("b", "c")
+        # ... but no outgoing edges from the virtual node
+        assert local.successors("c") == set()
+
+    def test_virtual_node_not_owned(self, two_frag):
+        _, frag = two_frag
+        assert "c" not in frag[0]
+        assert "a" in frag[0]
+
+    def test_missing_assignment_raises(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(FragmentationError):
+            build_fragmentation(g, {"a": 0})
+
+    def test_out_of_range_assignment_raises(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(FragmentationError):
+            build_fragmentation(g, {"a": 0, "b": 5}, num_fragments=2)
+
+    def test_empty_fragment_allowed(self):
+        g = DiGraph.from_edges([("a", "b")])
+        frag = build_fragmentation(g, {"a": 0, "b": 0}, num_fragments=3)
+        assert len(frag) == 3
+        assert frag[1].nodes == frozenset()
+        assert frag[1].size == 0
+
+
+class TestFragmentationViews:
+    def test_fragment_of(self, two_frag):
+        _, frag = two_frag
+        assert frag.fragment_of("a").fid == 0
+        assert frag.fragment_of("d").fid == 1
+        with pytest.raises(NodeNotFound):
+            frag.fragment_of("zzz")
+
+    def test_sizes(self, two_frag):
+        _, frag = two_frag
+        # F0 local graph: nodes {a,b,c-virtual}, edges {a->b, b->c}
+        assert frag[0].size == 3 + 2
+        assert frag[0].num_internal_edges == 1
+        assert frag.max_fragment_size == 5
+        assert frag.average_fragment_size == 5.0
+
+    def test_fragment_graph(self, two_frag):
+        _, frag = two_frag
+        gf = frag.fragment_graph()
+        # boundary nodes: a (in), c (in), plus sources b, d
+        assert set(gf.nodes()) == {"a", "b", "c", "d"}
+        assert set(gf.edges()) == {("b", "c"), ("d", "a")}
+        assert frag.num_boundary_nodes == 4
+        assert frag.num_cross_edges == 2
+
+    def test_fragment_graph_cached(self, two_frag):
+        _, frag = two_frag
+        assert frag.fragment_graph() is frag.fragment_graph()
+
+    def test_restore_graph(self, two_frag):
+        g, frag = two_frag
+        assert frag.restore_graph() == g
+
+    def test_iteration_and_len(self, two_frag):
+        _, frag = two_frag
+        assert len(frag) == 2
+        assert [f.fid for f in frag] == [0, 1]
+
+    def test_has_node(self, two_frag):
+        _, frag = two_frag
+        assert frag.has_node("a")
+        assert not frag.has_node("zzz")
+        assert frag.num_nodes == 4

@@ -1,0 +1,81 @@
+"""Unit tests for synthetic graph generators."""
+
+import pytest
+
+from repro.graph import (
+    assign_labels,
+    erdos_renyi,
+    forest_fire,
+    preferential_attachment,
+    synthetic_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_counts(self):
+        g = erdos_renyi(50, 120, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 120
+
+    def test_deterministic(self):
+        assert erdos_renyi(30, 60, seed=7) == erdos_renyi(30, 60, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(30, 60, seed=1) != erdos_renyi(30, 60, seed=2)
+
+    def test_rejects_impossible_edge_count(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(3, 100)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0)
+
+    def test_labels(self):
+        g = erdos_renyi(20, 30, seed=0, num_labels=3)
+        assert g.label_alphabet() <= {"L0", "L1", "L2"}
+        assert all(g.label(n) is not None for n in g.nodes())
+
+
+class TestPreferentialAttachment:
+    def test_size_and_connectivity_shape(self):
+        g = preferential_attachment(200, out_degree=3, seed=2)
+        assert g.num_nodes == 200
+        # new nodes link backwards: node 0 collects high in-degree
+        indegs = sorted((g.in_degree(n) for n in g.nodes()), reverse=True)
+        assert indegs[0] >= 5 * (indegs[len(indegs) // 2] + 1) or indegs[0] > 20
+
+    def test_deterministic(self):
+        a = preferential_attachment(80, seed=5)
+        b = preferential_attachment(80, seed=5)
+        assert a == b
+
+
+class TestForestFire:
+    def test_grows_connected_ish(self):
+        g = forest_fire(150, seed=3)
+        assert g.num_nodes == 150
+        assert g.num_edges >= 149 // 2  # every arrival burns at least its ambassador
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            forest_fire(10, forward_prob=1.5)
+
+
+class TestSyntheticGraph:
+    @pytest.mark.parametrize("model", ["uniform", "scale-free", "densification"])
+    def test_models_hit_requested_size(self, model):
+        g = synthetic_graph(300, 900, num_labels=4, seed=1, model=model)
+        assert g.num_nodes == 300
+        assert abs(g.num_edges - 900) <= 900 * 0.1
+        assert len(g.label_alphabet()) <= 4
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(10, 20, model="nope")
+
+
+class TestAssignLabels:
+    def test_in_place_and_total(self, diamond):
+        assign_labels(diamond, ["X", "Y"], seed=1)
+        assert all(diamond.label(n) in {"X", "Y"} for n in diamond.nodes())

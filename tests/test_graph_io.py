@@ -1,0 +1,73 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DiGraph,
+    erdos_renyi,
+    from_edge_list,
+    from_json,
+    load,
+    save,
+    to_edge_list,
+    to_json,
+)
+
+
+def _string_graph():
+    return DiGraph.from_edges(
+        [("a", "b"), ("b", "c")], labels={"a": "HR", "c": "DB"}, nodes=["lonely"]
+    )
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        g = _string_graph()
+        assert from_edge_list(to_edge_list(g)) == g
+
+    def test_comments_and_blanks_ignored(self):
+        g = from_edge_list("# hi\n\na b\n")
+        assert g.has_edge("a", "b")
+
+    def test_isolated_nodes_survive(self):
+        g = from_edge_list(to_edge_list(_string_graph()))
+        assert g.has_node("lonely")
+
+    def test_labels_survive(self):
+        g = from_edge_list(to_edge_list(_string_graph()))
+        assert g.label("a") == "HR"
+        assert g.label("b") is None
+
+    def test_bad_line_raises(self):
+        with pytest.raises(GraphError):
+            from_edge_list("a b c d\n")
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = _string_graph()
+        assert from_json(to_json(g)) == g
+
+    def test_round_trip_random(self):
+        g = erdos_renyi(40, 100, seed=9, num_labels=3)
+        # json node ids: ints survive JSON round trip
+        assert from_json(to_json(g)) == g
+
+    def test_stable_output(self):
+        g = _string_graph()
+        assert to_json(g) == to_json(g.copy())
+
+
+class TestFiles:
+    def test_save_load_json(self, tmp_path):
+        g = _string_graph()
+        path = tmp_path / "g.json"
+        save(g, path)
+        assert load(path) == g
+
+    def test_save_load_edgelist(self, tmp_path):
+        g = _string_graph()
+        path = tmp_path / "g.txt"
+        save(g, path)
+        assert load(path) == g

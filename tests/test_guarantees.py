@@ -1,0 +1,145 @@
+"""Tests for the paper's performance guarantees (Theorems 1-3).
+
+These are the paper's headline claims, asserted as hard invariants on real
+runs: visit counts, traffic bounds in terms of |Vf| and |R|, and the
+message pattern of partial evaluation.
+"""
+
+import pytest
+
+from repro.core import dis_dist, dis_reach, dis_rpq
+from repro.distributed import MessageKind, SimulatedCluster
+from repro.graph import erdos_renyi, synthetic_graph
+from repro.workload import load_dataset, random_regular_queries
+
+
+def _clusters():
+    """A spread of graphs and fragmentations."""
+    cases = []
+    for seed, k in [(0, 2), (1, 4), (2, 7)]:
+        g = erdos_renyi(60, 180, seed=seed, num_labels=3)
+        cases.append((g, SimulatedCluster.from_graph(g, k, "random", seed=seed)))
+    g = load_dataset("amazon", scale=0.001, seed=1)
+    cases.append((g, SimulatedCluster.from_graph(g, 4, "chunk")))
+    return cases
+
+
+class TestVisitGuarantee:
+    """Theorems 1-3(b): each site is visited exactly once."""
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_disreach(self, case):
+        graph, cluster = _clusters()[case]
+        nodes = sorted(graph.nodes(), key=repr)
+        result = dis_reach(cluster, (nodes[0], nodes[-1]))
+        assert result.stats.visits_per_site() == {
+            sid: 1 for sid in range(cluster.num_sites)
+        }
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_disdist(self, case):
+        graph, cluster = _clusters()[case]
+        nodes = sorted(graph.nodes(), key=repr)
+        result = dis_dist(cluster, (nodes[0], nodes[-1], 10))
+        assert result.stats.max_visits_per_site == 1
+        assert result.stats.total_visits == cluster.num_sites
+
+    @pytest.mark.parametrize("case", range(3))
+    def test_disrpq(self, case):
+        graph, cluster = _clusters()[case]
+        nodes = sorted(graph.nodes(), key=repr)
+        result = dis_rpq(cluster, (nodes[0], nodes[-1], "L0* | L1*"))
+        assert result.stats.max_visits_per_site == 1
+
+
+class TestTrafficGuarantee:
+    """Theorems 1-3(c): traffic bounded by O(|Vf|^2) (times |R|^2 for RPQ),
+    independent of |G|."""
+
+    def test_disreach_traffic_bound(self):
+        for graph, cluster in _clusters():
+            vf = cluster.fragmentation.num_boundary_nodes
+            nodes = sorted(graph.nodes(), key=repr)
+            result = dis_reach(cluster, (nodes[0], nodes[-1]))
+            # constant cushion: ids cost <= 8B, bitsets pack 8 cols/byte
+            bound = 16 * (vf + 2) * (vf + 2) + 1024
+            assert result.stats.traffic_bytes <= bound
+
+    def test_disreach_traffic_independent_of_graph_size(self):
+        """Grow |G| 4x while pinning the boundary: traffic must not grow."""
+
+        def build(num_tail):
+            from repro.graph import DiGraph
+
+            g = DiGraph()
+            g.add_edge("a", "cut", create=True)
+            g.add_edge("cut", "b", create=True)
+            prev = "b"
+            for i in range(num_tail):
+                g.add_edge(prev, f"t{i}", create=True)
+                prev = f"t{i}"
+            assignment = {n: (0 if n in ("a", "cut") else 1) for n in g.nodes()}
+            from repro.partition import build_fragmentation
+
+            return g, SimulatedCluster(build_fragmentation(g, assignment, 2))
+
+        small_g, small = build(10)
+        large_g, large = build(400)
+        r_small = dis_reach(small, ("a", small_g and "t5"))
+        r_large = dis_reach(large, ("a", "t5"))
+        assert large_g.size > 4 * small_g.size
+        assert r_large.stats.traffic_bytes <= r_small.stats.traffic_bytes + 64
+
+    def test_disrpq_traffic_bound(self):
+        graph = synthetic_graph(150, 450, num_labels=4, seed=2)
+        cluster = SimulatedCluster.from_graph(graph, 5, "random", seed=2)
+        queries = random_regular_queries(graph, 3, num_states=8, seed=2)
+        vf = cluster.fragmentation.num_boundary_nodes
+        for query in queries:
+            automaton = query.automaton()
+            r = automaton.num_states
+            result = dis_rpq(cluster, query)
+            bound = 32 * (r * (vf + 2)) ** 2 + 4096
+            assert result.stats.traffic_bytes <= bound
+
+
+class TestMessagePattern:
+    """Partial evaluation's communication: one broadcast, one gather."""
+
+    @pytest.mark.parametrize("algorithm", [dis_reach, dis_dist, dis_rpq])
+    def test_two_rounds_only(self, figure1, algorithm):
+        _, _, cluster = figure1
+        args = {
+            dis_reach: ("Ann", "Mark"),
+            dis_dist: ("Ann", "Mark", 6),
+            dis_rpq: ("Ann", "Mark", "HR*"),
+        }[algorithm]
+        result = algorithm(cluster, args)
+        assert result.stats.num_messages == 2 * cluster.num_sites
+        assert result.stats.supersteps == 1  # one parallel phase
+
+    def test_no_site_to_site_messages(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach(cluster, ("Ann", "Mark"))
+        for message in result.stats.messages:
+            assert message.src == -1 or message.dst == -1
+
+
+class TestResponseTimeModel:
+    def test_response_bounded_by_wall(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach(cluster, ("Ann", "Mark"))
+        # Parallel (max-per-phase) time can exceed wall only by the modeled
+        # network charges, which are tiny here.
+        assert result.stats.response_seconds <= result.stats.wall_seconds + 0.01
+
+    def test_parallelism_helps_on_many_fragments(self):
+        graph = synthetic_graph(400, 1200, seed=3)
+        nodes = sorted(graph.nodes())
+        one = SimulatedCluster.from_graph(graph, 1, "chunk")
+        many = SimulatedCluster.from_graph(graph, 8, "chunk")
+        t_one = dis_reach(one, (nodes[0], nodes[-1])).stats.response_seconds
+        t_many = dis_reach(many, (nodes[0], nodes[-1])).stats.response_seconds
+        # 8-way partial evaluation should not be slower than single-site
+        # evaluation by more than the coordinator's assembling overhead.
+        assert t_many <= t_one * 2.5 + 0.05

@@ -1,0 +1,143 @@
+"""Tests for incremental evaluation (the paper's future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.core import reachable, regular_reachable
+from repro.core.incremental import IncrementalReachSession, IncrementalRegularSession
+from repro.distributed import SimulatedCluster
+from repro.errors import QueryError
+from repro.graph import erdos_renyi
+from repro.partition import build_fragmentation
+
+
+def _case(seed=3, n=30, k=3):
+    g = erdos_renyi(n, 2 * n, seed=seed, num_labels=3)
+    assignment = {node: node % k for node in g.nodes()}
+    cluster = SimulatedCluster(build_fragmentation(g, assignment, k))
+    return g, cluster, assignment
+
+
+def _intra_pairs(g, assignment, rng, count, existing):
+    """Intra-fragment node pairs, filtered by edge existence as requested."""
+    nodes = sorted(g.nodes())
+    out = []
+    while len(out) < count:
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        if u == v or assignment[u] != assignment[v]:
+            continue
+        if g.has_edge(u, v) == existing:
+            out.append((u, v))
+    return out
+
+
+class TestReachSession:
+    def test_initial_answer_matches_centralized(self):
+        g, cluster, _ = _case()
+        session = IncrementalReachSession(cluster, (0, 29))
+        result = session.initialize()
+        assert result.answer == reachable(g, 0, 29)
+        assert session.answer == result.answer
+
+    def test_updates_track_centralized(self):
+        g, cluster, assignment = _case(seed=5)
+        session = IncrementalReachSession(cluster, (0, 29))
+        session.initialize()
+        rng = random.Random(1)
+        for _ in range(10):
+            if rng.random() < 0.6:
+                (u, v), = _intra_pairs(g, assignment, rng, 1, existing=False)
+                g.add_edge(u, v)
+                result = session.add_edge(u, v)
+            else:
+                (u, v), = _intra_pairs(g, assignment, rng, 1, existing=True)
+                g.remove_edge(u, v)
+                result = session.remove_edge(u, v)
+            assert result.answer == reachable(g, 0, 29), (u, v)
+
+    def test_update_visits_one_site_only(self):
+        g, cluster, assignment = _case(seed=7)
+        session = IncrementalReachSession(cluster, (0, 29))
+        session.initialize()
+        rng = random.Random(2)
+        (u, v), = _intra_pairs(g, assignment, rng, 1, existing=False)
+        result = session.add_edge(u, v)
+        assert result.stats.total_visits == 1
+        assert result.stats.visits[assignment[u]] == 1
+
+    def test_update_ships_one_fragment_only(self):
+        g, cluster, assignment = _case(seed=9)
+        session = IncrementalReachSession(cluster, (0, 29))
+        init = session.initialize()
+        rng = random.Random(3)
+        (u, v), = _intra_pairs(g, assignment, rng, 1, existing=False)
+        update = session.add_edge(u, v)
+        assert update.stats.traffic_bytes < init.stats.traffic_bytes
+
+    def test_rejects_cross_fragment_update(self):
+        g, cluster, assignment = _case()
+        session = IncrementalReachSession(cluster, (0, 29))
+        session.initialize()
+        cross = next(
+            (u, v)
+            for u in g.nodes()
+            for v in g.nodes()
+            if u != v and assignment[u] != assignment[v]
+        )
+        with pytest.raises(QueryError, match="intra-fragment"):
+            session.add_edge(*cross)
+
+    def test_rejects_trivial_query(self):
+        _, cluster, _ = _case()
+        with pytest.raises(QueryError):
+            IncrementalReachSession(cluster, (4, 4))
+
+    def test_answer_before_init_raises(self):
+        _, cluster, _ = _case()
+        session = IncrementalReachSession(cluster, (0, 29))
+        with pytest.raises(QueryError):
+            session.answer
+
+    def test_counts_updates(self):
+        g, cluster, assignment = _case(seed=11)
+        session = IncrementalReachSession(cluster, (0, 29))
+        session.initialize()
+        rng = random.Random(4)
+        for i in range(3):
+            (u, v), = _intra_pairs(g, assignment, rng, 1, existing=False)
+            g.add_edge(u, v)
+            session.add_edge(u, v)
+        assert session.updates_applied == 3
+
+
+class TestRegularSession:
+    def test_updates_track_centralized(self):
+        g, cluster, assignment = _case(seed=13)
+        session = IncrementalRegularSession(cluster, (0, 29, "L0* | L1+"))
+        session.initialize()
+        rng = random.Random(5)
+        for _ in range(8):
+            if rng.random() < 0.6:
+                (u, v), = _intra_pairs(g, assignment, rng, 1, existing=False)
+                g.add_edge(u, v)
+                result = session.add_edge(u, v)
+            else:
+                (u, v), = _intra_pairs(g, assignment, rng, 1, existing=True)
+                g.remove_edge(u, v)
+                result = session.remove_edge(u, v)
+            assert result.answer == regular_reachable(g, 0, 29, "L0* | L1+")
+
+    def test_update_visits_one_site(self):
+        g, cluster, assignment = _case(seed=15)
+        session = IncrementalRegularSession(cluster, (0, 29, ". *"))
+        session.initialize()
+        rng = random.Random(6)
+        (u, v), = _intra_pairs(g, assignment, rng, 1, existing=False)
+        result = session.add_edge(u, v)
+        assert result.stats.total_visits == 1
+
+    def test_rejects_trivially_true(self):
+        _, cluster, _ = _case()
+        with pytest.raises(QueryError):
+            IncrementalRegularSession(cluster, (3, 3, "L0*"))

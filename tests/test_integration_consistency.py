@@ -1,0 +1,147 @@
+"""Integration: every algorithm must agree with every other on every input.
+
+The cross-product being checked (per random graph/partition/query):
+
+* disReach == disReachn == disReachm == centralized BFS;
+* disDist == disDistn == centralized bounded BFS;
+* disRPQ == disRPQn == disRPQd == MRdRPQ == centralized product search;
+* qr(s,t) == qrr(s,t,".*")  (the paper's Remark in Section 2.2);
+* qbr(s,t,l) == qrr with (.?)^(l-1)  and  qbr with huge l == qr.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import dis_dist_n, dis_reach_m, dis_reach_n, dis_rpq_d, dis_rpq_n
+from repro.core import (
+    bounded_reachable,
+    dis_dist,
+    dis_reach,
+    dis_rpq,
+    reachable,
+    regular_reachable,
+)
+from repro.distributed import SimulatedCluster
+from repro.graph import erdos_renyi, synthetic_graph
+from repro.mapreduce import mrd_rpq
+from repro.partition import PARTITIONERS
+
+
+def _cases():
+    cases = []
+    for seed in range(6):
+        rng = random.Random(seed)
+        n = rng.randrange(8, 50)
+        g = erdos_renyi(n, rng.randrange(0, 3 * n), seed=seed, num_labels=3)
+        k = rng.randrange(1, 6)
+        name = rng.choice(sorted(PARTITIONERS))
+        cluster = SimulatedCluster.from_graph(g, k, name, seed=seed)
+        cases.append((seed, g, cluster, rng))
+    return cases
+
+
+CASES = _cases()
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+class TestReachabilityFamily:
+    def test_all_reach_algorithms_agree(self, case):
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(6):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            expected = reachable(g, s, t)
+            assert dis_reach(cluster, (s, t)).answer == expected, (seed, s, t)
+            assert dis_reach_n(cluster, (s, t)).answer == expected, (seed, s, t)
+            assert dis_reach_m(cluster, (s, t)).answer == expected, (seed, s, t)
+
+    def test_reach_equals_wildcard_rpq(self, case):
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(4):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            qr = dis_reach(cluster, (s, t)).answer
+            qrr = dis_rpq(cluster, (s, t, ". *")).answer
+            assert qr == qrr, (seed, s, t)
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+class TestBoundedFamily:
+    def test_bounded_algorithms_agree(self, case):
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(5):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            bound = rng.randrange(0, 9)
+            expected = bounded_reachable(g, s, t, bound)
+            assert dis_dist(cluster, (s, t, bound)).answer == expected
+            assert dis_dist_n(cluster, (s, t, bound)).answer == expected
+
+    def test_huge_bound_equals_reachability(self, case):
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(4):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            assert (
+                dis_dist(cluster, (s, t, g.num_nodes + 1)).answer
+                == dis_reach(cluster, (s, t)).answer
+            )
+
+    def test_bounded_equals_counted_wildcard_rpq(self, case):
+        from repro.automata.ast import Epsilon, Wildcard, concat, optional
+
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(3):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            bound = rng.randrange(1, 5)
+            hops = [optional(Wildcard())] * (bound - 1)
+            regex = concat(*hops) if hops else Epsilon()
+            qbr = dis_dist(cluster, (s, t, bound)).answer
+            qrr = dis_rpq(cluster, (s, t, regex)).answer
+            assert qbr == qrr, (seed, s, t, bound)
+
+
+REGEXES = ["L0* | L1*", ". *", "L2 L1* L0?", "(L0 | L1)+ L2*", "()", "L0 . L1"]
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+class TestRegularFamily:
+    def test_all_rpq_algorithms_agree(self, case):
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(4):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            regex = rng.choice(REGEXES)
+            expected = regular_reachable(g, s, t, regex)
+            assert dis_rpq(cluster, (s, t, regex)).answer == expected, (seed, s, t, regex)
+            assert dis_rpq_n(cluster, (s, t, regex)).answer == expected
+            assert dis_rpq_d(cluster, (s, t, regex)).answer == expected
+
+    def test_mapreduce_agrees(self, case):
+        seed, g, cluster, rng = CASES[case]
+        nodes = sorted(g.nodes())
+        for _ in range(3):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            regex = rng.choice(REGEXES)
+            expected = regular_reachable(g, s, t, regex)
+            k = rng.randrange(1, 5)
+            assert mrd_rpq(g, (s, t, regex), k).answer == expected, (seed, s, t, regex, k)
+
+
+class TestScaleSmoke:
+    """One moderately large case to catch asymptotic blowups."""
+
+    @pytest.mark.slow
+    def test_synthetic_10k(self):
+        g = synthetic_graph(4000, 12000, num_labels=5, seed=1)
+        cluster = SimulatedCluster.from_graph(g, 8, "chunk")
+        nodes = sorted(g.nodes())
+        s, t = nodes[0], nodes[-1]
+        expected = reachable(g, s, t)
+        assert dis_reach(cluster, (s, t)).answer == expected
+        assert dis_dist(cluster, (s, t, 50)).answer == bounded_reachable(g, s, t, 50)
+        assert (
+            dis_rpq(cluster, (s, t, ". *")).answer == expected
+        )

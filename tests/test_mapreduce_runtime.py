@@ -1,0 +1,90 @@
+"""Unit tests for the simulated MapReduce runtime."""
+
+import pytest
+
+from repro.errors import MapReduceError
+from repro.mapreduce import MapReduceRuntime
+
+
+def word_count_map(key, value):
+    for word in value.split():
+        yield (word, 1)
+
+
+def word_count_reduce(key, values):
+    yield (key, sum(values))
+
+
+class TestWordCount:
+    def test_basic_job(self):
+        runtime = MapReduceRuntime()
+        inputs = [(0, "a b a"), (1, "b c")]
+        outputs, stats = runtime.run(inputs, word_count_map, word_count_reduce)
+        assert dict(outputs) == {"a": 2, "b": 2, "c": 1}
+        assert stats.num_mappers == 2
+        assert stats.num_reducers == 1
+
+    def test_multiple_reducers_partition_keys(self):
+        runtime = MapReduceRuntime()
+        inputs = [(0, "a b c d")]
+        outputs, stats = runtime.run(
+            inputs, word_count_map, word_count_reduce, num_reducers=2,
+            partitioner=lambda key, n: 0 if key < "c" else 1,
+        )
+        assert dict(outputs) == {"a": 1, "b": 1, "c": 1, "d": 1}
+        assert stats.reducer_input_bytes[0] > 0
+        assert stats.reducer_input_bytes[1] > 0
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime().run([], word_count_map, word_count_reduce)
+
+    def test_rejects_zero_reducers(self):
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime().run([(0, "x")], word_count_map, word_count_reduce, 0)
+
+    def test_rejects_bad_partitioner(self):
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime().run(
+                [(0, "x")], word_count_map, word_count_reduce,
+                num_reducers=2, partitioner=lambda key, n: 99,
+            )
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(MapReduceError):
+            MapReduceRuntime(bandwidth=0)
+
+
+class TestCostModel:
+    def test_ecc_is_mapper_plus_reducer_input(self):
+        runtime = MapReduceRuntime()
+        inputs = [(0, "aa bb"), (1, "c")]
+        _, stats = runtime.run(inputs, word_count_map, word_count_reduce)
+        expected = max(stats.mapper_input_bytes) + stats.reducer_input_bytes[0]
+        assert stats.ecc_bytes == expected
+
+    def test_mapper_input_bytes_reflect_payload(self):
+        runtime = MapReduceRuntime()
+        _, stats = runtime.run([(0, "abc")], word_count_map, word_count_reduce)
+        assert stats.mapper_input_bytes == [8 + 3]
+
+    def test_response_time_positive_and_bounded_by_wall(self):
+        runtime = MapReduceRuntime()
+        _, stats = runtime.run(
+            [(0, "a b"), (1, "c d")], word_count_map, word_count_reduce
+        )
+        assert stats.response_seconds > 0
+        # two latency rounds + transfers + max compute
+        assert stats.response_seconds >= 2 * runtime.latency
+
+    def test_summary_readable(self):
+        runtime = MapReduceRuntime()
+        _, stats = runtime.run([(0, "a")], word_count_map, word_count_reduce)
+        assert "ECC" in stats.summary()
+
+    def test_shuffle_totals(self):
+        runtime = MapReduceRuntime()
+        _, stats = runtime.run(
+            [(0, "a b"), (1, "a")], word_count_map, word_count_reduce
+        )
+        assert stats.total_shuffle_bytes == sum(stats.mapper_output_bytes)

@@ -1,0 +1,74 @@
+"""Unit tests for disReachm (the Pregel-style baseline)."""
+
+import pytest
+
+from repro.baselines import dis_reach_m
+from repro.core import dis_reach, reachable
+from repro.distributed import MessageKind
+from repro.errors import QueryError
+
+
+class TestAnswers:
+    def test_figure1(self, figure1):
+        _, _, cluster = figure1
+        assert dis_reach_m(cluster, ("Ann", "Mark")).answer
+        assert not dis_reach_m(cluster, ("Mark", "Ann")).answer
+
+    def test_source_equals_target(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach_m(cluster, ("Pat", "Pat"))
+        assert result.answer and result.details.get("trivial")
+
+    def test_unknown_endpoint(self, figure1):
+        _, _, cluster = figure1
+        with pytest.raises(QueryError):
+            dis_reach_m(cluster, ("Ghost", "Ann"))
+
+    def test_agrees_with_disreach(self, random_case):
+        for seed in range(4):
+            graph, cluster = random_case(seed)
+            nodes = sorted(graph.nodes())
+            for s in nodes[::6]:
+                for t in nodes[::7]:
+                    expected = reachable(graph, s, t)
+                    assert dis_reach_m(cluster, (s, t)).answer == expected
+                    assert dis_reach(cluster, (s, t)).answer == expected
+
+
+class TestProtocol:
+    def test_true_reported_to_master(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach_m(cluster, ("Ann", "Mark"))
+        controls = [
+            m for m in result.stats.messages if m.kind == MessageKind.CONTROL
+        ]
+        assert len(controls) == 1  # the "T" report from Mark's site
+
+    def test_idle_reported_when_false(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach_m(cluster, ("Mark", "Ann"))
+        controls = [
+            m for m in result.stats.messages if m.kind == MessageKind.CONTROL
+        ]
+        assert len(controls) == cluster.num_sites  # one "idle" per worker
+
+    def test_visits_unbounded_by_protocol(self, figure1):
+        """Cross-fragment activations are visits: strictly more than 1/site
+        on the Figure 1 query (the paper's central criticism)."""
+        _, _, cluster = figure1
+        result = dis_reach_m(cluster, ("Ann", "Mark"))
+        assert result.stats.total_visits > cluster.num_sites
+
+    def test_activation_happens_once_per_node(self, figure1):
+        graph, _, cluster = figure1
+        result = dis_reach_m(cluster, ("Ann", "Tom"))  # unreachable: full BFS
+        assert not result.answer
+        from repro.graph import descendants
+
+        expected = len(descendants(graph, "Ann")) + 1
+        assert result.details["activated"] == expected
+
+    def test_supersteps_reported(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach_m(cluster, ("Ann", "Mark"))
+        assert result.details["supersteps"] >= 3

@@ -1,0 +1,93 @@
+"""Unit tests for the traffic size model."""
+
+import pytest
+
+from repro.core.bes import TRUE
+from repro.distributed import MessageKind, payload_size
+from repro.distributed.messages import equation_set_size
+from repro.graph import DiGraph
+
+
+class TestPayloadSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, 1),
+            (True, 1),
+            (False, 1),
+            (42, 8),
+            (3.14, 8),
+            ("ab", 2),
+            ("", 1),
+            (b"abc", 3),
+            ((), 2),
+            ([1, 2], 2 + 16),
+            ({1: "a"}, 2 + 8 + 1),
+            (frozenset({1}), 2 + 8),
+        ],
+    )
+    def test_primitives(self, value, expected):
+        assert payload_size(value) == expected
+
+    def test_utf8_length(self):
+        assert payload_size("é") == 2
+
+    def test_enum_sized_by_value(self):
+        assert payload_size(MessageKind.QUERY) == len("query")
+
+    def test_nested_structures(self):
+        value = {"xs": [1, 2, 3]}
+        assert payload_size(value) == 2 + 2 + (2 + 24)
+
+    def test_true_token(self):
+        assert payload_size(TRUE) == 1
+
+    def test_graph_payload(self):
+        g = DiGraph.from_edges([("a", "b")], labels={"a": "HR"})
+        # 2 + (a+HR) + (b+None) + (a+b per edge)
+        assert g.payload_size() == 2 + (1 + 2) + (1 + 1) + (1 + 1)
+
+    def test_monotone_in_content(self):
+        small = {"a": [1]}
+        big = {"a": [1, 2, 3, 4]}
+        assert payload_size(small) < payload_size(big)
+
+    def test_queries_are_sizeable(self):
+        from repro.core import BoundedReachQuery, ReachQuery, RegularReachQuery
+
+        assert payload_size(ReachQuery("a", "b")) > 0
+        assert payload_size(BoundedReachQuery("a", "b", 3)) > 0
+        assert payload_size(RegularReachQuery("a", "b", "x* | y")) > 0
+
+    def test_automaton_is_sizeable(self):
+        from repro.automata import QueryAutomaton
+
+        small = QueryAutomaton.build("a", "s", "t")
+        big = QueryAutomaton.build("a b c d e f | g h*", "s", "t")
+        assert payload_size(small) < payload_size(big)
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            payload_size(object())
+
+
+class TestEquationSetSize:
+    def test_prefers_sparse_for_thin_rows(self):
+        # 1000 columns, rows with a single disjunct: sparse (4B) < dense (125B)
+        size = equation_set_size(["r"], ["c"] * 0, [1], 1000)
+        assert size == 2 + 1 + (2 * 1 + 2)
+
+    def test_prefers_dense_for_fat_rows(self):
+        # 80 columns, a row with 60 disjuncts: dense (10B) < sparse (122B)
+        size = equation_set_size(["r"], [], [60], 80)
+        assert size == 2 + 1 + 10
+
+    def test_ids_are_charged(self):
+        base = equation_set_size([], [], [], 8)
+        with_ids = equation_set_size(["row"], ["col"], [], 8)
+        assert with_ids == base + 3 + 3
+
+    def test_scales_with_rows(self):
+        one = equation_set_size(["r1"], [], [3], 64)
+        two = equation_set_size(["r1", "r2"], [], [3, 3], 64)
+        assert two > one

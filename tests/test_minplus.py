@@ -1,0 +1,89 @@
+"""Unit tests for the min-plus equation system (evalDGd)."""
+
+import pytest
+
+from repro.core import TARGET, MinPlusSystem
+
+
+@pytest.fixture
+def paper_system():
+    """The weighted dependency graph of Example 5 / Fig. 5(b)."""
+    mps = MinPlusSystem()
+    mps.add_equation("Ann", [("Pat", 2.0), ("Mat", 2.0)])
+    mps.add_equation("Fred", [("Emmy", 1.0)])
+    mps.add_equation("Mat", [("Fred", 1.0)])
+    mps.add_equation("Jack", [("Fred", 3.0)])
+    mps.add_equation("Emmy", [("Fred", 3.0), ("Ross", 1.0)])
+    mps.add_equation("Ross", [(TARGET, 1.0)])
+    mps.add_equation("Pat", [("Jack", 1.0)])
+    return mps
+
+
+class TestConstruction:
+    def test_min_merge_on_duplicates(self):
+        mps = MinPlusSystem()
+        mps.add_equation("x", [("y", 5.0)])
+        mps.add_equation("x", [("y", 3.0)])
+        mps.add_equation("x", [("y", 7.0)])
+        assert mps.terms_of("x") == {"y": 3.0}
+
+    def test_rejects_negative(self):
+        mps = MinPlusSystem()
+        with pytest.raises(ValueError):
+            mps.add_equation("x", [("y", -1.0)])
+
+    def test_views(self, paper_system):
+        assert len(paper_system) == 7
+        assert paper_system.num_terms == 9
+        assert "Ann" in paper_system
+        assert "zzz" not in paper_system
+
+
+class TestDijkstraSolver:
+    def test_paper_example5(self, paper_system):
+        """dist(Ann, Mark) = 6 — the Example 5 answer."""
+        assert paper_system.solve_distance("Ann") == pytest.approx(6.0)
+
+    def test_bound_respected_by_cutoff(self, paper_system):
+        assert paper_system.solve_distance("Ann", cutoff=6.0) == pytest.approx(6.0)
+        assert paper_system.solve_distance("Ann", cutoff=5.0) is None
+
+    def test_unreachable_target(self):
+        mps = MinPlusSystem()
+        mps.add_equation("x", [("y", 1.0)])
+        assert mps.solve_distance("x") is None
+
+    def test_source_is_target(self):
+        mps = MinPlusSystem()
+        assert mps.solve_distance(TARGET) == 0.0
+
+    def test_takes_shortest_of_alternatives(self):
+        mps = MinPlusSystem()
+        mps.add_equation("s", [("a", 1.0), (TARGET, 10.0)])
+        mps.add_equation("a", [(TARGET, 2.0)])
+        assert mps.solve_distance("s") == pytest.approx(3.0)
+
+    def test_cycle_does_not_loop(self):
+        mps = MinPlusSystem()
+        mps.add_equation("a", [("b", 1.0)])
+        mps.add_equation("b", [("a", 1.0), (TARGET, 5.0)])
+        assert mps.solve_distance("a") == pytest.approx(6.0)
+
+
+class TestBellmanFordOracle:
+    def test_agrees_on_paper_system(self, paper_system):
+        assert paper_system.solve_bellman_ford("Ann") == pytest.approx(6.0)
+
+    def test_agrees_on_unreachable(self):
+        mps = MinPlusSystem()
+        mps.add_equation("x", [("y", 1.0)])
+        assert mps.solve_bellman_ford("x") is None
+
+
+class TestWeightedDependencyGraph:
+    def test_figure5b_shape(self, paper_system):
+        gd, weights = paper_system.weighted_dependency_graph()
+        assert gd.has_edge("Ann", "Mat")
+        assert weights[("Ann", "Mat")] == 2.0
+        assert gd.has_edge("Ross", TARGET)
+        assert weights[("Ross", TARGET)] == 1.0

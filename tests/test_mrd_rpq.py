@@ -1,0 +1,93 @@
+"""Unit tests for MRdRPQ (Section 6)."""
+
+import pytest
+
+from repro.core import bounded_reachable, reachable, regular_reachable
+from repro.errors import MapReduceError, QueryError
+from repro.graph import erdos_renyi
+from repro.mapreduce import MapReduceRuntime, mrd_dist, mrd_reach, mrd_rpq
+from repro.workload.paper_example import figure1_graph
+
+
+class TestMrdRPQ:
+    def test_figure1_query(self):
+        g = figure1_graph()
+        result = mrd_rpq(g, ("Ann", "Mark", "DB* | HR*"), num_mappers=3)
+        assert result.answer
+
+    def test_false_query(self):
+        g = figure1_graph()
+        assert not mrd_rpq(g, ("Ann", "Mark", "DB*"), num_mappers=3).answer
+
+    def test_single_mapper(self):
+        g = figure1_graph()
+        assert mrd_rpq(g, ("Ann", "Mark", "HR*"), num_mappers=1).answer
+
+    def test_more_mappers_than_nodes(self):
+        g = figure1_graph()
+        result = mrd_rpq(g, ("Ann", "Mark", "HR*"), num_mappers=50)
+        assert result.answer
+
+    def test_agrees_with_centralized_across_mappers(self):
+        g = erdos_renyi(40, 120, seed=5, num_labels=3)
+        for regex in ["L0* | L1*", ". *", "L2 L0* L1?"]:
+            for s, t in [(0, 39), (5, 20), (39, 0)]:
+                expected = regular_reachable(g, s, t, regex)
+                for k in (1, 3, 7):
+                    got = mrd_rpq(g, (s, t, regex), num_mappers=k)
+                    assert got.answer == expected, (regex, s, t, k)
+
+    def test_trivial_self_query_runs_no_job(self):
+        g = figure1_graph()
+        result = mrd_rpq(g, ("Ann", "Ann", "HR*"), num_mappers=3)
+        assert result.answer and result.details.get("trivial")
+        assert result.stats.num_mappers == 0
+
+    def test_rejects_bad_mapper_count(self):
+        g = figure1_graph()
+        with pytest.raises(MapReduceError):
+            mrd_rpq(g, ("Ann", "Mark", "HR*"), num_mappers=0)
+
+    def test_rejects_unknown_nodes(self):
+        g = figure1_graph()
+        with pytest.raises(QueryError):
+            mrd_rpq(g, ("Ghost", "Mark", "HR*"), num_mappers=2)
+
+    def test_stats_shape(self):
+        g = figure1_graph()
+        result = mrd_rpq(g, ("Ann", "Mark", "HR*"), num_mappers=3)
+        assert result.stats.num_mappers == 3
+        assert result.stats.num_reducers == 1
+        assert result.stats.ecc_bytes > 0
+        assert result.details["num_fragments"] == 3
+
+    def test_custom_runtime_reused(self):
+        g = figure1_graph()
+        runtime = MapReduceRuntime(bandwidth=1e9)
+        a = mrd_rpq(g, ("Ann", "Mark", "HR*"), 2, runtime=runtime)
+        b = mrd_rpq(g, ("Ann", "Mark", "DB*"), 2, runtime=runtime)
+        assert a.answer and not b.answer
+
+
+class TestDerivedJobs:
+    def test_mrd_reach_equals_reachability(self):
+        g = erdos_renyi(30, 70, seed=8, num_labels=2)
+        for s, t in [(0, 29), (29, 0), (3, 3), (5, 17)]:
+            assert mrd_reach(g, s, t, 4).answer == reachable(g, s, t)
+
+    def test_mrd_dist_equals_bounded(self):
+        g = erdos_renyi(25, 60, seed=9, num_labels=2)
+        for s, t in [(0, 20), (20, 0), (4, 4)]:
+            for bound in (0, 1, 2, 5):
+                expected = bounded_reachable(g, s, t, bound)
+                assert mrd_dist(g, s, t, bound, 3).answer == expected, (s, t, bound)
+
+    def test_mrd_dist_zero_bound_trivial(self):
+        g = figure1_graph()
+        assert mrd_dist(g, "Ann", "Ann", 0, 2).answer
+        assert not mrd_dist(g, "Ann", "Walt", 0, 2).answer
+
+    def test_mrd_dist_rejects_negative(self):
+        g = figure1_graph()
+        with pytest.raises(QueryError):
+            mrd_dist(g, "Ann", "Walt", -1, 2)

@@ -1,0 +1,122 @@
+"""Unit tests for the Pregel-style BSP substrate."""
+
+import pytest
+
+from repro.baselines import PregelEngine
+from repro.distributed import SimulatedCluster
+from repro.errors import DistributedError
+from repro.graph import DiGraph
+from repro.partition import build_fragmentation
+
+
+@pytest.fixture
+def engine_setup():
+    g = DiGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]
+    )
+    assignment = {"a": 0, "b": 0, "c": 1, "d": 1, "e": 1}
+    cluster = SimulatedCluster(build_fragmentation(g, assignment, 2))
+    run = cluster.start_run("pregel-test")
+    return cluster, run, PregelEngine(cluster, run)
+
+
+class TestExecution:
+    def test_token_propagation(self, engine_setup):
+        _, run, engine = engine_setup
+
+        def compute(ctx, messages):
+            if ctx.value:
+                return
+            ctx.set_value(True)
+            for child in ctx.successors():
+                ctx.send(child, "T")
+
+        engine.execute(compute, {"a": ["T"]})
+        assert set(engine.values) == {"a", "b", "c", "d", "e"}
+
+    def test_halt_with_stops_early(self, engine_setup):
+        _, run, engine = engine_setup
+
+        def compute(ctx, messages):
+            if ctx.vertex == "c":
+                ctx.halt_with("found")
+                return
+            for child in ctx.successors():
+                ctx.send(child, "T")
+
+        result = engine.execute(compute, {"a": ["T"]})
+        assert result == "found"
+        # e was never activated: the engine stopped at c's superstep.
+        assert "e" not in engine.values or engine.values.get("e") is None
+
+    def test_no_messages_returns_none(self, engine_setup):
+        _, _, engine = engine_setup
+        assert engine.execute(lambda ctx, msgs: None, {}) is None
+
+    def test_superstep_limit(self, engine_setup):
+        _, _, engine = engine_setup
+
+        def ping_pong(ctx, messages):
+            target = "b" if ctx.vertex == "a" else "a"
+            ctx.send(target, "ping")
+
+        with pytest.raises(DistributedError, match="supersteps"):
+            engine.execute(ping_pong, {"a": ["go"]}, max_supersteps=5)
+
+    def test_unknown_vertex_message(self, engine_setup):
+        _, _, engine = engine_setup
+
+        def compute(ctx, messages):
+            ctx.send("ghost", "T")
+
+        with pytest.raises(DistributedError, match="unknown vertex"):
+            engine.execute(compute, {"a": ["T"]})
+
+
+class TestAccounting:
+    def test_cross_fragment_messages_visit_and_route(self, engine_setup):
+        _, run, engine = engine_setup
+
+        def compute(ctx, messages):
+            if ctx.value:
+                return
+            ctx.set_value(True)
+            for child in ctx.successors():
+                ctx.send(child, "T")
+
+        engine.execute(compute, {"a": ["T"]})
+        stats = run.finish()
+        # b -> c is the only cross edge: one token routed via the master,
+        # two transfers (worker->master, master->worker), one visit to site 1.
+        token_msgs = [m for m in stats.messages if m.kind.value == "token"]
+        assert len(token_msgs) == 2
+        assert stats.visits[1] == 1
+        assert stats.visits[0] == 0  # intra-fragment deliveries are free
+
+    def test_intra_fragment_messages_free(self, engine_setup):
+        _, run, engine = engine_setup
+
+        def compute(ctx, messages):
+            if ctx.vertex == "a" and not ctx.value:
+                ctx.set_value(True)
+                ctx.send("b", "T")  # same fragment
+
+        engine.execute(compute, {"a": ["T"]})
+        stats = run.finish()
+        assert stats.traffic_bytes == 0
+        assert stats.total_visits == 0
+
+    def test_supersteps_counted(self, engine_setup):
+        _, run, engine = engine_setup
+
+        def compute(ctx, messages):
+            if ctx.value:
+                return
+            ctx.set_value(True)
+            for child in ctx.successors():
+                ctx.send(child, "T")
+
+        engine.execute(compute, {"a": ["T"]})
+        stats = run.finish()
+        # a | b | c | d | e : 5 compute supersteps along the chain
+        assert stats.supersteps == 5

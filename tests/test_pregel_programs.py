@@ -1,0 +1,85 @@
+"""Tests for the Pregel vertex programs and the disDistm extension."""
+
+import random
+
+import pytest
+
+from repro.baselines import dis_dist_m, pregel_bfs_levels, pregel_sssp
+from repro.core import bounded_reachable, dis_dist, distance
+from repro.distributed import SimulatedCluster
+from repro.graph import bfs_distances, erdos_renyi
+from repro.partition import build_fragmentation
+
+
+def _cluster(seed=1, n=35, k=3):
+    g = erdos_renyi(n, 3 * n, seed=seed)
+    assignment = {node: node % k for node in g.nodes()}
+    return g, SimulatedCluster(build_fragmentation(g, assignment, k))
+
+
+class TestBfsLevels:
+    def test_matches_centralized_bfs(self):
+        g, cluster = _cluster(seed=2)
+        levels, stats = pregel_bfs_levels(cluster, 0)
+        assert levels == bfs_distances(g, 0)
+
+    def test_max_level_caps_exploration(self):
+        g, cluster = _cluster(seed=3)
+        levels, _ = pregel_bfs_levels(cluster, 0, max_level=2)
+        full = bfs_distances(g, 0, cutoff=2)
+        assert levels == full
+
+    def test_figure1(self, figure1):
+        graph, _, cluster = figure1
+        levels, stats = pregel_bfs_levels(cluster, "Ann")
+        assert levels["Mark"] == 6
+        assert levels["Ann"] == 0
+
+
+class TestSssp:
+    def test_unit_weights_equal_bfs(self):
+        g, cluster = _cluster(seed=4)
+        dists, _ = pregel_sssp(cluster, 0)
+        assert dists == {n: float(d) for n, d in bfs_distances(g, 0).items()}
+
+    def test_custom_weights(self, figure1):
+        graph, _, cluster = figure1
+        dists, _ = pregel_sssp(cluster, "Ann", weight_fn=lambda u, v: 2.0)
+        assert dists["Mark"] == 12.0
+
+
+class TestDisDistM:
+    def test_figure1_example5(self, figure1):
+        _, _, cluster = figure1
+        result = dis_dist_m(cluster, ("Ann", "Mark", 6))
+        assert result.answer
+        assert result.details["distance"] == 6.0
+        assert not dis_dist_m(cluster, ("Ann", "Mark", 5)).answer
+
+    def test_trivial_and_unreachable(self, figure1):
+        _, _, cluster = figure1
+        assert dis_dist_m(cluster, ("Tom", "Tom", 0)).answer
+        assert not dis_dist_m(cluster, ("Mark", "Ann", 99)).answer
+
+    def test_agrees_with_disdist(self):
+        g, cluster = _cluster(seed=5)
+        rng = random.Random(0)
+        nodes = sorted(g.nodes())
+        for _ in range(12):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            bound = rng.randrange(0, 7)
+            expected = bounded_reachable(g, s, t, bound)
+            assert dis_dist_m(cluster, (s, t, bound)).answer == expected
+            assert dis_dist(cluster, (s, t, bound)).answer == expected
+
+    def test_unbounded_visits_like_disreachm(self, figure1):
+        _, _, cluster = figure1
+        result = dis_dist_m(cluster, ("Ann", "Tom", 50))  # unreachable: full BFS
+        assert result.stats.total_visits > cluster.num_sites
+
+    def test_registered_in_engine(self, figure1):
+        from repro.core import BoundedReachQuery, evaluate
+
+        _, _, cluster = figure1
+        result = evaluate(cluster, BoundedReachQuery("Ann", "Mark", 6), "disDistm")
+        assert result.answer and result.stats.algorithm == "disDistm"

@@ -1,0 +1,52 @@
+"""Unit tests for the lazy (graph × automaton) product."""
+
+import pytest
+
+from repro.automata import US, UT, QueryAutomaton
+from repro.graph import DiGraph, is_reachable
+from repro.graph.product import product_nodes, product_successors
+
+
+@pytest.fixture
+def labeled_chain():
+    g = DiGraph.from_edges(
+        [("s", "a"), ("a", "b"), ("b", "t")],
+        labels={"a": "X", "b": "Y"},
+    )
+    return g
+
+
+class TestProductSuccessors:
+    def test_label_checked_at_target(self, labeled_chain):
+        qa = QueryAutomaton.build("X Y", "s", "t")
+        succ = product_successors(labeled_chain, qa.successors, qa.match_fn(labeled_chain))
+        # from (s, US) the only move is onto a matching X
+        nexts = succ(("s", US))
+        assert all(labeled_chain.label(v) == "X" for v, state in nexts if state not in (US, UT))
+        assert nexts  # at least one
+
+    def test_full_product_path(self, labeled_chain):
+        qa = QueryAutomaton.build("X Y", "s", "t")
+        succ = product_successors(labeled_chain, qa.successors, qa.match_fn(labeled_chain))
+        assert is_reachable(None, ("s", US), ("t", UT), successors=succ)
+
+    def test_wrong_order_unreachable(self, labeled_chain):
+        qa = QueryAutomaton.build("Y X", "s", "t")
+        succ = product_successors(labeled_chain, qa.successors, qa.match_fn(labeled_chain))
+        assert not is_reachable(None, ("s", US), ("t", UT), successors=succ)
+
+    def test_final_state_is_sink(self, labeled_chain):
+        qa = QueryAutomaton.build("X Y", "s", "t")
+        succ = product_successors(labeled_chain, qa.successors, qa.match_fn(labeled_chain))
+        assert succ(("t", UT)) == []
+
+
+class TestProductNodes:
+    def test_only_consistent_pairs(self, labeled_chain):
+        qa = QueryAutomaton.build("X", "s", "t")
+        pairs = set(product_nodes(labeled_chain, qa.states(), qa.match_fn(labeled_chain)))
+        assert ("s", US) in pairs
+        assert ("t", UT) in pairs
+        assert ("a", 0) in pairs  # a is labeled X
+        assert ("b", 0) not in pairs  # b is labeled Y
+        assert ("a", US) not in pairs  # only s matches us

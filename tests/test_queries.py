@@ -1,0 +1,63 @@
+"""Unit tests for query value types."""
+
+import pytest
+
+from repro.automata import Star, Symbol, Union
+from repro.core import BoundedReachQuery, ReachQuery, RegularReachQuery
+from repro.errors import QueryError
+
+
+class TestReachQuery:
+    def test_fields_and_str(self):
+        q = ReachQuery("s", "t")
+        assert q.source == "s" and q.target == "t"
+        assert str(q) == "qr(s, t)"
+
+    def test_hashable(self):
+        assert ReachQuery("a", "b") == ReachQuery("a", "b")
+        assert hash(ReachQuery("a", "b")) == hash(ReachQuery("a", "b"))
+
+
+class TestBoundedReachQuery:
+    def test_fields(self):
+        q = BoundedReachQuery("s", "t", 5)
+        assert q.bound == 5
+        assert str(q) == "qbr(s, t, 5)"
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(QueryError):
+            BoundedReachQuery("s", "t", -1)
+
+    def test_rejects_non_int_bound(self):
+        with pytest.raises(QueryError):
+            BoundedReachQuery("s", "t", 1.5)
+        with pytest.raises(QueryError):
+            BoundedReachQuery("s", "t", True)
+
+    def test_zero_bound_allowed(self):
+        assert BoundedReachQuery("s", "t", 0).bound == 0
+
+
+class TestRegularReachQuery:
+    def test_parses_string_regex(self):
+        q = RegularReachQuery("s", "t", "DB* | HR*")
+        assert q.regex == Union((Star(Symbol("DB")), Star(Symbol("HR"))))
+
+    def test_accepts_ast(self):
+        node = Star(Symbol("a"))
+        q = RegularReachQuery("s", "t", node)
+        assert q.regex is node
+
+    def test_automaton_binds_endpoints(self):
+        q = RegularReachQuery("s", "t", "a*")
+        automaton = q.automaton()
+        assert automaton.source == "s" and automaton.target == "t"
+
+    def test_rejects_bad_regex(self):
+        from repro.errors import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError):
+            RegularReachQuery("s", "t", "a | ")
+
+    def test_str(self):
+        assert "qrr(s, t," in str(RegularReachQuery("s", "t", "a"))

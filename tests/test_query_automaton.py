@@ -1,0 +1,98 @@
+"""Unit tests for query automata Gq(R) (Section 5.1)."""
+
+import pytest
+
+from repro.automata import US, UT, QueryAutomaton
+from repro.graph import DiGraph
+
+
+class TestStructure:
+    def test_paper_example6(self):
+        """Gq(DB* | HR*) for (Ann, Mark): 4 states; the paper's 6 transitions
+        plus the us->ut ε-arc (DB*|HR* is nullable, so a direct Ann->Mark
+        recommendation satisfies the query — the paper's figure omits it)."""
+        qa = QueryAutomaton.build("DB* | HR*", "Ann", "Mark")
+        assert qa.num_states == 4
+        labels = {qa.state_label(s) for s in qa.states()}
+        assert labels == {"start:Ann", "DB", "HR", "final:Mark"}
+        transitions = {
+            (qa.state_label(u), qa.state_label(v)) for u, v in qa.transitions()
+        }
+        assert ("start:Ann", "DB") in transitions
+        assert ("DB", "DB") in transitions
+        assert ("DB", "final:Mark") in transitions
+        assert ("start:Ann", "HR") in transitions
+        assert ("HR", "HR") in transitions
+        assert ("HR", "final:Mark") in transitions
+        assert ("start:Ann", "final:Mark") in transitions  # the ε arc
+        assert qa.num_transitions == 7
+
+    def test_paper_example6_prime(self):
+        """Gq((CTO DB*) | HR*) for (Walt, Mark): 5 states, 7 transitions."""
+        qa = QueryAutomaton.build("(CTO DB*) | HR*", "Walt", "Mark")
+        assert qa.num_states == 5
+        # ε ∈ L(R') via HR*, so us->ut exists: 7 paper transitions + 1.
+        transitions = {
+            (qa.state_label(u), qa.state_label(v)) for u, v in qa.transitions()
+        }
+        assert ("start:Walt", "CTO") in transitions
+        assert ("CTO", "DB") in transitions
+        assert ("CTO", "final:Mark") in transitions
+        assert ("DB", "DB") in transitions
+
+    def test_final_state_has_no_successors(self):
+        qa = QueryAutomaton.build("a*", "s", "t")
+        assert qa.successors(UT) == ()
+
+    def test_size_counts_states_and_transitions(self):
+        qa = QueryAutomaton.build("a | b", "s", "t")
+        assert qa.size == qa.num_states + qa.num_transitions
+
+
+class TestMatching:
+    def test_start_matches_source_only(self):
+        qa = QueryAutomaton.build("a*", "s", "t")
+        assert qa.node_matches("s", "whatever", US)
+        assert not qa.node_matches("x", "a", US)
+
+    def test_final_matches_target_only(self):
+        qa = QueryAutomaton.build("a*", "s", "t")
+        assert qa.node_matches("t", None, UT)
+        assert not qa.node_matches("s", None, UT)
+
+    def test_position_matches_by_label(self):
+        qa = QueryAutomaton.build("a", "s", "t")
+        assert qa.node_matches("n1", "a", 0)
+        assert not qa.node_matches("n1", "b", 0)
+
+    def test_wildcard_position_matches_anything(self):
+        qa = QueryAutomaton.build(".", "s", "t")
+        assert qa.node_matches("n1", "anything", 0)
+        assert qa.node_matches("n1", None, 0)
+
+    def test_matching_states(self):
+        qa = QueryAutomaton.build("a | b", "s", "t")
+        assert set(qa.matching_states("n", "a")) == {0}
+        assert set(qa.matching_states("s", "a")) == {US, 0}
+        assert set(qa.matching_states("t", "c")) == {UT}
+
+    def test_match_fn_binds_graph_labels(self):
+        g = DiGraph.from_edges([("s", "n"), ("n", "t")], labels={"n": "a"})
+        qa = QueryAutomaton.build("a", "s", "t")
+        matches = qa.match_fn(g)
+        assert matches("n", 0)
+        assert matches("s", US)
+        assert not matches("n", US)
+
+
+class TestEndToEndSemantics:
+    def test_same_source_target_states_differ(self):
+        # s == t: us and ut are still distinct states.
+        qa = QueryAutomaton.build("a*", "x", "x")
+        assert qa.node_matches("x", None, US)
+        assert qa.node_matches("x", None, UT)
+        assert US != UT
+
+    def test_str_is_readable(self):
+        text = str(QueryAutomaton.build("DB* | HR*", "Ann", "Mark"))
+        assert "start:Ann" in text and "final:Mark" in text

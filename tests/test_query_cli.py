@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` query CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import graph_io
+from repro.workload.paper_example import figure1_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "figure1.txt"
+    graph_io.save(figure1_graph(), path)
+    return str(path)
+
+
+class TestQueries:
+    def test_reach_true(self, graph_file, capsys):
+        assert main(["--graph", graph_file, "-k", "3", "reach", "Ann", "Mark"]) == 0
+        out = capsys.readouterr().out
+        assert "->  True" in out
+        assert "max-visits/site=1" in out
+
+    def test_reach_false(self, graph_file, capsys):
+        main(["--graph", graph_file, "reach", "Mark", "Ann"])
+        assert "->  False" in capsys.readouterr().out
+
+    def test_dist(self, graph_file, capsys):
+        main(["--graph", graph_file, "dist", "Ann", "Mark", "6"])
+        out = capsys.readouterr().out
+        assert "->  True" in out and "distance: 6" in out
+
+    def test_regular(self, graph_file, capsys):
+        main(["--graph", graph_file, "regular", "Ann", "Mark", "DB* | HR*"])
+        assert "->  True" in capsys.readouterr().out
+
+    def test_algorithm_choice(self, graph_file, capsys):
+        main(["--graph", graph_file, "--algorithm", "disReachn",
+              "reach", "Ann", "Mark"])
+        assert "[disReachn]" in capsys.readouterr().out
+
+    def test_verbose(self, graph_file, capsys):
+        main(["--graph", graph_file, "-v", "reach", "Ann", "Mark"])
+        out = capsys.readouterr().out
+        assert "visits per site" in out and "disReachm" in out
+
+    def test_dataset_source(self, capsys):
+        code = main(["--dataset", "amazon", "--scale", "0.001",
+                     "reach", "0", "10"])
+        assert code == 0
+        assert "qr(0, 10)" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_node(self, graph_file, capsys):
+        assert main(["--graph", graph_file, "reach", "Ann", "Nobody"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_regex(self, graph_file, capsys):
+        assert main(["--graph", graph_file, "regular", "Ann", "Mark", "(("]) == 2
+
+    def test_bad_algorithm(self, graph_file, capsys):
+        assert main(["--graph", graph_file, "--algorithm", "nope",
+                     "reach", "Ann", "Mark"]) == 2
+
+    def test_query_type_mismatch(self, graph_file, capsys):
+        assert main(["--graph", graph_file, "--algorithm", "disRPQ",
+                     "reach", "Ann", "Mark"]) == 2

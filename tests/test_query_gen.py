@@ -1,0 +1,105 @@
+"""Unit tests for the random query generators."""
+
+import pytest
+
+from repro.core import BoundedReachQuery, ReachQuery, RegularReachQuery, reachable
+from repro.errors import ReproError
+from repro.graph import DiGraph, erdos_renyi
+from repro.workload import (
+    planted_path_query,
+    query_complexity,
+    random_bounded_queries,
+    random_reach_queries,
+    random_regular_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(80, 240, seed=6, num_labels=5)
+
+
+class TestReachQueries:
+    def test_count_and_type(self, graph):
+        queries = random_reach_queries(graph, 20, seed=1)
+        assert len(queries) == 20
+        assert all(isinstance(q, ReachQuery) for q in queries)
+
+    def test_endpoints_in_graph(self, graph):
+        for q in random_reach_queries(graph, 10, seed=2):
+            assert graph.has_node(q.source) and graph.has_node(q.target)
+
+    def test_positive_fraction_controls_answers(self, graph):
+        always = random_reach_queries(graph, 15, seed=3, positive_fraction=1.0)
+        assert all(reachable(graph, q.source, q.target) for q in always)
+
+    def test_deterministic(self, graph):
+        assert random_reach_queries(graph, 5, seed=4) == random_reach_queries(
+            graph, 5, seed=4
+        )
+
+    def test_rejects_tiny_graph(self):
+        g = DiGraph()
+        g.add_node("only")
+        with pytest.raises(ReproError):
+            random_reach_queries(g, 1)
+
+
+class TestBoundedQueries:
+    def test_bound_applied(self, graph):
+        queries = random_bounded_queries(graph, 8, bound=7, seed=1)
+        assert all(isinstance(q, BoundedReachQuery) and q.bound == 7 for q in queries)
+
+
+class TestRegularQueries:
+    def test_requested_state_count_is_exact(self, graph):
+        queries = random_regular_queries(graph, 6, num_states=8, seed=1)
+        for q in queries:
+            states, _, _ = query_complexity(q)
+            assert states == 8
+
+    def test_transition_count_is_close(self, graph):
+        queries = random_regular_queries(
+            graph, 6, num_states=8, num_transitions=16, seed=2
+        )
+        for q in queries:
+            _, transitions, _ = query_complexity(q)
+            assert abs(transitions - 16) <= 8
+
+    def test_labels_come_from_graph(self, graph):
+        alphabet = graph.label_alphabet()
+        for q in random_regular_queries(graph, 5, seed=3):
+            assert q.regex.symbols() <= alphabet
+
+    def test_rejects_unlabeled_graph(self):
+        g = erdos_renyi(10, 20, seed=0)
+        with pytest.raises(ReproError, match="labeled"):
+            random_regular_queries(g, 1)
+
+    def test_rejects_too_few_states(self, graph):
+        with pytest.raises(ReproError):
+            random_regular_queries(graph, 1, num_states=2)
+
+    def test_queries_are_evaluable(self, graph):
+        from repro.core import regular_reachable
+
+        for q in random_regular_queries(graph, 4, seed=5):
+            assert regular_reachable(graph, q.source, q.target, q.automaton()) in (
+                True,
+                False,
+            )
+
+
+class TestPlantedQuery:
+    def test_planted_query_is_true(self, graph):
+        query = planted_path_query(graph, walk_length=3, seed=1)
+        assert query is not None
+        from repro.core import regular_reachable
+
+        assert regular_reachable(graph, query.source, query.target, query.automaton())
+
+    def test_none_when_impossible(self):
+        g = DiGraph()
+        g.add_node("a", label="X")
+        g.add_node("b", label="X")
+        assert planted_path_query(g, 3, seed=0) is None

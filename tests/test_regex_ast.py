@@ -1,0 +1,108 @@
+"""Unit tests for the regex AST and smart constructors."""
+
+import pytest
+
+from repro.automata import (
+    Concat,
+    Epsilon,
+    Star,
+    Symbol,
+    Union,
+    Wildcard,
+    concat,
+    optional,
+    plus,
+    star,
+    union,
+)
+
+
+class TestNodes:
+    def test_symbols_collects_labels(self):
+        node = Concat((Symbol("a"), Union((Symbol("b"), Wildcard()))))
+        assert node.symbols() == {"a", "b"}
+
+    def test_size_counts_ast_nodes(self):
+        node = Union((Symbol("a"), Star(Symbol("b"))))
+        assert node.size == 4
+
+    def test_walk_preorder(self):
+        node = Concat((Symbol("a"), Symbol("b")))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Concat", "Symbol", "Symbol"]
+
+    def test_nodes_hashable_and_equal(self):
+        assert Symbol("a") == Symbol("a")
+        assert hash(Star(Symbol("a"))) == hash(Star(Symbol("a")))
+        assert Symbol("a") != Symbol("b")
+
+    def test_concat_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            Concat((Symbol("a"),))
+
+    def test_union_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            Union((Symbol("a"),))
+
+    def test_operator_sugar(self):
+        node = Symbol("a") | Symbol("b")
+        assert isinstance(node, Union)
+        node = Symbol("a") + Symbol("b")
+        assert isinstance(node, Concat)
+        assert isinstance(Symbol("a").star(), Star)
+
+
+class TestSmartConstructors:
+    def test_concat_flattens(self):
+        node = concat(Symbol("a"), concat(Symbol("b"), Symbol("c")))
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 3
+
+    def test_concat_drops_epsilon(self):
+        assert concat(Epsilon(), Symbol("a")) == Symbol("a")
+        assert concat(Epsilon(), Epsilon()) == Epsilon()
+
+    def test_union_dedupes(self):
+        assert union(Symbol("a"), Symbol("a")) == Symbol("a")
+
+    def test_union_flattens(self):
+        node = union(Symbol("a"), union(Symbol("b"), Symbol("c")))
+        assert isinstance(node, Union)
+        assert len(node.parts) == 3
+
+    def test_union_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            union()
+
+    def test_star_idempotent(self):
+        assert star(star(Symbol("a"))) == star(Symbol("a"))
+        assert star(Epsilon()) == Epsilon()
+
+    def test_plus_desugars(self):
+        node = plus(Symbol("a"))
+        assert isinstance(node, Concat)
+        assert node.parts == (Symbol("a"), Star(Symbol("a")))
+
+    def test_optional_desugars(self):
+        node = optional(Symbol("a"))
+        assert isinstance(node, Union)
+        assert Epsilon() in node.parts
+
+
+class TestRendering:
+    def test_str_round_trips_through_parser(self):
+        from repro.automata import parse_regex
+
+        cases = [
+            Union((Star(Symbol("DB")), Star(Symbol("HR")))),
+            Concat((Symbol("CTO"), Star(Symbol("DB")))),
+            Star(Union((Symbol("a"), Symbol("b")))),
+            Concat((Wildcard(), Star(Wildcard()))),
+            Epsilon(),
+        ]
+        for node in cases:
+            assert parse_regex(str(node)) == node, str(node)
+
+    def test_quoted_label_rendering(self):
+        node = Symbol("has space")
+        assert str(node) == '"has space"'

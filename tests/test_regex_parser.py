@@ -1,0 +1,103 @@
+"""Unit tests for the textual regex parser."""
+
+import pytest
+
+from repro.automata import (
+    Concat,
+    Epsilon,
+    Star,
+    Symbol,
+    Union,
+    Wildcard,
+    parse_regex,
+    tokenize,
+)
+from repro.errors import RegexSyntaxError
+
+
+class TestTokenizer:
+    def test_multi_char_labels(self):
+        tokens = tokenize("DB* | HR*")
+        assert [t.text for t in tokens] == ["DB", "*", "|", "HR", "*"]
+
+    def test_quoted_labels(self):
+        tokens = tokenize('"data base" x')
+        assert tokens[0].text == "data base"
+        assert tokens[1].text == "x"
+
+    def test_quoted_escape(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].text == 'a"b'
+
+    def test_unterminated_quote(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize('"oops')
+
+
+class TestParser:
+    def test_paper_query(self):
+        node = parse_regex("DB* | HR*")
+        assert node == Union((Star(Symbol("DB")), Star(Symbol("HR"))))
+
+    def test_paper_query_prime(self):
+        node = parse_regex("(CTO DB*) | HR*")
+        assert node == Union(
+            (Concat((Symbol("CTO"), Star(Symbol("DB")))), Star(Symbol("HR")))
+        )
+
+    def test_unicode_union(self):
+        assert parse_regex("a ∪ b") == parse_regex("a | b")
+
+    def test_word_union(self):
+        assert parse_regex("a U b") == parse_regex("a | b")
+
+    def test_epsilon_forms(self):
+        assert parse_regex("()") == Epsilon()
+        assert parse_regex("eps") == Epsilon()
+        assert parse_regex("ε") == Epsilon()
+
+    def test_wildcard(self):
+        assert parse_regex(".") == Wildcard()
+
+    def test_plus_sugar(self):
+        assert parse_regex("a+") == parse_regex("a a*")
+
+    def test_optional_sugar(self):
+        node = parse_regex("a?")
+        assert isinstance(node, Union)
+        assert Epsilon() in node.parts
+
+    def test_concat_binds_tighter_than_union(self):
+        node = parse_regex("a b | c")
+        assert isinstance(node, Union)
+        assert node.parts[0] == Concat((Symbol("a"), Symbol("b")))
+
+    def test_star_binds_tightest(self):
+        node = parse_regex("a b*")
+        assert node == Concat((Symbol("a"), Star(Symbol("b"))))
+
+    def test_nested_parens(self):
+        node = parse_regex("((a))")
+        assert node == Symbol("a")
+
+    def test_double_star_collapses(self):
+        assert parse_regex("a**") == Star(Symbol("a"))
+
+    def test_idempotent_on_ast(self):
+        node = parse_regex("a | b")
+        assert parse_regex(node) is node
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "(", ")", "a |", "| a", "a (", "*", "a b )", '"x" ('],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as err:
+            parse_regex("a )")
+        assert err.value.position == 2

@@ -1,0 +1,47 @@
+"""Unit tests for language sampling and Python-regex rendering."""
+
+import random
+import re
+
+import pytest
+
+from repro.automata import PositionNFA, parse_regex, sample_word, sample_words, to_python_regex
+
+
+class TestSampleWord:
+    @pytest.mark.parametrize(
+        "regex", ["a", "a b", "a | b", "a*", "(a b)* c", "a+ | b?", "()"]
+    )
+    def test_samples_are_members(self, regex):
+        nfa = PositionNFA.from_regex(regex)
+        for seed in range(10):
+            word = sample_word(regex, random.Random(seed))
+            assert nfa.accepts(word), (regex, word)
+
+    def test_wildcard_uses_alphabet(self):
+        word = sample_word(".", random.Random(0), alphabet=["X", "Y"])
+        assert word[0] in {"X", "Y"}
+
+    def test_sample_words_count(self):
+        words = sample_words("a | b", 7, seed=1)
+        assert len(words) == 7
+
+
+class TestToPythonRegex:
+    def test_rejects_multichar_labels_without_map(self):
+        with pytest.raises(ValueError):
+            to_python_regex("DB")
+
+    def test_symbol_map(self):
+        pattern = to_python_regex("DB HR*", symbol_map={"DB": "d", "HR": "h"})
+        assert re.fullmatch(pattern, "dhh")
+        assert not re.fullmatch(pattern, "hd")
+
+    def test_escapes_regex_metachars(self):
+        pattern = to_python_regex(parse_regex('"+"'))
+        assert re.fullmatch(pattern, "+")
+
+    def test_epsilon(self):
+        pattern = to_python_regex("()")
+        assert re.fullmatch(pattern, "")
+        assert not re.fullmatch(pattern, "a")

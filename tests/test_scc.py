@@ -1,0 +1,82 @@
+"""Unit tests for Tarjan SCC and condensation."""
+
+import random
+
+import pytest
+
+from repro.graph import DiGraph, condensation, erdos_renyi, is_acyclic, tarjan_scc
+from repro.graph.traversal import is_reachable
+
+
+def _scc_sets(graph):
+    return {frozenset(c) for c in tarjan_scc(graph.nodes(), graph.successors)}
+
+
+class TestTarjan:
+    def test_dag_gives_singletons(self, diamond):
+        assert _scc_sets(diamond) == {
+            frozenset({n}) for n in ["a", "b", "c", "d"]
+        }
+
+    def test_cycle_is_one_component(self, cycle_graph):
+        assert frozenset({0, 1, 2}) in _scc_sets(cycle_graph)
+
+    def test_reverse_topological_order(self, diamond):
+        comps = tarjan_scc(diamond.nodes(), diamond.successors)
+        index = {}
+        for i, comp in enumerate(comps):
+            for node in comp:
+                index[node] = i
+        # every edge goes from a later component to an earlier one
+        for u, v in diamond.edges():
+            assert index[u] >= index[v]
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        g = DiGraph.from_edges([(i, i + 1) for i in range(n)])
+        comps = tarjan_scc(g.nodes(), g.successors)
+        assert len(comps) == n + 1
+
+    def test_matches_reachability_definition(self):
+        rng = random.Random(3)
+        for seed in range(5):
+            g = erdos_renyi(25, rng.randrange(10, 80), seed=seed)
+            comp_of = {}
+            for i, comp in enumerate(tarjan_scc(g.nodes(), g.successors)):
+                for node in comp:
+                    comp_of[node] = i
+            for u in g.nodes():
+                for v in g.nodes():
+                    same = comp_of[u] == comp_of[v]
+                    mutual = is_reachable(g, u, v) and is_reachable(g, v, u)
+                    assert same == mutual, (seed, u, v)
+
+
+class TestCondensation:
+    def test_condensation_is_dag(self, cycle_graph):
+        dag, membership = condensation(cycle_graph)
+        assert is_acyclic(dag)
+        assert membership[0] == membership[1] == membership[2]
+        assert membership[3] != membership[0]
+
+    def test_members_partition_nodes(self, cycle_graph):
+        dag, membership = condensation(cycle_graph)
+        members = [n for cid in dag.nodes() for n in dag.label(cid)]
+        assert sorted(members, key=repr) == sorted(cycle_graph.nodes(), key=repr)
+
+    def test_edges_projected(self, cycle_graph):
+        dag, membership = condensation(cycle_graph)
+        assert dag.has_edge(membership[2], membership[3])
+
+
+class TestIsAcyclic:
+    def test_dag(self, diamond):
+        assert is_acyclic(diamond)
+
+    def test_cycle(self, cycle_graph):
+        assert not is_acyclic(cycle_graph)
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge("a", "a", create=True)
+        assert not is_acyclic(g)

@@ -1,0 +1,68 @@
+"""Unit tests for the ship-all baselines (disReachn / disDistn / disRPQn)."""
+
+import pytest
+
+from repro.baselines import dis_dist_n, dis_reach_n, dis_rpq_n
+from repro.core import bounded_reachable, reachable, regular_reachable
+from repro.distributed import MessageKind
+from repro.errors import QueryError
+
+
+class TestAnswers:
+    def test_figure1(self, figure1):
+        _, _, cluster = figure1
+        assert dis_reach_n(cluster, ("Ann", "Mark")).answer
+        assert not dis_reach_n(cluster, ("Mark", "Ann")).answer
+        assert dis_dist_n(cluster, ("Ann", "Mark", 6)).answer
+        assert not dis_dist_n(cluster, ("Ann", "Mark", 5)).answer
+        assert dis_rpq_n(cluster, ("Ann", "Mark", "DB* | HR*")).answer
+        assert not dis_rpq_n(cluster, ("Ann", "Mark", "DB*")).answer
+
+    def test_agree_with_centralized(self, random_case):
+        graph, cluster = random_case(21)
+        nodes = sorted(graph.nodes())
+        for s in nodes[::6]:
+            for t in nodes[::7]:
+                assert dis_reach_n(cluster, (s, t)).answer == reachable(graph, s, t)
+                assert (
+                    dis_dist_n(cluster, (s, t, 4)).answer
+                    == bounded_reachable(graph, s, t, 4)
+                )
+                assert (
+                    dis_rpq_n(cluster, (s, t, "L0*")).answer
+                    == regular_reachable(graph, s, t, "L0*")
+                )
+
+    def test_unknown_endpoint(self, figure1):
+        _, _, cluster = figure1
+        with pytest.raises(QueryError):
+            dis_reach_n(cluster, ("Ann", "Ghost"))
+
+
+class TestCostShape:
+    def test_ships_whole_fragments(self, figure1):
+        graph, _, cluster = figure1
+        result = dis_reach_n(cluster, ("Ann", "Mark"))
+        data = [m for m in result.stats.messages if m.kind == MessageKind.DATA]
+        assert len(data) == 3
+        total = sum(m.size_bytes for m in data)
+        # Shipping every local graph moves at least the whole of G.
+        assert total >= graph.payload_size() * 0.9
+
+    def test_traffic_exceeds_partial_evaluation(self, figure1):
+        from repro.core import dis_reach
+
+        _, _, cluster = figure1
+        shipall = dis_reach_n(cluster, ("Ann", "Mark"))
+        partial = dis_reach(cluster, ("Ann", "Mark"))
+        assert shipall.stats.traffic_bytes > partial.stats.traffic_bytes
+
+    def test_visits_each_site_once(self, figure1):
+        _, _, cluster = figure1
+        result = dis_reach_n(cluster, ("Ann", "Mark"))
+        assert result.stats.max_visits_per_site == 1
+
+    def test_restored_size_reported(self, figure1):
+        graph, _, cluster = figure1
+        result = dis_reach_n(cluster, ("Ann", "Mark"))
+        assert result.details["restored_size"] == graph.size

@@ -1,0 +1,74 @@
+"""Unit tests for Dijkstra / Bellman-Ford."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    bellman_ford,
+    dijkstra,
+    dijkstra_distance,
+    erdos_renyi,
+    graph_weighted_successors,
+)
+
+
+def _weighted(edges):
+    adj = {}
+    for u, v, w in edges:
+        adj.setdefault(u, []).append((v, w))
+    return lambda n: adj.get(n, [])
+
+
+class TestDijkstra:
+    def test_simple_path(self):
+        succ = _weighted([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 5.0)])
+        dist = dijkstra("a", succ)
+        assert dist == {"a": 0.0, "b": 1.0, "c": 3.0}
+
+    def test_target_early_exit(self):
+        succ = _weighted([("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)])
+        assert dijkstra_distance("a", "c", succ) == 2.0
+
+    def test_unreachable_none(self):
+        succ = _weighted([("a", "b", 1.0)])
+        assert dijkstra_distance("b", "a", succ) is None
+
+    def test_cutoff(self):
+        succ = _weighted([("a", "b", 2.0), ("b", "c", 2.0)])
+        assert dijkstra_distance("a", "c", succ, cutoff=3.0) is None
+        assert dijkstra_distance("a", "c", succ, cutoff=4.0) == 4.0
+
+    def test_rejects_negative_weights(self):
+        succ = _weighted([("a", "b", -1.0)])
+        with pytest.raises(ValueError):
+            dijkstra("a", succ)
+
+    def test_unorderable_node_types(self):
+        # Heap ties must not compare nodes: mix tuples and strings.
+        succ = _weighted([("a", ("x", 1), 1.0), ("a", "b", 1.0)])
+        dist = dijkstra("a", succ)
+        assert dist[("x", 1)] == 1.0 and dist["b"] == 1.0
+
+
+class TestBellmanFordAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_dijkstra_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi(20, rng.randrange(10, 60), seed=seed)
+        edges = [(u, v, float(rng.randrange(1, 10))) for u, v in g.edges()]
+        succ = _weighted(edges)
+        source = next(iter(g.nodes()))
+        dd = dijkstra(source, succ)
+        bf = bellman_ford(g.nodes(), edges, source)
+        assert dd == bf
+
+
+class TestGraphAdapter:
+    def test_unit_weights(self, diamond):
+        succ = graph_weighted_successors(diamond)
+        assert dijkstra_distance("a", "d", succ) == 2.0
+
+    def test_custom_weight(self, diamond):
+        succ = graph_weighted_successors(diamond, weight=3.0)
+        assert dijkstra_distance("a", "d", succ) == 6.0

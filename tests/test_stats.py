@@ -1,0 +1,87 @@
+"""Unit tests for execution statistics."""
+
+import pytest
+
+from repro.distributed import COORDINATOR, ExecutionStats, MessageKind, PhaseTimer
+from repro.distributed.stats import stopwatch
+
+
+@pytest.fixture
+def stats():
+    return ExecutionStats(algorithm="test", num_sites=3)
+
+
+class TestRecording:
+    def test_message_to_site_counts_visit(self, stats):
+        stats.record_message(COORDINATOR, 1, MessageKind.QUERY, 10)
+        assert stats.visits[1] == 1
+        assert stats.traffic_bytes == 10
+        assert stats.num_messages == 1
+
+    def test_message_to_coordinator_is_not_a_visit(self, stats):
+        stats.record_message(2, COORDINATOR, MessageKind.PARTIAL, 10)
+        assert stats.total_visits == 0
+        assert stats.traffic_bytes == 10
+
+    def test_parallel_phase_charges_max(self, stats):
+        stats.add_parallel_phase({0: 0.1, 1: 0.5, 2: 0.2})
+        assert stats.response_seconds == pytest.approx(0.5)
+
+    def test_empty_phase_charges_nothing(self, stats):
+        stats.add_parallel_phase({})
+        assert stats.response_seconds == 0.0
+
+    def test_coordinator_time_accumulates(self, stats):
+        stats.add_coordinator_time(0.2)
+        stats.add_coordinator_time(0.3)
+        assert stats.coordinator_seconds == pytest.approx(0.5)
+        assert stats.response_seconds == pytest.approx(0.5)
+
+
+class TestViews:
+    def test_visits_per_site_includes_unvisited(self, stats):
+        stats.record_message(COORDINATOR, 0, MessageKind.QUERY, 1)
+        assert stats.visits_per_site() == {0: 1, 1: 0, 2: 0}
+
+    def test_max_visits(self, stats):
+        for _ in range(3):
+            stats.record_message(COORDINATOR, 2, MessageKind.TOKEN, 1)
+        assert stats.max_visits_per_site == 3
+        assert stats.total_visits == 3
+
+    def test_traffic_by_kind(self, stats):
+        stats.record_message(COORDINATOR, 0, MessageKind.QUERY, 5)
+        stats.record_message(0, COORDINATOR, MessageKind.PARTIAL, 7)
+        by_kind = stats.traffic_by_kind()
+        assert by_kind[MessageKind.QUERY] == 5
+        assert by_kind[MessageKind.PARTIAL] == 7
+
+    def test_summary_mentions_key_numbers(self, stats):
+        stats.record_message(COORDINATOR, 0, MessageKind.QUERY, 5)
+        text = stats.summary()
+        assert "test" in text and "traffic=5B" in text
+
+
+class TestTimers:
+    def test_phase_timer_records_per_site(self):
+        timer = PhaseTimer()
+        with timer.at(0):
+            pass
+        with timer.at(1):
+            sum(range(1000))
+        assert set(timer.site_seconds) == {0, 1}
+        assert all(v >= 0 for v in timer.site_seconds.values())
+
+    def test_phase_timer_accumulates_same_site(self):
+        timer = PhaseTimer()
+        with timer.at(0):
+            pass
+        first = timer.site_seconds[0]
+        with timer.at(0):
+            pass
+        assert timer.site_seconds[0] >= first
+
+    def test_stopwatch(self):
+        with stopwatch() as sw:
+            sum(range(1000))
+        assert sw[0] > 0

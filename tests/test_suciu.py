@@ -1,0 +1,86 @@
+"""Unit tests for disRPQd (the Suciu-variant baseline)."""
+
+import pytest
+
+from repro.automata import QueryAutomaton, US, UT
+from repro.baselines import dis_rpq_d, local_accessibility
+from repro.baselines.suciu import AccessibilityRelation, assemble_accessibility
+from repro.core import dis_rpq, regular_reachable
+from repro.distributed import MessageKind, payload_size
+from repro.errors import QueryError
+
+
+class TestLocalAccessibility:
+    def test_figure1_f2(self, figure1):
+        _, fragmentation, _ = figure1
+        automaton = QueryAutomaton.build("DB* | HR*", "Ann", "Mark")
+        relation = local_accessibility(fragmentation[1], automaton)
+        # rows: Mat/Emmy at HR (Jack matches nothing)
+        row_nodes = {node for node, _ in relation.in_pairs}
+        assert row_nodes == {"Mat", "Emmy"}
+        # every row must find its virtual successor pair
+        assert all(bits != 0 for bits in relation.bits)
+
+    def test_true_bits_set_when_target_local(self, figure1):
+        _, fragmentation, _ = figure1
+        automaton = QueryAutomaton.build("DB* | HR*", "Ann", "Mark")
+        relation = local_accessibility(fragmentation[2], automaton)
+        hr_rows = [
+            i for i, (node, _) in enumerate(relation.in_pairs) if node == "Ross"
+        ]
+        assert any(relation.true_bits >> i & 1 for i in hr_rows)
+
+    def test_payload_is_dense(self):
+        relation = AccessibilityRelation(
+            in_pairs=(("a", 0), ("b", 0)),
+            out_pairs=(("w", 1),) * 1,
+            bits=(1, 0),
+            true_bits=0,
+        )
+        # dense matrix bytes charged even for the zero row
+        assert relation.payload_size() >= 2 + payload_size(relation.in_pairs) + payload_size(relation.out_pairs) + 1
+
+
+class TestDisRPQd:
+    def test_figure1_answers(self, figure1):
+        _, _, cluster = figure1
+        assert dis_rpq_d(cluster, ("Ann", "Mark", "DB* | HR*")).answer
+        assert not dis_rpq_d(cluster, ("Ann", "Mark", "DB*")).answer
+
+    def test_two_visits_per_site(self, figure1):
+        """The defining cost of [30]: every site is visited twice."""
+        _, _, cluster = figure1
+        result = dis_rpq_d(cluster, ("Ann", "Mark", "DB* | HR*"))
+        assert result.stats.visits_per_site() == {0: 2, 1: 2, 2: 2}
+
+    def test_request_round_present(self, figure1):
+        _, _, cluster = figure1
+        result = dis_rpq_d(cluster, ("Ann", "Mark", "DB* | HR*"))
+        kinds = [m.kind for m in result.stats.messages]
+        assert kinds.count(MessageKind.REQUEST) == 3
+
+    def test_ships_more_than_disrpq(self, figure1):
+        _, _, cluster = figure1
+        dense = dis_rpq_d(cluster, ("Ann", "Mark", "DB* | HR*"))
+        sparse = dis_rpq(cluster, ("Ann", "Mark", "DB* | HR*"))
+        assert dense.stats.traffic_bytes >= sparse.stats.traffic_bytes
+
+    def test_trivial_self_query(self, figure1):
+        _, _, cluster = figure1
+        assert dis_rpq_d(cluster, ("Tom", "Tom", "HR*")).answer
+
+    def test_unknown_endpoint(self, figure1):
+        _, _, cluster = figure1
+        with pytest.raises(QueryError):
+            dis_rpq_d(cluster, ("Ann", "Ghost", "HR*"))
+
+    def test_agrees_with_disrpq_and_centralized(self, random_case):
+        regexes = ["L0* | L1*", ". *", "L2 L1* L0?"]
+        for seed in range(3):
+            graph, cluster = random_case(seed)
+            nodes = sorted(graph.nodes())
+            for s in nodes[::8]:
+                for t in nodes[::9]:
+                    for regex in regexes:
+                        expected = regular_reachable(graph, s, t, regex)
+                        assert dis_rpq_d(cluster, (s, t, regex)).answer == expected

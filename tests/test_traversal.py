@@ -1,0 +1,102 @@
+"""Unit tests for BFS/DFS traversal primitives."""
+
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    bfs_distance,
+    bfs_distances,
+    bfs_order,
+    descendants,
+    dfs_order,
+    is_reachable,
+    topological_order,
+)
+
+
+class TestOrders:
+    def test_bfs_order_levels(self, diamond):
+        order = list(bfs_order(diamond, "a"))
+        assert order[0] == "a"
+        assert set(order[1:3]) == {"b", "c"}
+        assert order[3] == "d"
+
+    def test_dfs_order_visits_all(self, diamond):
+        assert set(dfs_order(diamond, "a")) == {"a", "b", "c", "d"}
+
+    def test_orders_respect_unreachable(self):
+        g = DiGraph.from_edges([("a", "b")], nodes=["z"])
+        assert set(bfs_order(g, "a")) == {"a", "b"}
+        assert set(dfs_order(g, "a")) == {"a", "b"}
+
+
+class TestDescendants:
+    def test_excludes_source_by_default(self, diamond):
+        assert descendants(diamond, "a") == {"b", "c", "d"}
+
+    def test_source_on_cycle_is_own_descendant(self, cycle_graph):
+        assert 0 in descendants(cycle_graph, 0)
+
+    def test_include_source_flag(self, diamond):
+        assert "a" in descendants(diamond, "a", include_source=True)
+
+    def test_sink_has_no_descendants(self, diamond):
+        assert descendants(diamond, "d") == set()
+
+    def test_generic_successors_fn(self):
+        succ = lambda n: [n + 1] if n < 3 else []
+        assert descendants(None, 0, successors=succ) == {1, 2, 3}
+
+    def test_requires_graph_or_fn(self):
+        with pytest.raises(ValueError):
+            descendants(None, 0)
+
+
+class TestReachability:
+    def test_reaches_self(self, diamond):
+        assert is_reachable(diamond, "a", "a")
+
+    def test_forward_only(self, diamond):
+        assert is_reachable(diamond, "a", "d")
+        assert not is_reachable(diamond, "d", "a")
+
+    def test_through_cycle(self, cycle_graph):
+        assert is_reachable(cycle_graph, 1, 0)
+        assert is_reachable(cycle_graph, 0, 3)
+        assert not is_reachable(cycle_graph, 3, 0)
+
+
+class TestDistances:
+    def test_distance_zero_to_self(self, diamond):
+        assert bfs_distance(diamond, "a", "a") == 0
+
+    def test_distance_shortest(self, diamond):
+        assert bfs_distance(diamond, "a", "d") == 2
+
+    def test_distance_unreachable_none(self, diamond):
+        assert bfs_distance(diamond, "d", "a") is None
+
+    def test_distance_cutoff(self, chain_graph):
+        assert bfs_distance(chain_graph, 0, 5, cutoff=5) == 5
+        assert bfs_distance(chain_graph, 0, 5, cutoff=4) is None
+
+    def test_distances_map(self, diamond):
+        dist = bfs_distances(diamond, "a")
+        assert dist == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_distances_cutoff_prunes(self, chain_graph):
+        dist = bfs_distances(chain_graph, 0, cutoff=3)
+        assert max(dist.values()) == 3
+        assert 9 not in dist
+
+
+class TestTopologicalOrder:
+    def test_orders_dag(self, diamond):
+        order = topological_order(diamond)
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_rejects_cycle(self, cycle_graph):
+        with pytest.raises(ValueError):
+            topological_order(cycle_graph)

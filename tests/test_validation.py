@@ -1,0 +1,115 @@
+"""Unit tests for the fragmentation invariant checker."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.graph import DiGraph, erdos_renyi
+from repro.partition import (
+    Fragmentation,
+    build_fragmentation,
+    check_fragmentation,
+    random_partition,
+)
+
+
+@pytest.fixture
+def valid():
+    g = erdos_renyi(40, 120, seed=2, num_labels=2)
+    frag = build_fragmentation(g, random_partition(g, 3, seed=2), 3)
+    return g, frag
+
+
+class TestAccepts:
+    def test_valid_fragmentation(self, valid):
+        g, frag = valid
+        check_fragmentation(g, frag)  # should not raise
+
+    def test_single_fragment(self):
+        g = erdos_renyi(10, 20, seed=0)
+        frag = build_fragmentation(g, {n: 0 for n in g.nodes()}, 1)
+        check_fragmentation(g, frag)
+
+    def test_figure1(self, figure1):
+        graph, fragmentation, _ = figure1
+        check_fragmentation(graph, fragmentation)
+
+
+def _tamper(frag, index, **changes):
+    """Rebuild a Fragmentation with one fragment replaced."""
+    fragments = list(frag.fragments)
+    fragments[index] = dataclasses.replace(fragments[index], **changes)
+    return Fragmentation(fragments, dict(frag.placement))
+
+
+class TestRejects:
+    def test_double_ownership(self, valid):
+        g, frag = valid
+        stolen = next(iter(frag[1].nodes))
+        bad = _tamper(frag, 0, nodes=frag[0].nodes | {stolen})
+        with pytest.raises(FragmentationError, match="owned by fragments"):
+            check_fragmentation(g, bad)
+
+    def test_unowned_node(self, valid):
+        g, frag = valid
+        dropped = next(iter(frag[0].nodes))
+        bad = _tamper(frag, 0, nodes=frag[0].nodes - {dropped})
+        with pytest.raises(FragmentationError):
+            check_fragmentation(g, bad)
+
+    def test_foreign_node(self, valid):
+        g, frag = valid
+        bad = _tamper(frag, 0, nodes=frag[0].nodes | {"ghost"})
+        with pytest.raises(FragmentationError, match="absent from the graph"):
+            check_fragmentation(g, bad)
+
+    def test_missing_virtual_node(self, valid):
+        g, frag = valid
+        victim = next(iter(frag[0].virtual_nodes))
+        bad = _tamper(frag, 0, virtual_nodes=frag[0].virtual_nodes - {victim})
+        with pytest.raises(FragmentationError):
+            check_fragmentation(g, bad)
+
+    def test_wrong_in_nodes(self, valid):
+        g, frag = valid
+        bad = _tamper(frag, 0, in_nodes=frozenset())
+        with pytest.raises(FragmentationError, match="Fi.I"):
+            check_fragmentation(g, bad)
+
+    def test_missing_cross_edge(self, valid):
+        g, frag = valid
+        bad = _tamper(frag, 0, cross_edges=frag[0].cross_edges[1:])
+        with pytest.raises(FragmentationError):
+            check_fragmentation(g, bad)
+
+    def test_non_induced_local_graph(self, valid):
+        g, frag = valid
+        local = frag[0].local_graph.copy()
+        owned = sorted(frag[0].nodes, key=repr)
+        u, v = owned[0], owned[1]
+        if local.has_edge(u, v):
+            local.remove_edge(u, v)
+        else:
+            local.add_edge(u, v)
+        bad = _tamper(frag, 0, local_graph=local)
+        with pytest.raises(FragmentationError):
+            check_fragmentation(g, bad)
+
+    def test_mislabeled_node(self, valid):
+        g, frag = valid
+        local = frag[0].local_graph.copy()
+        node = next(iter(frag[0].nodes))
+        local.set_label(node, "WRONG-LABEL")
+        bad = _tamper(frag, 0, local_graph=local)
+        with pytest.raises(FragmentationError, match="mislabels"):
+            check_fragmentation(g, bad)
+
+    def test_placement_disagreement(self, valid):
+        g, frag = valid
+        placement = dict(frag.placement)
+        node = next(iter(frag[0].nodes))
+        placement[node] = 1
+        bad = Fragmentation(list(frag.fragments), placement)
+        with pytest.raises(FragmentationError):
+            check_fragmentation(g, bad)
