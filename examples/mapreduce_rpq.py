@@ -12,7 +12,7 @@ time react to the number of mappers — the Fig. 11(l) effect in miniature —
 and that the job returns exactly what disRPQ returns.
 """
 
-from repro.core import RegularReachQuery, regular_reachable
+from repro.core import regular_reachable
 from repro.distributed import SimulatedCluster
 from repro.core.regular import dis_rpq
 from repro.mapreduce import MapReduceRuntime, mrd_rpq

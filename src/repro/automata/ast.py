@@ -15,7 +15,7 @@ deduplicated by hypothesis strategies in the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterator, Tuple
 
 

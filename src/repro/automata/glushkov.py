@@ -18,8 +18,8 @@ unnecessary at the query sizes of the evaluation (|R| ≤ ~40).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union as TUnion
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from .ast import Concat, Epsilon, RegexNode, Star, Symbol, Union, Wildcard
 

@@ -11,7 +11,7 @@ agrees with Python's ``re`` engine on rendered expressions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union as TUnion
+from typing import FrozenSet, Sequence, Set, Union as TUnion
 
 from .ast import RegexNode
 from .glushkov import GlushkovAnalysis, PositionLabel, analyze

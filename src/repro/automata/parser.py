@@ -19,7 +19,7 @@ Examples::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union as TUnion
+from typing import List, Optional, Union as TUnion
 
 from ..errors import RegexSyntaxError
 from . import ast

@@ -16,7 +16,7 @@ so vectors indexed by state are cheap and the (node, state) pairs shipped by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union as TUnion
+from typing import Callable, Iterable, List, Tuple, Union as TUnion
 
 from ..graph.digraph import DiGraph, Node
 from .ast import RegexNode

@@ -14,6 +14,13 @@ to the master), and *false* once every worker is idle.  Performance-wise
 this serializes BFS frontiers into supersteps and pays a master round-trip
 for every cross-fragment activation — hence unbounded site visits and a
 response time that grows with fragment count, the paper's Exp-1 story.
+
+Executor note (DESIGN.md §5): unlike the partial-evaluation algorithms,
+whose one site visit is a pure function over a fragment, every Pregel
+superstep mutates shared engine state (vertex values, outboxes) through
+master-routed messages.  Its per-vertex closures therefore run inline via
+``phase.at`` on every backend; the modeled costs are identical either way,
+which the backend-parametrized tests assert.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ store, so other vertex programs (e.g. SSSP) can reuse it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from ..distributed.cluster import Run, SimulatedCluster
 from ..distributed.messages import COORDINATOR, MessageKind, payload_size

@@ -14,7 +14,7 @@ linear in |G| and may be forbidden outright by data privacy.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from typing import Tuple, Union
 
 from ..core.centralized import evaluate_centralized
 from ..core.queries import (
@@ -25,8 +25,21 @@ from ..core.queries import (
 )
 from ..core.results import QueryResult
 from ..distributed.cluster import SimulatedCluster
-from ..distributed.messages import MessageKind
+from ..distributed.messages import MessageKind, payload_size
 from ..graph.digraph import Node
+from ..partition.fragment import Fragment
+
+
+def serialize_site(fragments: Tuple[Fragment, ...]) -> Tuple[Tuple[int, int], ...]:
+    """Site-side serialization task: wire bytes of every local graph.
+
+    The serialization is the site's compute for this algorithm, so it runs
+    inside the executor task (charged to the site's phase time); only the
+    byte counts return to the coordinator loop, which records the transfers.
+    """
+    return tuple(
+        (fragment.fid, payload_size(fragment.local_graph)) for fragment in fragments
+    )
 
 
 def _ship_all(cluster: SimulatedCluster, query: Query, algorithm: str) -> QueryResult:
@@ -39,12 +52,15 @@ def _ship_all(cluster: SimulatedCluster, query: Query, algorithm: str) -> QueryR
     # ... and the sites serialize and ship their entire local graphs back,
     # in parallel (serialization is site-side compute, inside the phase).
     with run.parallel_phase() as phase:
-        for site in cluster.sites:
-            with phase.at(site.site_id):
-                for fragment in site.fragments:
-                    run.send_to_coordinator(
-                        site.site_id, fragment.local_graph, MessageKind.DATA
-                    )
+        shipped = phase.map(
+            serialize_site,
+            [(site.site_id, (tuple(site.fragments),)) for site in cluster.sites],
+        )
+        for site, sizes in zip(cluster.sites, shipped):
+            for _fid, size in sizes:
+                run.send_to_coordinator(
+                    site.site_id, kind=MessageKind.DATA, size=size
+                )
 
     with run.coordinator_work():
         graph = cluster.fragmentation.restore_graph()

@@ -107,6 +107,16 @@ def local_accessibility(
     )
 
 
+def site_accessibility(
+    fragments: Tuple[Fragment, ...], automaton: QueryAutomaton
+) -> Tuple[Tuple[int, AccessibilityRelation], ...]:
+    """One site's first visit as a self-contained executor task (picklable)."""
+    return tuple(
+        (fragment.fid, local_accessibility(fragment, automaton))
+        for fragment in fragments
+    )
+
+
 def assemble_accessibility(
     relations: Dict[int, AccessibilityRelation], automaton: QueryAutomaton
 ) -> Tuple[bool, BooleanEquationSystem]:
@@ -142,16 +152,21 @@ def dis_rpq_d(
         stats = run.finish()
         return QueryResult(True, stats, {"trivial": True})
 
-    # Visit 1: post the automaton; sites compute their full relations.
+    # Visit 1: post the automaton; sites compute their full relations (one
+    # executor task per site — the per-source product BFSes are the compute).
     run.broadcast(automaton, MessageKind.QUERY)
     relations: Dict[int, AccessibilityRelation] = {}  # keyed by fragment id
     with run.parallel_phase() as phase:
-        for site in cluster.sites:
-            with phase.at(site.site_id):
-                for fragment in site.fragments:
-                    relations[fragment.fid] = local_accessibility(
-                        fragment, automaton
-                    )
+        computed = phase.map(
+            site_accessibility,
+            [
+                (site.site_id, (tuple(site.fragments), automaton))
+                for site in cluster.sites
+            ],
+        )
+        for by_fragment in computed:
+            for fid, relation in by_fragment:
+                relations[fid] = relation
 
     # Visit 2: the coordinator collects the materialized relations.
     run.broadcast("collect", MessageKind.REQUEST)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench table2          # one experiment
     python -m repro.bench all             # every experiment
     python -m repro.bench fig11a --scale 0.005 --csv out.csv
+    python -m repro.bench table2 --executor process   # parallel site work
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..distributed.executors import EXECUTORS, set_default_executor
 from .experiments import EXPERIMENTS
 
 
@@ -32,7 +34,18 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--queries", type=int, default=None, help="queries per point")
     parser.add_argument("--csv", type=Path, default=None, help="also write CSV here")
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="sequential",
+        help="execution backend for site-local work in every cluster the "
+        "experiments build (default: sequential; modeled metrics are "
+        "backend-independent, wall time is not)",
+    )
     args = parser.parse_args(argv)
+    # Experiments construct their own clusters internally; the process-wide
+    # default is how one flag reaches all of them.
+    set_default_executor(args.executor)
 
     if not args.experiment:
         print("available experiments:")

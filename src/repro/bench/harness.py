@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.engine import evaluate
 from ..core.queries import Query
-from ..core.results import QueryResult
 from ..distributed.cluster import SimulatedCluster
 
 

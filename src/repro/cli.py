@@ -12,6 +12,9 @@ Lets a user exercise the whole system from a shell, no Python required::
     python -m repro --graph g.txt --partitioner bfs --algorithm disRPQd \\
         regular Ann Mark "DB* | HR*"
 
+    # run the site-local work on a real process pool
+    python -m repro --graph g.txt --executor process reach a b
+
     # built-in dataset stand-ins work too
     python -m repro --dataset amazon --scale 0.002 reach 0 100
 
@@ -28,6 +31,7 @@ from pathlib import Path
 from .core.engine import algorithms_for, evaluate
 from .core.queries import BoundedReachQuery, ReachQuery, RegularReachQuery
 from .distributed.cluster import SimulatedCluster
+from .distributed.executors import EXECUTORS
 from .errors import ReproError
 from .graph import graph_io
 from .partition.partitioners import PARTITIONERS
@@ -55,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--algorithm", default=None,
                         help="algorithm name (default: the paper's partial-"
                         "evaluation algorithm for the query class)")
+    parser.add_argument("--executor", choices=sorted(EXECUTORS),
+                        default="sequential",
+                        help="execution backend for site-local work "
+                        "(default: sequential; answers and modeled costs "
+                        "are identical under every backend)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="also print per-site visit counts")
 
@@ -92,7 +101,8 @@ def main(argv=None) -> int:
         else:
             graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
         cluster = SimulatedCluster.from_graph(
-            graph, args.fragments, partitioner=args.partitioner, seed=args.seed
+            graph, args.fragments, partitioner=args.partitioner, seed=args.seed,
+            executor=args.executor,
         )
         source = _resolve_node(graph, args.source)
         target = _resolve_node(graph, args.target)
@@ -115,10 +125,15 @@ def main(argv=None) -> int:
         f"[{stats.algorithm}] sites={cluster.num_sites} "
         f"max-visits/site={stats.max_visits_per_site} "
         f"traffic={stats.traffic_bytes}B "
-        f"response={stats.response_seconds * 1e3:.2f}ms"
+        f"response={stats.response_seconds * 1e3:.2f}ms "
+        f"executor={stats.executor}"
     )
     if args.verbose:
         print(f"visits per site: {stats.visits_per_site()}")
+        if stats.parallel_speedup is not None:
+            print(f"parallel speedup: {stats.parallel_speedup:.2f}x "
+                  f"(site compute {stats.site_compute_seconds * 1e3:.2f}ms / "
+                  f"phase wall {stats.phase_wall_seconds * 1e3:.2f}ms)")
         print(f"applicable algorithms: {', '.join(algorithms_for(query))}")
     return 0
 

@@ -24,7 +24,7 @@ paper's formulas simply never mention them; we allow them for robustness).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Set, Tuple, Union
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Set, Union
 
 from ..errors import ReproError
 from ..graph.digraph import DiGraph

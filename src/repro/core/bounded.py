@@ -120,6 +120,19 @@ def local_eval_bounded(
     return {v: tuple(ts) for v, ts in terms.items()}
 
 
+def eval_site_bounded(
+    fragments: Tuple[Fragment, ...],
+    query: BoundedReachQuery,
+    oracle_factory: Optional[DistanceOracleFactory] = None,
+) -> Tuple[Tuple[int, BoundedEquations], ...]:
+    """One site's visit as a self-contained executor task (picklable;
+    evaluates every fragment the site holds, returns ``((fid, eqs), ...)``)."""
+    return tuple(
+        (fragment.fid, local_eval_bounded(fragment, query, oracle_factory))
+        for fragment in fragments
+    )
+
+
 def assemble_bounded(
     partials: Dict[int, BoundedEquations],
     query: BoundedReachQuery,
@@ -153,13 +166,18 @@ def dis_dist(
     run.broadcast(query, MessageKind.QUERY)
     partials: Dict[int, BoundedEquations] = {}  # keyed by fragment id
     with run.parallel_phase() as phase:
-        for site in cluster.sites:
+        site_answers = phase.map(
+            eval_site_bounded,
+            [
+                (site.site_id, (tuple(site.fragments), query, oracle_factory))
+                for site in cluster.sites
+            ],
+        )
+        for site, by_fragment in zip(cluster.sites, site_answers):
             site_equations: BoundedEquations = {}
-            with phase.at(site.site_id):
-                for fragment in site.fragments:
-                    equations = local_eval_bounded(fragment, query, oracle_factory)
-                    partials[fragment.fid] = equations
-                    site_equations.update(equations)
+            for fid, equations in by_fragment:
+                partials[fid] = equations
+                site_equations.update(equations)
             run.send_to_coordinator(
                 site.site_id, BoundedPartialAnswer(site_equations), MessageKind.PARTIAL
             )

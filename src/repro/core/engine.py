@@ -23,13 +23,14 @@ on a graph + mapper count rather than on a prebuilt cluster.)
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Type
+from typing import Callable, Dict, Optional, Tuple, Type, Union
 
 from ..baselines.message_passing import dis_reach_m
 from ..baselines.pregel_programs import dis_dist_m
 from ..baselines.ship_all import dis_dist_n, dis_reach_n, dis_rpq_n
 from ..baselines.suciu import dis_rpq_d
 from ..distributed.cluster import SimulatedCluster
+from ..distributed.executors import ExecutorBackend
 from ..errors import QueryError
 from .bounded import dis_dist
 from .queries import BoundedReachQuery, Query, ReachQuery, RegularReachQuery
@@ -73,11 +74,15 @@ def evaluate(
     cluster: SimulatedCluster,
     query: Query,
     algorithm: Optional[str] = None,
+    executor: Union[str, ExecutorBackend, None] = None,
 ) -> QueryResult:
     """Evaluate ``query`` on ``cluster``.
 
     With no ``algorithm``, the paper's partial-evaluation algorithm for the
-    query's class is used.
+    query's class is used.  ``executor`` overrides the cluster's execution
+    backend for this one evaluation (``sequential``/``thread``/``process``);
+    backends change wall-clock behavior only — answers and modeled costs are
+    identical under every backend.
     """
     if algorithm is None:
         try:
@@ -94,4 +99,7 @@ def evaluate(
             f"algorithm {algorithm!r} evaluates {query_type.__name__}, "
             f"got {type(query).__name__}"
         )
-    return fn(cluster, query)
+    if executor is None:
+        return fn(cluster, query)
+    with cluster.using_executor(executor):
+        return fn(cluster, query)

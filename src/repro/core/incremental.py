@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple, Union
 
 from ..automata.query_automaton import QueryAutomaton
-from ..distributed.cluster import Run, SimulatedCluster
+from ..distributed.cluster import SimulatedCluster
 from ..distributed.messages import MessageKind
 from ..errors import QueryError
 from ..graph.digraph import Node

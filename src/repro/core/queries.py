@@ -12,7 +12,7 @@ or cluster at evaluation time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from ..automata.ast import RegexNode

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 
 from ..distributed.cluster import SimulatedCluster
 from ..distributed.messages import MessageKind, equation_set_size
-from ..errors import QueryError
 from ..graph.digraph import Node
 from ..graph.reachsets import reachable_seed_masks_from
 from ..index.base import OracleFactory
@@ -117,6 +116,24 @@ def local_eval_reach(
     return equations
 
 
+def eval_site_reach(
+    fragments: Tuple[Fragment, ...],
+    query: ReachQuery,
+    oracle_factory: Optional[OracleFactory] = None,
+) -> Tuple[Tuple[int, ReachEquations], ...]:
+    """One site's visit as a self-contained executor task.
+
+    Module-level (hence picklable) so the process backend can ship it to a
+    worker; evaluates every fragment the site holds and returns
+    ``((fid, equations), ...)``.  A non-``None`` ``oracle_factory`` must be
+    picklable too (a class or module-level function, not a lambda).
+    """
+    return tuple(
+        (fragment.fid, local_eval_reach(fragment, query, oracle_factory))
+        for fragment in fragments
+    )
+
+
 def assemble_reach(
     partials: Dict[int, ReachEquations],
     query: ReachQuery,
@@ -149,15 +166,21 @@ def dis_reach(
     run.broadcast(query, MessageKind.QUERY)
     partials: Dict[int, ReachEquations] = {}  # keyed by fragment id
     with run.parallel_phase() as phase:
-        for site in cluster.sites:
+        # One task per site (a site may hold several fragments, Section 2.1
+        # remark; it evaluates all of them during its single visit).  The
+        # executor backend decides whether the tasks really run concurrently.
+        site_answers = phase.map(
+            eval_site_reach,
+            [
+                (site.site_id, (tuple(site.fragments), query, oracle_factory))
+                for site in cluster.sites
+            ],
+        )
+        for site, by_fragment in zip(cluster.sites, site_answers):
             site_equations: ReachEquations = {}
-            with phase.at(site.site_id):
-                # A site may hold several fragments (Section 2.1 remark);
-                # it evaluates all of them during its single visit.
-                for fragment in site.fragments:
-                    equations = local_eval_reach(fragment, query, oracle_factory)
-                    partials[fragment.fid] = equations
-                    site_equations.update(equations)
+            for fid, equations in by_fragment:
+                partials[fid] = equations
+                site_equations.update(equations)
             run.send_to_coordinator(
                 site.site_id, ReachPartialAnswer(site_equations), MessageKind.PARTIAL
             )

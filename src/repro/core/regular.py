@@ -25,7 +25,7 @@ Guarantees (Theorem 3): one visit per site, ``O(|R|^2 |Vf|^2)`` traffic,
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Tuple, Union
 
 from dataclasses import dataclass
 
@@ -145,6 +145,18 @@ def local_eval_regular(
     return equations
 
 
+def eval_site_regular(
+    fragments: Tuple[Fragment, ...],
+    automaton: QueryAutomaton,
+) -> Tuple[Tuple[int, RegularEquations], ...]:
+    """One site's visit as a self-contained executor task (picklable; the
+    automaton travels with the task, exactly as it travels on the wire)."""
+    return tuple(
+        (fragment.fid, local_eval_regular(fragment, automaton))
+        for fragment in fragments
+    )
+
+
 def assemble_regular(
     partials: Dict[int, RegularEquations],
     automaton: QueryAutomaton,
@@ -178,13 +190,18 @@ def dis_rpq(
     run.broadcast(automaton, MessageKind.QUERY)
     partials: Dict[int, RegularEquations] = {}  # keyed by fragment id
     with run.parallel_phase() as phase:
-        for site in cluster.sites:
+        site_answers = phase.map(
+            eval_site_regular,
+            [
+                (site.site_id, (tuple(site.fragments), automaton))
+                for site in cluster.sites
+            ],
+        )
+        for site, by_fragment in zip(cluster.sites, site_answers):
             site_equations: RegularEquations = {}
-            with phase.at(site.site_id):
-                for fragment in site.fragments:
-                    equations = local_eval_regular(fragment, automaton)
-                    partials[fragment.fid] = equations
-                    site_equations.update(equations)
+            for fid, equations in by_fragment:
+                partials[fid] = equations
+                site_equations.update(equations)
             run.send_to_coordinator(
                 site.site_id, RegularPartialAnswer(site_equations), MessageKind.PARTIAL
             )

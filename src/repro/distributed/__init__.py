@@ -1,19 +1,48 @@
-"""Simulated distributed runtime: sites, coordinator, traffic/visit accounting."""
+"""Simulated distributed runtime: sites, coordinator, traffic/visit accounting.
 
-from .cluster import Run, SimulatedCluster
+Parallel phases execute on a pluggable backend (:mod:`.executors`):
+``sequential`` (default, deterministic), ``thread``, or ``process``.
+"""
+
+from .cluster import ParallelPhase, Run, SimulatedCluster
+from .executors import (
+    EXECUTORS,
+    ExecutorBackend,
+    ProcessExecutor,
+    SequentialExecutor,
+    SiteTask,
+    TaskResult,
+    ThreadExecutor,
+    default_executor_name,
+    get_executor,
+    resolve_executor,
+    set_default_executor,
+)
 from .messages import COORDINATOR, Message, MessageKind, payload_size
 from .site import Site
 from .stats import ExecutionStats, PhaseTimer, stopwatch
 
 __all__ = [
     "COORDINATOR",
+    "EXECUTORS",
     "ExecutionStats",
+    "ExecutorBackend",
     "Message",
     "MessageKind",
+    "ParallelPhase",
     "PhaseTimer",
+    "ProcessExecutor",
     "Run",
+    "SequentialExecutor",
     "SimulatedCluster",
     "Site",
+    "SiteTask",
+    "TaskResult",
+    "ThreadExecutor",
+    "default_executor_name",
+    "get_executor",
     "payload_size",
+    "resolve_executor",
+    "set_default_executor",
     "stopwatch",
 ]

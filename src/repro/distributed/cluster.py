@@ -15,31 +15,56 @@ DESIGN.md §3.1 and §4):
   what makes the baselines behave as in the paper: ship-all gets faster as
   fragments shrink, message passing pays latency once per superstep.
 
+*Execution* of the site-local work is delegated to a pluggable backend
+(:mod:`repro.distributed.executors`, DESIGN.md §5): ``sequential`` (the
+default — inline, deterministic), ``thread``, or ``process``.  Backends only
+change how fast the wall clock runs; per-site compute is timed where it
+runs, so answers and the modeled costs above are identical under every
+backend.
+
 Algorithms drive a :class:`Run`::
 
     run = cluster.start_run("disReach")
     run.broadcast(query)                       # 1 visit per site
     with run.parallel_phase() as phase:
-        for site in cluster.sites:
-            with phase.at(site.site_id):
-                answer = local_eval(site.fragment, ...)
+        # submit one picklable closure per site to the executor backend
+        answers = phase.map(
+            local_eval_task,
+            [(site.site_id, (tuple(site.fragments), query)) for site in cluster.sites],
+        )
+        for site, answer in zip(cluster.sites, answers):
             run.send_to_coordinator(site.site_id, answer)
     with run.coordinator_work():
         result = assemble(...)
     stats = run.finish()
+
+(``phase.at(site_id)`` remains available for inline, stateful site work —
+the Pregel substrate uses it, since its per-vertex closures mutate shared
+engine state and must stay sequential.)
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..errors import DistributedError, QueryError
 from ..graph.digraph import DiGraph, Node
 from ..partition.builder import build_fragmentation
 from ..partition.fragment import Fragmentation
 from ..partition.partitioners import get_partitioner
+from .executors import ExecutorBackend, SiteTask, resolve_executor
 from .messages import COORDINATOR, MessageKind, payload_size
 from .site import Site
 from .stats import ExecutionStats, PhaseTimer
@@ -56,12 +81,55 @@ DEFAULT_LATENCY = 5e-4  # seconds per communication round
 DEFAULT_MASTER_SERVICE = 5e-5  # seconds per routed message
 
 
+class ParallelPhase(PhaseTimer):
+    """One parallel round: a per-site timer plus task submission.
+
+    Site-local work can be accounted two ways:
+
+    * ``phase.map(fn, tasks)`` — submit one closure per site to the
+      cluster's executor backend.  ``fn`` must be module-level and its
+      arguments picklable (the process backend ships them to workers);
+      results come back in task order, each site's measured compute time
+      folded into the phase timer.
+    * ``with phase.at(site_id): ...`` — run inline, timed.  Always
+      sequential regardless of backend; for stateful site work (the Pregel
+      substrate's vertex programs mutate shared engine state).
+    """
+
+    def __init__(self, run: "Run") -> None:
+        super().__init__()
+        self._run = run
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        tasks: Iterable[Tuple[int, Tuple[Any, ...]]],
+    ) -> List[Any]:
+        """Run ``fn(*args)`` for every ``(site_id, args)`` via the backend.
+
+        Returns the task values in submission order.  Each task's runtime is
+        credited to its site, preserving the max-of-phase response-time
+        semantics under every backend.
+        """
+        site_tasks = [SiteTask(site_id, fn, tuple(args)) for site_id, args in tasks]
+        results = self._run.cluster.executor.run_tasks(site_tasks)
+        for result in results:
+            self.site_seconds[result.site_id] = (
+                self.site_seconds.get(result.site_id, 0.0) + result.seconds
+            )
+        return [result.value for result in results]
+
+
 class Run:
     """Accounting context for one distributed query evaluation."""
 
     def __init__(self, cluster: "SimulatedCluster", algorithm: str) -> None:
         self.cluster = cluster
-        self.stats = ExecutionStats(algorithm=algorithm, num_sites=len(cluster.sites))
+        self.stats = ExecutionStats(
+            algorithm=algorithm,
+            num_sites=len(cluster.sites),
+            executor=cluster.executor.name,
+        )
         self._start = time.perf_counter()
         self._finished = False
         self._phase_bytes: Optional[Dict[int, int]] = None  # per-sender, in-phase
@@ -112,16 +180,27 @@ class Run:
     def send_to_coordinator(
         self,
         site_id: int,
-        payload: object,
+        payload: object = None,
         kind: MessageKind = MessageKind.PARTIAL,
+        size: Optional[int] = None,
     ) -> None:
         """Site ships a payload to ``Sc``.
 
         Inside a parallel phase the transfer overlaps with the other sites'
         transfers (network time = max over sites, charged at phase end);
         outside, it is charged immediately as its own round.
+
+        ``size`` overrides the payload-size computation for callers that
+        already serialized site-side — e.g. the ship-all baselines, whose
+        executor tasks charge the serialization to the site's compute time
+        and return only the byte counts.
         """
-        size = payload_size(payload)
+        if size is None:
+            if payload is None:
+                raise DistributedError(
+                    "send_to_coordinator needs a payload or an explicit size"
+                )
+            size = payload_size(payload)
         self.stats.record_message(site_id, COORDINATOR, kind, size)
         if self._phase_bytes is not None:
             self._phase_bytes[site_id] = self._phase_bytes.get(site_id, 0) + size
@@ -143,18 +222,28 @@ class Run:
     # timing
     # ------------------------------------------------------------------
     @contextmanager
-    def parallel_phase(self) -> Iterator[PhaseTimer]:
-        """One round in which all sites compute (and ship) concurrently."""
+    def parallel_phase(self) -> Iterator[ParallelPhase]:
+        """One round in which all sites compute (and ship) concurrently.
+
+        Yields a :class:`ParallelPhase`; submit site closures with
+        ``phase.map`` (runs on the cluster's executor backend) or time
+        inline work with ``phase.at``.  The modeled charge stays the same
+        either way — max of per-site compute plus one overlapped network
+        round — while the real elapsed time of the round is recorded
+        separately for speedup reporting.
+        """
         if self._phase_bytes is not None:
             raise DistributedError("parallel phases cannot nest")
-        timer = PhaseTimer()
+        timer = ParallelPhase(self)
         self._phase_bytes = {}
+        start = time.perf_counter()
         try:
             yield timer
         finally:
             phase_bytes = self._phase_bytes
             self._phase_bytes = None
-        self.stats.add_parallel_phase(timer.site_seconds)
+        wall = time.perf_counter() - start
+        self.stats.add_parallel_phase(timer.site_seconds, wall_seconds=wall)
         if phase_bytes:
             self._charge_round(max(phase_bytes.values()))
         self.stats.supersteps += 1
@@ -185,11 +274,17 @@ class SimulatedCluster:
         latency: float = DEFAULT_LATENCY,
         master_service: float = DEFAULT_MASTER_SERVICE,
         fragment_assignment: Optional[Dict[int, int]] = None,
+        executor: Union[str, ExecutorBackend, None] = None,
     ) -> None:
         """``fragment_assignment`` maps fragment id -> site id, letting one
         site host several fragments (Section 2.1's remark: "multiple
         fragments may reside in a single site"); by default each fragment
-        gets its own site."""
+        gets its own site.
+
+        ``executor`` selects the execution backend for parallel phases — a
+        name from :data:`repro.distributed.executors.EXECUTORS`
+        (``sequential``/``thread``/``process``), a backend instance, or
+        ``None`` for the process-wide default (normally sequential)."""
         if len(fragmentation) == 0:
             raise DistributedError("a cluster needs at least one fragment")
         if bandwidth <= 0:
@@ -202,6 +297,7 @@ class SimulatedCluster:
         self.bandwidth = bandwidth
         self.latency = latency
         self.master_service = master_service
+        self.executor = resolve_executor(executor)
         if fragment_assignment is None:
             fragment_assignment = {frag.fid: frag.fid for frag in fragmentation}
         missing = [f.fid for f in fragmentation if f.fid not in fragment_assignment]
@@ -227,12 +323,14 @@ class SimulatedCluster:
         bandwidth: float = DEFAULT_BANDWIDTH,
         latency: float = DEFAULT_LATENCY,
         master_service: float = DEFAULT_MASTER_SERVICE,
+        executor: Union[str, ExecutorBackend, None] = None,
     ) -> "SimulatedCluster":
         """Partition ``graph`` into ``num_fragments`` and build the cluster.
 
         ``partitioner`` is a name from
         :data:`repro.partition.partitioners.PARTITIONERS` or a callable
-        ``(graph, k) -> assignment``.
+        ``(graph, k) -> assignment``; ``executor`` picks the parallel
+        execution backend (see :meth:`__init__`).
         """
         if callable(partitioner):
             assignment = partitioner(graph, num_fragments)
@@ -248,6 +346,7 @@ class SimulatedCluster:
             bandwidth=bandwidth,
             latency=latency,
             master_service=master_service,
+            executor=executor,
         )
 
     # ------------------------------------------------------------------
@@ -285,6 +384,22 @@ class SimulatedCluster:
 
     def start_run(self, algorithm: str) -> Run:
         return Run(self, algorithm)
+
+    @contextmanager
+    def using_executor(
+        self, executor: Union[str, ExecutorBackend, None]
+    ) -> Iterator["SimulatedCluster"]:
+        """Temporarily evaluate on a different execution backend::
+
+            with cluster.using_executor("process"):
+                result = evaluate(cluster, query)
+        """
+        previous = self.executor
+        self.executor = resolve_executor(executor)
+        try:
+            yield self
+        finally:
+            self.executor = previous
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulatedCluster(sites={len(self.sites)}, {self.fragmentation!r})"

@@ -11,6 +11,12 @@ Sites stay thin otherwise: the algorithms are pure functions over
 fragments, and the site adds identity plus an optional cache of local
 reachability indexes (the paper's Section 3 remark that "any indexing
 techniques ... can be applied here").
+
+Executor note (DESIGN.md §5): site-local tasks receive *fragments*, not
+sites, so the process backend never has to ship a :class:`Site`.  Should one
+cross a process boundary anyway, pickling drops the index cache — built
+indexes hold arbitrary (possibly unpicklable) objects and are a per-process
+warm-up concern, not state.
 """
 
 from __future__ import annotations
@@ -52,6 +58,12 @@ class Site:
 
     def invalidate_indexes(self) -> None:
         self.index_cache.clear()
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the index cache (rebuilt lazily per process)."""
+        state = self.__dict__.copy()
+        state["index_cache"] = {}
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Site(id={self.site_id}, fragments={[f.fid for f in self.fragments]})"

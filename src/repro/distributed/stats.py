@@ -13,7 +13,15 @@ For every query evaluation the simulator tracks
    quantity Theorems 1–3 bound by ``O(|Vf||Fm|)`` etc.
 
 ``wall_seconds`` additionally records real elapsed time of the whole
-(single-process) simulation, which upper-bounds the parallel time.
+simulation.  Since the executor backends (:mod:`repro.distributed.executors`)
+can run site tasks concurrently, two further counters separate *modeled*
+from *actual* parallelism: ``site_compute_seconds`` sums every site's
+measured compute over all phases (the serial work), and
+``phase_wall_seconds`` is the real time those phases took — their ratio,
+:attr:`ExecutionStats.parallel_speedup`, is the observed speedup (~1.0 for
+the sequential backend, up to the core count for the process backend).
+Backends never change ``response_seconds`` semantics: per-site durations
+are measured where the task runs and combined as a maximum either way.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ class ExecutionStats:
     coordinator_seconds: float = 0.0
     wall_seconds: float = 0.0
     supersteps: int = 0
+    executor: str = "sequential"
+    site_compute_seconds: float = 0.0
+    phase_wall_seconds: float = 0.0
     extras: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -51,10 +62,19 @@ class ExecutionStats:
         if dst != COORDINATOR:
             self.visits[dst] += 1
 
-    def add_parallel_phase(self, site_seconds: Dict[int, float]) -> None:
-        """One round of concurrent local work: charge the slowest site."""
+    def add_parallel_phase(
+        self, site_seconds: Dict[int, float], wall_seconds: float = 0.0
+    ) -> None:
+        """One round of concurrent local work: charge the slowest site.
+
+        ``wall_seconds`` is the real elapsed time of the round (phase body
+        plus executor dispatch), kept separate from the modeled charge so
+        the observed speedup of a parallel backend can be reported.
+        """
         if site_seconds:
             self.response_seconds += max(site_seconds.values())
+            self.site_compute_seconds += sum(site_seconds.values())
+        self.phase_wall_seconds += wall_seconds
 
     def add_coordinator_time(self, seconds: float) -> None:
         self.coordinator_seconds += seconds
@@ -75,6 +95,14 @@ class ExecutionStats:
     def max_visits_per_site(self) -> int:
         return max(self.visits.values(), default=0)
 
+    @property
+    def parallel_speedup(self) -> Optional[float]:
+        """Observed speedup of the parallel phases: serial compute over real
+        elapsed time.  ``None`` until a phase with site work has run."""
+        if self.phase_wall_seconds <= 0.0 or self.site_compute_seconds <= 0.0:
+            return None
+        return self.site_compute_seconds / self.phase_wall_seconds
+
     def visits_per_site(self) -> Dict[int, int]:
         return {sid: self.visits.get(sid, 0) for sid in range(self.num_sites)}
 
@@ -90,28 +118,38 @@ class ExecutionStats:
                 self.traffic_by_kind().items(), key=lambda kv: kv[0].value
             )
         )
+        speedup = self.parallel_speedup
+        tail = f" speedup={speedup:.2f}x" if speedup is not None else ""
         return (
             f"[{self.algorithm}] visits/site(max)={self.max_visits_per_site} "
             f"total_visits={self.total_visits} messages={self.num_messages} "
             f"traffic={self.traffic_bytes}B ({kinds}) "
             f"response={self.response_seconds * 1e3:.2f}ms "
-            f"wall={self.wall_seconds * 1e3:.2f}ms"
+            f"wall={self.wall_seconds * 1e3:.2f}ms "
+            f"executor={self.executor}{tail}"
         )
 
 
 class PhaseTimer:
-    """Times per-site work inside one parallel phase."""
+    """Times per-site work inside one parallel phase.
+
+    Durations are CPU time of the executing thread (``thread_time``) — the
+    same clock :func:`repro.distributed.executors.run_timed` uses for
+    submitted tasks — so every algorithm's per-site compute is measured
+    identically, immune to scheduler contention, whether it runs inline
+    (the Pregel substrate) or on an executor backend.
+    """
 
     def __init__(self) -> None:
         self.site_seconds: Dict[int, float] = {}
 
     @contextmanager
     def at(self, site_id: int) -> Iterator[None]:
-        start = time.perf_counter()
+        start = time.thread_time()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = time.thread_time() - start
             self.site_seconds[site_id] = self.site_seconds.get(site_id, 0.0) + elapsed
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Union
 
 from ..errors import GraphError
 from .digraph import DiGraph

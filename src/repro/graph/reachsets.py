@@ -20,7 +20,7 @@ fragments (see DESIGN.md §3.2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set
 
 from .digraph import Node
 from .scc import tarjan_scc

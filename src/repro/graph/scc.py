@@ -12,7 +12,7 @@ graphs (graph × query automaton) without materialization.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from .digraph import DiGraph, Node
 

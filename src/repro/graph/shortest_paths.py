@@ -14,7 +14,7 @@ expected and asserted).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .digraph import DiGraph, Node
 

@@ -13,7 +13,7 @@ runs on fragment-local graphs and on lazily-materialized product graphs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
 
 from .digraph import DiGraph, Node
 

@@ -19,10 +19,8 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from ..automata.ast import Wildcard
-from ..automata.query_automaton import QueryAutomaton
 from ..core.queries import RegularReachQuery
 from ..core.regular import (
-    RegularEquations,
     RegularPartialAnswer,
     assemble_regular,
     local_eval_regular,
@@ -141,7 +139,7 @@ def mrd_dist(
     if bound == 0:
         stats = MapReduceStats(num_mappers=0, num_reducers=0)
         return MapReduceResult(source == target, stats, {"trivial": True})
-    from ..automata.ast import Epsilon, RegexNode, Union as RUnion, concat, optional
+    from ..automata.ast import Epsilon, RegexNode, concat, optional
 
     hop: RegexNode = optional(Wildcard())
     parts = [hop] * max(bound - 1, 0)

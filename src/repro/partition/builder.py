@@ -7,7 +7,7 @@ mapping, so every partitioner and every test goes through the same code.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import List, Mapping, Set
 
 from ..errors import FragmentationError
 from ..graph.digraph import DiGraph, Edge, Node

@@ -20,10 +20,10 @@ invariants above.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
 
-from ..errors import FragmentationError, NodeNotFound
+from ..errors import NodeNotFound
 from ..graph.digraph import DiGraph, Edge, Node
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Callable, Dict, Iterable, List, Mapping
+from typing import Callable, Dict, Mapping
 
 from ..errors import FragmentationError
 from ..graph.digraph import DiGraph, Node

@@ -21,17 +21,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict
 
 from ..errors import ReproError
 from ..graph.digraph import DiGraph
-from ..graph.generators import (
-    assign_labels,
-    erdos_renyi,
-    forest_fire,
-    preferential_attachment,
-    synthetic_graph,
-)
+from ..graph.generators import assign_labels, forest_fire, preferential_attachment
 
 
 @dataclass(frozen=True)

@@ -1,15 +1,38 @@
-"""Shared fixtures: small graphs, clusters and deterministic randomness."""
+"""Shared fixtures: small graphs, clusters and deterministic randomness.
+
+Reproducibility (the CI matrix depends on it):
+
+* Hypothesis runs the ``repro-deterministic`` profile — ``derandomize=True``
+  and no deadline, so every property test explores the same examples on
+  every machine and Python version (override via ``HYPOTHESIS_PROFILE``);
+* the global :mod:`random` generator is re-seeded before every test, so no
+  test depends on how many tests ran before it;
+* the ``slow`` marker (registered here and in ``pyproject.toml``) lets the
+  matrix deselect long runs with ``-m "not slow"``.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.distributed import SimulatedCluster
 from repro.graph import DiGraph, erdos_renyi
 from repro.partition import build_fragmentation, random_partition
 from repro.workload.paper_example import figure1_fragmentation, figure1_graph
+
+settings.register_profile("repro-deterministic", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-deterministic"))
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_random():
+    """Seed the global RNG per test: order/selection never changes outcomes."""
+    random.seed(0x5EED)
+    yield
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench import EXPERIMENTS, ExperimentResult, run_workload
-from repro.core import ReachQuery
 from repro.distributed import SimulatedCluster
 from repro.graph import erdos_renyi
 from repro.workload import random_reach_queries

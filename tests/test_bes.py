@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import TRUE, BooleanEquationSystem
-from repro.errors import ReproError
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro.bench`` CLI."""
 
-import pytest
 
 from repro.bench.__main__ import main
 

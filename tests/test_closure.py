@@ -1,8 +1,7 @@
 """Unit tests for forward closures and closure-restricted mask sweeps."""
 
-import pytest
 
-from repro.graph import DiGraph, erdos_renyi, is_reachable
+from repro.graph import erdos_renyi
 from repro.graph.reachsets import (
     forward_closure,
     reachable_seed_masks,

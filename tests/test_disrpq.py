@@ -3,7 +3,7 @@
 import pytest
 
 from repro.automata import US, UT, QueryAutomaton
-from repro.core import RegularReachQuery, dis_rpq, regular_reachable
+from repro.core import dis_rpq, regular_reachable
 from repro.core.bes import TRUE
 from repro.core.regular import (
     RegularPartialAnswer,

@@ -1,14 +1,33 @@
 """The example scripts must run end to end (they are executable docs)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((_REPO_ROOT / "examples").glob("*.py"))
+
+#: Subprocesses don't inherit pytest's in-process sys.path (pyproject's
+#: ``pythonpath = ["src"]``), so make the src layout importable explicitly.
+_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        p for p in (str(_REPO_ROOT / "src"), os.environ.get("PYTHONPATH")) if p
+    ),
+}
+
+
+def _run_example(script, timeout):
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=_ENV,
+    )
 
 
 def test_examples_exist():
@@ -20,29 +39,20 @@ def test_examples_exist():
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs_clean(script):
-    proc = subprocess.run(
-        [sys.executable, str(script)],
-        capture_output=True,
-        text=True,
-        timeout=300,
-    )
+    proc = _run_example(script, timeout=300)
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must print something"
 
 
 def test_quickstart_shows_guarantee():
     script = next(p for p in EXAMPLES if p.name == "quickstart.py")
-    proc = subprocess.run(
-        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
-    )
+    proc = _run_example(script, timeout=120)
     assert "visits per site" in proc.stdout
 
 
 def test_social_recommendation_matches_paper():
     script = next(p for p in EXAMPLES if p.name == "social_recommendation.py")
-    proc = subprocess.run(
-        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
-    )
+    proc = _run_example(script, timeout=120)
     out = proc.stdout
     assert "xAnn = xMat ∨ xPat" in out or "xAnn = xPat ∨ xMat" in out
     assert "Example 7" in out

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import FragmentationError, NodeNotFound
 from repro.graph import DiGraph
-from repro.partition import Fragmentation, build_fragmentation
+from repro.partition import build_fragmentation
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ message pattern of partial evaluation.
 import pytest
 
 from repro.core import dis_dist, dis_reach, dis_rpq
-from repro.distributed import MessageKind, SimulatedCluster
+from repro.distributed import SimulatedCluster
 from repro.graph import erdos_renyi, synthetic_graph
 from repro.workload import load_dataset, random_regular_queries
 

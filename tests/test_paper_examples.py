@@ -16,7 +16,6 @@ from repro.core import (
     RegularReachQuery,
     TRUE,
     dis_dist,
-    dis_reach,
     dis_rpq,
     local_eval_reach,
 )

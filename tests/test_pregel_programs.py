@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.baselines import dis_dist_m, pregel_bfs_levels, pregel_sssp
 from repro.core import bounded_reachable, dis_dist, distance

@@ -1,6 +1,5 @@
 """Unit tests for query automata Gq(R) (Section 5.1)."""
 
-import pytest
 
 from repro.automata import US, UT, QueryAutomaton
 from repro.graph import DiGraph

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BoundedReachQuery, ReachQuery, RegularReachQuery, reachable
+from repro.core import BoundedReachQuery, ReachQuery, reachable
 from repro.errors import ReproError
 from repro.graph import DiGraph, erdos_renyi
 from repro.workload import (

@@ -70,6 +70,8 @@ class TestAgainstBFS:
 
     def test_generic_successors(self):
         # Implicit graph: i -> i+1 mod 5 (a cycle) — everything reaches 0.
-        succ = lambda n: [(n + 1) % 5]
+        def succ(n):
+            return [(n + 1) % 5]
+
         masks = reachable_seed_masks(range(5), succ, [0])
         assert all(masks[i] == 1 for i in range(5))

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.graph import DiGraph, condensation, erdos_renyi, is_acyclic, tarjan_scc
 from repro.graph.traversal import is_reachable

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.automata import QueryAutomaton, US, UT
+from repro.automata import QueryAutomaton
 from repro.baselines import dis_rpq_d, local_accessibility
-from repro.baselines.suciu import AccessibilityRelation, assemble_accessibility
+from repro.baselines.suciu import AccessibilityRelation
 from repro.core import dis_rpq, regular_reachable
 from repro.distributed import MessageKind, payload_size
 from repro.errors import QueryError

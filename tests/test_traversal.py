@@ -44,7 +44,9 @@ class TestDescendants:
         assert descendants(diamond, "d") == set()
 
     def test_generic_successors_fn(self):
-        succ = lambda n: [n + 1] if n < 3 else []
+        def succ(n):
+            return [n + 1] if n < 3 else []
+
         assert descendants(None, 0, successors=succ) == {1, 2, 3}
 
     def test_requires_graph_or_fn(self):

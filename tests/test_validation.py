@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.errors import FragmentationError
-from repro.graph import DiGraph, erdos_renyi
+from repro.graph import erdos_renyi
 from repro.partition import (
     Fragmentation,
     build_fragmentation,
