@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate: compare a bench run against the baseline.
+
+Usage::
+
+    python -m repro.bench workload --queries 100 --seed 0 --json BENCH_pr.json
+    python benchmarks/check_regression.py BENCH_pr.json benchmarks/baseline.json
+
+Two kinds of checks, both on the ``workload`` experiment's rows:
+
+* **cost metrics vs. baseline** — ``traffic_KB``, ``network_ms`` and
+  ``visits`` of both the ``one-by-one`` and ``batch`` rows.  These are
+  *modeled* quantities (byte sizes, latency rounds, visit counts under the
+  simulator's deterministic cost model), so they are bit-reproducible
+  across machines; the gate fails when any grows more than ``--tolerance``
+  (default 25%) over the committed baseline.  Timing columns
+  (``response_ms``, ``wall_ms``) are measured and therefore reported but
+  never compared.
+* **absolute serving floors** — the batch row must keep ``hit_rate >= 0.5``
+  and modeled ``speedup >= 1.5`` on the pinned 100-query zipf workload
+  (the acceptance bar of the serving layer).
+
+Exit status 0 = pass, 1 = regression, 2 = bad input.  When the run is
+*better* than baseline by more than the tolerance the gate still passes but
+suggests refreshing ``benchmarks/baseline.json``.  A Markdown summary is
+appended to ``$GITHUB_STEP_SUMMARY`` when set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Deterministic modeled costs (lower is better), compared per row mode.
+COST_METRICS = ("traffic_KB", "network_ms", "visits")
+#: Absolute floors on the batch row (higher is better).
+FLOORS = {"hit_rate": 0.5, "speedup": 1.5}
+EXPERIMENT = "workload"
+
+
+def load_rows(path: Path) -> Dict[str, Dict[str, object]]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    experiment = payload.get(EXPERIMENT)
+    if not experiment or "rows" not in experiment:
+        raise SystemExit(
+            f"error: {path} has no {EXPERIMENT!r} experiment; run "
+            f"`python -m repro.bench {EXPERIMENT} --json {path}`"
+        )
+    return {str(row.get("mode")): row for row in experiment["rows"]}
+
+
+def as_float(row: Dict[str, object], metric: str, path: str) -> float:
+    value = row.get(metric)
+    if not isinstance(value, (int, float)):
+        raise SystemExit(f"error: {path} row {row.get('mode')!r} lacks {metric!r}")
+    return float(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="bench JSON of this run")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative cost growth before failing (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    current_rows = load_rows(args.current)
+    baseline_rows = load_rows(args.baseline)
+
+    failures: List[str] = []
+    improvements: List[str] = []
+    report: List[str] = [
+        "| row | metric | baseline | current | limit | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+
+    for mode in ("one-by-one", "batch"):
+        base_row = baseline_rows.get(mode)
+        cur_row = current_rows.get(mode)
+        if base_row is None or cur_row is None:
+            failures.append(f"row {mode!r} missing from baseline or current run")
+            continue
+        for metric in COST_METRICS:
+            base = as_float(base_row, metric, str(args.baseline))
+            cur = as_float(cur_row, metric, str(args.current))
+            limit = base * (1.0 + args.tolerance)
+            if cur > limit:
+                status = "FAIL"
+                failures.append(
+                    f"{mode}/{metric}: {cur:g} exceeds baseline {base:g} "
+                    f"by more than {args.tolerance:.0%} (limit {limit:g})"
+                )
+            else:
+                status = "ok"
+                if base > 0 and cur < base * (1.0 - args.tolerance):
+                    improvements.append(
+                        f"{mode}/{metric}: {cur:g} is >{args.tolerance:.0%} below "
+                        f"baseline {base:g}"
+                    )
+            report.append(
+                f"| {mode} | {metric} | {base:g} | {cur:g} | {limit:g} | {status} |"
+            )
+
+    batch_row = current_rows.get("batch")
+    if batch_row is not None:
+        for metric, floor in FLOORS.items():
+            value = as_float(batch_row, metric, str(args.current))
+            if value < floor:
+                status = "FAIL"
+                failures.append(f"batch/{metric}: {value:g} is below the floor {floor:g}")
+            else:
+                status = "ok"
+            report.append(
+                f"| batch | {metric} (floor) | >= {floor:g} | {value:g} | - | {status} |"
+            )
+
+    print("benchmark regression check:", args.current, "vs", args.baseline)
+    print("\n".join(report))
+    if improvements:
+        print(
+            "improvement beyond tolerance — consider refreshing "
+            "benchmarks/baseline.json:"
+        )
+        for line in improvements:
+            print(f"  {line}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        verdict = "regression detected" if failures else "no regression"
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(f"### Benchmark regression gate — {verdict}\n\n")
+            fh.write("\n".join(report) + "\n")
+    if failures:
+        print("REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("ok: within tolerance and above serving floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

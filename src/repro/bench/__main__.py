@@ -7,11 +7,13 @@ Usage::
     python -m repro.bench all             # every experiment
     python -m repro.bench fig11a --scale 0.005 --csv out.csv
     python -m repro.bench table2 --executor process   # parallel site work
+    python -m repro.bench workload --json BENCH_pr.json   # CI regression gate
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -34,6 +36,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--queries", type=int, default=None, help="queries per point")
     parser.add_argument("--csv", type=Path, default=None, help="also write CSV here")
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write results as JSON here (what benchmarks/check_regression.py "
+        "compares against benchmarks/baseline.json)",
+    )
     parser.add_argument(
         "--executor",
         choices=sorted(EXECUTORS),
@@ -61,6 +70,7 @@ def main(argv=None) -> int:
         return 2
 
     csv_chunks = []
+    json_payload = {}
     for name in names:
         kwargs = {"seed": args.seed}
         if args.scale is not None:
@@ -73,9 +83,22 @@ def main(argv=None) -> int:
         print(result.format_table())
         print(f"(ran in {elapsed:.1f}s)\n")
         csv_chunks.append(f"# {name}\n" + result.to_csv())
+        json_payload[name] = {
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "notes": result.notes,
+            "elapsed_seconds": elapsed,
+        }
     if args.csv:
         args.csv.write_text("\n".join(csv_chunks), encoding="utf-8")
         print(f"wrote {args.csv}")
+    if args.json:
+        args.json.write_text(
+            json.dumps(json_payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
     return 0
 
 

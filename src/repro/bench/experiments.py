@@ -16,8 +16,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.engine import evaluate
 from ..core.queries import RegularReachQuery
 from ..distributed.cluster import SimulatedCluster
+from ..distributed.stats import stopwatch
 from ..graph.digraph import DiGraph
 from ..graph.generators import synthetic_graph
 from ..index import REACHABILITY_INDEXES
@@ -552,6 +554,98 @@ def exp_ablation_partitioner(
     return result
 
 
+# ---------------------------------------------------------------------------
+# serving: the batch-engine workload driver (DESIGN.md §6)
+# ---------------------------------------------------------------------------
+def exp_workload(
+    scale: float = SCALE,
+    seed: int = 0,
+    num_queries: int = 100,
+    card: int = 4,
+    distinct: Optional[int] = None,
+    zipf_s: float = 1.2,
+) -> ExperimentResult:
+    """Zipf-skewed serving workload: batch engine vs one-by-one evaluation.
+
+    Simulates ``num_queries`` requests from concurrent clients (a skewed mix
+    of reach/bounded/regular queries over a shared pool) and serves them two
+    ways: sequentially through :func:`~repro.core.engine.evaluate`, and as
+    one batch through :class:`~repro.serving.BatchQueryEngine`.  Batch
+    answers are asserted identical to sequential answers; the table reports
+    the amortization (cache hit rate, modeled response/traffic/network cost,
+    real wall time).  The deterministic columns of the ``batch`` row —
+    ``traffic_KB``, ``network_ms``, ``visits`` — are what the CI
+    benchmark-regression gate compares against ``benchmarks/baseline.json``.
+    """
+    from ..serving import BatchQueryEngine
+    from ..workload.query_gen import zipf_workload
+
+    num_nodes = max(int(40_000 * scale), 120)
+    graph = synthetic_graph(num_nodes, 2 * num_nodes, num_labels=6, seed=seed)
+    cluster = _cluster(graph, card, seed=seed)
+    queries = zipf_workload(
+        graph, num_queries, distinct=distinct, zipf_s=zipf_s, seed=seed
+    )
+    pool_size = len({str(q) for q in queries})
+
+    with stopwatch() as seq_watch:
+        sequential = [evaluate(cluster, query) for query in queries]
+    seq_response = sum(r.stats.response_seconds for r in sequential)
+    seq_network = sum(r.stats.network_seconds for r in sequential)
+    seq_traffic = sum(r.stats.traffic_bytes for r in sequential)
+    seq_visits = sum(r.stats.total_visits for r in sequential)
+
+    engine = BatchQueryEngine(cluster)
+    with stopwatch() as batch_watch:
+        batch = engine.run_batch(queries)
+    mismatches = sum(
+        1 for mine, ref in zip(batch.results, sequential) if mine.answer != ref.answer
+    )
+    if mismatches:  # pragma: no cover - equivalence is tested, this is a guard
+        raise AssertionError(f"batch diverged from sequential on {mismatches} queries")
+    workload = batch.workload
+    bstats = workload.batch
+
+    result = ExperimentResult(
+        experiment="workload",
+        title=f"Serving workload, {num_queries} zipf queries ({pool_size} distinct)",
+        columns=[
+            "mode", "queries", "response_ms", "amortized_ms", "wall_ms",
+            "traffic_KB", "network_ms", "visits", "hit_rate", "speedup",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}, zipf_s={zipf_s}; answers "
+            "bit-identical; speedup = one-by-one modeled response / batch "
+            "modeled response"
+        ),
+    )
+    result.add_row(
+        mode="one-by-one",
+        queries=num_queries,
+        response_ms=seq_response * 1e3,
+        amortized_ms=seq_response / max(num_queries, 1) * 1e3,
+        wall_ms=seq_watch[0] * 1e3,
+        traffic_KB=seq_traffic / 1e3,
+        network_ms=seq_network * 1e3,
+        visits=seq_visits,
+        hit_rate=None,
+        speedup=None,
+    )
+    result.add_row(
+        mode="batch",
+        queries=num_queries,
+        response_ms=bstats.response_seconds * 1e3,
+        amortized_ms=(workload.amortized_response_seconds or 0.0) * 1e3,
+        wall_ms=batch_watch[0] * 1e3,
+        traffic_KB=bstats.traffic_bytes / 1e3,
+        network_ms=bstats.network_seconds * 1e3,
+        visits=bstats.total_visits,
+        hit_rate=workload.hit_rate,
+        speedup=seq_response / bstats.response_seconds if bstats.response_seconds else None,
+    )
+    return result
+
+
 #: CLI registry: experiment id -> callable.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": exp_table2,
@@ -569,4 +663,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig11l": exp_fig11l,
     "ablation-index": exp_ablation_index,
     "ablation-partitioner": exp_ablation_partitioner,
+    "workload": exp_workload,
 }

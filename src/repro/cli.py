@@ -18,8 +18,14 @@ Lets a user exercise the whole system from a shell, no Python required::
     # built-in dataset stand-ins work too
     python -m repro --dataset amazon --scale 0.002 reach 0 100
 
+    # serve a 100-query zipf workload as one batch (cross-query reuse)
+    python -m repro --graph g.txt --workload 100 --executor process
+
 The run's performance evidence (visits, traffic, response time) is printed
 with the answer — the same three quantities the paper's guarantees bound.
+With ``--workload`` the batch engine's amortization evidence (cache hit
+rate, deduplicated tasks, batched vs one-by-one modeled cost) is printed
+instead.
 """
 
 from __future__ import annotations
@@ -67,7 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="also print per-site visit counts")
 
-    sub = parser.add_subparsers(dest="query", required=True)
+    workload = parser.add_argument_group("batch workloads (instead of a query)")
+    workload.add_argument("--workload", type=int, metavar="N", default=None,
+                          help="serve an N-query zipf-skewed workload through "
+                          "the batch engine instead of one query")
+    workload.add_argument("--distinct", type=int, default=None,
+                          help="distinct queries in the workload pool "
+                          "(default: N // 5)")
+    workload.add_argument("--zipf", type=float, default=1.2,
+                          help="zipf skew of query popularity (default: 1.2)")
+    workload.add_argument("--workload-bound", type=int, default=6, metavar="L",
+                          help="bound l of the workload's bounded queries "
+                          "(default: 6; distinct dest from the dist "
+                          "subcommand's positional bound)")
+
+    sub = parser.add_subparsers(dest="query", required=False)
     reach = sub.add_parser("reach", help="qr(s, t): does s reach t?")
     reach.add_argument("source")
     reach.add_argument("target")
@@ -93,8 +113,64 @@ def _resolve_node(graph, raw: str):
     return as_int if graph.has_node(as_int) else raw
 
 
+def _run_workload(args, graph, cluster) -> int:
+    """``--workload N``: serve a generated batch, print amortization stats."""
+    from .core.engine import REGISTRY
+    from .core.queries import BoundedReachQuery, ReachQuery
+    from .serving import BatchQueryEngine
+    from .workload.query_gen import zipf_workload
+
+    mix = None
+    if args.algorithm is not None:
+        # A single algorithm evaluates a single query class, so restrict
+        # the generated mix to it (baselines run un-batched, one by one).
+        try:
+            query_type, _ = REGISTRY[args.algorithm]
+        except KeyError:
+            known = ", ".join(sorted(REGISTRY))
+            raise ReproError(
+                f"unknown algorithm {args.algorithm!r}; known: {known}"
+            ) from None
+        kind = (
+            "reach"
+            if query_type is ReachQuery
+            else "bounded" if query_type is BoundedReachQuery else "regular"
+        )
+        mix = [(kind, 1.0)]
+    queries = zipf_workload(
+        graph,
+        args.workload,
+        mix=mix,
+        distinct=args.distinct,
+        zipf_s=args.zipf,
+        bound=args.workload_bound,
+        seed=args.seed,
+    )
+    engine = BatchQueryEngine(cluster)
+    batch = engine.run_batch(queries, algorithm=args.algorithm)
+    workload = batch.workload
+    positives = sum(1 for answer in batch.answers if answer)
+    pool = len({str(q) for q in queries})
+    via = f" via {args.algorithm}" if args.algorithm else ""
+    print(
+        f"workload: {len(queries)} queries ({pool} distinct, zipf "
+        f"s={args.zipf}) on {cluster.num_sites} sites{via}  ->  "
+        f"{positives} true / {len(queries) - positives} false"
+    )
+    print(workload.summary())
+    if args.verbose:
+        for query, result in zip(queries, batch.results):
+            print(f"  {query}  ->  {result.answer}")
+    return 0
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.query is None and args.workload is None:
+        parser.error("a query subcommand (reach/dist/regular) or --workload is required")
+    if args.query is not None and args.workload is not None:
+        parser.error("--workload replaces the query subcommand; give one or the other")
     try:
         if args.graph:
             graph = graph_io.load(args.graph)
@@ -104,6 +180,8 @@ def main(argv=None) -> int:
             graph, args.fragments, partitioner=args.partitioner, seed=args.seed,
             executor=args.executor,
         )
+        if args.workload is not None:
+            return _run_workload(args, graph, cluster)
         source = _resolve_node(graph, args.source)
         target = _resolve_node(graph, args.target)
         if args.query == "reach":

@@ -9,16 +9,18 @@ from .centralized import (
     reachable,
     regular_reachable,
 )
-from .engine import REGISTRY, algorithms_for, evaluate
+from .bounded import BoundedReachPlan
+from .engine import REGISTRY, algorithms_for, evaluate, is_batchable, plan_for
 from .incremental import IncrementalReachSession, IncrementalRegularSession
 from .minplus import TARGET, MinPlusSystem
 from .queries import BoundedReachQuery, Query, ReachQuery, RegularReachQuery
-from .reachability import assemble_reach, dis_reach, local_eval_reach
-from .regular import assemble_regular, dis_rpq, local_eval_regular
+from .reachability import ReachPlan, assemble_reach, dis_reach, local_eval_reach
+from .regular import RegularReachPlan, assemble_regular, dis_rpq, local_eval_regular
 from .results import QueryResult
 
 __all__ = [
     "BooleanEquationSystem",
+    "BoundedReachPlan",
     "BoundedReachQuery",
     "IncrementalReachSession",
     "IncrementalRegularSession",
@@ -26,7 +28,9 @@ __all__ = [
     "Query",
     "QueryResult",
     "REGISTRY",
+    "ReachPlan",
     "ReachQuery",
+    "RegularReachPlan",
     "RegularReachQuery",
     "TARGET",
     "TRUE",
@@ -41,9 +45,11 @@ __all__ = [
     "distance",
     "evaluate",
     "evaluate_centralized",
+    "is_batchable",
     "local_eval_bounded",
     "local_eval_reach",
     "local_eval_regular",
+    "plan_for",
     "reachable",
     "regular_reachable",
 ]

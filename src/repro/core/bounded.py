@@ -20,14 +20,16 @@ Guarantees (Theorem 2): identical to Theorem 1 — one visit per site,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple, Union
+from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 
 from ..distributed.cluster import SimulatedCluster
-from ..distributed.messages import MessageKind, payload_size
+from ..distributed.messages import payload_size
 from ..graph.digraph import Node
 from ..graph.traversal import bfs_distances
 from ..index.distance import DistanceOracleFactory
 from ..partition.fragment import Fragment
+from ..serving.engine import execute_plans
+from ..serving.plans import QueryPlan, endpoint_params
 from .minplus import TARGET, MinPlusSystem, Term
 from .queries import BoundedReachQuery
 from .results import QueryResult
@@ -120,19 +122,6 @@ def local_eval_bounded(
     return {v: tuple(ts) for v, ts in terms.items()}
 
 
-def eval_site_bounded(
-    fragments: Tuple[Fragment, ...],
-    query: BoundedReachQuery,
-    oracle_factory: Optional[DistanceOracleFactory] = None,
-) -> Tuple[Tuple[int, BoundedEquations], ...]:
-    """One site's visit as a self-contained executor task (picklable;
-    evaluates every fragment the site holds, returns ``((fid, eqs), ...)``)."""
-    return tuple(
-        (fragment.fid, local_eval_bounded(fragment, query, oracle_factory))
-        for fragment in fragments
-    )
-
-
 def assemble_bounded(
     partials: Dict[int, BoundedEquations],
     query: BoundedReachQuery,
@@ -146,54 +135,83 @@ def assemble_bounded(
     return answer, dist, system
 
 
+class BoundedReachPlan(QueryPlan):
+    """``disDist`` decomposed for the batch engine (DESIGN.md §6).
+
+    Same boundary-relevance argument as :class:`~.reachability.ReachPlan`
+    (``localEvald`` sees the endpoints only through ``iset``/``oset`` and
+    the target→``TARGET`` rewrite), with the bound ``l`` joining the key:
+    it caps every local BFS, so partials of different bounds never mix.
+    """
+
+    algorithm = "disDist"
+
+    def __init__(
+        self,
+        query: Union[BoundedReachQuery, Tuple[Node, Node, int]],
+        oracle_factory: Optional[DistanceOracleFactory] = None,
+    ) -> None:
+        if not isinstance(query, BoundedReachQuery):
+            query = BoundedReachQuery(*query)
+        self.query = query
+        self.oracle_factory = oracle_factory
+
+    def validate(self, cluster: SimulatedCluster) -> None:
+        cluster.site_of(self.query.source)
+        cluster.site_of(self.query.target)
+
+    def trivial(self) -> Optional[Tuple[bool, Dict[str, object]]]:
+        if self.query.source == self.query.target:
+            return True, {"distance": 0.0, "trivial": True}
+        return None
+
+    def broadcast_payload(self) -> BoundedReachQuery:
+        return self.query
+
+    def local_eval(self) -> Callable:
+        return local_eval_bounded
+
+    def local_eval_args(self) -> Tuple[object, ...]:
+        return (self.query, self.oracle_factory)
+
+    def fragment_params(self, fragment: Fragment) -> Hashable:
+        return (
+            *endpoint_params(fragment, self.query.source, self.query.target),
+            self.query.bound,
+            self.oracle_factory,
+        )
+
+    def wrap_partial(self, site_equations: BoundedEquations) -> BoundedPartialAnswer:
+        return BoundedPartialAnswer(site_equations)
+
+    def assemble(
+        self, partials: Dict[int, BoundedEquations], collect_details: bool
+    ) -> Tuple[bool, Dict[str, object]]:
+        answer, dist, system = assemble_bounded(partials, self.query)
+        details: Dict[str, object] = {
+            "distance": dist,
+            "num_variables": len(system),
+            "num_terms": system.num_terms,
+        }
+        if collect_details:
+            details["equations"] = {
+                fid: dict(equations) for fid, equations in partials.items()
+            }
+            details["system"] = system
+        return answer, details
+
+
 def dis_dist(
     cluster: SimulatedCluster,
     query: Union[BoundedReachQuery, Tuple[Node, Node, int]],
     oracle_factory: Optional[DistanceOracleFactory] = None,
     collect_details: bool = False,
 ) -> QueryResult:
-    """Algorithm ``disDist`` (Section 4) on a simulated cluster."""
-    if not isinstance(query, BoundedReachQuery):
-        query = BoundedReachQuery(*query)
-    cluster.site_of(query.source)
-    cluster.site_of(query.target)
+    """Algorithm ``disDist`` (Section 4) on a simulated cluster.
 
-    run = cluster.start_run("disDist")
-    if query.source == query.target:
-        stats = run.finish()
-        return QueryResult(True, stats, {"distance": 0.0, "trivial": True})
-
-    run.broadcast(query, MessageKind.QUERY)
-    partials: Dict[int, BoundedEquations] = {}  # keyed by fragment id
-    with run.parallel_phase() as phase:
-        site_answers = phase.map(
-            eval_site_bounded,
-            [
-                (site.site_id, (tuple(site.fragments), query, oracle_factory))
-                for site in cluster.sites
-            ],
-        )
-        for site, by_fragment in zip(cluster.sites, site_answers):
-            site_equations: BoundedEquations = {}
-            for fid, equations in by_fragment:
-                partials[fid] = equations
-                site_equations.update(equations)
-            run.send_to_coordinator(
-                site.site_id, BoundedPartialAnswer(site_equations), MessageKind.PARTIAL
-            )
-
-    with run.coordinator_work():
-        answer, dist, system = assemble_bounded(partials, query)
-
-    stats = run.finish()
-    details: Dict[str, object] = {
-        "distance": dist,
-        "num_variables": len(system),
-        "num_terms": system.num_terms,
-    }
-    if collect_details:
-        details["equations"] = {
-            site_id: dict(equations) for site_id, equations in partials.items()
-        }
-        details["system"] = system
-    return QueryResult(answer, stats, details)
+    The batch-of-one special case of the serving engine; see
+    :func:`repro.core.reachability.dis_reach`.
+    """
+    plan = BoundedReachPlan(query, oracle_factory)
+    batch = execute_plans(cluster, [plan], collect_details=collect_details)
+    return batch.results[0]

@@ -32,10 +32,11 @@ from ..baselines.suciu import dis_rpq_d
 from ..distributed.cluster import SimulatedCluster
 from ..distributed.executors import ExecutorBackend
 from ..errors import QueryError
-from .bounded import dis_dist
+from ..serving.plans import QueryPlan
+from .bounded import BoundedReachPlan, dis_dist
 from .queries import BoundedReachQuery, Query, ReachQuery, RegularReachQuery
-from .reachability import dis_reach
-from .regular import dis_rpq
+from .reachability import ReachPlan, dis_reach
+from .regular import RegularReachPlan, dis_rpq
 from .results import QueryResult
 
 Algorithm = Callable[[SimulatedCluster, Query], QueryResult]
@@ -59,6 +60,48 @@ _DEFAULTS: Dict[Type, str] = {
     BoundedReachQuery: "disDist",
     RegularReachQuery: "disRPQ",
 }
+
+
+#: Batchable algorithms: the paper's partial-evaluation family, whose
+#: per-fragment partial results the serving layer can cache and share
+#: across queries.  Baselines stay un-batched (DESIGN.md §6).
+PLANS: Dict[str, Tuple[Type, Callable[..., QueryPlan]]] = {
+    "disReach": (ReachQuery, ReachPlan),
+    "disDist": (BoundedReachQuery, BoundedReachPlan),
+    "disRPQ": (RegularReachQuery, RegularReachPlan),
+}
+
+
+def is_batchable(algorithm: str) -> bool:
+    """Can ``algorithm`` run on the batch engine with cross-query reuse?"""
+    return algorithm in PLANS
+
+
+def plan_for(query: Query, algorithm: Optional[str] = None) -> QueryPlan:
+    """Build the :class:`~repro.serving.plans.QueryPlan` for ``query``.
+
+    With no ``algorithm``, the paper's partial-evaluation algorithm for the
+    query's class is chosen — every default algorithm is batchable, so a
+    mixed workload needs no per-query configuration.
+    """
+    if algorithm is None:
+        try:
+            algorithm = _DEFAULTS[type(query)]
+        except KeyError:
+            raise QueryError(f"unsupported query type {type(query).__name__}") from None
+    try:
+        query_type, plan_cls = PLANS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(PLANS))
+        raise QueryError(
+            f"algorithm {algorithm!r} is not batchable (batchable: {known})"
+        ) from None
+    if not isinstance(query, query_type):
+        raise QueryError(
+            f"algorithm {algorithm!r} evaluates {query_type.__name__}, "
+            f"got {type(query).__name__}"
+        )
+    return plan_cls(query)
 
 
 def algorithms_for(query: Query) -> Tuple[str, ...]:

@@ -103,6 +103,9 @@ class _IncrementalSession:
         run = self.cluster.start_run(f"{self.algorithm}:update")
         site = self.cluster.site_of_fragment(fragment.fid)
         site.invalidate_indexes()
+        # Serving-layer caches key partial results on the fragment version;
+        # bumping it here retires every cached rvset of the touched fragment.
+        self.cluster.bump_fragment_version(fragment.fid)
         run.send_to_site(site.site_id, self._broadcast_payload(), MessageKind.QUERY)
         with run.parallel_phase() as phase:
             with phase.at(site.site_id):

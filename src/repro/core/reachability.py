@@ -16,16 +16,18 @@ Guarantees (Theorem 1): one visit per site, ``O(|Vf|^2)`` traffic,
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple, Union
 
 from dataclasses import dataclass
 
 from ..distributed.cluster import SimulatedCluster
-from ..distributed.messages import MessageKind, equation_set_size
+from ..distributed.messages import equation_set_size
 from ..graph.digraph import Node
 from ..graph.reachsets import reachable_seed_masks_from
 from ..index.base import OracleFactory
 from ..partition.fragment import Fragment
+from ..serving.engine import execute_plans
+from ..serving.plans import QueryPlan, endpoint_params
 from .bes import TRUE, BooleanEquationSystem, Disjunct
 from .queries import ReachQuery
 from .results import QueryResult
@@ -116,24 +118,6 @@ def local_eval_reach(
     return equations
 
 
-def eval_site_reach(
-    fragments: Tuple[Fragment, ...],
-    query: ReachQuery,
-    oracle_factory: Optional[OracleFactory] = None,
-) -> Tuple[Tuple[int, ReachEquations], ...]:
-    """One site's visit as a self-contained executor task.
-
-    Module-level (hence picklable) so the process backend can ship it to a
-    worker; evaluates every fragment the site holds and returns
-    ``((fid, equations), ...)``.  A non-``None`` ``oracle_factory`` must be
-    picklable too (a class or module-level function, not a lambda).
-    """
-    return tuple(
-        (fragment.fid, local_eval_reach(fragment, query, oracle_factory))
-        for fragment in fragments
-    )
-
-
 def assemble_reach(
     partials: Dict[int, ReachEquations],
     query: ReachQuery,
@@ -145,57 +129,86 @@ def assemble_reach(
     return bes.solve_reachability(query.source), bes
 
 
+class ReachPlan(QueryPlan):
+    """``disReach`` decomposed for the batch engine (DESIGN.md §6).
+
+    Cache-key soundness: a fragment's equations depend on the query only
+    through ``iset``/``oset`` membership and the target→``true`` rewrite —
+    i.e. on the source iff it is stored locally and not already an in-node,
+    and on the target iff it appears in the local graph (owned or virtual).
+    Everything else about (s, t) is invisible to ``localEval``, so the vast
+    majority of fragments serve one shared, query-independent partial.
+    """
+
+    algorithm = "disReach"
+
+    def __init__(
+        self,
+        query: Union[ReachQuery, Tuple[Node, Node]],
+        oracle_factory: Optional[OracleFactory] = None,
+    ) -> None:
+        if not isinstance(query, ReachQuery):
+            query = ReachQuery(*query)
+        self.query = query
+        self.oracle_factory = oracle_factory
+
+    def validate(self, cluster: SimulatedCluster) -> None:
+        cluster.site_of(self.query.source)  # validates existence
+        cluster.site_of(self.query.target)
+
+    def trivial(self) -> Optional[Tuple[bool, Dict[str, object]]]:
+        if self.query.source == self.query.target:
+            # The zero-length path: answered at the coordinator, no visits.
+            return True, {"trivial": True}
+        return None
+
+    def broadcast_payload(self) -> ReachQuery:
+        return self.query
+
+    def local_eval(self) -> Callable:
+        return local_eval_reach
+
+    def local_eval_args(self) -> Tuple[object, ...]:
+        return (self.query, self.oracle_factory)
+
+    def fragment_params(self, fragment: Fragment) -> Hashable:
+        return (
+            *endpoint_params(fragment, self.query.source, self.query.target),
+            self.oracle_factory,
+        )
+
+    def wrap_partial(self, site_equations: ReachEquations) -> ReachPartialAnswer:
+        return ReachPartialAnswer(site_equations)
+
+    def assemble(
+        self, partials: Dict[int, ReachEquations], collect_details: bool
+    ) -> Tuple[bool, Dict[str, object]]:
+        answer, bes = assemble_reach(partials, self.query)
+        details: Dict[str, object] = {
+            "num_variables": len(bes),
+            "num_disjuncts": bes.num_disjuncts,
+        }
+        if collect_details:
+            details["equations"] = {
+                fid: dict(equations) for fid, equations in partials.items()
+            }
+            details["bes"] = bes
+        return answer, details
+
+
 def dis_reach(
     cluster: SimulatedCluster,
     query: Union[ReachQuery, Tuple[Node, Node]],
     oracle_factory: Optional[OracleFactory] = None,
     collect_details: bool = False,
 ) -> QueryResult:
-    """Algorithm ``disReach`` (Fig. 3) on a simulated cluster."""
-    if not isinstance(query, ReachQuery):
-        query = ReachQuery(*query)
-    cluster.site_of(query.source)  # validates existence
-    cluster.site_of(query.target)
+    """Algorithm ``disReach`` (Fig. 3) on a simulated cluster.
 
-    run = cluster.start_run("disReach")
-    if query.source == query.target:
-        # The zero-length path: answered at the coordinator without any visit.
-        stats = run.finish()
-        return QueryResult(True, stats, {"trivial": True})
-
-    run.broadcast(query, MessageKind.QUERY)
-    partials: Dict[int, ReachEquations] = {}  # keyed by fragment id
-    with run.parallel_phase() as phase:
-        # One task per site (a site may hold several fragments, Section 2.1
-        # remark; it evaluates all of them during its single visit).  The
-        # executor backend decides whether the tasks really run concurrently.
-        site_answers = phase.map(
-            eval_site_reach,
-            [
-                (site.site_id, (tuple(site.fragments), query, oracle_factory))
-                for site in cluster.sites
-            ],
-        )
-        for site, by_fragment in zip(cluster.sites, site_answers):
-            site_equations: ReachEquations = {}
-            for fid, equations in by_fragment:
-                partials[fid] = equations
-                site_equations.update(equations)
-            run.send_to_coordinator(
-                site.site_id, ReachPartialAnswer(site_equations), MessageKind.PARTIAL
-            )
-
-    with run.coordinator_work():
-        answer, bes = assemble_reach(partials, query)
-
-    stats = run.finish()
-    details: Dict[str, object] = {
-        "num_variables": len(bes),
-        "num_disjuncts": bes.num_disjuncts,
-    }
-    if collect_details:
-        details["equations"] = {
-            site_id: dict(equations) for site_id, equations in partials.items()
-        }
-        details["bes"] = bes
-    return QueryResult(answer, stats, details)
+    Evaluation is the batch-of-one special case of the serving engine
+    (:func:`repro.serving.engine.execute_plans`): one plan, a throwaway
+    cache, the same broadcast → parallel local evaluation → assemble
+    message sequence and accounting as ever.
+    """
+    plan = ReachPlan(query, oracle_factory)
+    batch = execute_plans(cluster, [plan], collect_details=collect_details)
+    return batch.results[0]

@@ -25,17 +25,19 @@ Guarantees (Theorem 3): one visit per site, ``O(|R|^2 |Vf|^2)`` traffic,
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple, Union
 
 from dataclasses import dataclass
 
 from ..automata.query_automaton import US, UT, QueryAutomaton, State
 from ..distributed.cluster import SimulatedCluster
-from ..distributed.messages import MessageKind, equation_set_size
+from ..distributed.messages import equation_set_size
 from ..graph.digraph import Node
 from ..graph.product import product_successors
 from ..graph.reachsets import reachable_seed_masks_from
 from ..partition.fragment import Fragment
+from ..serving.engine import execute_plans
+from ..serving.plans import QueryPlan, endpoint_params
 from .bes import TRUE, BooleanEquationSystem, Disjunct
 from .queries import RegularReachQuery
 from .results import QueryResult
@@ -145,18 +147,6 @@ def local_eval_regular(
     return equations
 
 
-def eval_site_regular(
-    fragments: Tuple[Fragment, ...],
-    automaton: QueryAutomaton,
-) -> Tuple[Tuple[int, RegularEquations], ...]:
-    """One site's visit as a self-contained executor task (picklable; the
-    automaton travels with the task, exactly as it travels on the wire)."""
-    return tuple(
-        (fragment.fid, local_eval_regular(fragment, automaton))
-        for fragment in fragments
-    )
-
-
 def assemble_regular(
     partials: Dict[int, RegularEquations],
     automaton: QueryAutomaton,
@@ -168,58 +158,90 @@ def assemble_regular(
     return bes.solve_reachability((automaton.source, US)), bes
 
 
+class RegularReachPlan(QueryPlan):
+    """``disRPQ`` decomposed for the batch engine (DESIGN.md §6).
+
+    The automaton travels in the cache key as its Glushkov *analysis*
+    (structural regex identity): the local product sweep is determined by
+    the analysis plus label matching, never by which concrete regex text
+    produced it.  Endpoint relevance differs from the Boolean case in one
+    spot: a locally stored source always matters — even as an in-node it
+    adds the ``(s, us)`` product root, which no other node can occupy.
+    """
+
+    algorithm = "disRPQ"
+
+    def __init__(
+        self, query: Union[RegularReachQuery, Tuple[Node, Node, object]]
+    ) -> None:
+        if not isinstance(query, RegularReachQuery):
+            query = RegularReachQuery(*query)
+        self.query = query
+        # Step 1: the coordinator builds Gq(R) once and posts it (not the
+        # raw regex) to every site — its size is O(|R|), independent of |G|.
+        self.automaton = query.automaton()
+
+    def validate(self, cluster: SimulatedCluster) -> None:
+        cluster.site_of(self.query.source)
+        cluster.site_of(self.query.target)
+
+    def trivial(self) -> Optional[Tuple[bool, Dict[str, object]]]:
+        if self.query.source == self.query.target and self.automaton.analysis.nullable:
+            return True, {"trivial": True}
+        return None
+
+    def broadcast_payload(self) -> QueryAutomaton:
+        return self.automaton
+
+    def local_eval(self) -> Callable:
+        return local_eval_regular
+
+    def local_eval_args(self) -> Tuple[object, ...]:
+        return (self.automaton,)
+
+    def fragment_params(self, fragment: Fragment) -> Hashable:
+        return (
+            self.automaton.analysis,
+            *endpoint_params(
+                fragment,
+                self.query.source,
+                self.query.target,
+                source_matters_as_in_node=True,
+            ),
+        )
+
+    def wrap_partial(self, site_equations: RegularEquations) -> RegularPartialAnswer:
+        return RegularPartialAnswer(site_equations)
+
+    def assemble(
+        self, partials: Dict[int, RegularEquations], collect_details: bool
+    ) -> Tuple[bool, Dict[str, object]]:
+        answer, bes = assemble_regular(partials, self.automaton)
+        details: Dict[str, object] = {
+            "num_variables": len(bes),
+            "num_disjuncts": bes.num_disjuncts,
+            "automaton_states": self.automaton.num_states,
+            "automaton_transitions": self.automaton.num_transitions,
+        }
+        if collect_details:
+            details["equations"] = {
+                fid: dict(equations) for fid, equations in partials.items()
+            }
+            details["bes"] = bes
+            details["automaton"] = self.automaton
+        return answer, details
+
+
 def dis_rpq(
     cluster: SimulatedCluster,
     query: Union[RegularReachQuery, Tuple[Node, Node, object]],
     collect_details: bool = False,
 ) -> QueryResult:
-    """Algorithm ``disRPQ`` (Section 5.2) on a simulated cluster."""
-    if not isinstance(query, RegularReachQuery):
-        query = RegularReachQuery(*query)
-    cluster.site_of(query.source)
-    cluster.site_of(query.target)
+    """Algorithm ``disRPQ`` (Section 5.2) on a simulated cluster.
 
-    run = cluster.start_run("disRPQ")
-    automaton = query.automaton()
-    if query.source == query.target and automaton.analysis.nullable:
-        stats = run.finish()
-        return QueryResult(True, stats, {"trivial": True})
-
-    # Step 1: the coordinator builds Gq(R) once and posts it (not the raw
-    # regex) to every site — its size is O(|R|), independent of |G|.
-    run.broadcast(automaton, MessageKind.QUERY)
-    partials: Dict[int, RegularEquations] = {}  # keyed by fragment id
-    with run.parallel_phase() as phase:
-        site_answers = phase.map(
-            eval_site_regular,
-            [
-                (site.site_id, (tuple(site.fragments), automaton))
-                for site in cluster.sites
-            ],
-        )
-        for site, by_fragment in zip(cluster.sites, site_answers):
-            site_equations: RegularEquations = {}
-            for fid, equations in by_fragment:
-                partials[fid] = equations
-                site_equations.update(equations)
-            run.send_to_coordinator(
-                site.site_id, RegularPartialAnswer(site_equations), MessageKind.PARTIAL
-            )
-
-    with run.coordinator_work():
-        answer, bes = assemble_regular(partials, automaton)
-
-    stats = run.finish()
-    details: Dict[str, object] = {
-        "num_variables": len(bes),
-        "num_disjuncts": bes.num_disjuncts,
-        "automaton_states": automaton.num_states,
-        "automaton_transitions": automaton.num_transitions,
-    }
-    if collect_details:
-        details["equations"] = {
-            site_id: dict(equations) for site_id, equations in partials.items()
-        }
-        details["bes"] = bes
-        details["automaton"] = automaton
-    return QueryResult(answer, stats, details)
+    The batch-of-one special case of the serving engine; see
+    :func:`repro.core.reachability.dis_reach`.
+    """
+    plan = RegularReachPlan(query)
+    batch = execute_plans(cluster, [plan], collect_details=collect_details)
+    return batch.results[0]

@@ -20,7 +20,7 @@ from .executors import (
 )
 from .messages import COORDINATOR, Message, MessageKind, payload_size
 from .site import Site
-from .stats import ExecutionStats, PhaseTimer, stopwatch
+from .stats import ExecutionStats, PhaseTimer, WorkloadStats, stopwatch
 
 __all__ = [
     "COORDINATOR",
@@ -39,6 +39,7 @@ __all__ = [
     "SiteTask",
     "TaskResult",
     "ThreadExecutor",
+    "WorkloadStats",
     "default_executor_name",
     "get_executor",
     "payload_size",

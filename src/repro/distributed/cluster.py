@@ -41,6 +41,12 @@ Algorithms drive a :class:`Run`::
 (``phase.at(site_id)`` remains available for inline, stateful site work —
 the Pregel substrate uses it, since its per-vertex closures mutate shared
 engine state and must stay sequential.)
+
+The cluster also tracks a monotone *version* per fragment
+(:meth:`SimulatedCluster.fragment_version`): the serving layer
+(:mod:`repro.serving`) keys its cross-query partial-result cache on it, so
+in-place fragment mutation plus :meth:`~SimulatedCluster.bump_fragment_version`
+is all the invalidation protocol there is (DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -141,9 +147,9 @@ class Run:
         return size / self.cluster.bandwidth
 
     def _charge_round(self, max_bytes: int) -> None:
-        self.stats.response_seconds += self.cluster.latency + self._transfer_seconds(
-            max_bytes
-        )
+        seconds = self.cluster.latency + self._transfer_seconds(max_bytes)
+        self.stats.response_seconds += seconds
+        self.stats.network_seconds += seconds
 
     # ------------------------------------------------------------------
     # messaging
@@ -214,9 +220,9 @@ class Run:
     def serialized_routing(self, num_messages: int) -> None:
         """Charge the master's one-by-one handling of routed messages."""
         if num_messages > 0:
-            self.stats.response_seconds += (
-                num_messages * self.cluster.master_service
-            )
+            seconds = num_messages * self.cluster.master_service
+            self.stats.response_seconds += seconds
+            self.stats.network_seconds += seconds
 
     # ------------------------------------------------------------------
     # timing
@@ -311,6 +317,10 @@ class SimulatedCluster:
             raise DistributedError(f"site ids must be contiguous from 0, got {site_ids}")
         self._site_of_fragment: Dict[int, int] = dict(fragment_assignment)
         self.sites: List[Site] = [Site(sid, by_site[sid]) for sid in site_ids]
+        # Monotone per-fragment data versions: serving-layer caches key their
+        # entries on these, so bumping a version (after any in-place fragment
+        # mutation) invalidates every cached partial result for the fragment.
+        self._fragment_versions: Dict[int, int] = {f.fid: 0 for f in fragmentation}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -370,6 +380,23 @@ class SimulatedCluster:
             return self.sites[self._site_of_fragment[fid]]
         except KeyError:
             raise DistributedError(f"no fragment {fid} in this cluster") from None
+
+    def fragment_version(self, fid: int) -> int:
+        """The current data version of fragment ``fid`` (see serving caches)."""
+        try:
+            return self._fragment_versions[fid]
+        except KeyError:
+            raise DistributedError(f"no fragment {fid} in this cluster") from None
+
+    def bump_fragment_version(self, fid: int) -> int:
+        """Mark fragment ``fid`` as changed; returns the new version.
+
+        Anything that mutates a fragment's local graph in place (the
+        incremental sessions, direct test mutation) must call this so
+        serving-layer partial-result caches stop serving stale entries.
+        """
+        self._fragment_versions[fid] = self.fragment_version(fid) + 1
+        return self._fragment_versions[fid]
 
     def node_site_map(self) -> Dict[Node, int]:
         """node -> hosting site id, for algorithms that route per vertex."""

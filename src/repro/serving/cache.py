@@ -1,0 +1,104 @@
+"""Cross-query cache of per-fragment partial results (DESIGN.md §6).
+
+The unit of caching is one fragment's partial answer to one query *kind* —
+the rvset a site would ship for that fragment.  Keys are
+
+    (fragment id, fragment version, algorithm, boundary-relevant params)
+
+where the boundary-relevant params come from
+:meth:`repro.serving.plans.QueryPlan.fragment_params`.  The fragment
+*version* (:meth:`repro.distributed.cluster.SimulatedCluster.fragment_version`)
+makes invalidation structural: mutating a fragment bumps its version, so
+every stale entry simply stops being reachable — :meth:`invalidate_fragment`
+additionally drops the dead entries eagerly so a long-lived serving process
+does not leak them.
+
+Entries store the equations *and* the compute seconds the evaluation took,
+so a cache hit can replay the per-query response-time accounting that
+one-by-one evaluation would have charged (the serving engine's bit-identical
+stats contract).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, NamedTuple, Optional, Tuple
+
+#: (fragment id, fragment version, algorithm, boundary-relevant params).
+CacheKey = Tuple[int, int, str, Hashable]
+
+
+class CacheEntry(NamedTuple):
+    """One fragment's cached partial answer plus its measured compute time."""
+
+    equations: Dict[Any, Any]
+    seconds: float
+
+
+class SiteResultCache:
+    """Bounded LRU cache of :class:`CacheEntry` keyed by :data:`CacheKey`."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Look up ``key``, counting the hit/miss and refreshing recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_fragment(self, fid: int) -> int:
+        """Eagerly drop every entry of fragment ``fid``; returns the count.
+
+        Version-keyed lookups already miss stale entries; this reclaims the
+        memory (and is the hook for explicit cache administration).
+        """
+        dead = [key for key in self._entries if key[0] == fid]
+        for key in dead:
+            del self._entries[key]
+        self.invalidations += len(dead)
+        return len(dead)
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SiteResultCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,349 @@
+"""Batch query engine with cross-query site-result caching (DESIGN.md §6).
+
+The paper's guarantees are per-query: every evaluation visits each site
+once and ships boundary-sized partial answers.  A serving workload redoes
+identical per-site work for query after query — the per-fragment partial
+answer depends only on the query kind and its *boundary-relevant*
+parameters (:mod:`repro.serving.plans`), not on the full query.  This
+engine exploits that three ways:
+
+1. **deduplication** — identical (fragment, query-kind, params) tasks in a
+   batch are evaluated once, in a single :meth:`ParallelPhase.map` round
+   that serves every query in the batch;
+2. **caching** — results persist in a :class:`SiteResultCache` across
+   batches, keyed by fragment *version* so in-place fragment mutation
+   invalidates them structurally;
+3. **amortized accounting** — the batch's own :class:`Run` charges only
+   what a batching coordinator would really pay (one broadcast round, one
+   compute round over the distinct tasks, one overlapped partial round),
+   while every query still gets the paper-faithful *per-query* stats.
+
+The per-query accounting contract: each query's answer, details, visits,
+traffic, message log and superstep count are **bit-identical** to
+sequential one-by-one evaluation (the engine replays the exact broadcast /
+partial / assemble message sequence, crediting cached compute times), so
+Theorems 1–3 remain checkable on every individual query.  Single-query
+evaluation (:func:`repro.core.reachability.dis_reach` and friends) is
+literally the batch-of-one special case of :func:`execute_plans`.
+
+This module imports nothing from :mod:`repro.core` at module level, so the
+core algorithms can depend on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..distributed.cluster import SimulatedCluster
+from ..distributed.messages import MessageKind, payload_size
+from ..distributed.stats import ExecutionStats, WorkloadStats
+from ..partition.fragment import Fragment
+from .cache import CacheEntry, CacheKey, SiteResultCache
+from .plans import QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids the core cycle)
+    from ..core.results import QueryResult
+
+#: One deduplicated unit of site work: (fn, fragment, args) — picklable.
+FragmentJob = Tuple[Callable[..., Any], Fragment, Tuple[Any, ...]]
+
+
+def eval_fragment_jobs(jobs: Tuple[FragmentJob, ...]) -> Tuple[Tuple[Any, float], ...]:
+    """One site's visit in a batched round: run its missing fragment jobs.
+
+    Module-level (hence picklable) so the process backend can ship it; each
+    job is timed individually (CPU time, the simulator's per-site clock) so
+    cache entries can later replay per-query response accounting.
+    """
+    out = []
+    for fn, fragment, args in jobs:
+        start = time.thread_time()
+        equations = fn(fragment, *args)
+        out.append((equations, time.thread_time() - start))
+    return tuple(out)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batched evaluation: per-query results + batch stats."""
+
+    results: List["QueryResult"] = field(default_factory=list)
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
+
+    @property
+    def answers(self) -> List[bool]:
+        return [result.answer for result in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator["QueryResult"]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int):
+        return self.results[index]
+
+
+def _accumulate(workload: WorkloadStats, stats: ExecutionStats) -> None:
+    workload.total_response_seconds += stats.response_seconds
+    workload.total_network_seconds += stats.network_seconds
+    workload.total_traffic_bytes += stats.traffic_bytes
+    workload.total_visits += stats.total_visits
+    workload.total_messages += stats.num_messages
+
+
+def execute_plans(
+    cluster: SimulatedCluster,
+    plans: Sequence[QueryPlan],
+    cache: Optional[SiteResultCache] = None,
+    collect_details: bool = False,
+) -> BatchResult:
+    """Evaluate ``plans`` over ``cluster`` with cross-query reuse.
+
+    Phase 1 walks every (plan, fragment) pair, resolving each against the
+    cache and collecting the distinct missing evaluations; phase 2 runs all
+    misses in one parallel round on the cluster's executor backend; phase 3
+    replays each query's one-by-one accounting from the resolved entries.
+    Passing ``cache=None`` uses a throwaway cache — within-batch
+    deduplication still applies, nothing survives the call.
+    """
+    from ..core.results import QueryResult
+
+    cache = cache if cache is not None else SiteResultCache()
+    plans = list(plans)
+    for plan in plans:
+        plan.validate(cluster)
+
+    workload = WorkloadStats(num_queries=len(plans))
+    trivials: List[Optional[Tuple[bool, Dict[str, object]]]] = []
+    payloads: List[Optional[object]] = []
+    plan_keys: List[Optional[Dict[int, CacheKey]]] = []
+    #: key -> resolved entry (None = scheduled, filled in by phase 2).
+    resolved: Dict[CacheKey, Optional[CacheEntry]] = {}
+    jobs_by_site: Dict[int, List[Tuple[CacheKey, QueryPlan, Fragment]]] = {}
+    plans_with_misses: List[int] = []
+
+    # ------------------------------------------------------------------
+    # phase 1: resolve every (query, fragment) pair against the cache
+    # ------------------------------------------------------------------
+    for index, plan in enumerate(plans):
+        trivial = plan.trivial()
+        trivials.append(trivial)
+        if trivial is not None:
+            payloads.append(None)
+            plan_keys.append(None)
+            workload.num_trivial += 1
+            continue
+        payloads.append(plan.broadcast_payload())
+        keys: Dict[int, CacheKey] = {}
+        missed = False
+        for site in cluster.sites:
+            for fragment in site.fragments:
+                key: CacheKey = (
+                    fragment.fid,
+                    cluster.fragment_version(fragment.fid),
+                    plan.algorithm,
+                    plan.fragment_params(fragment),
+                )
+                keys[fragment.fid] = key
+                if key in resolved:
+                    # Either cached earlier in this walk or already scheduled
+                    # by a previous query of this batch: served either way.
+                    workload.cache_hits += 1
+                    continue
+                entry = cache.get(key)
+                if entry is not None:
+                    workload.cache_hits += 1
+                    resolved[key] = entry
+                else:
+                    workload.cache_misses += 1
+                    resolved[key] = None
+                    jobs_by_site.setdefault(site.site_id, []).append(
+                        (key, plan, fragment)
+                    )
+                    missed = True
+        plan_keys.append(keys)
+        if missed:
+            plans_with_misses.append(index)
+
+    # ------------------------------------------------------------------
+    # phase 2: one parallel round over the distinct missing site tasks
+    # ------------------------------------------------------------------
+    batch_run = cluster.start_run("batch")
+    if jobs_by_site:
+        # A batching coordinator ships the distinct outstanding payloads
+        # once, and only to sites that actually have work this round.
+        bundle = tuple(dict.fromkeys(payloads[i] for i in plans_with_misses))
+        bundle_size = payload_size(bundle)
+        site_ids = sorted(jobs_by_site)
+        for site_id in site_ids:
+            batch_run.send_to_site(
+                site_id, bundle, MessageKind.QUERY, charge_time=False
+            )
+        batch_run.network_round({site_id: bundle_size for site_id in site_ids})
+        with batch_run.parallel_phase() as phase:
+            site_values = phase.map(
+                eval_fragment_jobs,
+                [
+                    (
+                        site_id,
+                        (
+                            tuple(
+                                (plan.local_eval(), fragment, plan.local_eval_args())
+                                for _key, plan, fragment in jobs_by_site[site_id]
+                            ),
+                        ),
+                    )
+                    for site_id in site_ids
+                ],
+            )
+            for site_id, values in zip(site_ids, site_values):
+                wrapped = []
+                for (key, plan, _fragment), (equations, seconds) in zip(
+                    jobs_by_site[site_id], values
+                ):
+                    entry = CacheEntry(equations, seconds)
+                    resolved[key] = entry
+                    cache.put(key, entry)
+                    workload.tasks_executed += 1
+                    wrapped.append(plan.wrap_partial(equations))
+                # Each distinct partial crosses the wire once; transfers of
+                # one round overlap (charged at phase exit as their max).
+                batch_run.send_to_coordinator(
+                    site_id, tuple(wrapped), MessageKind.PARTIAL
+                )
+
+    # ------------------------------------------------------------------
+    # phase 3: per-query replay — bit-identical one-by-one accounting
+    # ------------------------------------------------------------------
+    # Observed-parallelism bookkeeping for the replayed stats: a query whose
+    # partials were (even partly) computed by this batch's round reports
+    # that round's real wall, keeping parallel_speedup's §5 meaning on the
+    # batch-of-one path; a fully cache-served query executed no site work,
+    # so its observed pair is zeroed and parallel_speedup reads None.
+    scheduled_keys = {
+        key for jobs in jobs_by_site.values() for key, _plan, _fragment in jobs
+    }
+    executed_wall = batch_run.stats.phase_wall_seconds
+    results: List[QueryResult] = []
+    for index, plan in enumerate(plans):
+        trivial = trivials[index]
+        if trivial is not None:
+            answer, details = trivial
+            run = cluster.start_run(plan.algorithm)
+            stats = run.finish()
+            _accumulate(workload, stats)
+            results.append(QueryResult(answer, stats, dict(details)))
+            continue
+        keys = plan_keys[index]
+        run = cluster.start_run(plan.algorithm)
+        run.broadcast(payloads[index], MessageKind.QUERY)
+        partials: Dict[int, Dict] = {}
+        with run.parallel_phase() as phase:
+            for site in cluster.sites:
+                site_equations: Dict = {}
+                seconds = 0.0
+                for fragment in site.fragments:
+                    entry = resolved[keys[fragment.fid]]
+                    partials[fragment.fid] = entry.equations
+                    site_equations.update(entry.equations)
+                    seconds += entry.seconds
+                phase.credit(site.site_id, seconds)
+                run.send_to_coordinator(
+                    site.site_id, plan.wrap_partial(site_equations), MessageKind.PARTIAL
+                )
+        with run.coordinator_work():
+            answer, details = plan.assemble(partials, collect_details)
+        # The assemble really ran once, here; mirror its cost into the
+        # batch's accounting (a batching coordinator solves every query).
+        batch_run.stats.add_coordinator_time(run.stats.coordinator_seconds)
+        stats = run.finish()
+        if any(key in scheduled_keys for key in keys.values()):
+            stats.phase_wall_seconds += executed_wall
+        else:
+            stats.site_compute_seconds = 0.0
+            stats.phase_wall_seconds = 0.0
+        _accumulate(workload, stats)
+        results.append(QueryResult(answer, stats, details))
+
+    workload.batch = batch_run.finish()
+    return BatchResult(results=results, workload=workload)
+
+
+class BatchQueryEngine:
+    """Serve workloads of mixed reach/bounded/RPQ queries over one cluster.
+
+    Wraps :func:`execute_plans` with a persistent :class:`SiteResultCache`,
+    so consecutive batches (and repeated queries within a batch) reuse
+    per-fragment partial results::
+
+        engine = BatchQueryEngine(cluster)
+        batch = engine.run_batch(queries)          # mixed query classes OK
+        batch.answers, batch.workload.hit_rate, batch.workload.summary()
+
+    Only the paper's partial-evaluation algorithms are batchable; asking
+    for a baseline algorithm falls back to one-by-one evaluation (DESIGN.md
+    §6 explains why the Pregel/ship-all baselines stay un-batched).
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        cache: Optional[SiteResultCache] = None,
+        max_entries: int = 4096,
+    ) -> None:
+        self.cluster = cluster
+        self.cache = cache if cache is not None else SiteResultCache(max_entries)
+
+    def run_batch(
+        self,
+        queries: Sequence,
+        algorithm: Optional[str] = None,
+        collect_details: bool = False,
+    ) -> BatchResult:
+        """Evaluate ``queries`` as one batch (default algorithm per class)."""
+        from ..core.engine import evaluate, is_batchable, plan_for
+
+        queries = list(queries)
+        if algorithm is not None and not is_batchable(algorithm):
+            # Baselines have no partial results to cache; evaluate honestly
+            # one by one and report the batch as entirely un-batched.
+            results = [evaluate(self.cluster, query, algorithm) for query in queries]
+            workload = WorkloadStats(
+                num_queries=len(queries), num_unbatched=len(queries)
+            )
+            for result in results:
+                _accumulate(workload, result.stats)
+            return BatchResult(results=results, workload=workload)
+        plans = [plan_for(query, algorithm) for query in queries]
+        return execute_plans(
+            self.cluster, plans, cache=self.cache, collect_details=collect_details
+        )
+
+    def evaluate(
+        self,
+        query,
+        algorithm: Optional[str] = None,
+        collect_details: bool = False,
+    ):
+        """Single query through the serving path (a batch of one)."""
+        return self.run_batch([query], algorithm, collect_details).results[0]
+
+    def invalidate_fragment(self, fid: int) -> int:
+        """Drop cached partials of ``fid`` (see also ``bump_fragment_version``)."""
+        return self.cache.invalidate_fragment(fid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchQueryEngine(sites={self.cluster.num_sites}, cache={self.cache!r})"

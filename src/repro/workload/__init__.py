@@ -3,15 +3,18 @@
 from .datasets import DATASETS, DEFAULT_SCALE, DatasetSpec, load_dataset
 from .paper_example import figure1_fragmentation, figure1_graph
 from .query_gen import (
+    DEFAULT_MIX,
     planted_path_query,
     query_complexity,
     random_bounded_queries,
     random_reach_queries,
     random_regular_queries,
+    zipf_workload,
 )
 
 __all__ = [
     "DATASETS",
+    "DEFAULT_MIX",
     "DEFAULT_SCALE",
     "DatasetSpec",
     "figure1_fragmentation",
@@ -22,4 +25,5 @@ __all__ = [
     "random_bounded_queries",
     "random_reach_queries",
     "random_regular_queries",
+    "zipf_workload",
 ]

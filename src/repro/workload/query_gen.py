@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..automata import ast
 from ..automata.query_automaton import QueryAutomaton
-from ..core.queries import BoundedReachQuery, ReachQuery, RegularReachQuery
+from ..core.queries import BoundedReachQuery, Query, ReachQuery, RegularReachQuery
 from ..errors import ReproError
 from ..graph.digraph import DiGraph, Node
 from ..graph.traversal import descendants
@@ -189,6 +189,102 @@ def planted_path_query(
         regex = ast.concat(*[ast.Symbol(str(graph.label(v))) for v in intermediates])
         return RegularReachQuery(walk[0], walk[-1], regex)
     return None
+
+
+# ---------------------------------------------------------------------------
+# serving workloads: zipf-skewed streams of mixed queries
+# ---------------------------------------------------------------------------
+#: Default class mix of a serving workload (kind, weight).
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("reach", 0.4),
+    ("bounded", 0.3),
+    ("regular", 0.3),
+)
+
+
+def zipf_workload(
+    graph: DiGraph,
+    count: int,
+    mix: Optional[Sequence[Tuple[str, float]]] = None,
+    distinct: Optional[int] = None,
+    zipf_s: float = 1.2,
+    bound: int = 6,
+    seed: int = 0,
+    num_states: int = 6,
+    num_transitions: int = 10,
+    num_labels: int = 4,
+    positive_fraction: float = 0.3,
+) -> List[Query]:
+    """A stream of ``count`` queries simulating many concurrent clients.
+
+    A pool of ``distinct`` queries (default ``count // 5``) is generated
+    with the class ``mix`` (weights over ``reach``/``bounded``/``regular``),
+    then sampled with Zipf-skewed popularity — rank ``r`` drawn with weight
+    ``1/(r+1)**zipf_s`` — the classic shape of production query logs, where
+    a few hot queries dominate.  The stream is what the serving layer's
+    batch engine amortizes: repeats hit the partial-result cache outright,
+    and even distinct queries share every fragment that touches neither of
+    their endpoints.
+
+    On unlabeled graphs the ``regular`` share is dropped automatically
+    (RPQs need a label alphabet); weights are interpreted relatively.
+    """
+    if count < 0:
+        raise ReproError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    chosen_mix = tuple(DEFAULT_MIX if mix is None else mix)
+    known = {"reach", "bounded", "regular"}
+    for kind, weight in chosen_mix:
+        if kind not in known:
+            raise ReproError(f"unknown query kind {kind!r}; known: {sorted(known)}")
+        if weight < 0:
+            raise ReproError(f"mix weight for {kind!r} must be >= 0, got {weight}")
+    if not graph.label_alphabet():
+        chosen_mix = tuple((k, w) for k, w in chosen_mix if k != "regular")
+    total_weight = sum(weight for _kind, weight in chosen_mix)
+    if total_weight <= 0:
+        raise ReproError("mix needs at least one positive weight")
+    if distinct is None:
+        distinct = max(2, count // 5)
+
+    pool: List[Query] = []
+    for kind, weight in chosen_mix:
+        share = max(1, round(distinct * weight / total_weight)) if weight > 0 else 0
+        if share == 0:
+            continue
+        kind_seed = rng.randrange(2**32)
+        if kind == "reach":
+            pool.extend(
+                random_reach_queries(
+                    graph, share, seed=kind_seed, positive_fraction=positive_fraction
+                )
+            )
+        elif kind == "bounded":
+            pool.extend(
+                random_bounded_queries(
+                    graph,
+                    share,
+                    bound=bound,
+                    seed=kind_seed,
+                    positive_fraction=positive_fraction,
+                )
+            )
+        else:
+            pool.extend(
+                random_regular_queries(
+                    graph,
+                    share,
+                    num_states=num_states,
+                    num_transitions=num_transitions,
+                    num_labels=num_labels,
+                    seed=kind_seed,
+                )
+            )
+    if not pool:
+        raise ReproError("workload pool came out empty; increase distinct or mix")
+    rng.shuffle(pool)  # interleave kinds before ranking by popularity
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=count) if count else []
 
 
 def query_complexity(query: RegularReachQuery) -> Tuple[int, int, int]:

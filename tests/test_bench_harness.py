@@ -59,11 +59,11 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_fifteen_registered(self):
+    def test_all_sixteen_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
-            "fig11l", "ablation-index", "ablation-partitioner",
+            "fig11l", "ablation-index", "ablation-partitioner", "workload",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -85,6 +85,7 @@ _TINY = {
     "fig11l": dict(scale=0.001, mapper_counts=(2, 4), num_queries=1),
     "ablation-index": dict(scale=0.0005, num_queries=2),
     "ablation-partitioner": dict(scale=0.0005, num_queries=2),
+    "workload": dict(scale=0.005, num_queries=8, distinct=3),
 }
 
 

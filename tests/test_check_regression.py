@@ -1,0 +1,100 @@
+"""The CI benchmark-regression gate script (``benchmarks/check_regression.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _payload(traffic=10.0, network=1.0, visits=4, hit_rate=0.8, speedup=5.0):
+    return {
+        "workload": {
+            "columns": [],
+            "rows": [
+                {
+                    "mode": "one-by-one",
+                    "traffic_KB": 100.0,
+                    "network_ms": 50.0,
+                    "visits": 400,
+                },
+                {
+                    "mode": "batch",
+                    "traffic_KB": traffic,
+                    "network_ms": network,
+                    "visits": visits,
+                    "hit_rate": hit_rate,
+                    "speedup": speedup,
+                },
+            ],
+        }
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestGate:
+    def test_identical_runs_pass(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = _write(tmp_path, "cur.json", _payload())
+        assert gate.main([cur, base]) == 0
+        assert "no regression" not in capsys.readouterr().err
+
+    def test_within_tolerance_passes(self, gate, tmp_path):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = _write(tmp_path, "cur.json", _payload(traffic=12.0))
+        assert gate.main([cur, base]) == 0
+
+    def test_cost_regression_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = _write(tmp_path, "cur.json", _payload(traffic=13.0))
+        assert gate.main([cur, base]) == 1
+        assert "batch/traffic_KB" in capsys.readouterr().err
+
+    def test_floor_violations_fail(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = _write(tmp_path, "cur.json", _payload(hit_rate=0.3, speedup=1.2))
+        assert gate.main([cur, base]) == 1
+        err = capsys.readouterr().err
+        assert "hit_rate" in err and "speedup" in err
+
+    def test_improvement_suggests_baseline_refresh(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = _write(tmp_path, "cur.json", _payload(traffic=2.0))
+        assert gate.main([cur, base]) == 0
+        assert "refreshing" in capsys.readouterr().out
+
+    def test_step_summary_written(self, gate, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        base = _write(tmp_path, "base.json", _payload())
+        assert gate.main([base, base]) == 0
+        assert "Benchmark regression gate" in summary.read_text()
+
+    def test_missing_experiment_rejected(self, gate, tmp_path):
+        bad = _write(tmp_path, "bad.json", {"table2": {"rows": []}})
+        good = _write(tmp_path, "good.json", _payload())
+        with pytest.raises(SystemExit):
+            gate.main([bad, good])
+
+    def test_committed_baseline_is_wellformed(self, gate):
+        baseline = SCRIPT.parent / "baseline.json"
+        rows = gate.load_rows(baseline)
+        assert {"one-by-one", "batch"} <= set(rows)
+        assert gate.main([str(baseline), str(baseline)]) == 0

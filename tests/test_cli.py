@@ -35,3 +35,29 @@ class TestCli:
         assert code == 0
         text = target.read_text()
         assert "partitioner" in text
+
+    def test_workload_experiment_listed(self, capsys):
+        assert main([]) == 0
+        assert "workload" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        code = main(
+            [
+                "workload",
+                "--scale", "0.005",
+                "--queries", "8",
+                "--json", str(target),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert "workload" in payload
+        rows = payload["workload"]["rows"]
+        modes = {row["mode"] for row in rows}
+        assert modes == {"one-by-one", "batch"}
+        batch_row = next(row for row in rows if row["mode"] == "batch")
+        for column in ("traffic_KB", "network_ms", "visits", "hit_rate", "speedup"):
+            assert column in batch_row

@@ -66,3 +66,57 @@ class TestErrors:
     def test_query_type_mismatch(self, graph_file, capsys):
         assert main(["--graph", graph_file, "--algorithm", "disRPQ",
                      "reach", "Ann", "Mark"]) == 2
+
+
+class TestWorkloadCli:
+    def test_workload_batch_summary(self, graph_file, capsys):
+        code = main(["--graph", graph_file, "-k", "3", "--workload", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: 20 queries" in out
+        assert "hit-rate=" in out and "speedup=" in out
+
+    def test_workload_verbose_lists_queries(self, graph_file, capsys):
+        main(["--graph", graph_file, "--workload", "6", "--verbose"])
+        out = capsys.readouterr().out
+        assert out.count("->") >= 6
+
+    def test_workload_options_forwarded(self, graph_file, capsys):
+        code = main(
+            ["--graph", graph_file, "--workload", "10", "--distinct", "3",
+             "--zipf", "1.5", "--workload-bound", "4"]
+        )
+        assert code == 0
+        assert "(3 distinct, zipf s=1.5)" in capsys.readouterr().out
+
+    def test_requires_query_or_workload(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--graph", graph_file])
+        assert "or --workload" in capsys.readouterr().err
+
+    def test_rejects_both_query_and_workload(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--graph", graph_file, "--workload", "5", "reach", "Ann", "Mark"])
+        assert "give one or the other" in capsys.readouterr().err
+
+    def test_workload_honors_algorithm_baseline(self, graph_file, capsys):
+        code = main(
+            ["--graph", graph_file, "--workload", "8", "--algorithm", "disReachn"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "via disReachn" in out
+        assert "unbatched=8" in out
+
+    def test_workload_honors_batchable_algorithm(self, graph_file, capsys):
+        code = main(
+            ["--graph", graph_file, "--workload", "8", "--algorithm", "disDist"]
+        )
+        assert code == 0
+        assert "unbatched" not in capsys.readouterr().out
+
+    def test_workload_unknown_algorithm_errors(self, graph_file, capsys):
+        assert main(
+            ["--graph", graph_file, "--workload", "5", "--algorithm", "nope"]
+        ) == 2
+        assert "unknown algorithm" in capsys.readouterr().err

@@ -103,3 +103,60 @@ class TestPlantedQuery:
         g.add_node("a", label="X")
         g.add_node("b", label="X")
         assert planted_path_query(g, 3, seed=0) is None
+
+
+class TestZipfWorkload:
+    def test_count_mix_and_determinism(self, graph):
+        from repro.core import RegularReachQuery
+        from repro.workload import zipf_workload
+
+        queries = zipf_workload(graph, 50, seed=3)
+        assert len(queries) == 50
+        kinds = {type(q) for q in queries}
+        assert ReachQuery in kinds and BoundedReachQuery in kinds
+        assert RegularReachQuery in kinds
+        assert [str(q) for q in zipf_workload(graph, 50, seed=3)] == [
+            str(q) for q in queries
+        ]
+        assert [str(q) for q in zipf_workload(graph, 50, seed=4)] != [
+            str(q) for q in queries
+        ]
+
+    def test_zipf_skew_repeats_hot_queries(self, graph):
+        from collections import Counter
+
+        from repro.workload import zipf_workload
+
+        queries = zipf_workload(graph, 100, distinct=10, zipf_s=1.5, seed=0)
+        counts = Counter(str(q) for q in queries)
+        assert len(counts) <= 10
+        assert counts.most_common(1)[0][1] >= 20  # the head dominates
+
+    def test_unlabeled_graph_drops_regular(self):
+        from repro.core import RegularReachQuery
+        from repro.workload import zipf_workload
+
+        g = DiGraph.from_edges([(i, i + 1) for i in range(12)])
+        queries = zipf_workload(g, 20, seed=1)
+        assert queries and not any(
+            isinstance(q, RegularReachQuery) for q in queries
+        )
+
+    def test_validation_errors(self, graph):
+        from repro.workload import zipf_workload
+
+        with pytest.raises(ReproError, match="unknown query kind"):
+            zipf_workload(graph, 5, mix=[("mystery", 1.0)])
+        with pytest.raises(ReproError, match="must be >= 0"):
+            zipf_workload(graph, 5, mix=[("reach", -1.0)])
+        with pytest.raises(ReproError, match="positive weight"):
+            zipf_workload(graph, 5, mix=[("reach", 0.0)])
+        with pytest.raises(ReproError, match="non-negative"):
+            zipf_workload(graph, -1)
+        assert zipf_workload(graph, 0) == []
+
+    def test_custom_bound_applied(self, graph):
+        from repro.workload import zipf_workload
+
+        queries = zipf_workload(graph, 30, mix=[("bounded", 1.0)], bound=9, seed=2)
+        assert all(q.bound == 9 for q in queries)
