@@ -1,24 +1,38 @@
 #!/usr/bin/env python3
-"""CI benchmark-regression gate: compare a bench run against the baseline.
+"""CI benchmark-regression gate: compare bench runs against the baseline.
 
 Usage::
 
     python -m repro.bench workload --queries 100 --seed 0 --json BENCH_pr.json
-    python benchmarks/check_regression.py BENCH_pr.json benchmarks/baseline.json
+    python -m repro.bench partition --seed 0 --json BENCH_partition.json
+    python benchmarks/check_regression.py BENCH_pr.json BENCH_partition.json \
+        benchmarks/baseline.json
 
-Two kinds of checks, both on the ``workload`` experiment's rows:
+The last path is the committed baseline; every preceding path is a bench
+JSON of the current run (their experiments are merged, so the pinned
+workload and the partition sweep may come from separate invocations).
 
-* **cost metrics vs. baseline** — ``traffic_KB``, ``network_ms`` and
-  ``visits`` of both the ``one-by-one`` and ``batch`` rows.  These are
+Three kinds of checks:
+
+* **workload cost metrics vs. baseline** — ``traffic_KB``, ``network_ms``
+  and ``visits`` of both the ``one-by-one`` and ``batch`` rows.  These are
   *modeled* quantities (byte sizes, latency rounds, visit counts under the
   simulator's deterministic cost model), so they are bit-reproducible
   across machines; the gate fails when any grows more than ``--tolerance``
   (default 25%) over the committed baseline.  Timing columns
   (``response_ms``, ``wall_ms``) are measured and therefore reported but
   never compared.
-* **absolute serving floors** — the batch row must keep ``hit_rate >= 0.5``
+* **workload serving floors** — the batch row must keep ``hit_rate >= 0.5``
   and modeled ``speedup >= 1.5`` on the pinned 100-query zipf workload
   (the acceptance bar of the serving layer).
+* **partition quality** (when the baseline carries a ``partition``
+  experiment) — the boundary-aware partitioners must not regress: every
+  ``refined``/``multilevel`` row's boundary-node count ``Vf`` must stay at
+  or below the committed baseline's (``Vf`` is fully deterministic, so the
+  ceiling is exact), and ``refined`` must beat ``hash`` on *both* ``Vf``
+  and modeled ``traffic_KB`` (disReach rows) on at least
+  ``MIN_REFINED_WINS`` pinned datasets — the acceptance bar of the
+  partition-quality subsystem.
 
 Exit status 0 = pass, 1 = regression, 2 = bad input.  When the run is
 *better* than baseline by more than the tolerance the gate still passes but
@@ -33,58 +47,87 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Deterministic modeled costs (lower is better), compared per row mode.
+#: Deterministic modeled workload costs (lower is better), per row mode.
 COST_METRICS = ("traffic_KB", "network_ms", "visits")
-#: Absolute floors on the batch row (higher is better).
+#: Absolute floors on the workload batch row (higher is better).
 FLOORS = {"hit_rate": 0.5, "speedup": 1.5}
 EXPERIMENT = "workload"
+#: Partitioners whose boundary counts get exact (deterministic) ceilings.
+CEILING_PARTITIONERS = ("refined", "multilevel")
+#: Datasets on which `refined` must strictly beat `hash` (Vf AND traffic).
+MIN_REFINED_WINS = 2
 
 
-def load_rows(path: Path) -> Dict[str, Dict[str, object]]:
+def load_payload(path: Path) -> Dict[str, dict]:
+    """Read one bench JSON (experiment id -> {columns, rows, ...})."""
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        return json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"error: cannot read {path}: {exc}")
+
+
+def workload_rows(payload: Dict[str, dict], origin: str) -> Dict[str, Dict[str, object]]:
+    """The workload experiment's rows keyed by mode, or die with advice."""
     experiment = payload.get(EXPERIMENT)
     if not experiment or "rows" not in experiment:
         raise SystemExit(
-            f"error: {path} has no {EXPERIMENT!r} experiment; run "
-            f"`python -m repro.bench {EXPERIMENT} --json {path}`"
+            f"error: {origin} has no {EXPERIMENT!r} experiment; run "
+            f"`python -m repro.bench {EXPERIMENT} --json <file>`"
         )
     return {str(row.get("mode")): row for row in experiment["rows"]}
 
 
-def as_float(row: Dict[str, object], metric: str, path: str) -> float:
+def load_rows(path: Path) -> Dict[str, Dict[str, object]]:
+    """Back-compat shim: workload rows of a single bench JSON, by mode."""
+    return workload_rows(load_payload(path), str(path))
+
+
+def partition_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[Tuple[str, str, str], Dict[str, object]]]:
+    """Partition rows keyed ``(dataset, partitioner, algorithm)``, if present."""
+    experiment = payload.get("partition")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {
+        (
+            str(row.get("dataset")),
+            str(row.get("partitioner")),
+            str(row.get("algorithm")),
+        ): row
+        for row in experiment["rows"]
+    }
+
+
+def as_float(
+    row: Dict[str, object], metric: str, origin: str, label: Optional[str] = None
+) -> float:
+    """Fetch a numeric cell or die naming the offending row.
+
+    ``label`` identifies the row in the error message; it defaults to the
+    workload rows' ``mode`` column (partition callers pass their
+    ``dataset/partitioner/algorithm`` key instead).
+    """
     value = row.get(metric)
     if not isinstance(value, (int, float)):
-        raise SystemExit(f"error: {path} row {row.get('mode')!r} lacks {metric!r}")
+        label = label if label is not None else repr(row.get("mode"))
+        raise SystemExit(f"error: {origin} row {label} lacks {metric!r}")
     return float(value)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="bench JSON of this run")
-    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed relative cost growth before failing (default: 0.25)",
-    )
-    args = parser.parse_args(argv)
-
-    current_rows = load_rows(args.current)
-    baseline_rows = load_rows(args.baseline)
-
-    failures: List[str] = []
-    improvements: List[str] = []
-    report: List[str] = [
-        "| row | metric | baseline | current | limit | status |",
-        "| --- | --- | ---: | ---: | ---: | --- |",
-    ]
-
+def check_workload(
+    current_rows: Dict[str, Dict[str, object]],
+    baseline_rows: Dict[str, Dict[str, object]],
+    tolerance: float,
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    improvements: List[str],
+    report: List[str],
+) -> None:
+    """Tolerance-compare workload cost metrics and enforce serving floors."""
     for mode in ("one-by-one", "batch"):
         base_row = baseline_rows.get(mode)
         cur_row = current_rows.get(mode)
@@ -92,20 +135,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures.append(f"row {mode!r} missing from baseline or current run")
             continue
         for metric in COST_METRICS:
-            base = as_float(base_row, metric, str(args.baseline))
-            cur = as_float(cur_row, metric, str(args.current))
-            limit = base * (1.0 + args.tolerance)
+            base = as_float(base_row, metric, baseline_origin)
+            cur = as_float(cur_row, metric, current_origin)
+            limit = base * (1.0 + tolerance)
             if cur > limit:
                 status = "FAIL"
                 failures.append(
                     f"{mode}/{metric}: {cur:g} exceeds baseline {base:g} "
-                    f"by more than {args.tolerance:.0%} (limit {limit:g})"
+                    f"by more than {tolerance:.0%} (limit {limit:g})"
                 )
             else:
                 status = "ok"
-                if base > 0 and cur < base * (1.0 - args.tolerance):
+                if base > 0 and cur < base * (1.0 - tolerance):
                     improvements.append(
-                        f"{mode}/{metric}: {cur:g} is >{args.tolerance:.0%} below "
+                        f"{mode}/{metric}: {cur:g} is >{tolerance:.0%} below "
                         f"baseline {base:g}"
                     )
             report.append(
@@ -115,7 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch_row = current_rows.get("batch")
     if batch_row is not None:
         for metric, floor in FLOORS.items():
-            value = as_float(batch_row, metric, str(args.current))
+            value = as_float(batch_row, metric, current_origin)
             if value < floor:
                 status = "FAIL"
                 failures.append(f"batch/{metric}: {value:g} is below the floor {floor:g}")
@@ -125,7 +168,153 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"| batch | {metric} (floor) | >= {floor:g} | {value:g} | - | {status} |"
             )
 
-    print("benchmark regression check:", args.current, "vs", args.baseline)
+
+def check_partition(
+    current: Dict[Tuple[str, str, str], Dict[str, object]],
+    baseline: Dict[Tuple[str, str, str], Dict[str, object]],
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    improvements: List[str],
+    report: List[str],
+) -> None:
+    """Exact Vf ceilings for refined/multilevel + refined-beats-hash wins."""
+    # (a) deterministic boundary-count ceilings on the boundary-aware rows
+    for key, base_row in sorted(baseline.items()):
+        dataset, partitioner, algorithm = key
+        if partitioner not in CEILING_PARTITIONERS:
+            continue
+        cur_row = current.get(key)
+        label = f"{dataset}/{partitioner}/{algorithm}"
+        if cur_row is None:
+            failures.append(f"partition row {label} missing from current run")
+            continue
+        base_vf = as_float(base_row, "Vf", baseline_origin, label)
+        cur_vf = as_float(cur_row, "Vf", current_origin, label)
+        if cur_vf > base_vf:
+            status = "FAIL"
+            failures.append(
+                f"partition {label}: Vf={cur_vf:g} exceeds the committed "
+                f"ceiling {base_vf:g} (boundary counts are deterministic — "
+                f"a genuine refinement regression)"
+            )
+        else:
+            status = "ok"
+            if cur_vf < base_vf:
+                improvements.append(
+                    f"partition {label}: Vf={cur_vf:g} is below the "
+                    f"ceiling {base_vf:g}"
+                )
+        report.append(
+            f"| {label} | Vf (ceiling) | {base_vf:g} | {cur_vf:g} "
+            f"| {base_vf:g} | {status} |"
+        )
+
+    # (b) refined must strictly beat hash on Vf AND traffic, >= N datasets
+    datasets = sorted({dataset for dataset, _p, _a in current})
+    wins = 0
+    for dataset in datasets:
+        refined = current.get((dataset, "refined", "disReach"))
+        hash_row = current.get((dataset, "hash", "disReach"))
+        if refined is None or hash_row is None:
+            continue
+        refined_label = f"{dataset}/refined/disReach"
+        hash_label = f"{dataset}/hash/disReach"
+        vf_win = as_float(refined, "Vf", current_origin, refined_label) < as_float(
+            hash_row, "Vf", current_origin, hash_label
+        )
+        traffic_win = as_float(
+            refined, "traffic_KB", current_origin, refined_label
+        ) < as_float(hash_row, "traffic_KB", current_origin, hash_label)
+        won = vf_win and traffic_win
+        wins += won
+        report.append(
+            f"| {dataset} | refined < hash (Vf & traffic) | - "
+            f"| {'win' if won else 'loss'} | - | {'ok' if won else 'info'} |"
+        )
+    if wins < MIN_REFINED_WINS:
+        failures.append(
+            f"partition: refined beats hash on only {wins} dataset(s); "
+            f"the acceptance bar is {MIN_REFINED_WINS} (strictly lower Vf "
+            f"AND modeled traffic)"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the gate; see the module docstring for semantics."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        type=Path,
+        nargs="+",
+        metavar="JSON",
+        help="bench JSON(s) of this run followed by the committed baseline "
+        "(last path); current files are merged by experiment id",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative workload-cost growth before failing "
+        "(default: 0.25; partition Vf ceilings are always exact)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.paths) < 2:
+        parser.error("need at least one current JSON and the baseline JSON")
+    *current_paths, baseline_path = args.paths
+
+    current_payload: Dict[str, dict] = {}
+    for path in current_paths:
+        payload = load_payload(path)
+        duplicated = sorted(set(payload) & set(current_payload))
+        if duplicated:
+            raise SystemExit(
+                f"error: experiment(s) {', '.join(duplicated)} appear in more "
+                f"than one current file — ambiguous which run to gate on; "
+                f"pass each experiment's JSON once"
+            )
+        current_payload.update(payload)
+    baseline_payload = load_payload(baseline_path)
+    current_origin = ", ".join(str(p) for p in current_paths)
+
+    failures: List[str] = []
+    improvements: List[str] = []
+    report: List[str] = [
+        "| row | metric | baseline | current | limit | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+
+    check_workload(
+        workload_rows(current_payload, current_origin),
+        workload_rows(baseline_payload, str(baseline_path)),
+        args.tolerance,
+        current_origin,
+        str(baseline_path),
+        failures,
+        improvements,
+        report,
+    )
+
+    baseline_partition = partition_rows(baseline_payload)
+    if baseline_partition is not None:
+        current_partition = partition_rows(current_payload)
+        if current_partition is None:
+            raise SystemExit(
+                f"error: baseline has a partition experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench partition --json <file>`"
+            )
+        check_partition(
+            current_partition,
+            baseline_partition,
+            current_origin,
+            str(baseline_path),
+            failures,
+            improvements,
+            report,
+        )
+
+    print("benchmark regression check:", current_origin, "vs", baseline_path)
     print("\n".join(report))
     if improvements:
         print(
@@ -145,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("ok: within tolerance and above serving floors")
+    print("ok: within tolerance, above serving floors, partition ceilings hold")
     return 0
 
 

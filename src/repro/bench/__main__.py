@@ -8,6 +8,10 @@ Usage::
     python -m repro.bench fig11a --scale 0.005 --csv out.csv
     python -m repro.bench table2 --executor process   # parallel site work
     python -m repro.bench workload --json BENCH_pr.json   # CI regression gate
+    python -m repro.bench partition --json BENCH_partition.json  # quality sweep
+
+Several experiments can be named at once; ``--json`` then writes one file
+keyed by experiment id (what ``benchmarks/check_regression.py`` consumes).
 """
 
 from __future__ import annotations
@@ -22,6 +26,14 @@ from ..distributed.executors import EXECUTORS, set_default_executor
 from .experiments import EXPERIMENTS
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (an empty workload has no means)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -29,12 +41,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        nargs="?",
-        help="experiment id (see list below), or 'all'",
+        nargs="*",
+        help="experiment id(s) (see list below), or 'all'",
     )
     parser.add_argument("--scale", type=float, default=None, help="graph scale override")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
-    parser.add_argument("--queries", type=int, default=None, help="queries per point")
+    parser.add_argument(
+        "--queries", type=_positive_int, default=None, help="queries per point (>= 1)"
+    )
     parser.add_argument("--csv", type=Path, default=None, help="also write CSV here")
     parser.add_argument(
         "--json",
@@ -63,7 +77,7 @@ def main(argv=None) -> int:
             print(f"  {name:22s} {doc}")
         return 0
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = list(EXPERIMENTS) if "all" in args.experiment else list(args.experiment)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)

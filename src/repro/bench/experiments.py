@@ -646,6 +646,98 @@ def exp_workload(
     return result
 
 
+# ---------------------------------------------------------------------------
+# partition: the partition-quality sweep (DESIGN.md §7)
+# ---------------------------------------------------------------------------
+#: Pinned sweep line-up: the streaming strategies vs the boundary-aware ones.
+PARTITION_SWEEP = ("hash", "chunk", "greedy", "refined", "multilevel")
+#: Pinned datasets: two unlabeled (reach/bounded) + one labeled (RPQ too).
+PARTITION_DATASETS = ("amazon", "notredame", "youtube")
+
+
+def exp_partition(
+    scale: float = SCALE / 2,
+    seed: int = 0,
+    num_queries: int = 4,
+    card: int = 8,
+    datasets: Sequence[str] = PARTITION_DATASETS,
+    partitioners: Sequence[str] = PARTITION_SWEEP,
+) -> ExperimentResult:
+    """Partition-quality sweep: boundary statistics vs realized cost.
+
+    For every dataset x partitioner, measures the fragmentation statistics
+    the paper's theorems depend on (``|Vf|``, summed in/out-node counts,
+    edge cut, balance, the evaluated Theorem 1–3 traffic envelope) and runs
+    the pinned per-class workload with each partial-evaluation algorithm,
+    reporting the realized modeled traffic / network seconds / visits —
+    the empirical check that lower boundary counts tighten the bounds.
+
+    Answers are asserted identical across partitioners for each
+    (dataset, algorithm) — the guarantees are partition-agnostic, so any
+    divergence is a bug, not a finding.  The ``refined``/``multilevel``
+    rows' ``Vf`` values are the deterministic ceilings
+    ``benchmarks/check_regression.py`` enforces against
+    ``benchmarks/baseline.json``.
+    """
+    from ..partition.quality import measure_quality
+    from ..workload.query_gen import PER_CLASS_NUM_STATES, per_class_workload
+
+    result = ExperimentResult(
+        "partition",
+        "Partition quality: boundary statistics vs realized modeled cost",
+        [
+            "dataset", "partitioner", "algorithm", "Vf", "in_out", "cut",
+            "balance", "bound", "traffic_KB", "network_ms", "visits",
+            "time_ms", "answers",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}, {num_queries} queries/class; "
+            "bound = the Theorem 1-3 traffic envelope |Vq|^p * |Vf|^2; "
+            "answers identical across partitioners by assertion"
+        ),
+    )
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, seed=seed)
+        workloads = per_class_workload(graph, num_queries, seed=seed)
+        reference: Dict[str, str] = {}
+        for pname in partitioners:
+            cluster = SimulatedCluster.from_graph(
+                graph, card, partitioner=pname, seed=seed
+            )
+            quality = measure_quality(cluster.fragmentation)
+            for algorithm, queries in workloads.items():
+                evaluations = [evaluate(cluster, q, algorithm) for q in queries]
+                answers = "".join("T" if r.answer else "F" for r in evaluations)
+                if algorithm not in reference:
+                    reference[algorithm] = answers
+                elif answers != reference[algorithm]:  # pragma: no cover - guard
+                    raise AssertionError(
+                        f"{name}/{algorithm}: answers under {pname} diverge "
+                        f"from {partitioners[0]} ({answers} vs "
+                        f"{reference[algorithm]}) — partition-agnosticism broken"
+                    )
+                query_states = (
+                    PER_CLASS_NUM_STATES if algorithm == "disRPQ" else 1
+                )
+                n = len(evaluations)
+                result.add_row(
+                    dataset=name,
+                    partitioner=pname,
+                    algorithm=algorithm,
+                    Vf=quality.num_boundary_nodes,
+                    in_out=quality.total_in_out,
+                    cut=quality.num_cross_edges,
+                    balance=quality.balance,
+                    bound=quality.traffic_bound(algorithm, query_states),
+                    traffic_KB=sum(r.stats.traffic_bytes for r in evaluations) / n / 1e3,
+                    network_ms=sum(r.stats.network_seconds for r in evaluations) / n * 1e3,
+                    visits=sum(r.stats.total_visits for r in evaluations),
+                    time_ms=sum(r.stats.response_seconds for r in evaluations) / n * 1e3,
+                    answers=answers,
+                )
+    return result
+
+
 #: CLI registry: experiment id -> callable.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": exp_table2,
@@ -664,4 +756,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-index": exp_ablation_index,
     "ablation-partitioner": exp_ablation_partitioner,
     "workload": exp_workload,
+    "partition": exp_partition,
 }

@@ -29,9 +29,13 @@ class AggregateMetrics:
     max_visits_per_site: int
     total_visits: int
     positive_fraction: float
+    #: Mean modeled communication share of response time (deterministic —
+    #: what the partition bench's regression gate compares).
+    mean_network_seconds: float = 0.0
 
     @property
     def mean_traffic_mb(self) -> float:
+        """Mean traffic in megabytes (the unit of the paper's Fig. 11(f))."""
         return self.mean_traffic_bytes / 1e6
 
 
@@ -46,6 +50,7 @@ def run_workload(
     responses: List[float] = []
     walls: List[float] = []
     traffic: List[float] = []
+    network: List[float] = []
     max_visits = 0
     total_visits = 0
     positives = 0
@@ -54,6 +59,7 @@ def run_workload(
         responses.append(result.stats.response_seconds)
         walls.append(result.stats.wall_seconds)
         traffic.append(result.stats.traffic_bytes)
+        network.append(result.stats.network_seconds)
         max_visits = max(max_visits, result.stats.max_visits_per_site)
         total_visits += result.stats.total_visits
         positives += int(result.answer)
@@ -66,6 +72,7 @@ def run_workload(
         max_visits_per_site=max_visits,
         total_visits=total_visits,
         positive_fraction=positives / len(queries),
+        mean_network_seconds=statistics.fmean(network),
     )
 
 

@@ -12,6 +12,10 @@ Lets a user exercise the whole system from a shell, no Python required::
     python -m repro --graph g.txt --partitioner bfs --algorithm disRPQd \\
         regular Ann Mark "DB* | HR*"
 
+    # boundary-aware partitioning: minimize |Vf|, the paper's traffic term
+    python -m repro --graph g.txt --partitioner refined reach a b
+    python -m repro --graph g.txt --partitioner multilevel reach a b
+
     # run the site-local work on a real process pool
     python -m repro --graph g.txt --executor process reach a b
 
@@ -60,7 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fragments", "-k", type=int, default=4,
                         help="number of fragments/sites")
     parser.add_argument("--partitioner", choices=sorted(PARTITIONERS),
-                        default="chunk")
+                        default="chunk",
+                        help="node placement strategy; 'refined' and "
+                        "'multilevel' optimize the boundary-node count "
+                        "|Vf| the paper's traffic bounds depend on "
+                        "(DESIGN.md §7; default: chunk)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--algorithm", default=None,
                         help="algorithm name (default: the paper's partial-"

@@ -60,6 +60,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Tuple,
     Union,
@@ -69,7 +70,9 @@ from ..errors import DistributedError, QueryError
 from ..graph.digraph import DiGraph, Node
 from ..partition.builder import build_fragmentation
 from ..partition.fragment import Fragmentation
-from ..partition.partitioners import get_partitioner
+from ..partition.partitioners import call_partitioner, get_partitioner
+from ..partition.quality import RepartitionReport, measure_quality
+from ..partition.validation import check_fragmentation
 from .executors import ExecutorBackend, SiteTask, resolve_executor
 from .messages import COORDINATOR, MessageKind, payload_size
 from .site import Site
@@ -270,6 +273,34 @@ class Run:
         return self.stats
 
 
+def _resolve_assignment(
+    graph: DiGraph,
+    num_fragments: int,
+    partitioner: Union[str, Callable, Mapping[Node, int]],
+    seed: int,
+) -> Tuple[Dict[Node, int], str]:
+    """Turn a partitioner name / callable / explicit mapping into an assignment.
+
+    Returns ``(assignment, label)`` where ``label`` names the strategy for
+    reports.  ``seed=`` is forwarded iff the callable's signature takes it
+    (:func:`~repro.partition.partitioners.call_partitioner` — the
+    partitioner runs exactly once either way).
+    """
+    if isinstance(partitioner, str):
+        fn, label = get_partitioner(partitioner), partitioner
+    elif isinstance(partitioner, Mapping):
+        return dict(partitioner), "<assignment>"
+    elif callable(partitioner):
+        fn = partitioner
+        label = getattr(partitioner, "__name__", "<callable>")
+    else:
+        raise DistributedError(
+            f"partitioner must be a name, callable or node->fragment mapping, "
+            f"got {type(partitioner).__name__}"
+        )
+    return call_partitioner(fn, graph, num_fragments, seed), label
+
+
 class SimulatedCluster:
     """Sites holding the fragments of one graph, plus a coordinator."""
 
@@ -291,19 +322,35 @@ class SimulatedCluster:
         name from :data:`repro.distributed.executors.EXECUTORS`
         (``sequential``/``thread``/``process``), a backend instance, or
         ``None`` for the process-wide default (normally sequential)."""
-        if len(fragmentation) == 0:
-            raise DistributedError("a cluster needs at least one fragment")
         if bandwidth <= 0:
             raise DistributedError("bandwidth must be positive")
         if latency < 0:
             raise DistributedError("latency must be non-negative")
         if master_service < 0:
             raise DistributedError("master_service must be non-negative")
-        self.fragmentation = fragmentation
         self.bandwidth = bandwidth
         self.latency = latency
         self.master_service = master_service
         self.executor = resolve_executor(executor)
+        self._install_fragmentation(fragmentation, fragment_assignment)
+        # Monotone per-fragment data versions: serving-layer caches key their
+        # entries on these, so bumping a version (after any in-place fragment
+        # mutation) invalidates every cached partial result for the fragment.
+        self._fragment_versions: Dict[int, int] = {f.fid: 0 for f in fragmentation}
+        # Last version of every fragment id this cluster *ever* hosted:
+        # repartition() retires versions here so a fragment id that
+        # disappears and later reappears continues its counter instead of
+        # restarting at 0 (which would resurrect stale cache entries).
+        self._retired_versions: Dict[int, int] = {}
+
+    def _install_fragmentation(
+        self,
+        fragmentation: Fragmentation,
+        fragment_assignment: Optional[Dict[int, int]],
+    ) -> None:
+        """Point the cluster at ``fragmentation``: build sites, place fragments."""
+        if len(fragmentation) == 0:
+            raise DistributedError("a cluster needs at least one fragment")
         if fragment_assignment is None:
             fragment_assignment = {frag.fid: frag.fid for frag in fragmentation}
         missing = [f.fid for f in fragmentation if f.fid not in fragment_assignment]
@@ -315,12 +362,9 @@ class SimulatedCluster:
         site_ids = sorted(by_site)
         if site_ids != list(range(len(site_ids))):
             raise DistributedError(f"site ids must be contiguous from 0, got {site_ids}")
+        self.fragmentation = fragmentation
         self._site_of_fragment: Dict[int, int] = dict(fragment_assignment)
         self.sites: List[Site] = [Site(sid, by_site[sid]) for sid in site_ids]
-        # Monotone per-fragment data versions: serving-layer caches key their
-        # entries on these, so bumping a version (after any in-place fragment
-        # mutation) invalidates every cached partial result for the fragment.
-        self._fragment_versions: Dict[int, int] = {f.fid: 0 for f in fragmentation}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -338,18 +382,12 @@ class SimulatedCluster:
         """Partition ``graph`` into ``num_fragments`` and build the cluster.
 
         ``partitioner`` is a name from
-        :data:`repro.partition.partitioners.PARTITIONERS` or a callable
-        ``(graph, k) -> assignment``; ``executor`` picks the parallel
-        execution backend (see :meth:`__init__`).
+        :data:`repro.partition.partitioners.PARTITIONERS`, a callable
+        ``(graph, k[, seed]) -> assignment``, or a ready node->fragment
+        mapping; ``executor`` picks the parallel execution backend (see
+        :meth:`__init__`).
         """
-        if callable(partitioner):
-            assignment = partitioner(graph, num_fragments)
-        else:
-            fn = get_partitioner(partitioner)
-            try:
-                assignment = fn(graph, num_fragments, seed=seed)  # type: ignore[call-arg]
-            except TypeError:
-                assignment = fn(graph, num_fragments)
+        assignment, _label = _resolve_assignment(graph, num_fragments, partitioner, seed)
         fragmentation = build_fragmentation(graph, assignment, num_fragments)
         return cls(
             fragmentation,
@@ -397,6 +435,63 @@ class SimulatedCluster:
         """
         self._fragment_versions[fid] = self.fragment_version(fid) + 1
         return self._fragment_versions[fid]
+
+    def repartition(
+        self,
+        partitioner: Union[str, Callable, Mapping[Node, int]] = "refined",
+        num_fragments: Optional[int] = None,
+        seed: int = 0,
+        fragment_assignment: Optional[Dict[int, int]] = None,
+        validate: bool = True,
+    ) -> RepartitionReport:
+        """Re-fragment the stored graph in place with a better partitioner.
+
+        The graph is reassembled from the current fragments
+        (:meth:`Fragmentation.restore_graph`, deterministic order), split by
+        ``partitioner`` (a :data:`~repro.partition.partitioners.PARTITIONERS`
+        name — typically ``refined`` or ``multilevel`` — a callable, or a
+        ready node->fragment mapping), and the sites are rebuilt.  Answers to
+        any query are unchanged (the guarantees are partition-agnostic); what
+        moves are the boundary statistics the theorems charge traffic to.
+
+        Cache soundness: every ``fragment_version`` is bumped past any
+        version its fragment id ever had on this cluster, so serving-layer
+        :class:`~repro.serving.cache.SiteResultCache` entries keyed
+        ``(fid, version, ...)`` for the *old* fragments can never be served
+        for the new ones — repartitioning needs no cache cooperation.
+        Site-local index caches die with the old :class:`Site` objects.
+
+        Args:
+            partitioner: strategy name, callable, or explicit assignment.
+            num_fragments: new ``card(F)`` (default: keep the current count).
+            seed: forwarded to randomized partitioners.
+            fragment_assignment: optional fragment id -> site id placement
+                (default: one site per fragment).
+            validate: run
+                :func:`~repro.partition.validation.check_fragmentation` on
+                the rebuilt fragmentation before installing it.
+
+        Returns:
+            A :class:`~repro.partition.quality.RepartitionReport` with
+            before/after :class:`~repro.partition.quality.PartitionQuality`.
+        """
+        before = measure_quality(self.fragmentation)
+        graph = self.fragmentation.restore_graph()
+        k = num_fragments if num_fragments is not None else len(self.fragmentation)
+        assignment, label = _resolve_assignment(graph, k, partitioner, seed)
+        fragmentation = build_fragmentation(graph, assignment, k)
+        if validate:
+            check_fragmentation(graph, fragmentation)
+        # Retire the outgoing versions, then issue each new fragment a
+        # version strictly greater than any its fid ever carried here.
+        self._retired_versions.update(self._fragment_versions)
+        self._install_fragmentation(fragmentation, fragment_assignment)
+        self._fragment_versions = {
+            f.fid: self._retired_versions.get(f.fid, -1) + 1 for f in fragmentation
+        }
+        return RepartitionReport(
+            partitioner=label, before=before, after=measure_quality(fragmentation)
+        )
 
     def node_site_map(self) -> Dict[Node, int]:
         """node -> hosting site id, for algorithms that route per vertex."""

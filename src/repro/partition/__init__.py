@@ -1,4 +1,13 @@
-"""Fragmentation of graphs across sites (paper Section 2.1)."""
+"""Fragmentation of graphs across sites (paper Section 2.1).
+
+Beyond the fragment anatomy (:mod:`.fragment`, :mod:`.builder`,
+:mod:`.validation`) and the streaming partitioners (:mod:`.partitioners`),
+the package measures and optimizes the statistic the paper's guarantees
+depend on — the boundary-node count ``|Vf|``: :mod:`.quality` reduces a
+fragmentation to the quantities of Theorems 1–3, and :mod:`.refine`
+provides the boundary-aware ``refined`` / ``multilevel`` partitioners
+(DESIGN.md §7).
+"""
 
 from .builder import build_fragmentation
 from .fragment import Fragment, Fragmentation
@@ -12,19 +21,41 @@ from .partitioners import (
     hash_partition,
     random_partition,
 )
+from .quality import (
+    FragmentQuality,
+    PartitionQuality,
+    RepartitionReport,
+    measure_quality,
+)
+from .refine import (
+    balance_cap,
+    boundary_count,
+    multilevel_partition,
+    refine_assignment,
+    refined_partition,
+)
 from .validation import check_fragmentation
 
 __all__ = [
     "Fragment",
     "Fragmentation",
+    "FragmentQuality",
     "PARTITIONERS",
+    "PartitionQuality",
     "Partitioner",
+    "RepartitionReport",
+    "balance_cap",
     "bfs_partition",
+    "boundary_count",
     "build_fragmentation",
     "check_fragmentation",
     "chunk_partition",
     "get_partitioner",
     "greedy_edge_cut_partition",
     "hash_partition",
+    "measure_quality",
+    "multilevel_partition",
     "random_partition",
+    "refine_assignment",
+    "refined_partition",
 ]

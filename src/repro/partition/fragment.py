@@ -71,16 +71,19 @@ class Fragmentation:
     """A complete fragmentation: the fragments plus node placement."""
 
     def __init__(self, fragments: Sequence[Fragment], placement: Mapping[Node, int]):
+        """Bind ``fragments`` to the node -> fragment-id ``placement``."""
         self._fragments: Tuple[Fragment, ...] = tuple(fragments)
         self._placement: Dict[Node, int] = dict(placement)
         self._fragment_graph: Optional[DiGraph] = None
 
     @property
     def fragments(self) -> Tuple[Fragment, ...]:
+        """The fragments ``(F1, ..., Fk)`` in fragment-id order."""
         return self._fragments
 
     @property
     def placement(self) -> Mapping[Node, int]:
+        """The node -> owning-fragment-id mapping the split was built from."""
         return self._placement
 
     def __len__(self) -> int:
@@ -101,10 +104,12 @@ class Fragmentation:
             raise NodeNotFound(node) from None
 
     def has_node(self, node: Node) -> bool:
+        """Whether some fragment owns ``node``."""
         return node in self._placement
 
     @property
     def num_nodes(self) -> int:
+        """``|V|`` — total owned nodes over all fragments."""
         return len(self._placement)
 
     @property
@@ -155,14 +160,19 @@ class Fragmentation:
         """Reassemble the original global graph ``G`` from the fragments.
 
         Used by the ship-all baselines (disReachn etc.) after "receiving"
-        every fragment at the coordinator.
+        every fragment at the coordinator, and by
+        :meth:`~repro.distributed.cluster.SimulatedCluster.repartition` as
+        the input to the new partitioner.  Nodes are inserted in
+        (fragment id, repr) order — deterministic regardless of frozenset
+        hash order, so order-sensitive streaming partitioners behave
+        reproducibly on a restored graph.
         """
         graph = DiGraph()
         for frag in self._fragments:
-            for node in frag.nodes:
+            for node in sorted(frag.nodes, key=repr):
                 graph.add_node(node, frag.local_graph.label(node))
         for frag in self._fragments:
-            for node in frag.nodes:
+            for node in sorted(frag.nodes, key=repr):
                 for nxt in frag.local_graph.successors(node):
                     graph.add_edge(node, nxt, create=True)
         return graph

@@ -14,15 +14,21 @@ alternatives so the ablation benches can measure how partition quality
 * :func:`greedy_edge_cut_partition` — linear deterministic greedy streaming
   heuristic that favors the fragment already holding most neighbors.
 
+Two *boundary-aware* strategies that optimize |Vf| — the quantity the
+paper's traffic bounds actually depend on — live in
+:mod:`repro.partition.refine` and register themselves here as ``refined``
+and ``multilevel`` (see DESIGN.md §7 for when to use which).
+
 Every partitioner returns a ``dict`` node→fragment-id covering all nodes,
 ready for :func:`repro.partition.builder.build_fragmentation`.
 """
 
 from __future__ import annotations
 
+import inspect
 import random
 from collections import deque
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict
 
 from ..errors import FragmentationError
 from ..graph.digraph import DiGraph, Node
@@ -135,7 +141,9 @@ def greedy_edge_cut_partition(graph: DiGraph, k: int, seed: int = 0) -> Dict[Nod
     return assignment
 
 
-PARTITIONERS: Mapping[str, Partitioner] = {
+#: Name -> strategy registry.  A mutable dict on purpose:
+#: :mod:`repro.partition.refine` adds ``refined`` / ``multilevel`` on import.
+PARTITIONERS: Dict[str, Partitioner] = {
     "random": random_partition,
     "hash": hash_partition,
     "chunk": chunk_partition,
@@ -151,3 +159,25 @@ def get_partitioner(name: str) -> Partitioner:
     except KeyError:
         known = ", ".join(sorted(PARTITIONERS))
         raise FragmentationError(f"unknown partitioner {name!r}; known: {known}") from None
+
+
+def call_partitioner(fn: Callable, graph: DiGraph, k: int, seed: int = 0) -> Dict[Node, int]:
+    """Invoke ``fn(graph, k)``, forwarding ``seed=`` iff its signature takes it.
+
+    The single seed-forwarding path for every registry/callable consumer
+    (``SimulatedCluster.from_graph``/``repartition``, the ``refined`` seed
+    stage): inspecting the signature instead of catching ``TypeError``
+    guarantees the partitioner runs exactly once, so a ``TypeError`` raised
+    *inside* a user callable propagates instead of triggering a misleading
+    second call.
+    """
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # C callables and other odd objects
+        parameters = {}
+    takes_seed = "seed" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    if takes_seed:
+        return fn(graph, k, seed=seed)
+    return fn(graph, k)

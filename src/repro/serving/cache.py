@@ -39,6 +39,7 @@ class SiteResultCache:
     """Bounded LRU cache of :class:`CacheEntry` keyed by :data:`CacheKey`."""
 
     def __init__(self, max_entries: int = 4096) -> None:
+        """Create an empty cache holding at most ``max_entries`` entries."""
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
@@ -65,6 +66,7 @@ class SiteResultCache:
         return entry
 
     def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        """Store ``entry`` under ``key``, evicting the LRU tail past the cap."""
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -84,15 +86,18 @@ class SiteResultCache:
         return len(dead)
 
     def clear(self) -> None:
+        """Drop every entry (counted as invalidations); counters survive."""
         self.invalidations += len(self._entries)
         self._entries.clear()
 
     @property
     def lookups(self) -> int:
+        """Total ``get`` calls (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups

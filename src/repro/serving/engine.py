@@ -84,6 +84,7 @@ class BatchResult:
 
     @property
     def answers(self) -> List[bool]:
+        """The per-query Boolean answers, in submission order."""
         return [result.answer for result in self.results]
 
     def __len__(self) -> int:
@@ -304,6 +305,7 @@ class BatchQueryEngine:
         cache: Optional[SiteResultCache] = None,
         max_entries: int = 4096,
     ) -> None:
+        """Serve ``cluster`` with ``cache`` (or a fresh LRU of ``max_entries``)."""
         self.cluster = cluster
         self.cache = cache if cache is not None else SiteResultCache(max_entries)
 

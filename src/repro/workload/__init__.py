@@ -4,6 +4,7 @@ from .datasets import DATASETS, DEFAULT_SCALE, DatasetSpec, load_dataset
 from .paper_example import figure1_fragmentation, figure1_graph
 from .query_gen import (
     DEFAULT_MIX,
+    per_class_workload,
     planted_path_query,
     query_complexity,
     random_bounded_queries,
@@ -20,6 +21,7 @@ __all__ = [
     "figure1_fragmentation",
     "figure1_graph",
     "load_dataset",
+    "per_class_workload",
     "planted_path_query",
     "query_complexity",
     "random_bounded_queries",

@@ -19,7 +19,7 @@ the achieved (|Vq|, |Eq|) pair is what benches report.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..automata import ast
 from ..automata.query_automaton import QueryAutomaton
@@ -285,6 +285,66 @@ def zipf_workload(
     rng.shuffle(pool)  # interleave kinds before ranking by popularity
     weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(pool))]
     return rng.choices(pool, weights=weights, k=count) if count else []
+
+
+#: Automaton complexity of the pinned per-class workload (|Vq| below feeds
+#: the disRPQ traffic-bound column of the partition bench).
+PER_CLASS_NUM_STATES = 6
+PER_CLASS_NUM_TRANSITIONS = 10
+PER_CLASS_NUM_LABELS = 4
+
+
+def per_class_workload(
+    graph: DiGraph,
+    count: int,
+    bound: int = 4,
+    seed: int = 0,
+    positive_fraction: float = 0.3,
+) -> "Dict[str, List[Query]]":
+    """One pinned query list per partial-evaluation algorithm class.
+
+    The partition bench (``python -m repro.bench partition``) and the
+    cross-executor equivalence tests share this generator, so "answers
+    bit-identical across partitioners/backends" is asserted on the *same*
+    workload the published table ran.  Returns ``{"disReach": [...],
+    "disDist": [...]}`` plus ``"disRPQ"`` when the graph is labeled; each
+    class gets ``count`` queries with an independent deterministic seed.
+
+    Args:
+        graph: the graph the queries run against.
+        count: queries per algorithm class.
+        bound: the ``l`` of the bounded-reachability class.
+        seed: master seed; each class derives its own stream from it.
+        positive_fraction: planted fraction of true answers per class.
+    """
+    out: "Dict[str, List[Query]]" = {
+        "disReach": list(
+            random_reach_queries(
+                graph, count, seed=seed, positive_fraction=positive_fraction
+            )
+        ),
+        "disDist": list(
+            random_bounded_queries(
+                graph,
+                count,
+                bound=bound,
+                seed=seed + 1,
+                positive_fraction=positive_fraction,
+            )
+        ),
+    }
+    if graph.label_alphabet():
+        out["disRPQ"] = list(
+            random_regular_queries(
+                graph,
+                count,
+                num_states=PER_CLASS_NUM_STATES,
+                num_transitions=PER_CLASS_NUM_TRANSITIONS,
+                num_labels=PER_CLASS_NUM_LABELS,
+                seed=seed + 2,
+            )
+        )
+    return out
 
 
 def query_complexity(query: RegularReachQuery) -> Tuple[int, int, int]:

@@ -59,11 +59,12 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_sixteen_registered(self):
+    def test_all_seventeen_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
             "fig11l", "ablation-index", "ablation-partitioner", "workload",
+            "partition",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -86,6 +87,10 @@ _TINY = {
     "ablation-index": dict(scale=0.0005, num_queries=2),
     "ablation-partitioner": dict(scale=0.0005, num_queries=2),
     "workload": dict(scale=0.005, num_queries=8, distinct=3),
+    "partition": dict(
+        scale=0.001, num_queries=1, card=3,
+        datasets=("amazon", "youtube"), partitioners=("hash", "refined"),
+    ),
 }
 
 

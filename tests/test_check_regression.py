@@ -43,6 +43,27 @@ def _payload(traffic=10.0, network=1.0, visits=4, hit_rate=0.8, speedup=5.0):
     }
 
 
+def _partition_payload(refined_vf=100, refined_traffic=5.0, hash_vf=500,
+                       hash_traffic=50.0, datasets=("amazon", "youtube")):
+    rows = []
+    for dataset in datasets:
+        for partitioner, vf, traffic in [
+            ("hash", hash_vf, hash_traffic),
+            ("refined", refined_vf, refined_traffic),
+            ("multilevel", refined_vf + 20, refined_traffic + 1.0),
+        ]:
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "partitioner": partitioner,
+                    "algorithm": "disReach",
+                    "Vf": vf,
+                    "traffic_KB": traffic,
+                }
+            )
+    return {"partition": {"columns": [], "rows": rows}}
+
+
 def _write(tmp_path, name, payload):
     path = tmp_path / name
     path.write_text(json.dumps(payload), encoding="utf-8")
@@ -98,3 +119,97 @@ class TestGate:
         rows = gate.load_rows(baseline)
         assert {"one-by-one", "batch"} <= set(rows)
         assert gate.main([str(baseline), str(baseline)]) == 0
+
+    def test_committed_baseline_has_partition_experiment(self, gate):
+        payload = gate.load_payload(SCRIPT.parent / "baseline.json")
+        rows = gate.partition_rows(payload)
+        assert rows, "baseline.json must carry the pinned partition sweep"
+        partitioners = {p for _d, p, _a in rows}
+        assert {"hash", "refined", "multilevel"} <= partitioners
+
+
+class TestPartitionGate:
+    """The partition-quality checks: exact Vf ceilings + refined-beats-hash."""
+
+    def _both(self, tmp_path, name, workload, partition):
+        payload = dict(workload)
+        payload.update(partition)
+        return _write(tmp_path, name, payload)
+
+    def test_identical_partition_runs_pass(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur = self._both(tmp_path, "cur.json", _payload(), _partition_payload())
+        assert gate.main([cur, base]) == 0
+
+    def test_current_merged_from_two_files(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        wl = _write(tmp_path, "wl.json", _payload())
+        pt = _write(tmp_path, "pt.json", _partition_payload())
+        assert gate.main([wl, pt, base]) == 0
+
+    def test_vf_ceiling_is_exact(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur = self._both(
+            tmp_path, "cur.json", _payload(), _partition_payload(refined_vf=101)
+        )
+        assert gate.main([cur, base]) == 1
+        assert "ceiling" in capsys.readouterr().err
+
+    def test_vf_improvement_passes_and_suggests_refresh(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur = self._both(
+            tmp_path, "cur.json", _payload(), _partition_payload(refined_vf=50)
+        )
+        assert gate.main([cur, base]) == 0
+        assert "refreshing" in capsys.readouterr().out
+
+    def test_refined_must_beat_hash_on_enough_datasets(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        # regressing traffic above hash on every dataset loses every win
+        cur = self._both(
+            tmp_path,
+            "cur.json",
+            _payload(),
+            _partition_payload(refined_vf=100, refined_traffic=60.0),
+        )
+        assert gate.main([cur, base]) == 1
+        assert "beats hash" in capsys.readouterr().err
+
+    def test_missing_partition_row_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur = self._both(
+            tmp_path,
+            "cur.json",
+            _payload(),
+            _partition_payload(datasets=("amazon",)),
+        )
+        assert gate.main([cur, base]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_partition_experiment_required_when_baseline_has_it(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur = _write(tmp_path, "cur.json", _payload())
+        with pytest.raises(SystemExit):
+            gate.main([cur, base])
+
+    def test_workload_only_baseline_skips_partition_checks(self, gate, tmp_path):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = self._both(tmp_path, "cur.json", _payload(), _partition_payload())
+        assert gate.main([cur, base]) == 0
+
+    def test_duplicate_experiment_across_current_files_rejected(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur1 = _write(tmp_path, "cur1.json", _payload())
+        cur2 = self._both(tmp_path, "cur2.json", _payload(), _partition_payload())
+        with pytest.raises(SystemExit, match="more than one current file"):
+            gate.main([cur1, cur2, base])
+
+    def test_malformed_partition_row_names_the_row(self, gate, tmp_path, capsys):
+        partition = _partition_payload()
+        for row in partition["partition"]["rows"]:
+            if row["partitioner"] == "refined":
+                del row["Vf"]
+        base = self._both(tmp_path, "base.json", _payload(), _partition_payload())
+        cur = self._both(tmp_path, "cur.json", _payload(), partition)
+        with pytest.raises(SystemExit, match="refined"):
+            gate.main([cur, base])

@@ -61,3 +61,37 @@ class TestCli:
         batch_row = next(row for row in rows if row["mode"] == "batch")
         for column in ("traffic_KB", "network_ms", "visits", "hit_rate", "speedup"):
             assert column in batch_row
+
+    def test_partition_experiment_listed(self, capsys):
+        assert main([]) == 0
+        assert "partition" in capsys.readouterr().out
+
+    def test_zero_queries_rejected(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["partition", "--queries", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_multiple_experiments_into_one_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        code = main(
+            [
+                "workload", "partition",
+                "--scale", "0.005",
+                "--queries", "2",
+                "--json", str(target),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"workload", "partition"}
+        partition_row = payload["partition"]["rows"][0]
+        for column in ("dataset", "partitioner", "algorithm", "Vf",
+                       "in_out", "cut", "bound", "traffic_KB",
+                       "network_ms", "visits", "answers"):
+            assert column in partition_row
+        partitioners = {row["partitioner"] for row in payload["partition"]["rows"]}
+        assert {"hash", "refined", "multilevel"} <= partitioners

@@ -15,6 +15,7 @@ from repro.partition import (
     hash_partition,
     random_partition,
 )
+from repro.partition.partitioners import call_partitioner
 
 
 @pytest.fixture(scope="module")
@@ -102,3 +103,38 @@ class TestSpecifics:
 
     def test_get_partitioner_known(self):
         assert get_partitioner("random") is random_partition
+
+
+class TestCallPartitioner:
+    """Signature-based seed forwarding: the partitioner runs exactly once."""
+
+    def test_forwards_seed_when_accepted(self, graph):
+        calls = []
+
+        def with_seed(g, k, seed=0):
+            calls.append(seed)
+            return {node: 0 for node in g.nodes()}
+
+        call_partitioner(with_seed, graph, 1, seed=7)
+        assert calls == [7]
+
+    def test_omits_seed_when_not_accepted(self, graph):
+        calls = []
+
+        def without_seed(g, k):
+            calls.append(None)
+            return {node: 0 for node in g.nodes()}
+
+        call_partitioner(without_seed, graph, 1, seed=7)
+        assert calls == [None]
+
+    def test_internal_type_error_propagates_after_one_call(self, graph):
+        calls = []
+
+        def buggy(g, k, seed=0):
+            calls.append(seed)
+            raise TypeError("internal bug, not a signature mismatch")
+
+        with pytest.raises(TypeError, match="internal bug"):
+            call_partitioner(buggy, graph, 2, seed=3)
+        assert calls == [3]  # invoked exactly once, error not masked

@@ -1,0 +1,141 @@
+"""Unit tests for partition-quality measurement (DESIGN.md §7).
+
+The worked example is the paper's Figure 1 fragmentation (DC1/DC2/DC3):
+every count below is derivable by hand from ``workload/paper_example.py``'s
+edge list, so a failure pinpoints exactly which statistic drifted.
+"""
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.graph import erdos_renyi
+from repro.partition import (
+    PartitionQuality,
+    RepartitionReport,
+    build_fragmentation,
+    hash_partition,
+    measure_quality,
+)
+from repro.partition.quality import BOUNDED_ALGORITHMS
+from repro.workload.paper_example import figure1_fragmentation
+
+
+@pytest.fixture(scope="module")
+def figure1_quality() -> PartitionQuality:
+    return measure_quality(figure1_fragmentation())
+
+
+class TestFigure1WorkedExample:
+    """Hand-derived statistics of the paper's running example."""
+
+    def test_global_counts(self, figure1_quality):
+        q = figure1_quality
+        assert q.num_fragments == 3
+        assert q.num_nodes == 13  # 11 named people + 2 DC2 relays
+        assert q.num_edges == 14
+        # Cross edges: Walt->Mat, Bill->Pat, Fred->Emmy (F1);
+        # Mat->Fred, relay2->Fred, Emmy->Ross (F2); Pat->Jack (F3).
+        assert q.num_cross_edges == 7
+        assert q.cut_fraction == pytest.approx(7 / 14)
+
+    def test_boundary_nodes(self, figure1_quality):
+        # Vf = all cross-edge endpoints: sources {Walt, Bill, Fred, Mat,
+        # relay2, Emmy, Pat} ∪ targets {Mat, Pat, Emmy, Fred, Ross, Jack}.
+        assert figure1_quality.num_boundary_nodes == 9
+
+    def test_per_fragment_in_out(self, figure1_quality):
+        by_fid = {fq.fid: fq for fq in figure1_quality.fragments}
+        # F1 (DC1): owns {Ann, Walt, Bill, Fred}; F1.O = {Mat, Pat, Emmy},
+        # F1.I = {Fred}; boundary = {Mat, Pat, Emmy, Fred}.
+        assert by_fid[0].num_nodes == 4
+        assert by_fid[0].num_out_nodes == 3
+        assert by_fid[0].num_in_nodes == 1
+        assert by_fid[0].num_boundary == 4
+        assert by_fid[0].num_cross_edges == 3
+        # F2 (DC2): owns {Mat, Jack, Emmy, relay1, relay2}; F2.O =
+        # {Fred, Ross}, F2.I = {Mat, Emmy, Jack}.
+        assert by_fid[1].num_nodes == 5
+        assert by_fid[1].num_out_nodes == 2
+        assert by_fid[1].num_in_nodes == 3
+        assert by_fid[1].num_boundary == 5
+        assert by_fid[1].num_cross_edges == 3
+        # F3 (DC3): owns {Pat, Ross, Tom, Mark}; F3.O = {Jack},
+        # F3.I = {Pat, Ross}.
+        assert by_fid[2].num_nodes == 4
+        assert by_fid[2].num_out_nodes == 1
+        assert by_fid[2].num_in_nodes == 2
+        assert by_fid[2].num_boundary == 3
+        assert by_fid[2].num_cross_edges == 1
+
+    def test_total_in_out(self, figure1_quality):
+        assert figure1_quality.total_in_out == 4 + 5 + 3
+
+    def test_balance_and_sizes(self, figure1_quality):
+        q = figure1_quality
+        assert q.max_fragment_nodes == 5  # DC2
+        assert q.balance == pytest.approx(5 / (13 / 3))
+        # |F2| = (5 owned + 2 virtual) nodes + (3 internal + 3 cross) edges.
+        assert q.max_fragment_size == 13
+
+    def test_traffic_bounds(self, figure1_quality):
+        q = figure1_quality
+        assert q.traffic_bound("disReach") == 81  # |Vf|^2
+        assert q.traffic_bound("disDist") == 81
+        assert q.traffic_bound("disRPQ", query_states=3) == 9 * 81
+
+    def test_summary_mentions_the_theorem_quantities(self, figure1_quality):
+        text = figure1_quality.summary()
+        assert "|Vf|=9" in text
+        assert "card=3" in text
+
+
+class TestTrafficBoundErrors:
+    def test_unknown_algorithm(self, figure1_quality):
+        with pytest.raises(FragmentationError, match="disReachn"):
+            figure1_quality.traffic_bound("disReachn")
+
+    def test_bad_query_states(self, figure1_quality):
+        with pytest.raises(FragmentationError, match="query_states"):
+            figure1_quality.traffic_bound("disRPQ", query_states=0)
+
+    def test_registry_covers_partial_evaluation_algorithms(self):
+        assert set(BOUNDED_ALGORITHMS) == {"disReach", "disDist", "disRPQ"}
+
+
+class TestMeasureQualityEdgeCases:
+    def test_single_fragment_has_no_boundary(self):
+        g = erdos_renyi(20, 50, seed=3)
+        quality = measure_quality(build_fragmentation(g, {n: 0 for n in g.nodes()}, 1))
+        assert quality.num_boundary_nodes == 0
+        assert quality.num_cross_edges == 0
+        assert quality.total_in_out == 0
+        assert quality.cut_fraction == 0.0
+        assert quality.traffic_bound() == 0
+
+    def test_matches_fragmentation_accessors(self):
+        g = erdos_renyi(40, 120, seed=7)
+        frag = build_fragmentation(g, hash_partition(g, 4), 4)
+        quality = measure_quality(frag)
+        assert quality.num_boundary_nodes == frag.num_boundary_nodes
+        assert quality.num_cross_edges == frag.num_cross_edges
+        assert quality.max_fragment_size == frag.max_fragment_size
+        assert quality.num_nodes == g.num_nodes
+        assert quality.num_edges == g.num_edges
+
+
+class TestRepartitionReport:
+    def test_deltas_and_ratio(self):
+        g = erdos_renyi(40, 120, seed=7)
+        before = measure_quality(build_fragmentation(g, hash_partition(g, 4), 4))
+        after = measure_quality(build_fragmentation(g, {n: 0 for n in g.nodes()}, 1))
+        report = RepartitionReport(partitioner="test", before=before, after=after)
+        assert report.boundary_delta == -before.num_boundary_nodes
+        assert report.traffic_bound_ratio == 0.0
+        assert "before:" in report.summary() and "(test)" in report.summary()
+
+    def test_ratio_from_zero_boundary(self):
+        g = erdos_renyi(10, 20, seed=1)
+        whole = measure_quality(build_fragmentation(g, {n: 0 for n in g.nodes()}, 1))
+        split = measure_quality(build_fragmentation(g, hash_partition(g, 3), 3))
+        assert RepartitionReport("t", whole, whole).traffic_bound_ratio == 1.0
+        assert RepartitionReport("t", whole, split).traffic_bound_ratio == float("inf")

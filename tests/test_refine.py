@@ -1,0 +1,230 @@
+"""Property tests for the boundary-aware partitioners (DESIGN.md §7).
+
+The refinement invariants the design documents, asserted over
+hypothesis-generated graphs:
+
+* ``refined`` / ``multilevel`` always produce assignments whose built
+  fragmentation passes ``check_fragmentation``;
+* no fragment ever exceeds the ``balance_cap`` owned-node cap;
+* refinement never increases the total boundary count ``|Vf|`` over the
+  (rebalanced) seed assignment it started from;
+* everything is deterministic in (graph, k, seed).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FragmentationError
+from repro.graph import DiGraph, erdos_renyi
+from repro.partition import (
+    balance_cap,
+    boundary_count,
+    build_fragmentation,
+    check_fragmentation,
+    measure_quality,
+    multilevel_partition,
+    refine_assignment,
+    refined_partition,
+)
+from repro.partition.refine import (
+    DEFAULT_BALANCE,
+    _multilevel_seed,
+    rebalance_assignment,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def graph_and_k(draw, max_nodes=24):
+    """A random digraph plus a fragment count in [1, |V|+2]."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=3 * n,
+        )
+    )
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v in edges:
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    k = draw(st.integers(min_value=1, max_value=n + 2))
+    return g, k
+
+
+@st.composite
+def graph_and_assignment(draw, max_nodes=20):
+    """A random digraph with an arbitrary (possibly unbalanced) assignment."""
+    g, k = draw(graph_and_k(max_nodes))
+    assignment = {
+        node: draw(st.integers(min_value=0, max_value=k - 1)) for node in g.nodes()
+    }
+    return g, assignment, k
+
+
+BOUNDARY_AWARE = {
+    "refined": refined_partition,
+    "multilevel": multilevel_partition,
+}
+
+
+# ---------------------------------------------------------------------------
+# the three documented invariants
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(BOUNDARY_AWARE))
+class TestInvariants:
+    @given(case=graph_and_k(), seed=st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_valid_fragmentation(self, name, case, seed):
+        graph, k = case
+        assignment = BOUNDARY_AWARE[name](graph, k, seed=seed)
+        assert set(assignment) == set(graph.nodes())
+        assert all(0 <= fid < k for fid in assignment.values())
+        check_fragmentation(graph, build_fragmentation(graph, assignment, k))
+
+    @given(case=graph_and_k(), seed=st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_respects_balance_cap(self, name, case, seed):
+        graph, k = case
+        assignment = BOUNDARY_AWARE[name](graph, k, seed=seed)
+        cap = balance_cap(graph.num_nodes, k, DEFAULT_BALANCE)
+        sizes = [0] * k
+        for fid in assignment.values():
+            sizes[fid] += 1
+        assert max(sizes) <= cap
+
+    @given(case=graph_and_k(), seed=st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_deterministic(self, name, case, seed):
+        graph, k = case
+        fn = BOUNDARY_AWARE[name]
+        assert fn(graph, k, seed=seed) == fn(graph, k, seed=seed)
+
+
+class TestBoundaryNeverIncreases:
+    @given(case=graph_and_assignment())
+    @settings(max_examples=60)
+    def test_refine_assignment_only_improves(self, case):
+        graph, assignment, k = case
+        refined = refine_assignment(graph, assignment, k)
+        assert boundary_count(graph, refined) <= boundary_count(graph, assignment)
+
+    @given(case=graph_and_k(), seed=st.integers(0, 2))
+    @settings(max_examples=30)
+    def test_refined_beats_its_explicit_seed(self, case, seed):
+        from repro.partition import greedy_edge_cut_partition
+
+        graph, k = case
+        seed_assignment = greedy_edge_cut_partition(graph, k, seed=seed)
+        cap = balance_cap(graph.num_nodes, k, DEFAULT_BALANCE)
+        rebalanced = rebalance_assignment(graph, seed_assignment, k, cap)
+        out = refined_partition(graph, k, seed=seed, base="greedy")
+        assert boundary_count(graph, out) <= boundary_count(graph, rebalanced)
+
+    @given(case=graph_and_k(), seed=st.integers(0, 2))
+    @settings(max_examples=30)
+    def test_multilevel_beats_its_projected_seed(self, case, seed):
+        graph, k = case
+        projected = _multilevel_seed(graph, k, seed)
+        cap = balance_cap(graph.num_nodes, k, DEFAULT_BALANCE)
+        rebalanced = rebalance_assignment(graph, projected, k, cap)
+        out = multilevel_partition(graph, k, seed=seed)
+        assert boundary_count(graph, out) <= boundary_count(graph, rebalanced)
+
+
+class TestRebalance:
+    @given(case=graph_and_assignment())
+    @settings(max_examples=60)
+    def test_output_fits_cap_and_covers_nodes(self, case):
+        graph, assignment, k = case
+        cap = balance_cap(graph.num_nodes, k, DEFAULT_BALANCE)
+        out = rebalance_assignment(graph, assignment, k, cap)
+        assert set(out) == set(graph.nodes())
+        sizes = [0] * k
+        for fid in out.values():
+            sizes[fid] += 1
+        assert max(sizes) <= cap
+
+    def test_noop_when_already_balanced(self):
+        g = erdos_renyi(12, 30, seed=2)
+        assignment = {node: i % 3 for i, node in enumerate(g.nodes())}
+        cap = balance_cap(12, 3)
+        assert rebalance_assignment(g, assignment, 3, cap) == assignment
+
+
+class TestOnStructuredGraphs:
+    """Refinement finds the planted communities a random seed misses."""
+
+    @pytest.fixture(scope="class")
+    def two_cliques(self) -> DiGraph:
+        g = DiGraph()
+        for i in range(20):
+            g.add_node(i)
+        for i in range(10):
+            for j in range(10):
+                if i != j:
+                    g.add_edge(i, j)
+                    g.add_edge(10 + i, 10 + j)
+        g.add_edge(0, 10)
+        return g
+
+    def test_refined_recovers_the_cliques(self, two_cliques):
+        assignment = refined_partition(two_cliques, 2, seed=0)
+        # Only the single bridge edge should cross: exactly 2 boundary nodes.
+        assert boundary_count(two_cliques, assignment) == 2
+
+    def test_multilevel_recovers_the_cliques(self, two_cliques):
+        assignment = multilevel_partition(two_cliques, 2, seed=0)
+        assert boundary_count(two_cliques, assignment) == 2
+
+    def test_refined_improves_quality_report(self, two_cliques):
+        from repro.partition import hash_partition
+
+        k = 2
+        hashed = measure_quality(
+            build_fragmentation(two_cliques, hash_partition(two_cliques, k), k)
+        )
+        refined = measure_quality(
+            build_fragmentation(
+                two_cliques, refined_partition(two_cliques, k, seed=0), k
+            )
+        )
+        assert refined.num_boundary_nodes < hashed.num_boundary_nodes
+        assert refined.traffic_bound() < hashed.traffic_bound()
+
+
+class TestValidation:
+    def test_rejects_zero_fragments(self):
+        g = erdos_renyi(8, 16, seed=0)
+        with pytest.raises(FragmentationError):
+            refined_partition(g, 0)
+        with pytest.raises(FragmentationError):
+            multilevel_partition(g, 0)
+
+    def test_rejects_incomplete_assignment(self):
+        g = erdos_renyi(8, 16, seed=0)
+        with pytest.raises(FragmentationError, match="misses"):
+            refine_assignment(g, {}, 2)
+
+    def test_rejects_out_of_range_fragment_id(self):
+        g = erdos_renyi(8, 16, seed=0)
+        bad = {node: 7 for node in g.nodes()}
+        with pytest.raises(FragmentationError, match="outside"):
+            refine_assignment(g, bad, 2)
+
+    def test_rejects_bad_balance(self):
+        with pytest.raises(FragmentationError, match="balance"):
+            balance_cap(10, 2, balance=0.5)
+
+    def test_explicit_mapping_base(self):
+        g = erdos_renyi(10, 25, seed=1)
+        base = {node: 0 for node in g.nodes()}
+        out = refined_partition(g, 2, base=base)
+        # The all-in-one seed is over cap for k=2; rebalance must fix it.
+        sizes = [list(out.values()).count(f) for f in range(2)]
+        assert max(sizes) <= balance_cap(10, 2)
