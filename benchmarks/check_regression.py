@@ -33,6 +33,15 @@ Three kinds of checks:
   and modeled ``traffic_KB`` (disReach rows) on at least
   ``MIN_REFINED_WINS`` pinned datasets — the acceptance bar of the
   partition-quality subsystem.
+* **dynamic graphs** (when the baseline carries a ``mutation``
+  experiment) — the drift-triggered streaming refinement must hold its
+  declared envelope on the pinned mutation run: the ``drift-refine``
+  scenario fired at least one refinement, applied at most
+  ``refinements * budget`` moves, and kept the final boundary count within
+  the declared ``vf_tol`` factor of an offline ``refined`` run on the
+  final graph (all three are deterministic).  The scenarios' modeled
+  ``traffic_KB``/``network_ms``/``visits`` are additionally
+  tolerance-compared against the baseline, like the workload rows.
 
 Exit status 0 = pass, 1 = regression, 2 = bad input.  When the run is
 *better* than baseline by more than the tolerance the gate still passes but
@@ -99,6 +108,16 @@ def partition_rows(
         ): row
         for row in experiment["rows"]
     }
+
+
+def mutation_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[str, Dict[str, object]]]:
+    """Mutation-experiment rows keyed by scenario, if present."""
+    experiment = payload.get("mutation")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {str(row.get("scenario")): row for row in experiment["rows"]}
 
 
 def as_float(
@@ -240,6 +259,77 @@ def check_partition(
         )
 
 
+def check_mutation(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    tolerance: float,
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    improvements: List[str],
+    report: List[str],
+) -> None:
+    """Streaming-refinement floors + tolerance-compared mutation costs."""
+    drift = current.get("drift-refine")
+    if drift is None:
+        failures.append("mutation row 'drift-refine' missing from current run")
+    else:
+        label = "mutation/drift-refine"
+        refinements = as_float(drift, "refinements", current_origin, label)
+        moves = as_float(drift, "moves", current_origin, label)
+        budget = as_float(drift, "budget", current_origin, label)
+        vf_ratio = as_float(drift, "vf_ratio", current_origin, label)
+        vf_tol = as_float(drift, "vf_tol", current_origin, label)
+        checks = [
+            ("refinements (floor)", refinements, ">=", 1.0),
+            ("moves <= refinements*budget", moves, "<=", refinements * budget),
+            ("vf_ratio <= vf_tol", vf_ratio, "<=", vf_tol),
+        ]
+        for name, value, op, limit in checks:
+            ok = value >= limit if op == ">=" else value <= limit
+            if not ok:
+                failures.append(
+                    f"{label}: {name} violated ({value:g} vs {limit:g}) — "
+                    "the drift-triggered bounded refinement broke its "
+                    "declared envelope (all inputs deterministic)"
+                )
+            report.append(
+                f"| {label} | {name} | {op} {limit:g} | {value:g} | - "
+                f"| {'ok' if ok else 'FAIL'} |"
+            )
+
+    for scenario in ("static", "drift-refine"):
+        base_row = baseline.get(scenario)
+        cur_row = current.get(scenario)
+        if base_row is None or cur_row is None:
+            failures.append(
+                f"mutation row {scenario!r} missing from baseline or current run"
+            )
+            continue
+        for metric in COST_METRICS:
+            label = f"mutation/{scenario}"
+            base = as_float(base_row, metric, baseline_origin, label)
+            cur = as_float(cur_row, metric, current_origin, label)
+            limit = base * (1.0 + tolerance)
+            if cur > limit:
+                status = "FAIL"
+                failures.append(
+                    f"{label}/{metric}: {cur:g} exceeds baseline {base:g} "
+                    f"by more than {tolerance:.0%} (limit {limit:g})"
+                )
+            else:
+                status = "ok"
+                if base > 0 and cur < base * (1.0 - tolerance):
+                    improvements.append(
+                        f"{label}/{metric}: {cur:g} is >{tolerance:.0%} "
+                        f"below baseline {base:g}"
+                    )
+            report.append(
+                f"| {label} | {metric} | {base:g} | {cur:g} | {limit:g} "
+                f"| {status} |"
+            )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the gate; see the module docstring for semantics."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -314,6 +404,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
+    baseline_mutation = mutation_rows(baseline_payload)
+    if baseline_mutation is not None:
+        current_mutation = mutation_rows(current_payload)
+        if current_mutation is None:
+            raise SystemExit(
+                f"error: baseline has a mutation experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench mutation --json <file>`"
+            )
+        check_mutation(
+            current_mutation,
+            baseline_mutation,
+            args.tolerance,
+            current_origin,
+            str(baseline_path),
+            failures,
+            improvements,
+            report,
+        )
+
     print("benchmark regression check:", current_origin, "vs", baseline_path)
     print("\n".join(report))
     if improvements:
@@ -334,7 +444,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("ok: within tolerance, above serving floors, partition ceilings hold")
+    print(
+        "ok: within tolerance, above serving floors, partition ceilings and "
+        "mutation envelope hold"
+    )
     return 0
 
 

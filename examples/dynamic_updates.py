@@ -33,7 +33,8 @@ def main() -> None:
     update = session.remove_edge("Ross", "Mark")
     print(f"\nafter DC3 removes (Ross -> Mark): qr(Ann, Mark) = {update.answer}")
     print(f"  the update touched {update.stats.total_visits} site "
-          f"(site {update.details['site']}), {update.stats.traffic_bytes} B shipped")
+          f"(site {update.details['sites'][0]}), "
+          f"{update.stats.traffic_bytes} B shipped")
 
     update = session.add_edge("Ross", "Mark")
     print(f"after DC3 restores it:            qr(Ann, Mark) = {update.answer}")

@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench table2 --executor process   # parallel site work
     python -m repro.bench workload --json BENCH_pr.json   # CI regression gate
     python -m repro.bench partition --json BENCH_partition.json  # quality sweep
+    python -m repro.bench mutation --json BENCH_mutation.json  # dynamic graphs
 
 Several experiments can be named at once; ``--json`` then writes one file
 keyed by experiment id (what ``benchmarks/check_regression.py`` consumes).

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.engine import evaluate
 from ..core.queries import RegularReachQuery
 from ..distributed.cluster import SimulatedCluster
-from ..distributed.stats import stopwatch
+from ..distributed.stats import ExecutionStats, stopwatch
 from ..graph.digraph import DiGraph
 from ..graph.generators import synthetic_graph
 from ..index import REACHABILITY_INDEXES
@@ -738,6 +738,199 @@ def exp_partition(
     return result
 
 
+# ---------------------------------------------------------------------------
+# mutation: dynamic graphs — zipf serving stream interleaved with mutations
+# ---------------------------------------------------------------------------
+#: Pinned knobs of the ``mutation`` experiment (what the CI gate enforces).
+MUTATION_DATASET = "amazon"
+#: Starting partitioner: a decent streaming split (not the offline optimum)
+#: — the operating point the streaming-refinement story is about.
+MUTATION_PARTITIONER = "chunk"
+MUTATION_DRIFT_THRESHOLD = 0.05
+MUTATION_MOVE_BUDGET = 64
+MUTATION_REGION_HOPS = 3
+#: Declared tolerance: post-refinement |Vf| must stay within this factor of
+#: an offline ``refined`` run on the final (post-mutation) graph.
+MUTATION_VF_TOLERANCE = 1.3
+
+
+def _split_rounds(items: List, rounds: int) -> List[List]:
+    """Split ``items`` into ``rounds`` near-even contiguous chunks."""
+    out, start = [], 0
+    for index in range(rounds):
+        end = start + (len(items) - start) // (rounds - index)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def exp_mutation(
+    scale: float = SCALE / 2,
+    seed: int = 0,
+    num_queries: int = 80,
+    card: int = 8,
+    num_mutations: int = 48,
+    rounds: int = 8,
+    drift_threshold: float = MUTATION_DRIFT_THRESHOLD,
+    move_budget: int = MUTATION_MOVE_BUDGET,
+    region_hops: int = MUTATION_REGION_HOPS,
+    vf_tolerance: float = MUTATION_VF_TOLERANCE,
+    dataset: str = MUTATION_DATASET,
+    partitioner: str = MUTATION_PARTITIONER,
+) -> ExperimentResult:
+    """Dynamic graphs: a zipf query stream interleaved with edge mutations.
+
+    Serves the same pinned workload twice over the same mutation stream —
+    once on a cluster that never repartitions (``static``) and once with a
+    :class:`~repro.partition.monitor.MutationMonitor` attached
+    (``drift-refine``): when ``|Vf|`` drifts past the threshold, a bounded
+    refinement (move budget, mutation-touched region only) repartitions in
+    place, *paying* the modeled fragment-shipping cost.  Batch answers are
+    asserted identical between scenarios (repartition soundness), and the
+    table answers the ROADMAP's question — after how many queries does the
+    repartition pay for itself (``break_even_queries``, from the
+    post-refinement per-query network-cost gap).  The ``Vf_final`` /
+    ``vf_ratio`` columns compare against an offline ``refined`` run on the
+    final graph; the CI gate holds the drift row to ``moves <= budget`` and
+    ``vf_ratio <= vf_tol``.
+    """
+    from ..partition.monitor import MutationMonitor
+    from ..partition.refine import boundary_count, refined_partition
+    from ..serving import BatchQueryEngine
+    from ..workload.query_gen import random_edge_mutations, zipf_workload
+
+    graph0 = load_dataset(dataset, scale=scale, seed=seed)
+    queries = zipf_workload(graph0, num_queries, seed=seed)
+    mutations = random_edge_mutations(graph0, num_mutations, seed=seed)
+    query_rounds = _split_rounds(queries, rounds)
+    mutation_rounds = _split_rounds(mutations, rounds)
+
+    def run_stream(monitored: bool) -> Dict[str, object]:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+        cluster = SimulatedCluster.from_graph(
+            graph, card, partitioner=partitioner, seed=seed
+        )
+        monitor = (
+            MutationMonitor(
+                cluster,
+                drift_threshold=drift_threshold,
+                move_budget=move_budget,
+                region_hops=region_hops,
+            )
+            if monitored
+            else None
+        )
+        engine = BatchQueryEngine(cluster)
+        vf_start = cluster.fragmentation.num_boundary_nodes
+        answers: List[bool] = []
+        totals = ExecutionStats(
+            algorithm="mutation-stream", num_sites=cluster.num_sites
+        )
+        round_traffic: List[int] = []
+        first_refinement_round: Optional[int] = None
+        for index in range(rounds):
+            batch = engine.run_batch(query_rounds[index])
+            answers.extend(batch.answers)
+            bstats = batch.workload.batch
+            totals.accumulate(bstats)
+            round_traffic.append(bstats.traffic_bytes)
+            before = len(monitor.refinements) if monitor else 0
+            for op, u, v in mutation_rounds[index]:
+                cluster.apply_edge_mutation(u, v, op == "add")
+            if (
+                monitor
+                and first_refinement_round is None
+                and len(monitor.refinements) > before
+            ):
+                first_refinement_round = index
+        ship_bytes = sum(r.shipping.traffic_bytes for r in monitor.refinements) if monitor else 0
+        ship_seconds = (
+            sum(r.shipping.network_seconds for r in monitor.refinements) if monitor else 0.0
+        )
+        return {
+            "answers": answers,
+            "cluster": cluster,
+            "monitor": monitor,
+            "traffic": totals.traffic_bytes,
+            "network": totals.network_seconds,
+            "visits": totals.total_visits,
+            "round_traffic": round_traffic,
+            "first_refinement_round": first_refinement_round,
+            "ship_bytes": ship_bytes,
+            "ship_seconds": ship_seconds,
+            "vf_start": vf_start,
+        }
+
+    static = run_stream(monitored=False)
+    drift = run_stream(monitored=True)
+    if static["answers"] != drift["answers"]:  # pragma: no cover - guard
+        raise AssertionError(
+            "drift-refine answers diverged from the static cluster — "
+            "repartition soundness broken"
+        )
+
+    final_graph = static["cluster"].fragmentation.restore_graph()
+    vf_offline = boundary_count(
+        final_graph, refined_partition(final_graph, card, seed=seed)
+    )
+    monitor = drift["monitor"]
+    # Break-even: shipping bytes over the post-refinement per-query traffic
+    # gap between the two scenarios (same warm caches, same mutations — the
+    # difference isolates what the refinement bought).  Bytes, not seconds:
+    # traffic is the quantity the theorems charge to |Vf|, and the latency
+    # rounds cancel between the scenarios.
+    break_even: Optional[float] = None
+    first = drift["first_refinement_round"]
+    if first is not None and first + 1 < rounds:
+        post_queries = sum(len(chunk) for chunk in query_rounds[first + 1:])
+        static_post = sum(static["round_traffic"][first + 1:])
+        drift_post = sum(drift["round_traffic"][first + 1:])
+        if post_queries and static_post > drift_post:
+            per_query_gain = (static_post - drift_post) / post_queries
+            break_even = drift["ship_bytes"] / per_query_gain
+
+    result = ExperimentResult(
+        "mutation",
+        f"Dynamic graph: {num_queries} zipf queries + {num_mutations} "
+        f"mutations ({dataset} analog)",
+        [
+            "scenario", "queries", "mutations", "refinements", "moves",
+            "budget", "Vf_start", "Vf_final", "Vf_offline", "vf_ratio",
+            "vf_tol", "ship_KB", "ship_ms", "traffic_KB", "network_ms",
+            "visits", "break_even_queries",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}, start={partitioner}, {rounds} "
+            f"rounds, drift threshold={drift_threshold}, region "
+            f"hops={region_hops}; answers identical across scenarios by "
+            "assertion; Vf_offline = offline refined on the final graph"
+        ),
+    )
+    for name, stream in (("static", static), ("drift-refine", drift)):
+        vf_final = stream["cluster"].fragmentation.num_boundary_nodes
+        stream_monitor = stream["monitor"]
+        result.add_row(
+            scenario=name,
+            queries=num_queries,
+            mutations=num_mutations,
+            refinements=len(stream_monitor.refinements) if stream_monitor else 0,
+            moves=stream_monitor.total_moves if stream_monitor else 0,
+            budget=move_budget,
+            Vf_start=stream["vf_start"],
+            Vf_final=vf_final,
+            Vf_offline=vf_offline,
+            vf_ratio=vf_final / max(vf_offline, 1),
+            vf_tol=vf_tolerance,
+            ship_KB=stream["ship_bytes"] / 1e3,
+            ship_ms=stream["ship_seconds"] * 1e3,
+            traffic_KB=stream["traffic"] / 1e3,
+            network_ms=stream["network"] * 1e3,
+            visits=stream["visits"],
+            break_even_queries=break_even if name == "drift-refine" else None,
+        )
+    return result
+
+
 #: CLI registry: experiment id -> callable.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": exp_table2,
@@ -757,4 +950,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-partitioner": exp_ablation_partitioner,
     "workload": exp_workload,
     "partition": exp_partition,
+    "mutation": exp_mutation,
 }

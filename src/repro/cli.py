@@ -25,6 +25,10 @@ Lets a user exercise the whole system from a shell, no Python required::
     # serve a 100-query zipf workload as one batch (cross-query reuse)
     python -m repro --graph g.txt --workload 100 --executor process
 
+    # dynamic graph: interleave 20 edge mutations with the workload; a
+    # drift monitor triggers bounded repartitioning when |Vf| degrades
+    python -m repro --graph g.txt --workload 100 --mutations 20
+
 The run's performance evidence (visits, traffic, response time) is printed
 with the answer — the same three quantities the paper's guarantees bound.
 With ``--workload`` the batch engine's amortization evidence (cache hit
@@ -94,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="bound l of the workload's bounded queries "
                           "(default: 6; distinct dest from the dist "
                           "subcommand's positional bound)")
+    workload.add_argument("--mutations", type=int, metavar="M", default=None,
+                          help="interleave M edge mutations with the "
+                          "workload, with a drift-triggered bounded "
+                          "refinement monitor attached (DESIGN.md §8; "
+                          "requires --workload)")
 
     sub = parser.add_subparsers(dest="query", required=False)
     reach = sub.add_parser("reach", help="qr(s, t): does s reach t?")
@@ -155,6 +164,8 @@ def _run_workload(args, graph, cluster) -> int:
         seed=args.seed,
     )
     engine = BatchQueryEngine(cluster)
+    if args.mutations:
+        return _run_dynamic_workload(args, graph, cluster, engine, queries)
     batch = engine.run_batch(queries, algorithm=args.algorithm)
     workload = batch.workload
     positives = sum(1 for answer in batch.answers if answer)
@@ -172,6 +183,59 @@ def _run_workload(args, graph, cluster) -> int:
     return 0
 
 
+def _run_dynamic_workload(args, graph, cluster, engine, queries) -> int:
+    """``--workload N --mutations M``: serve rounds with mutations between.
+
+    A :class:`~repro.partition.monitor.MutationMonitor` (default knobs)
+    watches ``|Vf|`` drift; when its threshold trips, a bounded refinement
+    repartitions in place — open sessions remap, caches invalidate, and the
+    modeled fragment-shipping cost is charged and reported.
+    """
+    from .distributed.stats import ExecutionStats
+    from .partition.monitor import MutationMonitor
+    from .workload.query_gen import random_edge_mutations
+
+    plan = random_edge_mutations(graph, args.mutations, seed=args.seed)
+    rounds = max(1, min(8, len(plan)))
+    monitor = MutationMonitor(cluster)
+    vf_start = cluster.fragmentation.num_boundary_nodes
+    answers = []
+    totals = ExecutionStats(algorithm="workload", num_sites=cluster.num_sites)
+    for index in range(rounds):
+        lo = index * len(queries) // rounds
+        hi = (index + 1) * len(queries) // rounds
+        batch = engine.run_batch(queries[lo:hi], algorithm=args.algorithm)
+        answers.extend(batch.answers)
+        if batch.workload.batch is not None:
+            totals.accumulate(batch.workload.batch)
+        mlo = index * len(plan) // rounds
+        mhi = (index + 1) * len(plan) // rounds
+        for op, u, v in plan[mlo:mhi]:
+            cluster.apply_edge_mutation(u, v, op == "add")
+    positives = sum(1 for answer in answers if answer)
+    ship_bytes = sum(r.shipping.traffic_bytes for r in monitor.refinements)
+    ship_ms = sum(r.shipping.network_seconds for r in monitor.refinements) * 1e3
+    print(
+        f"workload: {len(queries)} queries + {len(plan)} mutations "
+        f"({rounds} rounds) on {cluster.num_sites} sites  ->  "
+        f"{positives} true / {len(answers) - positives} false"
+    )
+    print(
+        f"[batch] hit-rate={engine.cache.hit_rate * 100:.1f}% "
+        f"response={totals.response_seconds * 1e3:.2f}ms "
+        f"traffic={totals.traffic_bytes}B"
+    )
+    print(
+        f"[dynamic] |Vf| {vf_start} -> "
+        f"{cluster.fragmentation.num_boundary_nodes} "
+        f"(drift {monitor.drift():+.1%} of baseline) "
+        f"refinements={len(monitor.refinements)} moves={monitor.total_moves} "
+        f"shipped={ship_bytes}B ({ship_ms:.2f}ms) "
+        f"epoch={cluster.partition_epoch}"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -179,6 +243,10 @@ def main(argv=None) -> int:
         parser.error("a query subcommand (reach/dist/regular) or --workload is required")
     if args.query is not None and args.workload is not None:
         parser.error("--workload replaces the query subcommand; give one or the other")
+    if args.mutations is not None and args.workload is None:
+        parser.error("--mutations only makes sense with --workload")
+    if args.mutations is not None and args.mutations < 0:
+        parser.error("--mutations must be non-negative")
     try:
         if args.graph:
             graph = graph_io.load(args.graph)

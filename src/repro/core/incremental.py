@@ -12,11 +12,28 @@ per-fragment contributions, so when an edge changes inside fragment ``Fi``
   O(|Vf|^2) regardless of |G|.
 
 :class:`IncrementalReachSession` and :class:`IncrementalRegularSession`
-maintain a *standing query* under intra-fragment edge insertions and
-deletions.  Cross-fragment updates change the fragmentation itself
-(virtual nodes and in-node sets move between sites); supporting them is
-bookkeeping, not algorithmics, and is out of scope here — the sessions
-reject them explicitly.
+maintain a *standing query* under edge insertions and deletions.
+Cross-fragment updates change the fragmentation anatomy itself (virtual
+nodes, in-node sets and cross edges move between sites); the cluster does
+that bookkeeping in :meth:`~repro.distributed.cluster.SimulatedCluster.
+apply_edge_mutation`, and the session re-evaluates the (at most two)
+affected fragments — two visits, two rvsets, still independent of |G|.
+
+Sessions are **repartition-safe** (DESIGN.md §8).  Each session registers
+weakly with its cluster and captures the cluster's ``partition_epoch`` at
+:meth:`~_IncrementalSession.initialize` time.  When the cluster
+repartitions — explicitly, or because a drift-triggered refinement fired —
+the session is *remapped*: its cached per-fragment partials (keyed by
+fragment ids that may now name entirely different fragments) are dropped
+and the standing query is re-evaluated against the new fragmentation with
+honest modeled cost.  A session that somehow missed the notification (the
+epoch guard) refuses to mutate with a :class:`QueryError` instead of
+joining stale partials into a silently wrong standing answer.
+
+Errors follow one contract: anything a caller can get wrong — unknown
+nodes, inserting a present edge, deleting an absent one, mutating an
+uninitialized or stale session — raises :class:`QueryError` *before* any
+fragment, version counter or cache is touched.
 """
 
 from __future__ import annotations
@@ -25,7 +42,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from ..automata.query_automaton import QueryAutomaton
 from ..distributed.cluster import SimulatedCluster
-from ..distributed.messages import MessageKind
+from ..distributed.messages import MessageKind, payload_size
 from ..errors import QueryError
 from ..graph.digraph import Node
 from .queries import ReachQuery, RegularReachQuery
@@ -43,7 +60,13 @@ class _IncrementalSession:
         self.cluster = cluster
         self._partials: Dict[int, dict] = {}
         self._answer: Optional[bool] = None
+        self._epoch: Optional[int] = None
         self.updates_applied = 0
+        #: Times the session was remapped onto a new fragmentation.
+        self.remaps = 0
+        #: The re-initialization result of the most recent remap.
+        self.last_remap: Optional[QueryResult] = None
+        cluster.register_session(self)
 
     # -- subclass hooks --------------------------------------------------
     def _local_eval(self, fragment) -> dict:
@@ -61,7 +84,12 @@ class _IncrementalSession:
     # -- lifecycle --------------------------------------------------------
     def initialize(self) -> QueryResult:
         """The initial full evaluation (identical to the one-shot algorithm)."""
-        run = self.cluster.start_run(f"{self.algorithm}:init")
+        return self._evaluate_full("init")
+
+    def _evaluate_full(self, label: str) -> QueryResult:
+        """Evaluate the standing query from scratch on the current fragments."""
+        self._epoch = self.cluster.partition_epoch
+        run = self.cluster.start_run(f"{self.algorithm}:{label}")
         run.broadcast(self._broadcast_payload(), MessageKind.QUERY)
         with run.parallel_phase() as phase:
             for site in self.cluster.sites:
@@ -78,7 +106,32 @@ class _IncrementalSession:
                 )
         with run.coordinator_work():
             self._answer = self._assemble(self._partials)
-        return QueryResult(self._answer, run.finish(), {"incremental": "init"})
+        # "sites" lists the sites this evaluation visited, like the update
+        # path's results — callers can rely on one details shape throughout.
+        details = {
+            "incremental": label,
+            "sites": tuple(site.site_id for site in self.cluster.sites),
+        }
+        return QueryResult(self._answer, run.finish(), details)
+
+    def _on_repartition(self) -> bool:
+        """Cluster hook: remap the standing query onto the new fragmentation.
+
+        The cached partials are keyed by fragment ids of the *retired*
+        fragmentation — joining them with new-fragmentation partials would
+        produce a silently wrong answer, so they are dropped wholesale and
+        (for initialized sessions) the standing query is re-evaluated with
+        honest modeled cost, recorded in :attr:`last_remap`.  Returns
+        whether a re-evaluation actually ran.
+        """
+        self._partials.clear()
+        if self._answer is None:
+            # Never initialized: nothing to remap; initialize() will bind
+            # to whatever fragmentation is current when it runs.
+            return False
+        self.remaps += 1
+        self.last_remap = self._evaluate_full("remap")
+        return True
 
     @property
     def answer(self) -> bool:
@@ -87,39 +140,63 @@ class _IncrementalSession:
         return self._answer
 
     # -- updates ----------------------------------------------------------
-    def _owning_fragment(self, u: Node, v: Node):
-        frag_u = self.cluster.fragmentation.fragment_of(u)
-        frag_v = self.cluster.fragmentation.fragment_of(v)
-        if frag_u.fid != frag_v.fid:
+    def _check_live(self) -> None:
+        """Reject mutation through an uninitialized or stale session."""
+        if self._answer is None:
+            raise QueryError("session not initialized; call initialize() first")
+        if self._epoch != self.cluster.partition_epoch:
             raise QueryError(
-                f"edge ({u!r}, {v!r}) crosses fragments {frag_u.fid} and "
-                f"{frag_v.fid}; incremental sessions support intra-fragment "
-                "updates only (cross edges change the fragmentation itself)"
+                f"session is stale: it initialized under partition epoch "
+                f"{self._epoch} but the cluster is at epoch "
+                f"{self.cluster.partition_epoch}; re-run initialize() to "
+                "remap the standing query onto the current fragmentation"
             )
-        return frag_u
 
-    def _after_mutation(self, fragment) -> QueryResult:
-        """Re-evaluate the touched fragment, re-solve at the coordinator."""
+    def _after_mutation(self, fids: Tuple[int, ...], refresh: bool = False
+                        ) -> QueryResult:
+        """Re-evaluate the touched fragments, re-solve at the coordinator.
+
+        ``refresh=True`` (the :meth:`resync` path — a change applied
+        *outside* this session) additionally bumps the fragments' versions
+        and drops their sites' index caches, which
+        :meth:`~repro.distributed.cluster.SimulatedCluster.apply_edge_mutation`
+        already did for the session's own mutations.
+        """
         run = self.cluster.start_run(f"{self.algorithm}:update")
-        site = self.cluster.site_of_fragment(fragment.fid)
-        site.invalidate_indexes()
-        # Serving-layer caches key partial results on the fragment version;
-        # bumping it here retires every cached rvset of the touched fragment.
-        self.cluster.bump_fragment_version(fragment.fid)
-        run.send_to_site(site.site_id, self._broadcast_payload(), MessageKind.QUERY)
-        with run.parallel_phase() as phase:
-            with phase.at(site.site_id):
-                equations = self._local_eval(fragment)
-            self._partials[fragment.fid] = equations
-            run.send_to_coordinator(
-                site.site_id, self._wrap_payload(equations), MessageKind.PARTIAL
+        by_site: Dict[int, list] = {}
+        for fid in fids:
+            fragment = self.cluster.fragmentation[fid]
+            by_site.setdefault(self.cluster.site_of_fragment(fid).site_id, []).append(
+                fragment
             )
+            if refresh:
+                self.cluster.site_of_fragment(fid).invalidate_indexes()
+                # Serving-layer caches key partial results on the fragment
+                # version; bumping retires every cached rvset of the fragment.
+                self.cluster.bump_fragment_version(fid)
+        payload = self._broadcast_payload()
+        size = payload_size(payload)
+        for site_id in sorted(by_site):
+            run.send_to_site(site_id, payload, MessageKind.QUERY, charge_time=False)
+        run.network_round({site_id: size for site_id in by_site})
+        with run.parallel_phase() as phase:
+            for site_id in sorted(by_site):
+                site_equations: dict = {}
+                with phase.at(site_id):
+                    for fragment in by_site[site_id]:
+                        equations = self._local_eval(fragment)
+                        self._partials[fragment.fid] = equations
+                        site_equations.update(equations)
+                run.send_to_coordinator(
+                    site_id, self._wrap_payload(site_equations), MessageKind.PARTIAL
+                )
         with run.coordinator_work():
             self._answer = self._assemble(self._partials)
-        self.updates_applied += 1
         stats = run.finish()
         return QueryResult(
-            self._answer, stats, {"incremental": "update", "site": site.site_id}
+            self._answer,
+            stats,
+            {"incremental": "update", "sites": tuple(sorted(by_site))},
         )
 
     def resync(self, node: Node) -> QueryResult:
@@ -128,20 +205,31 @@ class _IncrementalSession:
         For changes applied *outside* this session (another session sharing
         the cluster, or direct fragment mutation): one visit, one rvset.
         """
+        self._check_live()
+        if not self.cluster.fragmentation.has_node(node):
+            raise QueryError(f"node {node!r} is not stored at any site")
         fragment = self.cluster.fragmentation.fragment_of(node)
-        return self._after_mutation(fragment)
+        return self._after_mutation((fragment.fid,), refresh=True)
+
+    def _mutate(self, u: Node, v: Node, add: bool) -> QueryResult:
+        self._check_live()
+        epoch_before = self.cluster.partition_epoch
+        affected = self.cluster.apply_edge_mutation(u, v, add)
+        self.updates_applied += 1
+        if self.cluster.partition_epoch != epoch_before:
+            # A drift-triggered refinement repartitioned the cluster inside
+            # the mutation; _on_repartition() already re-evaluated the
+            # standing query on the post-mutation graph.
+            return self.last_remap
+        return self._after_mutation(affected)
 
     def add_edge(self, u: Node, v: Node) -> QueryResult:
-        """Insert an intra-fragment edge and refresh the standing answer."""
-        fragment = self._owning_fragment(u, v)
-        fragment.local_graph.add_edge(u, v)
-        return self._after_mutation(fragment)
+        """Insert an edge (intra- or cross-fragment), refresh the answer."""
+        return self._mutate(u, v, add=True)
 
     def remove_edge(self, u: Node, v: Node) -> QueryResult:
-        """Delete an intra-fragment edge and refresh the standing answer."""
-        fragment = self._owning_fragment(u, v)
-        fragment.local_graph.remove_edge(u, v)
-        return self._after_mutation(fragment)
+        """Delete an edge (intra- or cross-fragment), refresh the answer."""
+        return self._mutate(u, v, add=False)
 
 
 class IncrementalReachSession(_IncrementalSession):

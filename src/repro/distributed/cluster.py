@@ -52,7 +52,9 @@ is all the invalidation protocol there is (DESIGN.md §6).
 from __future__ import annotations
 
 import time
+import weakref
 from contextlib import contextmanager
+from dataclasses import replace as dataclass_replace
 from typing import (
     Any,
     Callable,
@@ -69,7 +71,7 @@ from typing import (
 from ..errors import DistributedError, QueryError
 from ..graph.digraph import DiGraph, Node
 from ..partition.builder import build_fragmentation
-from ..partition.fragment import Fragmentation
+from ..partition.fragment import Fragment, Fragmentation
 from ..partition.partitioners import call_partitioner, get_partitioner
 from ..partition.quality import RepartitionReport, measure_quality
 from ..partition.validation import check_fragmentation
@@ -342,6 +344,16 @@ class SimulatedCluster:
         # disappears and later reappears continues its counter instead of
         # restarting at 0 (which would resurrect stale cache entries).
         self._retired_versions: Dict[int, int] = {}
+        # Dynamic-graph protocol state (DESIGN.md §8): the partition epoch
+        # counts fragmentation generations, the weak registries hold the
+        # open incremental sessions / serving caches that must be notified
+        # when the fragmentation changes, and the optional MutationMonitor
+        # watches |Vf| drift.  All references are weak: a dropped session,
+        # cache or monitor unregisters itself by being garbage collected.
+        self._partition_epoch = 0
+        self._sessions: "weakref.WeakSet" = weakref.WeakSet()
+        self._caches: "weakref.WeakSet" = weakref.WeakSet()
+        self._monitor_ref: Optional["weakref.ReferenceType"] = None
 
     def _install_fragmentation(
         self,
@@ -436,6 +448,195 @@ class SimulatedCluster:
         self._fragment_versions[fid] = self.fragment_version(fid) + 1
         return self._fragment_versions[fid]
 
+    # ------------------------------------------------------------------
+    # dynamic graphs: epoch, registries, in-place edge mutation (§8)
+    # ------------------------------------------------------------------
+    @property
+    def partition_epoch(self) -> int:
+        """Monotone fragmentation generation; bumped by :meth:`repartition`.
+
+        Incremental sessions capture the epoch they initialized under and
+        refuse to mutate through state from an older epoch — the guard that
+        turns a silently-wrong standing answer into a loud :class:`QueryError`
+        (or, for registered sessions, into an automatic remap).
+        """
+        return self._partition_epoch
+
+    def register_session(self, session: object) -> None:
+        """Weakly register an incremental session for repartition remapping.
+
+        :meth:`repartition` calls ``session._on_repartition()`` on every
+        live registered session after installing the new fragmentation.
+        The registry holds weak references only — dropping the session is
+        all the deregistration there is.
+        """
+        self._sessions.add(session)
+
+    def register_cache(self, cache: object) -> None:
+        """Weakly register a serving-layer cache for eager invalidation.
+
+        Version-keyed lookups already miss stale entries; registration adds
+        the *memory reclamation* half: fragment mutations and repartitions
+        call ``cache.invalidate_fragment(fid)`` for every affected fragment
+        so long-lived serving processes do not accumulate dead entries.
+        """
+        self._caches.add(cache)
+
+    @property
+    def mutation_monitor(self) -> Optional[object]:
+        """The attached drift monitor, if alive (see ``partition.monitor``)."""
+        if self._monitor_ref is None:
+            return None
+        return self._monitor_ref()
+
+    def attach_monitor(self, monitor: object) -> None:
+        """Attach a :class:`~repro.partition.monitor.MutationMonitor` (weakly).
+
+        The monitor is told about every :meth:`apply_edge_mutation` (and may
+        react by triggering a bounded refinement → :meth:`repartition`) and
+        about every repartition (to reset its drift baseline).
+        """
+        self._monitor_ref = weakref.ref(monitor)
+
+    def ensure_current_fragment(self, fragment: Fragment) -> Fragment:
+        """Assert ``fragment`` is the currently installed object for its fid.
+
+        Raises :class:`QueryError` for *retired* handles — fragments
+        replaced by a repartition or a cross-fragment mutation.  Writing
+        through such a handle would mutate a dead object (its site no
+        longer serves it).  The cluster's own mutation paths never hold
+        handles — :meth:`apply_edge_mutation` re-resolves fragments by fid
+        at call time — so this is the guard for *callers* that keep a
+        :class:`Fragment` reference across mutations: call it (or
+        re-resolve via ``cluster.fragmentation``) before touching a held
+        handle's ``local_graph``.
+        """
+        fid = fragment.fid
+        if (
+            not 0 <= fid < len(self.fragmentation)
+            or self.fragmentation[fid] is not fragment
+        ):
+            raise QueryError(
+                f"fragment {fid} handle is stale: the cluster repartitioned "
+                "or rebuilt it since the handle was taken; re-resolve via "
+                "cluster.fragmentation before mutating"
+            )
+        return fragment
+
+    def apply_edge_mutation(self, u: Node, v: Node, add: bool) -> Tuple[int, ...]:
+        """Insert (``add=True``) or delete the edge ``(u, v)`` in place.
+
+        The single mutation entry point for the dynamic world: validates
+        everything *before* touching any state (unknown endpoints, adding a
+        present edge, removing an absent one — all raise
+        :class:`QueryError` with fragments, versions and caches untouched),
+        then updates the owning fragment(s):
+
+        * intra-fragment edges mutate the owner's ``local_graph`` directly;
+        * cross-fragment edges change the fragmentation anatomy itself —
+          ``Fi.O``/``cEi`` of the source fragment and ``Fi.I`` of the
+          target fragment are rebuilt (the "bookkeeping, not algorithmics"
+          the incremental-session module used to rule out).
+
+        Every affected fragment gets its version bumped, its site's index
+        cache dropped, and its registered serving-cache entries eagerly
+        invalidated; the attached :attr:`mutation_monitor` (if any) is
+        notified last — it may react by triggering a repartition.
+
+        Returns:
+            The affected fragment ids — ``(fid,)`` for intra-fragment
+            edges, ``(fid_u, fid_v)`` for cross edges.
+        """
+        for node in (u, v):
+            if not self.fragmentation.has_node(node):
+                raise QueryError(f"node {node!r} is not stored at any site")
+        fu = self.fragmentation.placement[u]
+        fv = self.fragmentation.placement[v]
+        frag_u = self.fragmentation[fu]
+        exists = frag_u.local_graph.has_edge(u, v)
+        if add and exists:
+            raise QueryError(f"edge ({u!r}, {v!r}) already exists")
+        if not add and not exists:
+            raise QueryError(f"edge ({u!r}, {v!r}) is not in the graph")
+
+        if fu == fv:
+            if add:
+                frag_u.local_graph.add_edge(u, v)
+            else:
+                frag_u.local_graph.remove_edge(u, v)
+            affected: Tuple[int, ...] = (fu,)
+        else:
+            frag_v = self.fragmentation[fv]
+            if add:
+                replacements = self._add_cross_edge(frag_u, frag_v, u, v)
+            else:
+                replacements = self._remove_cross_edge(frag_u, frag_v, u, v)
+            self.fragmentation.replace_fragments(replacements)
+            for fragment in replacements:
+                site = self.site_of_fragment(fragment.fid)
+                for slot, held in enumerate(site.fragments):
+                    if held.fid == fragment.fid:
+                        site.fragments[slot] = fragment
+            affected = (fu, fv)
+
+        for fid in affected:
+            self.bump_fragment_version(fid)
+            self.site_of_fragment(fid).invalidate_indexes()
+        self._invalidate_caches(affected)
+        monitor = self.mutation_monitor
+        if monitor is not None:
+            monitor.record_mutation(u, v, affected)
+        return affected
+
+    def _add_cross_edge(
+        self, frag_u: Fragment, frag_v: Fragment, u: Node, v: Node
+    ) -> Tuple[Fragment, Fragment]:
+        """Rebuilt (source, target) fragments after inserting cross ``(u, v)``."""
+        local = frag_u.local_graph
+        if not local.has_node(v):
+            # The virtual placeholder carries the remote node's label
+            # (Section 2.1: cross edges ship the labels of virtual nodes).
+            local.add_node(v, frag_v.local_graph.label(v))
+        local.add_edge(u, v)
+        new_u = dataclass_replace(
+            frag_u,
+            virtual_nodes=frag_u.virtual_nodes | {v},
+            cross_edges=tuple(sorted(frag_u.cross_edges + ((u, v),), key=repr)),
+        )
+        new_v = dataclass_replace(frag_v, in_nodes=frag_v.in_nodes | {v})
+        return new_u, new_v
+
+    def _remove_cross_edge(
+        self, frag_u: Fragment, frag_v: Fragment, u: Node, v: Node
+    ) -> Tuple[Fragment, Fragment]:
+        """Rebuilt (source, target) fragments after deleting cross ``(u, v)``."""
+        local = frag_u.local_graph
+        local.remove_edge(u, v)
+        new_cross = tuple(edge for edge in frag_u.cross_edges if edge != (u, v))
+        virtual = frag_u.virtual_nodes
+        if v not in {target for _src, target in new_cross}:
+            # v was virtual only for this edge; drop the placeholder (it has
+            # no other incident edges — virtual nodes never have outgoing
+            # local edges, and its remaining incoming ones would be cross).
+            virtual = virtual - {v}
+            local.remove_node(v)
+        new_u = dataclass_replace(frag_u, virtual_nodes=virtual, cross_edges=new_cross)
+        still_in = any(target == v for _src, target in new_u.cross_edges) or any(
+            target == v
+            for fragment in self.fragmentation
+            if fragment.fid not in (frag_u.fid, frag_v.fid)
+            for _src, target in fragment.cross_edges
+        )
+        in_nodes = frag_v.in_nodes if still_in else frag_v.in_nodes - {v}
+        new_v = dataclass_replace(frag_v, in_nodes=in_nodes)
+        return new_u, new_v
+
+    def _invalidate_caches(self, fids: Iterable[int]) -> None:
+        """Eagerly drop registered caches' entries for the given fragments."""
+        for cache in list(self._caches):
+            for fid in fids:
+                cache.invalidate_fragment(fid)
+
     def repartition(
         self,
         partitioner: Union[str, Callable, Mapping[Node, int]] = "refined",
@@ -458,8 +659,20 @@ class SimulatedCluster:
         version its fragment id ever had on this cluster, so serving-layer
         :class:`~repro.serving.cache.SiteResultCache` entries keyed
         ``(fid, version, ...)`` for the *old* fragments can never be served
-        for the new ones — repartitioning needs no cache cooperation.
-        Site-local index caches die with the old :class:`Site` objects.
+        for the new ones — repartitioning needs no cache cooperation
+        (registered caches additionally get their dead entries reclaimed
+        eagerly).  Site-local index caches die with the old :class:`Site`
+        objects.
+
+        Dynamic-world protocol (DESIGN.md §8): the move is *not* free —
+        every node whose hosting site changes is charged ``O(|Fi|)``-style
+        shipping (its id, label and outgoing adjacency) under the network
+        model, reported in the returned
+        :attr:`~repro.partition.quality.RepartitionReport.shipping` stats.
+        :attr:`partition_epoch` is bumped, every registered incremental
+        session is remapped onto the new fragmentation (its standing answer
+        is recomputed with honest modeled cost), and the attached mutation
+        monitor's drift baseline is reset.
 
         Args:
             partitioner: strategy name, callable, or explicit assignment.
@@ -482,16 +695,77 @@ class SimulatedCluster:
         fragmentation = build_fragmentation(graph, assignment, k)
         if validate:
             check_fragmentation(graph, fragmentation)
+        old_site_of_node = {
+            node: self._site_of_fragment[fid]
+            for node, fid in self.fragmentation.placement.items()
+        }
         # Retire the outgoing versions, then issue each new fragment a
         # version strictly greater than any its fid ever carried here.
         self._retired_versions.update(self._fragment_versions)
+        old_fids = tuple(self._fragment_versions)
         self._install_fragmentation(fragmentation, fragment_assignment)
         self._fragment_versions = {
             f.fid: self._retired_versions.get(f.fid, -1) + 1 for f in fragmentation
         }
-        return RepartitionReport(
-            partitioner=label, before=before, after=measure_quality(fragmentation)
+        self._partition_epoch += 1
+        moved_nodes, shipping = self._charge_shipping(graph, old_site_of_node)
+        # Versions alone keep registered caches *sound*; eager invalidation
+        # reclaims the memory of every retired fragment generation.
+        self._invalidate_caches(old_fids)
+        remapped = 0
+        for session in list(self._sessions):
+            if session._on_repartition():
+                remapped += 1
+        report = RepartitionReport(
+            partitioner=label,
+            before=before,
+            after=measure_quality(fragmentation),
+            moved_nodes=moved_nodes,
+            shipping=shipping,
+            epoch=self._partition_epoch,
+            sessions_remapped=remapped,
         )
+        monitor = self.mutation_monitor
+        if monitor is not None:
+            monitor.note_repartition(report)
+        return report
+
+    def _charge_shipping(
+        self, graph: DiGraph, old_site_of_node: Dict[Node, int]
+    ) -> Tuple[int, ExecutionStats]:
+        """Model the fragment-data movement of the just-installed layout.
+
+        Every node whose hosting site changed ships its id, label and
+        outgoing adjacency list from its old site to its new one — the
+        ``O(moved |Fi|)`` cost the ROADMAP's online cost model calls for.
+        Transfers are bulk per (source, destination) site pair and overlap
+        in one network round (charged as the max per destination), matching
+        how :class:`Run` accounts every other parallel transfer.
+        """
+        run = self.start_run("repartition")
+        pair_bytes: Dict[Tuple[int, int], int] = {}
+        moved = 0
+        for node, fid in self.fragmentation.placement.items():
+            dst = self._site_of_fragment[fid]
+            src = old_site_of_node[node]
+            if src == dst:
+                continue
+            moved += 1
+            size = (
+                payload_size(node)
+                + payload_size(graph.label(node))
+                + 2
+                + sum(payload_size(nxt) for nxt in graph.successors(node))
+            )
+            key = (src, dst)
+            pair_bytes[key] = pair_bytes.get(key, 0) + size
+        if pair_bytes:
+            bytes_by_dst: Dict[int, int] = {}
+            for (src, dst), size in sorted(pair_bytes.items()):
+                run.stats.record_message(src, dst, MessageKind.DATA, size)
+                bytes_by_dst[dst] = bytes_by_dst.get(dst, 0) + size
+            run.network_round(bytes_by_dst)
+        return moved, run.finish()
 
     def node_site_map(self) -> Dict[Node, int]:
         """node -> hosting site id, for algorithms that route per vertex."""

@@ -92,6 +92,26 @@ class ExecutionStats:
         self.coordinator_seconds += seconds
         self.response_seconds += seconds
 
+    def accumulate(self, other: "ExecutionStats") -> None:
+        """Fold another run's counters into this one.
+
+        Multi-round drivers (the dynamic-graph workload loop serves query
+        batches between mutation bursts) aggregate their per-round runs
+        with this: visit counters add, message logs concatenate, and every
+        modeled/measured time sums — rounds are sequential, they do not
+        overlap the way sites within one round do.
+        """
+        self.visits.update(other.visits)
+        self.messages.extend(other.messages)
+        self.traffic_bytes += other.traffic_bytes
+        self.response_seconds += other.response_seconds
+        self.coordinator_seconds += other.coordinator_seconds
+        self.wall_seconds += other.wall_seconds
+        self.supersteps += other.supersteps
+        self.site_compute_seconds += other.site_compute_seconds
+        self.phase_wall_seconds += other.phase_wall_seconds
+        self.network_seconds += other.network_seconds
+
     # ------------------------------------------------------------------
     # derived views
     # ------------------------------------------------------------------

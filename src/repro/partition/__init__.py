@@ -4,13 +4,15 @@ Beyond the fragment anatomy (:mod:`.fragment`, :mod:`.builder`,
 :mod:`.validation`) and the streaming partitioners (:mod:`.partitioners`),
 the package measures and optimizes the statistic the paper's guarantees
 depend on — the boundary-node count ``|Vf|``: :mod:`.quality` reduces a
-fragmentation to the quantities of Theorems 1–3, and :mod:`.refine`
-provides the boundary-aware ``refined`` / ``multilevel`` partitioners
-(DESIGN.md §7).
+fragmentation to the quantities of Theorems 1–3, :mod:`.refine` provides
+the boundary-aware ``refined`` / ``multilevel`` partitioners (DESIGN.md
+§7), and :mod:`.monitor` watches ``|Vf|`` drift under edge mutations and
+triggers bounded streaming refinement (DESIGN.md §8).
 """
 
 from .builder import build_fragmentation
 from .fragment import Fragment, Fragmentation
+from .monitor import MutationMonitor
 from .partitioners import (
     PARTITIONERS,
     Partitioner,
@@ -40,6 +42,7 @@ __all__ = [
     "Fragment",
     "Fragmentation",
     "FragmentQuality",
+    "MutationMonitor",
     "PARTITIONERS",
     "PartitionQuality",
     "Partitioner",

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
 
-from ..errors import NodeNotFound
+from ..errors import FragmentationError, NodeNotFound
 from ..graph.digraph import DiGraph, Edge, Node
 
 
@@ -155,6 +155,26 @@ class Fragmentation:
     def num_cross_edges(self) -> int:
         """``|Ef|`` — total cross edges over all fragments."""
         return sum(len(f.cross_edges) for f in self._fragments)
+
+    def replace_fragments(self, replacements: Sequence[Fragment]) -> None:
+        """Swap updated :class:`Fragment` objects in by fragment id.
+
+        The in-place mutation hook for cross-fragment edge updates
+        (:meth:`repro.distributed.cluster.SimulatedCluster.apply_edge_mutation`):
+        ownership (``placement``) is untouched — only the boundary anatomy
+        (``Fi.O``/``Fi.I``/``cEi``) of the replaced fragments changes — and
+        the cached fragment graph is dropped so ``|Vf|`` is recomputed.
+        """
+        fragments = list(self._fragments)
+        for replacement in replacements:
+            if not (0 <= replacement.fid < len(fragments)):
+                raise FragmentationError(
+                    f"no fragment {replacement.fid} in a card-{len(fragments)} "
+                    "fragmentation"
+                )
+            fragments[replacement.fid] = replacement
+        self._fragments = tuple(fragments)
+        self._fragment_graph = None
 
     def restore_graph(self) -> DiGraph:
         """Reassemble the original global graph ``G`` from the fragments.

@@ -1,0 +1,199 @@
+"""Drift-triggered streaming refinement under mutation (DESIGN.md §8).
+
+Edge mutations degrade partition quality over time: every cross-fragment
+insertion can add up to two boundary nodes, and the paper's traffic bounds
+charge ``O(|Vf|^2)`` — so a cluster that started on a carefully ``refined``
+fragmentation slides back toward the envelope of a random one as the graph
+evolves.  Rerunning a full offline partitioner per mutation is absurd; the
+:class:`MutationMonitor` implements the middle road the ROADMAP calls for:
+
+* it watches the boundary-node count ``|Vf|`` after every
+  :meth:`~repro.distributed.cluster.SimulatedCluster.apply_edge_mutation`,
+  relative to the baseline of the last
+  :class:`~repro.partition.quality.RepartitionReport`;
+* when relative drift exceeds ``drift_threshold``, it runs a *bounded*
+  refinement — :func:`~repro.partition.refine.refine_assignment` restricted
+  to the region the recorded mutations touched (the mutated endpoints plus
+  ``region_hops`` BFS hops) with at most ``move_budget`` node moves — and
+  installs the result via ``cluster.repartition(assignment)``, which
+  charges the ``O(moved |Fi|)`` shipping cost and remaps open sessions;
+* the refinement inherits the §7 invariants because restricting the move
+  set only removes candidates: ``|Vf|`` never increases over the drifted
+  assignment, the balance cap still binds, and determinism is preserved.
+
+The monitor attaches weakly (``cluster.attach_monitor``); dropping it
+disables the trigger.  ``python -m repro.bench mutation`` measures when the
+shipping cost pays for itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..errors import FragmentationError
+from ..graph.digraph import DiGraph, Node
+from .quality import RepartitionReport
+from .refine import DEFAULT_BALANCE, refine_assignment
+
+#: Default relative |Vf| growth (over the last repartition baseline) that
+#: triggers a bounded refinement pass.
+DEFAULT_DRIFT_THRESHOLD = 0.2
+#: Default cap on node moves per triggered refinement pass.
+DEFAULT_MOVE_BUDGET = 32
+#: Default BFS radius around mutated endpoints defining the movable region.
+DEFAULT_REGION_HOPS = 1
+
+
+class MutationMonitor:
+    """Watches ``|Vf|`` drift on a cluster and triggers bounded refinement.
+
+    Attach one per cluster::
+
+        monitor = MutationMonitor(cluster, drift_threshold=0.2, move_budget=32)
+        session.add_edge(u, v)      # cluster reports the mutation; if |Vf|
+                                    # drifted past the threshold, a bounded
+                                    # refinement repartitions in place
+
+    All decisions are deterministic: the same mutation sequence produces
+    the same refinements, moves and shipping charges.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        move_budget: int = DEFAULT_MOVE_BUDGET,
+        region_hops: int = DEFAULT_REGION_HOPS,
+        balance: float = DEFAULT_BALANCE,
+        max_passes: int = 2,
+        auto_refine: bool = True,
+    ) -> None:
+        """Attach to ``cluster`` and baseline on its current ``|Vf|``.
+
+        Args:
+            cluster: the :class:`~repro.distributed.cluster.SimulatedCluster`
+                to watch (the monitor registers itself via
+                ``cluster.attach_monitor``).
+            drift_threshold: relative ``|Vf|`` growth over the baseline that
+                arms the trigger (must be positive).
+            move_budget: maximum node moves per refinement pass (>= 1).
+            region_hops: BFS hops around mutated endpoints defining the
+                movable node set (>= 0; 0 = the endpoints alone).
+            balance: balance-cap multiplier forwarded to the refinement.
+            max_passes: refinement sweep limit (kept small — the pass is
+                meant to be cheap, not exhaustive).
+            auto_refine: trigger refinement automatically from
+                :meth:`record_mutation`; pass ``False`` to only track drift
+                and call :meth:`refine` manually.
+        """
+        if drift_threshold <= 0:
+            raise FragmentationError(
+                f"drift_threshold must be positive, got {drift_threshold}"
+            )
+        if move_budget < 1:
+            raise FragmentationError(f"move_budget must be >= 1, got {move_budget}")
+        if region_hops < 0:
+            raise FragmentationError(f"region_hops must be >= 0, got {region_hops}")
+        self.cluster = cluster
+        self.drift_threshold = drift_threshold
+        self.move_budget = move_budget
+        self.region_hops = region_hops
+        self.balance = balance
+        self.max_passes = max_passes
+        self.auto_refine = auto_refine
+        self.baseline_vf: int = cluster.fragmentation.num_boundary_nodes
+        self.mutations_seen = 0
+        #: Moves applied by the most recent refinement / over the lifetime.
+        self.last_moves = 0
+        self.total_moves = 0
+        self.refinements: List[RepartitionReport] = []
+        self._touched: Set[Node] = set()
+        self._refining = False
+        cluster.attach_monitor(self)
+
+    # ------------------------------------------------------------------
+    def drift(self) -> float:
+        """Relative ``|Vf|`` growth since the baseline (negative = shrunk)."""
+        current = self.cluster.fragmentation.num_boundary_nodes
+        return (current - self.baseline_vf) / max(self.baseline_vf, 1)
+
+    def record_mutation(
+        self, u: Node, v: Node, affected_fids: Tuple[int, ...]
+    ) -> Optional[RepartitionReport]:
+        """Cluster hook: one applied edge mutation touching ``(u, v)``.
+
+        Returns the refinement's report when the drift trigger fired,
+        else ``None``.
+        """
+        self.mutations_seen += 1
+        self._touched.update((u, v))
+        if self.auto_refine and not self._refining and self.drift() > self.drift_threshold:
+            return self.refine()
+        return None
+
+    def note_repartition(self, report: RepartitionReport) -> None:
+        """Cluster hook: any repartition resets the drift baseline."""
+        self.baseline_vf = report.after.num_boundary_nodes
+        self._touched.clear()
+
+    # ------------------------------------------------------------------
+    def affected_region(self, graph: DiGraph) -> Set[Node]:
+        """The movable node set: mutated endpoints + ``region_hops`` hops.
+
+        Expansion follows edges in both directions — a boundary node can be
+        fixed by moving either endpoint of its crossing edges.  Endpoints
+        deleted from the graph since they were recorded are dropped.
+        """
+        frontier = {node for node in self._touched if graph.has_node(node)}
+        region = set(frontier)
+        for _ in range(self.region_hops):
+            nxt: Set[Node] = set()
+            for node in frontier:
+                nxt.update(graph.successors(node))
+                nxt.update(graph.predecessors(node))
+            frontier = nxt - region
+            if not frontier:
+                break
+            region |= frontier
+        return region
+
+    def refine(self) -> RepartitionReport:
+        """Run one bounded refinement pass and repartition in place.
+
+        The current assignment is refined with moves restricted to
+        :meth:`affected_region` and capped at :attr:`move_budget`, then
+        installed via ``cluster.repartition(assignment)`` — charging the
+        modeled shipping cost and remapping open sessions.  The report is
+        appended to :attr:`refinements`; the baseline resets via
+        :meth:`note_repartition`.
+        """
+        self._refining = True
+        try:
+            graph = self.cluster.fragmentation.restore_graph()
+            assignment = dict(self.cluster.fragmentation.placement)
+            k = len(self.cluster.fragmentation)
+            refined = refine_assignment(
+                graph,
+                assignment,
+                k,
+                balance=self.balance,
+                max_passes=self.max_passes,
+                movable=self.affected_region(graph),
+                max_moves=self.move_budget,
+            )
+            self.last_moves = sum(
+                1 for node, fid in assignment.items() if refined[node] != fid
+            )
+            self.total_moves += self.last_moves
+            report = self.cluster.repartition(refined, num_fragments=k)
+            self.refinements.append(report)
+            return report
+        finally:
+            self._refining = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MutationMonitor(baseline_vf={self.baseline_vf}, "
+            f"drift={self.drift():+.2f}, threshold={self.drift_threshold}, "
+            f"budget={self.move_budget}, refinements={len(self.refinements)})"
+        )

@@ -24,10 +24,13 @@ boundary counts tighten the realized traffic/response numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..errors import FragmentationError
 from .fragment import Fragmentation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from ..distributed.stats import ExecutionStats
 
 #: Algorithms whose Theorem 1–3 traffic envelopes :meth:`PartitionQuality.
 #: traffic_bound` can evaluate, with the power of ``|Vq|`` each applies.
@@ -134,12 +137,29 @@ class RepartitionReport:
     ``boundary_delta`` / ``traffic_bound_ratio`` quantify what the move
     bought in the theorem quantities: a negative delta means fewer boundary
     nodes, a ratio below 1.0 means a tighter ``O(|Vf|^2)`` traffic envelope.
+
+    Repartitioning is not free: ``moved_nodes`` counts the nodes whose
+    hosting site changed, and ``shipping`` carries the modeled cost of
+    moving their fragment data (``O(moved |Fi|)`` bytes charged under the
+    cluster's network model — DESIGN.md §8).  ``epoch`` is the cluster's
+    :attr:`~repro.distributed.cluster.SimulatedCluster.partition_epoch`
+    after the move, and ``sessions_remapped`` counts the open incremental
+    sessions that were remapped onto the new fragmentation.
     """
 
     #: Partitioner name (or ``"<callable>"``/``"<assignment>"``) applied.
     partitioner: str
     before: PartitionQuality
     after: PartitionQuality
+    #: Nodes whose hosting site changed (what the shipping model charges).
+    moved_nodes: int = 0
+    #: Modeled cost of shipping the moved fragment data (``None`` when the
+    #: report was built outside a cluster, e.g. in offline comparisons).
+    shipping: Optional["ExecutionStats"] = None
+    #: The cluster's partition epoch after this repartition.
+    epoch: int = 0
+    #: Open incremental sessions remapped onto the new fragmentation.
+    sessions_remapped: int = 0
 
     @property
     def boundary_delta(self) -> int:
@@ -156,11 +176,18 @@ class RepartitionReport:
 
     def summary(self) -> str:
         """Two-line human summary (what callers of ``repartition`` print)."""
+        tail = ""
+        if self.shipping is not None:
+            tail = (
+                f" shipped {self.moved_nodes} nodes "
+                f"({self.shipping.traffic_bytes}B, "
+                f"{self.shipping.network_seconds * 1e3:.2f}ms)"
+            )
         return (
             f"before: {self.before.summary()}\n"
             f"after ({self.partitioner}): {self.after.summary()} "
             f"[Δ|Vf|={self.boundary_delta:+d}, "
-            f"bound x{self.traffic_bound_ratio:.2f}]"
+            f"bound x{self.traffic_bound_ratio:.2f}]{tail}"
         )
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
 from ..errors import FragmentationError
 from ..graph.digraph import DiGraph, Node
@@ -199,6 +199,8 @@ def refine_assignment(
     num_fragments: int,
     balance: float = DEFAULT_BALANCE,
     max_passes: int = DEFAULT_MAX_PASSES,
+    movable: Optional[Iterable[Node]] = None,
+    max_moves: Optional[int] = None,
 ) -> Dict[Node, int]:
     """FM-style boundary refinement of an existing assignment.
 
@@ -210,6 +212,14 @@ def refine_assignment(
     fragment id)`` — fully deterministic.  Stops after a sweep with no
     applied move, or after ``max_passes`` sweeps.
 
+    ``movable``/``max_moves`` make the pass *bounded* — the streaming-
+    refinement mode (DESIGN.md §8): only nodes in ``movable`` are
+    considered for moves (the drift monitor passes the region its recorded
+    mutations touched), and at most ``max_moves`` moves are applied in
+    total.  Every invariant of the unrestricted pass survives, because the
+    restriction only *removes* candidate moves: ``|Vf|`` still never
+    increases, and termination is still guaranteed.
+
     Args:
         graph: the graph being partitioned.
         assignment: a complete node -> fragment-id mapping (not mutated).
@@ -217,6 +227,10 @@ def refine_assignment(
         balance: per-fragment cap multiplier over the even share
             (see :func:`balance_cap`).
         max_passes: maximum number of full sweeps.
+        movable: nodes the pass may move (default: all); nodes absent from
+            the graph are ignored.
+        max_moves: hard cap on applied moves (default: unlimited); must be
+            non-negative.
 
     Returns:
         A new assignment with ``|Vf|`` no greater than the input's; cut is
@@ -224,12 +238,21 @@ def refine_assignment(
     """
     _check_k(graph, num_fragments)
     _check_assignment(graph, assignment, num_fragments)
+    if max_moves is not None and max_moves < 0:
+        raise FragmentationError(f"max_moves must be >= 0, got {max_moves}")
     state = _CutState(graph, dict(assignment), num_fragments)
     cap = balance_cap(graph.num_nodes, num_fragments, balance)
-    order = sorted(graph.nodes(), key=repr)
+    if movable is None:
+        order = sorted(graph.nodes(), key=repr)
+    else:
+        allowed = set(movable)
+        order = sorted((u for u in graph.nodes() if u in allowed), key=repr)
+    moves_applied = 0
     for _ in range(max_passes):
         improved = False
         for u in order:
+            if max_moves is not None and moves_applied >= max_moves:
+                return state.assignment
             if state.cross_deg[u] == 0:
                 # Interior nodes only gain crossing edges by moving.
                 continue
@@ -247,6 +270,7 @@ def refine_assignment(
             # bounded pair, so termination needs no pass limit in theory.
             if best is not None and (best[0], best[1]) < (0, 0):
                 state.move(u, best[3])
+                moves_applied += 1
                 improved = True
         if not improved:
             break

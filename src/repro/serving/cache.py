@@ -22,7 +22,7 @@ stats contract).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, NamedTuple, Optional, Tuple
+from typing import Any, Dict, Hashable, NamedTuple, Optional, Set, Tuple
 
 #: (fragment id, fragment version, algorithm, boundary-relevant params).
 CacheKey = Tuple[int, int, str, Hashable]
@@ -44,6 +44,10 @@ class SiteResultCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        # fragment id -> live keys of that fragment.  Incremental-session
+        # mutation storms call invalidate_fragment per edge; the index makes
+        # that O(keys of the fragment), not O(cache).
+        self._keys_by_fid: Dict[int, Set[CacheKey]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -69,17 +73,30 @@ class SiteResultCache:
         """Store ``entry`` under ``key``, evicting the LRU tail past the cap."""
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        self._keys_by_fid.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _entry = self._entries.popitem(last=False)
+            self._drop_from_index(evicted)
             self.evictions += 1
+
+    def _drop_from_index(self, key: CacheKey) -> None:
+        keys = self._keys_by_fid.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._keys_by_fid[key[0]]
 
     def invalidate_fragment(self, fid: int) -> int:
         """Eagerly drop every entry of fragment ``fid``; returns the count.
 
         Version-keyed lookups already miss stale entries; this reclaims the
-        memory (and is the hook for explicit cache administration).
+        memory (and is the hook the cluster's mutation/repartition paths
+        call for every registered cache).  O(keys of the fragment) via the
+        per-fragment key index, not a scan of the whole cache.
         """
-        dead = [key for key in self._entries if key[0] == fid]
+        dead = self._keys_by_fid.pop(fid, None)
+        if not dead:
+            return 0
         for key in dead:
             del self._entries[key]
         self.invalidations += len(dead)
@@ -89,6 +106,26 @@ class SiteResultCache:
         """Drop every entry (counted as invalidations); counters survive."""
         self.invalidations += len(self._entries)
         self._entries.clear()
+        self._keys_by_fid.clear()
+
+    def check_index(self) -> None:
+        """Assert the per-fragment index exactly mirrors the entries.
+
+        Cheap O(cache) self-check used by the test suite (and available to
+        callers after administration): every indexed key is live, every
+        live key is indexed, and no fragment bucket is empty.
+        """
+        indexed = set()
+        for fid, keys in self._keys_by_fid.items():
+            assert keys, f"empty index bucket for fragment {fid}"
+            for key in keys:
+                assert key[0] == fid, f"key {key} filed under fragment {fid}"
+            indexed |= keys
+        live = set(self._entries)
+        assert indexed == live, (
+            f"index desync: {len(indexed - live)} dangling, "
+            f"{len(live - indexed)} unindexed"
+        )
 
     @property
     def lookups(self) -> int:

@@ -308,6 +308,13 @@ class BatchQueryEngine:
         """Serve ``cluster`` with ``cache`` (or a fresh LRU of ``max_entries``)."""
         self.cluster = cluster
         self.cache = cache if cache is not None else SiteResultCache(max_entries)
+        # Version-keyed lookups keep the cache *sound* under mutation and
+        # repartition on their own; registering it lets the cluster reclaim
+        # the dead entries eagerly (per-fragment, via the cache's fid index)
+        # so mutation storms don't leave a long-lived server full of
+        # unreachable rvsets.  The registry is weak — dropping the engine
+        # (and its cache) deregisters it.
+        cluster.register_cache(self.cache)
 
     def run_batch(
         self,

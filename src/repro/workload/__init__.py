@@ -4,10 +4,12 @@ from .datasets import DATASETS, DEFAULT_SCALE, DatasetSpec, load_dataset
 from .paper_example import figure1_fragmentation, figure1_graph
 from .query_gen import (
     DEFAULT_MIX,
+    EdgeMutation,
     per_class_workload,
     planted_path_query,
     query_complexity,
     random_bounded_queries,
+    random_edge_mutations,
     random_reach_queries,
     random_regular_queries,
     zipf_workload,
@@ -18,6 +20,7 @@ __all__ = [
     "DEFAULT_MIX",
     "DEFAULT_SCALE",
     "DatasetSpec",
+    "EdgeMutation",
     "figure1_fragmentation",
     "figure1_graph",
     "load_dataset",
@@ -25,6 +28,7 @@ __all__ = [
     "planted_path_query",
     "query_complexity",
     "random_bounded_queries",
+    "random_edge_mutations",
     "random_reach_queries",
     "random_regular_queries",
     "zipf_workload",

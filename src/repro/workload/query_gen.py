@@ -287,6 +287,74 @@ def zipf_workload(
     return rng.choices(pool, weights=weights, k=count) if count else []
 
 
+# ---------------------------------------------------------------------------
+# dynamic-graph workloads: planned edge-mutation streams
+# ---------------------------------------------------------------------------
+#: One planned mutation: ``("add" | "remove", u, v)``.
+EdgeMutation = Tuple[str, Node, Node]
+
+
+def random_edge_mutations(
+    graph: DiGraph,
+    count: int,
+    seed: int = 0,
+    add_fraction: float = 0.7,
+) -> List[EdgeMutation]:
+    """Plan ``count`` edge mutations, each valid when applied in order.
+
+    The plan is simulated against a private copy of ``graph`` (the input is
+    not mutated): an ``add`` picks a uniformly random ordered node pair with
+    no current edge, a ``remove`` picks a uniformly random current edge.
+    Nodes are never created or destroyed, so queries generated against the
+    starting graph keep valid endpoints throughout the stream — the
+    ``bench mutation`` experiment interleaves exactly these two streams.
+
+    Adds dominate by default (``add_fraction``) because insertion is what
+    degrades ``|Vf|``: a random new edge usually crosses fragments on any
+    locality-respecting partition, which is the drift the
+    :class:`~repro.partition.monitor.MutationMonitor` exists to repair.
+
+    Args:
+        graph: the starting graph (>= 2 nodes).
+        count: number of mutations to plan.
+        seed: RNG seed; the plan is deterministic given (graph, seed).
+        add_fraction: probability each mutation is an insertion (falls back
+            to the other kind when no candidate exists).
+
+    Returns:
+        The planned ``(op, u, v)`` list, applicable in order via
+        :meth:`~repro.distributed.cluster.SimulatedCluster.apply_edge_mutation`.
+    """
+    if count < 0:
+        raise ReproError(f"count must be non-negative, got {count}")
+    if not (0.0 <= add_fraction <= 1.0):
+        raise ReproError(f"add_fraction must be in [0, 1], got {add_fraction}")
+    rng = random.Random(seed)
+    sim = graph.copy()
+    nodes = _node_list(sim)
+    plan: List[EdgeMutation] = []
+    max_edges = len(nodes) * (len(nodes) - 1)
+    for _ in range(count):
+        want_add = rng.random() < add_fraction
+        if sim.num_edges == 0:
+            want_add = True
+        elif sim.num_edges >= max_edges:
+            want_add = False
+        if want_add:
+            while True:
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                if u != v and not sim.has_edge(u, v):
+                    break
+            sim.add_edge(u, v)
+            plan.append(("add", u, v))
+        else:
+            edges = sorted(sim.edges(), key=repr)
+            u, v = edges[rng.randrange(len(edges))]
+            sim.remove_edge(u, v)
+            plan.append(("remove", u, v))
+    return plan
+
+
 #: Automaton complexity of the pinned per-class workload (|Vq| below feeds
 #: the disRPQ traffic-bound column of the partition bench).
 PER_CLASS_NUM_STATES = 6

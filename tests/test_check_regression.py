@@ -213,3 +213,85 @@ class TestPartitionGate:
         cur = self._both(tmp_path, "cur.json", _payload(), partition)
         with pytest.raises(SystemExit, match="refined"):
             gate.main([cur, base])
+
+
+def _mutation_payload(refinements=2, moves=20, budget=32, vf_ratio=1.05,
+                      vf_tol=1.3, traffic=400.0, network=10.0, visits=50):
+    rows = []
+    for scenario in ("static", "drift-refine"):
+        row = {
+            "scenario": scenario,
+            "refinements": refinements if scenario == "drift-refine" else 0,
+            "moves": moves if scenario == "drift-refine" else 0,
+            "budget": budget,
+            "vf_ratio": vf_ratio if scenario == "drift-refine" else 1.2,
+            "vf_tol": vf_tol,
+            "traffic_KB": traffic,
+            "network_ms": network,
+            "visits": visits,
+        }
+        rows.append(row)
+    return {"mutation": {"columns": [], "rows": rows}}
+
+
+class TestMutationGate:
+    """The dynamic-graph checks: refinement envelope + mutation costs."""
+
+    def _both(self, tmp_path, name, extra):
+        payload = _payload()
+        payload.update(extra)
+        return _write(tmp_path, name, payload)
+
+    def test_identical_mutation_runs_pass(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _mutation_payload())
+        cur = self._both(tmp_path, "cur.json", _mutation_payload())
+        assert gate.main([cur, base]) == 0
+
+    def test_no_refinement_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _mutation_payload())
+        cur = self._both(tmp_path, "cur.json", _mutation_payload(refinements=0))
+        assert gate.main([cur, base]) == 1
+        assert "refinements" in capsys.readouterr().err
+
+    def test_budget_overrun_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _mutation_payload())
+        cur = self._both(
+            tmp_path, "cur.json", _mutation_payload(moves=100, budget=32)
+        )
+        assert gate.main([cur, base]) == 1
+        assert "moves" in capsys.readouterr().err
+
+    def test_vf_tolerance_violation_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _mutation_payload())
+        cur = self._both(tmp_path, "cur.json", _mutation_payload(vf_ratio=1.4))
+        assert gate.main([cur, base]) == 1
+        assert "vf_ratio" in capsys.readouterr().err
+
+    def test_cost_regression_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _mutation_payload())
+        cur = self._both(tmp_path, "cur.json", _mutation_payload(traffic=600.0))
+        assert gate.main([cur, base]) == 1
+        assert "mutation/static/traffic_KB" in capsys.readouterr().err
+
+    def test_mutation_experiment_required_when_baseline_has_it(
+        self, gate, tmp_path
+    ):
+        base = self._both(tmp_path, "base.json", _mutation_payload())
+        cur = _write(tmp_path, "cur.json", _payload())
+        with pytest.raises(SystemExit):
+            gate.main([cur, base])
+
+    def test_workload_only_baseline_skips_mutation_checks(self, gate, tmp_path):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = self._both(tmp_path, "cur.json", _mutation_payload())
+        assert gate.main([cur, base]) == 0
+
+    def test_committed_baseline_has_mutation_experiment(self, gate):
+        payload = gate.load_payload(SCRIPT.parent / "baseline.json")
+        rows = gate.mutation_rows(payload)
+        assert rows, "baseline.json must carry the pinned mutation run"
+        assert {"static", "drift-refine"} <= set(rows)
+        drift = rows["drift-refine"]
+        assert drift["refinements"] >= 1
+        assert drift["moves"] <= drift["refinements"] * drift["budget"]
+        assert drift["vf_ratio"] <= drift["vf_tol"]

@@ -5,7 +5,7 @@ import pytest
 from repro.distributed import MessageKind, SimulatedCluster
 from repro.errors import DistributedError, QueryError
 from repro.graph import erdos_renyi
-from repro.partition import build_fragmentation
+from repro.partition import build_fragmentation, check_fragmentation
 
 
 @pytest.fixture
@@ -137,3 +137,124 @@ class TestSiteIndexCache:
         site.invalidate_indexes()
         site.get_index("tc", builder)
         assert len(calls) == 2
+
+
+class TestApplyEdgeMutation:
+    """In-place edge mutation: intra- and cross-fragment bookkeeping."""
+
+    @pytest.fixture
+    def mutable(self):
+        g = erdos_renyi(24, 60, seed=5, num_labels=3)
+        cluster = SimulatedCluster.from_graph(g, 3, partitioner="hash", seed=0)
+        return g, cluster
+
+    def _pair(self, g, cluster, cross, existing):
+        placement = cluster.fragmentation.placement
+        for u in sorted(g.nodes()):
+            for v in sorted(g.nodes()):
+                if u == v or (placement[u] != placement[v]) != cross:
+                    continue
+                if g.has_edge(u, v) == existing:
+                    return u, v
+        raise AssertionError("no such pair")
+
+    def test_intra_add_and_remove(self, mutable):
+        g, cluster = mutable
+        u, v = self._pair(g, cluster, cross=False, existing=False)
+        fid = cluster.fragmentation.placement[u]
+        v0 = cluster.fragment_version(fid)
+        assert cluster.apply_edge_mutation(u, v, add=True) == (fid,)
+        assert cluster.fragment_version(fid) == v0 + 1
+        g.add_edge(u, v)
+        check_fragmentation(g, cluster.fragmentation)
+        assert cluster.apply_edge_mutation(u, v, add=False) == (fid,)
+        g.remove_edge(u, v)
+        check_fragmentation(g, cluster.fragmentation)
+        assert cluster.fragment_version(fid) == v0 + 2
+
+    def test_cross_add_and_remove_rebuild_anatomy(self, mutable):
+        g, cluster = mutable
+        u, v = self._pair(g, cluster, cross=True, existing=False)
+        placement = cluster.fragmentation.placement
+        fu, fv = placement[u], placement[v]
+        versions = {fid: cluster.fragment_version(fid) for fid in (fu, fv)}
+        affected = cluster.apply_edge_mutation(u, v, add=True)
+        assert set(affected) == {fu, fv}
+        g.add_edge(u, v)
+        check_fragmentation(g, cluster.fragmentation)
+        frag_u, frag_v = cluster.fragmentation[fu], cluster.fragmentation[fv]
+        assert v in frag_u.virtual_nodes and (u, v) in frag_u.cross_edges
+        assert v in frag_v.in_nodes
+        assert frag_u.local_graph.label(v) == g.label(v)
+        for fid in (fu, fv):
+            assert cluster.fragment_version(fid) == versions[fid] + 1
+        cluster.apply_edge_mutation(u, v, add=False)
+        g.remove_edge(u, v)
+        check_fragmentation(g, cluster.fragmentation)
+
+    def test_cross_remove_keeps_shared_boundary_nodes(self, mutable):
+        g, cluster = mutable
+        placement = cluster.fragmentation.placement
+        # find a node v with >= 2 incoming cross edges from one fragment
+        from collections import Counter
+        incoming = Counter()
+        for frag in cluster.fragmentation:
+            for (_s, t) in frag.cross_edges:
+                incoming[(frag.fid, t)] += 1
+        (fu, v), _count = next(
+            ((key, c) for key, c in incoming.items() if c >= 2), (None, None)
+        )
+        if fu is None:
+            pytest.skip("no doubly-targeted virtual node in this instance")
+        u = next(s for (s, t) in cluster.fragmentation[fu].cross_edges if t == v)
+        cluster.apply_edge_mutation(u, v, add=False)
+        g.remove_edge(u, v)
+        check_fragmentation(g, cluster.fragmentation)
+        # v still virtual at fu (another cross edge remains) and in at fv
+        assert v in cluster.fragmentation[fu].virtual_nodes
+        assert v in cluster.fragmentation[placement[v]].in_nodes
+
+    def test_validation_precedes_mutation(self, mutable):
+        g, cluster = mutable
+        u, v = self._pair(g, cluster, cross=True, existing=True)
+        versions = {f.fid: cluster.fragment_version(f.fid)
+                    for f in cluster.fragmentation}
+        with pytest.raises(QueryError, match="already exists"):
+            cluster.apply_edge_mutation(u, v, add=True)
+        missing_u, missing_v = self._pair(g, cluster, cross=False, existing=False)
+        with pytest.raises(QueryError, match="is not in the graph"):
+            cluster.apply_edge_mutation(missing_u, missing_v, add=False)
+        with pytest.raises(QueryError, match="not stored at any site"):
+            cluster.apply_edge_mutation("ghost", u, add=True)
+        check_fragmentation(g, cluster.fragmentation)
+        assert versions == {
+            f.fid: cluster.fragment_version(f.fid) for f in cluster.fragmentation
+        }
+
+    def test_sites_serve_replaced_fragments(self, mutable):
+        g, cluster = mutable
+        u, v = self._pair(g, cluster, cross=True, existing=False)
+        fu = cluster.fragmentation.placement[u]
+        cluster.apply_edge_mutation(u, v, add=True)
+        site = cluster.site_of_fragment(fu)
+        held = next(f for f in site.fragments if f.fid == fu)
+        assert held is cluster.fragmentation[fu]
+
+    def test_random_mutation_storm_stays_valid(self, mutable):
+        import random as _random
+        g, cluster = mutable
+        rng = _random.Random(11)
+        nodes = sorted(g.nodes())
+        for _ in range(60):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u == v:
+                continue
+            if g.has_edge(u, v):
+                cluster.apply_edge_mutation(u, v, add=False)
+                g.remove_edge(u, v)
+            else:
+                cluster.apply_edge_mutation(u, v, add=True)
+                g.add_edge(u, v)
+        check_fragmentation(g, cluster.fragmentation)
+        restored = cluster.fragmentation.restore_graph()
+        assert sorted(restored.edges()) == sorted(g.edges())

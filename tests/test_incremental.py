@@ -75,18 +75,27 @@ class TestReachSession:
         update = session.add_edge(u, v)
         assert update.stats.traffic_bytes < init.stats.traffic_bytes
 
-    def test_rejects_cross_fragment_update(self):
+    def test_cross_fragment_update_tracks_centralized(self):
         g, cluster, assignment = _case()
         session = IncrementalReachSession(cluster, (0, 29))
         session.initialize()
         cross = next(
             (u, v)
-            for u in g.nodes()
-            for v in g.nodes()
-            if u != v and assignment[u] != assignment[v]
+            for u in sorted(g.nodes())
+            for v in sorted(g.nodes())
+            if u != v and assignment[u] != assignment[v] and not g.has_edge(u, v)
         )
-        with pytest.raises(QueryError, match="intra-fragment"):
-            session.add_edge(*cross)
+        g.add_edge(*cross)
+        result = session.add_edge(*cross)
+        assert result.answer == reachable(g, 0, 29)
+        # Two fragments changed anatomy -> exactly their two sites re-evaluate.
+        assert result.stats.total_visits == 2
+        assert sorted(result.details["sites"]) == sorted(
+            {assignment[cross[0]], assignment[cross[1]]}
+        )
+        g.remove_edge(*cross)
+        result = session.remove_edge(*cross)
+        assert result.answer == reachable(g, 0, 29)
 
     def test_rejects_trivial_query(self):
         _, cluster, _ = _case()

@@ -1,0 +1,157 @@
+"""Tests for the drift-triggered streaming refinement monitor (DESIGN.md §8)."""
+
+import gc
+import random
+
+import pytest
+
+from repro.distributed import SimulatedCluster
+from repro.errors import FragmentationError
+from repro.graph import erdos_renyi
+from repro.partition import MutationMonitor, check_fragmentation
+from repro.workload.datasets import load_dataset
+
+
+def _drifting_case(scale=0.003, card=4, seed=0):
+    """An amazon-analog cluster on a chunk split, plus a cross-add stream."""
+    graph = load_dataset("amazon", scale=scale, seed=seed)
+    cluster = SimulatedCluster.from_graph(graph, card, partitioner="chunk", seed=seed)
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+
+    def stream(count):
+        produced = 0
+        while produced < count:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            fragment = cluster.fragmentation[cluster.fragmentation.placement[u]]
+            if u == v or fragment.local_graph.has_edge(u, v):
+                continue
+            yield u, v
+            produced += 1
+
+    return graph, cluster, stream
+
+
+class TestDriftTracking:
+    def test_baseline_and_drift(self):
+        _, cluster, stream = _drifting_case()
+        monitor = MutationMonitor(cluster, drift_threshold=100.0)
+        assert monitor.baseline_vf == cluster.fragmentation.num_boundary_nodes
+        assert monitor.drift() == 0.0
+        for u, v in stream(10):
+            cluster.apply_edge_mutation(u, v, add=True)
+        assert monitor.mutations_seen == 10
+        assert monitor.drift() > 0.0
+        assert len(monitor.refinements) == 0  # threshold never reached
+
+    def test_trigger_fires_and_resets_baseline(self):
+        _, cluster, stream = _drifting_case()
+        monitor = MutationMonitor(
+            cluster, drift_threshold=0.05, move_budget=32, region_hops=2
+        )
+        for u, v in stream(60):
+            cluster.apply_edge_mutation(u, v, add=True)
+            if monitor.refinements:
+                break
+        assert len(monitor.refinements) == 1
+        report = monitor.refinements[0]
+        assert report.partitioner == "<assignment>"
+        assert monitor.baseline_vf == report.after.num_boundary_nodes
+        assert not monitor._touched  # recorded region was consumed
+        # drift restarts from the post-refinement baseline
+        assert monitor.drift() == 0.0
+
+    def test_auto_refine_off_only_tracks(self):
+        _, cluster, stream = _drifting_case()
+        monitor = MutationMonitor(cluster, drift_threshold=0.01, auto_refine=False)
+        for u, v in stream(30):
+            cluster.apply_edge_mutation(u, v, add=True)
+        assert monitor.drift() > monitor.drift_threshold
+        assert len(monitor.refinements) == 0
+
+    def test_manual_repartition_resets_baseline(self):
+        _, cluster, stream = _drifting_case()
+        monitor = MutationMonitor(cluster, drift_threshold=100.0)
+        for u, v in stream(15):
+            cluster.apply_edge_mutation(u, v, add=True)
+        assert monitor.drift() > 0.0
+        report = cluster.repartition("refined", seed=0)
+        assert monitor.baseline_vf == report.after.num_boundary_nodes
+        assert monitor.drift() == 0.0
+
+    def test_dropped_monitor_detaches(self):
+        _, cluster, stream = _drifting_case()
+        monitor = MutationMonitor(cluster, drift_threshold=0.01)
+        assert cluster.mutation_monitor is monitor
+        del monitor
+        gc.collect()
+        assert cluster.mutation_monitor is None
+        for u, v in stream(5):  # mutations proceed untriggered
+            cluster.apply_edge_mutation(u, v, add=True)
+
+
+class TestBoundedRefinement:
+    def _drifted(self, threshold=100.0, **knobs):
+        graph, cluster, stream = _drifting_case()
+        monitor = MutationMonitor(cluster, drift_threshold=threshold, **knobs)
+        for u, v in stream(40):
+            cluster.apply_edge_mutation(u, v, add=True)
+        return graph, cluster, monitor
+
+    def test_budget_respected(self):
+        _, cluster, monitor = self._drifted(move_budget=3, region_hops=3)
+        before = dict(cluster.fragmentation.placement)
+        monitor.refine()
+        after = dict(cluster.fragmentation.placement)
+        changed = [node for node in before if before[node] != after[node]]
+        assert len(changed) == monitor.last_moves <= 3
+        assert monitor.refinements[0].moved_nodes == monitor.last_moves
+
+    def test_moves_confined_to_affected_region(self):
+        _, cluster, monitor = self._drifted(move_budget=64, region_hops=2)
+        graph_now = cluster.fragmentation.restore_graph()
+        region = monitor.affected_region(graph_now)
+        before = dict(cluster.fragmentation.placement)
+        monitor.refine()
+        after = dict(cluster.fragmentation.placement)
+        changed = {node for node in before if before[node] != after[node]}
+        assert changed <= region
+
+    def test_boundary_never_increases(self):
+        _, cluster, monitor = self._drifted(move_budget=64, region_hops=2)
+        vf_before = cluster.fragmentation.num_boundary_nodes
+        report = monitor.refine()
+        assert report.after.num_boundary_nodes <= vf_before
+        assert cluster.fragmentation.num_boundary_nodes <= vf_before
+
+    def test_refined_fragmentation_stays_valid(self):
+        _, cluster, monitor = self._drifted(move_budget=16, region_hops=2)
+        monitor.refine()
+        graph_now = cluster.fragmentation.restore_graph()
+        check_fragmentation(graph_now, cluster.fragmentation)
+
+    def test_refinement_charges_shipping(self):
+        _, cluster, monitor = self._drifted(move_budget=64, region_hops=3)
+        report = monitor.refine()
+        if report.moved_nodes:
+            assert report.shipping.traffic_bytes > 0
+            assert report.shipping.network_seconds > 0.0
+
+    def test_region_hops_zero_restricts_to_endpoints(self):
+        _, cluster, monitor = self._drifted(region_hops=0)
+        graph_now = cluster.fragmentation.restore_graph()
+        assert monitor.affected_region(graph_now) == {
+            node for node in monitor._touched if graph_now.has_node(node)
+        }
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        g = erdos_renyi(12, 24, seed=1)
+        cluster = SimulatedCluster.from_graph(g, 2, "hash")
+        with pytest.raises(FragmentationError, match="drift_threshold"):
+            MutationMonitor(cluster, drift_threshold=0.0)
+        with pytest.raises(FragmentationError, match="move_budget"):
+            MutationMonitor(cluster, move_budget=0)
+        with pytest.raises(FragmentationError, match="region_hops"):
+            MutationMonitor(cluster, region_hops=-1)

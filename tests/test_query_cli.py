@@ -120,3 +120,28 @@ class TestWorkloadCli:
             ["--graph", graph_file, "--workload", "5", "--algorithm", "nope"]
         ) == 2
         assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestDynamicWorkload:
+    def test_workload_with_mutations(self, capsys):
+        code = main([
+            "--dataset", "amazon", "--scale", "0.003", "-k", "4",
+            "--workload", "24", "--mutations", "12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "24 queries + 12 mutations" in out
+        assert "[dynamic] |Vf|" in out
+        assert "refinements=" in out
+        assert "epoch=" in out
+
+    def test_mutations_requires_workload(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--graph", graph_file, "--mutations", "5",
+                  "reach", "Ann", "Mark"])
+        assert "--workload" in capsys.readouterr().err
+
+    def test_negative_mutations_rejected(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--graph", graph_file, "--workload", "5", "--mutations", "-1"])
+        assert "non-negative" in capsys.readouterr().err

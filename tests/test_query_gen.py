@@ -160,3 +160,58 @@ class TestZipfWorkload:
 
         queries = zipf_workload(graph, 30, mix=[("bounded", 1.0)], bound=9, seed=2)
         assert all(q.bound == 9 for q in queries)
+
+
+class TestEdgeMutations:
+    def test_plan_is_valid_in_order(self, graph):
+        from repro.workload import random_edge_mutations
+
+        sim = graph.copy()
+        plan = random_edge_mutations(graph, 50, seed=1)
+        assert len(plan) == 50
+        for op, u, v in plan:
+            if op == "add":
+                assert not sim.has_edge(u, v)
+                assert u != v
+                sim.add_edge(u, v)
+            else:
+                assert op == "remove"
+                assert sim.has_edge(u, v)
+                sim.remove_edge(u, v)
+        # the input graph itself was never touched
+        assert graph.num_edges == 240
+
+    def test_deterministic_and_seed_sensitive(self, graph):
+        from repro.workload import random_edge_mutations
+
+        a = random_edge_mutations(graph, 20, seed=3)
+        b = random_edge_mutations(graph, 20, seed=3)
+        c = random_edge_mutations(graph, 20, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_add_fraction_extremes(self, graph):
+        from repro.workload import random_edge_mutations
+
+        all_adds = random_edge_mutations(graph, 15, seed=0, add_fraction=1.0)
+        assert all(op == "add" for op, _u, _v in all_adds)
+        all_removes = random_edge_mutations(graph, 15, seed=0, add_fraction=0.0)
+        assert all(op == "remove" for op, _u, _v in all_removes)
+
+    def test_remove_on_empty_graph_falls_back_to_add(self):
+        from repro.graph import DiGraph
+        from repro.workload import random_edge_mutations
+
+        g = DiGraph()
+        g.add_node("a")
+        g.add_node("b")
+        plan = random_edge_mutations(g, 1, seed=0, add_fraction=0.0)
+        assert plan[0][0] == "add"
+
+    def test_validation(self, graph):
+        from repro.workload import random_edge_mutations
+
+        with pytest.raises(ReproError, match="non-negative"):
+            random_edge_mutations(graph, -1)
+        with pytest.raises(ReproError, match="add_fraction"):
+            random_edge_mutations(graph, 1, add_fraction=1.5)

@@ -228,3 +228,61 @@ class TestValidation:
         # The all-in-one seed is over cap for k=2; rebalance must fix it.
         sizes = [list(out.values()).count(f) for f in range(2)]
         assert max(sizes) <= balance_cap(10, 2)
+
+
+class TestBoundedRefinement:
+    """``movable``/``max_moves``: the streaming-refinement mode (§8)."""
+
+    def _case(self, seed=4):
+        g = erdos_renyi(30, 90, seed=seed)
+        assignment = {node: node % 3 for node in g.nodes()}
+        return g, assignment
+
+    def test_max_moves_zero_is_identity(self):
+        g, assignment = self._case()
+        out = refine_assignment(g, assignment, 3, max_moves=0)
+        assert out == assignment
+
+    def test_max_moves_caps_changes(self):
+        g, assignment = self._case()
+        unrestricted = refine_assignment(g, assignment, 3)
+        full_moves = sum(
+            1 for node in assignment if unrestricted[node] != assignment[node]
+        )
+        assert full_moves > 2  # the cap below actually binds
+        out = refine_assignment(g, assignment, 3, max_moves=2)
+        changed = sum(1 for node in assignment if out[node] != assignment[node])
+        assert changed <= 2
+
+    def test_empty_movable_is_identity(self):
+        g, assignment = self._case()
+        assert refine_assignment(g, assignment, 3, movable=set()) == assignment
+
+    def test_moves_confined_to_movable(self):
+        g, assignment = self._case()
+        movable = {node for node in g.nodes() if node < 10}
+        out = refine_assignment(g, assignment, 3, movable=movable)
+        changed = {node for node in assignment if out[node] != assignment[node]}
+        assert changed <= movable
+
+    @settings(max_examples=30)
+    @given(data=graph_and_assignment(), budget=st.integers(0, 6))
+    def test_bounded_keeps_invariants(self, data, budget):
+        g, assignment, k = data
+        movable = {node for node in g.nodes() if node % 2 == 0}
+        out = refine_assignment(g, assignment, k, movable=movable, max_moves=budget)
+        changed = {node for node in assignment if out[node] != assignment[node]}
+        assert len(changed) <= budget
+        assert changed <= movable
+        assert boundary_count(g, out) <= boundary_count(g, assignment)
+
+    def test_rejects_negative_max_moves(self):
+        g, assignment = self._case()
+        with pytest.raises(FragmentationError, match="max_moves"):
+            refine_assignment(g, assignment, 3, max_moves=-1)
+
+    def test_movable_ignores_foreign_nodes(self):
+        g, assignment = self._case()
+        out = refine_assignment(g, assignment, 3, movable={"not-a-node", 0, 1})
+        changed = {node for node in assignment if out[node] != assignment[node]}
+        assert changed <= {0, 1}

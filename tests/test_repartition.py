@@ -173,3 +173,65 @@ class TestCrossPartitionerCrossExecutor:
                 reference = answers
             else:
                 assert answers == reference, (executor, partitioner)
+
+
+class TestShippingCostModel:
+    """repartition() is no longer free: moved fragment data is charged."""
+
+    def test_real_move_charges_bytes_and_seconds(self, cluster):
+        report = cluster.repartition("refined", seed=0)
+        assert report.moved_nodes > 0
+        assert report.shipping is not None
+        assert report.shipping.algorithm == "repartition"
+        assert report.shipping.traffic_bytes > 0
+        assert report.shipping.network_seconds > 0.0
+        assert report.shipping.num_messages > 0
+        assert "shipped" in report.summary()
+
+    def test_identity_assignment_ships_nothing(self, cluster):
+        placement = dict(cluster.fragmentation.placement)
+        report = cluster.repartition(placement)
+        assert report.moved_nodes == 0
+        assert report.shipping.traffic_bytes == 0
+        assert report.shipping.network_seconds == 0.0
+        # still a new generation: versions and epoch must advance
+        assert report.epoch == cluster.partition_epoch == 1
+
+    def test_more_movement_ships_more(self, graph, cluster):
+        placement = dict(cluster.fragmentation.placement)
+        one_moved = dict(placement)
+        node = sorted(graph.nodes())[0]
+        one_moved[node] = (placement[node] + 1) % 4
+        small = cluster.repartition(one_moved).shipping.traffic_bytes
+        flipped = {n: (f + 1) % 4 for n, f in one_moved.items()}
+        large = cluster.repartition(flipped).shipping.traffic_bytes
+        assert 0 < small < large
+
+    def test_epoch_increments_per_repartition(self, cluster):
+        assert cluster.partition_epoch == 0
+        cluster.repartition("refined", seed=0)
+        cluster.repartition("chunk", seed=0)
+        report = cluster.repartition("hash", seed=0)
+        assert cluster.partition_epoch == 3
+        assert report.epoch == 3
+
+
+class TestEagerCacheInvalidation:
+    def test_registered_engine_cache_reclaimed(self, graph, cluster):
+        queries = per_class_workload(graph, 4, seed=3)["disReach"]
+        engine = BatchQueryEngine(cluster)
+        engine.run_batch(queries)
+        assert len(engine.cache) > 0
+        invalidations_before = engine.cache.invalidations
+        cluster.repartition("refined", seed=0)
+        # version keying already made them unreachable; registration means
+        # the dead entries were also physically dropped
+        assert len(engine.cache) == 0
+        assert engine.cache.invalidations > invalidations_before
+        engine.cache.check_index()
+
+    def test_dropped_cache_deregisters(self, graph, cluster):
+        engine = BatchQueryEngine(cluster)
+        engine.run_batch(per_class_workload(graph, 2, seed=4)["disReach"])
+        del engine
+        cluster.repartition("refined", seed=0)  # must not blow up

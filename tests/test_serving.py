@@ -264,3 +264,72 @@ class TestInvalidation:
         assert session.answer is True
         # the serving cache sees the new version and recomputes
         assert engine.evaluate(query).answer is True
+
+
+class TestCacheFragmentIndex:
+    """The per-fragment key index behind O(fragment) invalidation."""
+
+    @staticmethod
+    def _key(fid, version=0, tag="a"):
+        return (fid, version, "disReach", (tag,))
+
+    def test_invalidate_uses_index(self):
+        cache = SiteResultCache()
+        for fid in range(5):
+            for version in range(3):
+                cache.put(self._key(fid, version), CacheEntry({}, 0.0))
+        assert cache.invalidate_fragment(2) == 3
+        assert cache.invalidate_fragment(2) == 0
+        assert len(cache) == 12
+        assert all(key[0] != 2 for key in cache._entries)
+        cache.check_index()
+
+    def test_eviction_keeps_index_consistent(self):
+        cache = SiteResultCache(max_entries=4)
+        for fid in range(10):
+            cache.put(self._key(fid), CacheEntry({}, 0.0))
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        cache.check_index()
+        # evicted fragments invalidate to zero without touching live ones
+        assert cache.invalidate_fragment(0) == 0
+        assert cache.invalidate_fragment(9) == 1
+        cache.check_index()
+
+    def test_overwrite_does_not_duplicate_index(self):
+        cache = SiteResultCache()
+        cache.put(self._key(1), CacheEntry({}, 0.0))
+        cache.put(self._key(1), CacheEntry({}, 1.0))
+        assert len(cache) == 1
+        cache.check_index()
+        assert cache.invalidate_fragment(1) == 1
+        assert len(cache) == 0
+        cache.check_index()
+
+    def test_clear_resets_index(self):
+        cache = SiteResultCache()
+        for fid in range(4):
+            cache.put(self._key(fid), CacheEntry({}, 0.0))
+        cache.clear()
+        cache.check_index()
+        assert cache.invalidate_fragment(0) == 0
+
+    def test_counters_account_for_every_departure(self):
+        cache = SiteResultCache(max_entries=8)
+        puts = 0
+        for fid in range(6):
+            for version in range(3):
+                cache.put(self._key(fid, version), CacheEntry({}, 0.0))
+                puts += 1
+        cache.invalidate_fragment(5)
+        cache.clear()
+        # every distinct key either was evicted, invalidated, or cleared
+        assert cache.evictions + cache.invalidations == puts
+        cache.check_index()
+
+    def test_check_index_catches_desync(self):
+        cache = SiteResultCache()
+        cache.put(self._key(1), CacheEntry({}, 0.0))
+        del cache._entries[self._key(1)]  # simulate a bookkeeping bug
+        with pytest.raises(AssertionError, match="desync"):
+            cache.check_index()

@@ -148,3 +148,28 @@ class TestWorkloadStats:
         assert empty.modeled_speedup is None
         assert empty.traffic_ratio is None
         assert "queries=0" in empty.summary()
+
+
+class TestAccumulate:
+    def test_folds_counters_and_times(self):
+        a = ExecutionStats(algorithm="x", num_sites=3)
+        a.record_message(COORDINATOR, 0, MessageKind.QUERY, 10)
+        a.add_parallel_phase({0: 1.0, 1: 2.0}, wall_seconds=0.5)
+        a.network_seconds = 0.25
+        b = ExecutionStats(algorithm="y", num_sites=3)
+        b.record_message(COORDINATOR, 1, MessageKind.QUERY, 30)
+        b.record_message(1, COORDINATOR, MessageKind.PARTIAL, 5)
+        b.add_parallel_phase({1: 4.0}, wall_seconds=0.25)
+        b.add_coordinator_time(1.0)
+        b.network_seconds = 0.5
+        b.supersteps = 2
+        a.accumulate(b)
+        assert a.traffic_bytes == 45
+        assert a.num_messages == 3
+        assert a.visits == {0: 1, 1: 1}
+        assert a.response_seconds == pytest.approx(2.0 + 4.0 + 1.0)
+        assert a.network_seconds == pytest.approx(0.75)
+        assert a.supersteps == 2
+        assert a.site_compute_seconds == pytest.approx(7.0)
+        assert a.phase_wall_seconds == pytest.approx(0.75)
+        assert a.coordinator_seconds == pytest.approx(1.0)
