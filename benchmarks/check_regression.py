@@ -41,7 +41,18 @@ Three kinds of checks:
   the declared ``vf_tol`` factor of an offline ``refined`` run on the
   final graph (all three are deterministic).  The scenarios' modeled
   ``traffic_KB``/``network_ms``/``visits`` are additionally
-  tolerance-compared against the baseline, like the workload rows.
+  tolerance-compared against the baseline, like the workload rows.  When
+  the run carries ``sessions-S`` sweep rows (``bench mutation --sessions``),
+  the batched session remap must demonstrably dedupe: at every S >= 4,
+  ``remap_visits_saved > 0`` and the batched ``remap_visits`` stay
+  strictly below ``S x`` the single-session remap cost (all
+  deterministic).
+* **baseline cross-backend identity** (when the baseline carries a
+  ``baselines`` experiment) — the sharded Pregel/message-passing
+  baselines' modeled stats (answers, visits, traffic, message counts,
+  supersteps) must be bit-identical across the sequential/thread/process
+  rows of the current run, and identical to the committed baseline's
+  sequential row (everything is deterministic, so both checks are exact).
 
 Exit status 0 = pass, 1 = regression, 2 = bad input.  When the run is
 *better* than baseline by more than the tolerance the gate still passes but
@@ -118,6 +129,19 @@ def mutation_rows(
     if not experiment or "rows" not in experiment:
         return None
     return {str(row.get("scenario")): row for row in experiment["rows"]}
+
+
+def baselines_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[Tuple[str, str], Dict[str, object]]]:
+    """Baselines-experiment rows keyed ``(algorithm, backend)``, if present."""
+    experiment = payload.get("baselines")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {
+        (str(row.get("algorithm")), str(row.get("backend"))): row
+        for row in experiment["rows"]
+    }
 
 
 def as_float(
@@ -298,6 +322,59 @@ def check_mutation(
                 f"| {'ok' if ok else 'FAIL'} |"
             )
 
+    # Session-remap batching floors: at S >= 4 the batched remap must have
+    # deduplicated measurably (saved visits > 0, batched visits strictly
+    # below S x the per-session cost).  Everything here is deterministic.
+    sweep = sorted(
+        (row for scenario, row in current.items() if scenario.startswith("sessions-")),
+        key=lambda row: row.get("sessions") or 0,
+    )
+    if not sweep and any(s.startswith("sessions-") for s in baseline):
+        failures.append(
+            "mutation: baseline has sessions-S sweep rows but the current "
+            "run has none; run `python -m repro.bench mutation --sessions 8`"
+        )
+    # The single-session row anchors the "strictly below S x" comparison:
+    # its remap_visits are what one standing query's remaps cost, so a
+    # batched sweep row must land strictly under S times it.
+    single = next(
+        (row for row in sweep if row.get("sessions") == 1), None
+    )
+    for row in sweep:
+        sessions = as_float(row, "sessions", current_origin, "mutation/sessions")
+        if sessions < 4:
+            continue
+        label = f"mutation/sessions-{sessions:g}"
+        saved = as_float(row, "remap_visits_saved", current_origin, label)
+        batched = as_float(row, "remap_visits", current_origin, label)
+        refinements = as_float(row, "refinements", current_origin, label)
+        if single is not None:
+            # Independent anchor: S x the measured single-session cost.
+            per_session_total = sessions * as_float(
+                single, "remap_visits", current_origin, "mutation/sessions-1"
+            )
+        else:
+            # Fallback (no S=1 row): the row's own replayed per-session
+            # total — weaker, since saved appears on both sides.
+            per_session_total = batched + saved
+        checks = [
+            ("refinements (floor)", refinements, ">=", 1.0),
+            ("remap_visits_saved > 0", saved, ">=", 1.0),
+            ("remap_visits < S x per-session", batched, "<=", per_session_total - 1),
+        ]
+        for name, value, op, limit in checks:
+            ok = value >= limit if op == ">=" else value <= limit
+            if not ok:
+                failures.append(
+                    f"{label}: {name} violated ({value:g} vs {limit:g}) — "
+                    "the batched session remap did not dedupe the shared "
+                    "per-fragment work (all inputs deterministic)"
+                )
+            report.append(
+                f"| {label} | {name} | {op} {limit:g} | {value:g} | - "
+                f"| {'ok' if ok else 'FAIL'} |"
+            )
+
     for scenario in ("static", "drift-refine"):
         base_row = baseline.get(scenario)
         cur_row = current.get(scenario)
@@ -328,6 +405,96 @@ def check_mutation(
                 f"| {label} | {metric} | {base:g} | {cur:g} | {limit:g} "
                 f"| {status} |"
             )
+
+
+#: Deterministic columns of the ``baselines`` experiment (time_ms excluded).
+BASELINE_IDENTITY_METRICS = (
+    "answers", "total_visits", "traffic_KB", "messages", "supersteps"
+)
+
+
+def check_baselines(
+    current: Dict[Tuple[str, str], Dict[str, object]],
+    baseline: Dict[Tuple[str, str], Dict[str, object]],
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    report: List[str],
+) -> None:
+    """Exact cross-backend identity of the sharded Pregel baselines.
+
+    Two checks, both exact (everything but wall time is deterministic):
+    within the current run, every backend row of an algorithm must equal
+    its sequential row; and the current sequential row must equal the
+    committed baseline's (catching modeled-cost drift).  Rows the baseline
+    has but the current run lacks are failures — a silently dropped
+    backend or algorithm must not pass as vacuously identical.
+    """
+    algorithms = sorted(
+        {algorithm for algorithm, _backend in current}
+        | {algorithm for algorithm, _backend in baseline}
+    )
+    for algorithm in algorithms:
+        reference = current.get((algorithm, "sequential"))
+        if reference is None:
+            failures.append(
+                f"baselines: {algorithm} has no sequential row in "
+                f"{current_origin}"
+            )
+            continue
+        backends = sorted(
+            {backend for a, backend in current if a == algorithm}
+            | {backend for a, backend in baseline if a == algorithm}
+        )
+        for backend in backends:
+            row = current.get((algorithm, backend))
+            label = f"baselines/{algorithm}/{backend}"
+            if row is None:
+                failures.append(
+                    f"{label}: row present in {baseline_origin} but missing "
+                    f"from {current_origin} — a backend dropped out of the run"
+                )
+                report.append(
+                    f"| {label} | cross-backend identity | sequential | "
+                    f"MISSING | - | FAIL |"
+                )
+                continue
+            mismatched = [
+                metric
+                for metric in BASELINE_IDENTITY_METRICS
+                if row.get(metric) != reference.get(metric)
+            ]
+            if mismatched:
+                failures.append(
+                    f"{label}: diverges from the sequential backend on "
+                    f"{', '.join(mismatched)} — cross-backend identity broken"
+                )
+            report.append(
+                f"| {label} | cross-backend identity | sequential | "
+                f"{'match' if not mismatched else 'MISMATCH'} | - "
+                f"| {'ok' if not mismatched else 'FAIL'} |"
+            )
+        base_reference = baseline.get((algorithm, "sequential"))
+        if base_reference is None:
+            continue  # newly added algorithm: nothing committed to pin to
+        drifted = [
+            metric
+            for metric in BASELINE_IDENTITY_METRICS
+            if reference.get(metric) != base_reference.get(metric)
+        ]
+        label = f"baselines/{algorithm}"
+        if drifted:
+            failures.append(
+                f"{label}: sequential modeled stats drifted from the "
+                f"committed baseline on {', '.join(drifted)} (deterministic "
+                "quantities — regenerate benchmarks/baseline.json only for "
+                "an intentional cost-model change)"
+            )
+        report.append(
+            f"| {label} | vs committed baseline | exact | "
+            f"{'match' if not drifted else 'MISMATCH'} | - "
+            f"| {'ok' if not drifted else 'FAIL'} |"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -424,6 +591,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
+    baseline_baselines = baselines_rows(baseline_payload)
+    if baseline_baselines is not None:
+        current_baselines = baselines_rows(current_payload)
+        if current_baselines is None:
+            raise SystemExit(
+                f"error: baseline has a baselines experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench baselines --json <file>`"
+            )
+        check_baselines(
+            current_baselines,
+            baseline_baselines,
+            current_origin,
+            str(baseline_path),
+            failures,
+            report,
+        )
+
     print("benchmark regression check:", current_origin, "vs", baseline_path)
     print("\n".join(report))
     if improvements:
@@ -445,8 +630,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {line}", file=sys.stderr)
         return 1
     print(
-        "ok: within tolerance, above serving floors, partition ceilings and "
-        "mutation envelope hold"
+        "ok: within tolerance, above serving floors; partition ceilings, "
+        "mutation envelope, session-remap batching floors and baseline "
+        "cross-backend identity hold"
     )
     return 0
 

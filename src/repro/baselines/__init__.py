@@ -1,8 +1,21 @@
 """Baseline algorithms the paper evaluates against (Section 7)."""
 
-from .message_passing import dis_reach_m
-from .pregel import PregelEngine, VertexContext
-from .pregel_programs import dis_dist_m, pregel_bfs_levels, pregel_sssp
+from .message_passing import ReachTokenProgram, dis_reach_m
+from .pregel import (
+    PregelEngine,
+    SiteSuperstepResult,
+    VertexOutcome,
+    VertexProgram,
+    run_superstep,
+)
+from .pregel_programs import (
+    BfsLevelProgram,
+    BoundedTokenProgram,
+    SsspProgram,
+    dis_dist_m,
+    pregel_bfs_levels,
+    pregel_sssp,
+)
 from .ship_all import dis_dist_n, dis_reach_n, dis_rpq_n
 from .suciu import (
     AccessibilityRelation,
@@ -13,8 +26,14 @@ from .suciu import (
 
 __all__ = [
     "AccessibilityRelation",
+    "BfsLevelProgram",
+    "BoundedTokenProgram",
     "PregelEngine",
-    "VertexContext",
+    "ReachTokenProgram",
+    "SiteSuperstepResult",
+    "SsspProgram",
+    "VertexOutcome",
+    "VertexProgram",
     "assemble_accessibility",
     "dis_dist_m",
     "dis_dist_n",
@@ -25,4 +44,5 @@ __all__ = [
     "local_accessibility",
     "pregel_bfs_levels",
     "pregel_sssp",
+    "run_superstep",
 ]

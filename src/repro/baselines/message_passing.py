@@ -15,24 +15,64 @@ this serializes BFS frontiers into supersteps and pays a master round-trip
 for every cross-fragment activation — hence unbounded site visits and a
 response time that grows with fragment count, the paper's Exp-1 story.
 
-Executor note (DESIGN.md §5): unlike the partial-evaluation algorithms,
-whose one site visit is a pure function over a fragment, every Pregel
-superstep mutates shared engine state (vertex values, outboxes) through
-master-routed messages.  Its per-vertex closures therefore run inline via
-``phase.at`` on every backend; the modeled costs are identical either way,
-which the backend-parametrized tests assert.
+Executor note (DESIGN.md §5): the vertex program is the stateless,
+picklable :class:`ReachTokenProgram` dataclass; per-vertex activation flags
+live in the engine's explicit state dict, and every superstep is one
+:meth:`ParallelPhase.map` round of per-site :func:`~repro.baselines.pregel.
+run_superstep` tasks.  Duplicate tokens to one target are collapsed by the
+program's combiner at the sending fragment's boundary before they reach the
+master.  disReachm therefore runs on all three executor backends with
+bit-identical modeled stats — its unbounded visit count comes from the
+protocol, not from how the supersteps execute.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, List, Tuple, Union
 
 from ..core.queries import ReachQuery
 from ..core.results import QueryResult
 from ..distributed.cluster import SimulatedCluster
 from ..distributed.messages import MessageKind
 from ..graph.digraph import Node
-from .pregel import PregelEngine, VertexContext
+from .pregel import PregelEngine, VertexOutcome, VertexProgram
+
+
+@dataclass(frozen=True)
+class ReachTokenProgram(VertexProgram):
+    """The paper's token protocol (i)–(iii) as a stateless vertex program.
+
+    Per-vertex state is the activation flag; the only parameter is the
+    query target.  The combiner keeps a single "T" per target vertex —
+    tokens carry no payload beyond their arrival, so duplicates from one
+    fragment are pure master-routing overhead.
+    """
+
+    target: Node
+
+    def combine(self, messages: List[Any]) -> List[Any]:
+        return messages[:1]
+
+    def compute(
+        self,
+        vertex: Node,
+        value: Any,
+        messages: List[Any],
+        successors: Tuple[Node, ...],
+    ) -> VertexOutcome:
+        if value:  # already active: tokens to active nodes are dropped (iii)
+            return VertexOutcome()
+        if vertex == self.target:
+            # "if T reaches the node t, Si sends message T to Sc" (ii).
+            return VertexOutcome(
+                value=True, set_value=True, halt=True, result=True, report="T"
+            )
+        return VertexOutcome(
+            value=True,
+            set_value=True,
+            messages=tuple((child, "T") for child in successors),
+        )
 
 
 def dis_reach_m(
@@ -54,23 +94,7 @@ def dis_reach_m(
     run.broadcast(query, MessageKind.QUERY)
 
     engine = PregelEngine(cluster, run)
-    target = query.target
-
-    def compute(ctx: VertexContext, messages: List[str]) -> None:
-        if ctx.value:  # already active: tokens to active nodes are dropped (iii)
-            return
-        ctx.set_value(True)
-        if ctx.vertex == target:
-            # "if T reaches the node t, Si sends message T to Sc" (ii).
-            ctx.engine.run.send_to_coordinator(
-                ctx.site_id, "T", MessageKind.CONTROL
-            )
-            ctx.halt_with(True)
-            return
-        for child in ctx.successors():
-            ctx.send(child, "T")
-
-    result = engine.execute(compute, {query.source: ["T"]})
+    result = engine.execute(ReachTokenProgram(query.target), {query.source: ["T"]})
     answer = bool(result)
 
     if not answer:

@@ -6,77 +6,185 @@ supersteps, and cross-fragment messages are *routed through the master*
 (the paper's protocol: "Si sends a message v to Sc, which redirects the
 message to workers Sj").
 
+Since the executor layer became the single evaluation substrate (DESIGN.md
+§5), supersteps are **sharded**: vertex programs are stateless, picklable
+:class:`VertexProgram` dataclasses, per-vertex state lives in an explicit
+engine-side dict, and each superstep runs one :meth:`ParallelPhase.map`
+round of per-site :func:`run_superstep` tasks — the same move Pregel itself
+makes (Malewicz et al., SIGMOD 2010).  A task receives only what its site
+stores (its fragments, the pending messages and state values of its
+vertices) and returns a pure :class:`SiteSuperstepResult`; the engine then
+routes the outboxes through the master.  Consequently the Pregel baselines
+run on *every* executor backend — sequential, thread, process — with
+bit-identical answers, visits, traffic, message logs and superstep counts
+(asserted by ``tests/test_executors.py``).
+
+Outgoing messages are aggregated at the fragment boundary before they leave
+the worker: a program may declare a **combiner** (:meth:`VertexProgram.
+combine`) that collapses the messages destined for one target vertex — the
+classic Pregel combiner, placed at the sending site, so a fragment whose
+many internal parents activate one remote child routes a single token
+through the master instead of one per parent.
+
 Accounting, on top of :class:`~repro.distributed.cluster.Run`:
 
 * every cross-fragment message is two transfers (worker → master → worker)
   and the delivery to the destination worker counts as a **site visit** —
-  this is what makes disReachm's visit count unbounded (Exp-1 reports ~2500
-  total visits on 4 sites, vs. exactly 4 for disReach);
+  this is what makes disReachm's visit count unbounded (Exp-1's story:
+  hundreds of visits on 4 sites, vs. exactly 4 for disReach);
 * every superstep pays one compute round (max worker time) and one routing
   round (latency + max transferred bytes) — the serialization cost the
   paper attributes to message passing.
 
-The engine is generic: computations are callbacks over a per-vertex value
-store, so other vertex programs (e.g. SSSP) can reuse it.
+The engine is generic: any :class:`VertexProgram` (BFS, SSSP — see
+:mod:`repro.baselines.pregel_programs`) runs unchanged on the substrate.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Tuple
+from typing import Any, Dict, List, NamedTuple, Tuple
 
 from ..distributed.cluster import Run, SimulatedCluster
 from ..distributed.messages import COORDINATOR, MessageKind, payload_size
 from ..errors import DistributedError
 from ..graph.digraph import Node
+from ..partition.fragment import Fragment
 
 
-class VertexContext:
-    """What one vertex sees during one superstep."""
+class VertexOutcome(NamedTuple):
+    """What one vertex decided during one superstep (pure data).
 
-    __slots__ = ("engine", "vertex", "site_id", "superstep", "_outbox")
+    ``set_value`` distinguishes "store ``value`` as the vertex's new state"
+    from "leave the state alone" (``value`` alone cannot: ``None`` is a
+    legal state).  ``report`` is an optional payload the worker sends to
+    the master (a CONTROL message, e.g. disReachm's ``"T"``); ``halt``
+    stops the engine after this superstep with ``result``.
+    """
 
-    def __init__(self, engine: "PregelEngine", vertex: Node, site_id: int, superstep: int):
-        self.engine = engine
-        self.vertex = vertex
-        self.site_id = site_id
-        self.superstep = superstep
-        self._outbox: List[Tuple[Node, Any]] = []
-
-    # -- state ----------------------------------------------------------
-    @property
-    def value(self) -> Any:
-        return self.engine.values.get(self.vertex)
-
-    def set_value(self, value: Any) -> None:
-        self.engine.values[self.vertex] = value
-
-    # -- topology -------------------------------------------------------
-    def successors(self) -> Iterable[Node]:
-        """Successors in the owner fragment's local graph — both internal
-        edges and cross edges to virtual nodes."""
-        fragment = self.engine.cluster.fragmentation.fragment_of(self.vertex)
-        return fragment.local_graph.successors(self.vertex)
-
-    # -- actions --------------------------------------------------------
-    def send(self, target: Node, value: Any) -> None:
-        self._outbox.append((target, value))
-
-    def halt_with(self, result: Any) -> None:
-        """Report a global result to the master; the engine stops after this
-        superstep (the worker's "T"-to-master message is charged)."""
-        self.engine._result = result
-        self.engine._halted = True
+    value: Any = None
+    set_value: bool = False
+    messages: Tuple[Tuple[Node, Any], ...] = ()
+    halt: bool = False
+    result: Any = None
+    report: Any = None
 
 
-Compute = Callable[[VertexContext, List[Any]], None]
+class VertexProgram:
+    """A stateless, picklable vertex program.
+
+    Subclasses are frozen dataclasses holding only the query parameters
+    (target, bound, ...) — never per-vertex state, which lives in the
+    engine's explicit value dict and is passed in per superstep.  The
+    process backend ships program instances to workers, so every field
+    must be picklable.
+    """
+
+    def compute(
+        self,
+        vertex: Node,
+        value: Any,
+        messages: List[Any],
+        successors: Tuple[Node, ...],
+    ) -> VertexOutcome:
+        """One vertex's reaction to its superstep inbox.
+
+        ``value`` is the vertex's current state (``None`` if never set);
+        ``successors`` are its out-neighbors in the owner fragment's local
+        graph — internal edges and cross edges to virtual nodes alike.
+        """
+        raise NotImplementedError
+
+    def combine(self, messages: List[Any]) -> List[Any]:
+        """Combiner: collapse the worker's messages to one target vertex.
+
+        Called once per (sending site, target vertex) before messages leave
+        the worker — combiner placement at the fragment boundary, as in
+        Pregel.  The default keeps every message (no combining); programs
+        whose semantics only need an aggregate override it (e.g.
+        ``[min(messages)]`` for BFS/SSSP, ``messages[:1]`` for tokens).
+        Must be deterministic: modeled traffic depends on it.
+        """
+        return messages
+
+
+class SiteSuperstepResult(NamedTuple):
+    """One site's share of one superstep, as pure data.
+
+    ``updates`` are the new per-vertex state values; ``outbox`` the
+    combined outgoing messages in deterministic (first-occurrence) order;
+    ``reports`` the payloads to forward to the master; ``halted``/``result``
+    the (last) halt decision of the site's vertices.
+    """
+
+    updates: Dict[Node, Any]
+    outbox: Tuple[Tuple[Node, Any], ...]
+    reports: Tuple[Any, ...]
+    halted: bool
+    result: Any
+
+
+def run_superstep(
+    program: VertexProgram,
+    fragments: Tuple[Fragment, ...],
+    vertex_messages: Dict[Node, List[Any]],
+    values: Dict[Node, Any],
+    superstep: int,
+) -> SiteSuperstepResult:
+    """One site's superstep: a pure, module-level (hence picklable) task.
+
+    Runs ``program.compute`` for every pending vertex of the site against
+    the shipped state slice, then applies the program's combiner per target
+    vertex before the messages leave the worker.  Deterministic in its
+    inputs, so every executor backend produces the same result.
+    """
+    updates: Dict[Node, Any] = {}
+    outbox: List[Tuple[Node, Any]] = []
+    reports: List[Any] = []
+    halted = False
+    result: Any = None
+    for vertex, messages in vertex_messages.items():
+        successors: Tuple[Node, ...] = ()
+        for fragment in fragments:
+            if vertex in fragment.nodes:
+                successors = tuple(fragment.local_graph.successors(vertex))
+                break
+        value = updates.get(vertex, values.get(vertex))
+        outcome = program.compute(vertex, value, messages, successors)
+        if outcome.set_value:
+            updates[vertex] = outcome.value
+        outbox.extend(outcome.messages)
+        if outcome.report is not None:
+            reports.append(outcome.report)
+        if outcome.halt:
+            halted = True
+            result = outcome.result
+    # Combiner at the fragment boundary: one combined inbox per target
+    # (dict insertion order keeps first-occurrence order deterministic).
+    by_target: Dict[Node, List[Any]] = {}
+    for target, value in outbox:
+        by_target.setdefault(target, []).append(value)
+    combined: List[Tuple[Node, Any]] = []
+    for target, values in by_target.items():
+        for value in program.combine(values):
+            combined.append((target, value))
+    return SiteSuperstepResult(
+        updates, tuple(combined), tuple(reports), halted, result
+    )
 
 
 class PregelEngine:
-    """Synchronous superstep executor over one cluster + accounting run."""
+    """Synchronous superstep executor over one cluster + accounting run.
+
+    Per-vertex state is an explicit dict (:attr:`values`); each superstep
+    ships every pending site its message batch and state slice as one
+    :func:`run_superstep` task via :meth:`ParallelPhase.map`, so the
+    supersteps execute on whatever backend the cluster uses.
+    """
 
     def __init__(self, cluster: SimulatedCluster, run: Run) -> None:
         self.cluster = cluster
         self.run = run
+        #: Explicit per-vertex state (what the old closure captures held).
         self.values: Dict[Node, Any] = {}
         self.owner: Dict[Node, int] = cluster.node_site_map()
         self._result: Any = None
@@ -84,17 +192,16 @@ class PregelEngine:
 
     def execute(
         self,
-        compute: Compute,
+        program: VertexProgram,
         initial_messages: Dict[Node, List[Any]],
         max_supersteps: int = 100_000,
     ) -> Any:
-        """Run supersteps until no messages remain or a result is reported.
+        """Run supersteps until no messages remain or a vertex halted.
 
         ``initial_messages`` seeds superstep 0 (e.g. a token at the source
-        vertex).  Returns whatever a vertex passed to ``halt_with``, else
-        ``None``.
+        vertex).  Returns whatever a vertex halted with, else ``None``.
         """
-        pending = dict(initial_messages)
+        pending = {vertex: list(msgs) for vertex, msgs in initial_messages.items()}
         superstep = 0
         while pending and not self._halted:
             if superstep >= max_supersteps:
@@ -103,18 +210,38 @@ class PregelEngine:
                 )
             by_site: Dict[int, Dict[Node, List[Any]]] = {}
             for vertex, msgs in pending.items():
-                site_id = self.owner[vertex]
-                by_site.setdefault(site_id, {})[vertex] = msgs
+                by_site.setdefault(self.owner[vertex], {})[vertex] = msgs
+            site_ids = list(by_site)  # first-occurrence order, deterministic
+
+            tasks = []
+            for site_id in site_ids:
+                vertex_msgs = by_site[site_id]
+                fragments = tuple(
+                    fragment
+                    for fragment in self.cluster.site(site_id).fragments
+                    if any(vertex in fragment.nodes for vertex in vertex_msgs)
+                )
+                values = {vertex: self.values.get(vertex) for vertex in vertex_msgs}
+                tasks.append(
+                    (site_id, (program, fragments, vertex_msgs, values, superstep))
+                )
 
             outboxes: List[Tuple[int, Node, Any]] = []
             with self.run.parallel_phase() as phase:
-                for site_id, vertex_msgs in by_site.items():
-                    with phase.at(site_id):
-                        for vertex, msgs in vertex_msgs.items():
-                            ctx = VertexContext(self, vertex, site_id, superstep)
-                            compute(ctx, msgs)
-                            for target, value in ctx._outbox:
-                                outboxes.append((site_id, target, value))
+                results = phase.map(run_superstep, tasks)
+                for site_id, site_result in zip(site_ids, results):
+                    self.values.update(site_result.updates)
+                    for target, value in site_result.outbox:
+                        outboxes.append((site_id, target, value))
+                    for payload in site_result.reports:
+                        # "Si sends message T to Sc" — the worker's report,
+                        # charged inside the phase like any other transfer.
+                        self.run.send_to_coordinator(
+                            site_id, payload, MessageKind.CONTROL
+                        )
+                    if site_result.halted:
+                        self._halted = True
+                        self._result = site_result.result
 
             pending = self._route(outboxes)
             superstep += 1

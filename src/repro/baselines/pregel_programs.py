@@ -7,18 +7,119 @@ exactly like disReachm (the paper evaluates no such algorithm, so treat
 its numbers as an *extension*, not a reproduction; it is registered in the
 engine for completeness and behaves as message passing always does here:
 correct answers, unbounded site visits).
+
+Every program is a stateless, picklable dataclass (DESIGN.md §5): state is
+the engine's explicit per-vertex value dict, and each program declares a
+``min`` combiner — distances are monotone, so only the smallest message to
+a vertex can change its state, and collapsing the rest at the sending
+fragment's boundary is the textbook Pregel combiner.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.queries import BoundedReachQuery
 from ..core.results import QueryResult
 from ..distributed.cluster import SimulatedCluster
 from ..distributed.messages import MessageKind
 from ..graph.digraph import Node
-from .pregel import PregelEngine, VertexContext
+from .pregel import PregelEngine, VertexOutcome, VertexProgram
+
+
+@dataclass(frozen=True)
+class BfsLevelProgram(VertexProgram):
+    """BFS levels: keep the best hop count, propagate improvements."""
+
+    max_level: Optional[int] = None
+
+    def combine(self, messages: List[Any]) -> List[Any]:
+        return [min(messages)]
+
+    def compute(
+        self,
+        vertex: Node,
+        value: Any,
+        messages: List[Any],
+        successors: Tuple[Node, ...],
+    ) -> VertexOutcome:
+        best = min(messages)
+        if value is not None and value <= best:
+            return VertexOutcome()
+        if self.max_level is not None and best >= self.max_level:
+            return VertexOutcome(value=best, set_value=True)
+        return VertexOutcome(
+            value=best,
+            set_value=True,
+            messages=tuple((child, best + 1) for child in successors),
+        )
+
+
+@dataclass(frozen=True)
+class SsspProgram(VertexProgram):
+    """Textbook Pregel SSSP: non-negative weights, default 1.0 per edge.
+
+    ``weight_fn`` must be picklable (a module-level function, not a
+    lambda) to run on the process backend; ``None`` means unit weights.
+    """
+
+    weight_fn: Optional[Callable[[Node, Node], float]] = None
+
+    def combine(self, messages: List[Any]) -> List[Any]:
+        return [min(messages)]
+
+    def compute(
+        self,
+        vertex: Node,
+        value: Any,
+        messages: List[Any],
+        successors: Tuple[Node, ...],
+    ) -> VertexOutcome:
+        best = min(messages)
+        if value is not None and value <= best:
+            return VertexOutcome()
+        weight = self.weight_fn or (lambda u, v: 1.0)
+        return VertexOutcome(
+            value=best,
+            set_value=True,
+            messages=tuple(
+                (child, best + weight(vertex, child)) for child in successors
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class BoundedTokenProgram(VertexProgram):
+    """disDistm's program: BFS levels capped at the bound, halt at target."""
+
+    target: Node
+    bound: int
+
+    def combine(self, messages: List[Any]) -> List[Any]:
+        return [min(messages)]
+
+    def compute(
+        self,
+        vertex: Node,
+        value: Any,
+        messages: List[Any],
+        successors: Tuple[Node, ...],
+    ) -> VertexOutcome:
+        best = min(messages)
+        if value is not None and value <= best:
+            return VertexOutcome()
+        if vertex == self.target:
+            return VertexOutcome(
+                value=best, set_value=True, halt=True, result=best, report="T"
+            )
+        if best >= self.bound:
+            return VertexOutcome(value=best, set_value=True)
+        return VertexOutcome(
+            value=best,
+            set_value=True,
+            messages=tuple((child, best + 1) for child in successors),
+        )
 
 
 def pregel_bfs_levels(
@@ -33,18 +134,7 @@ def pregel_bfs_levels(
     cluster.site_of(source)
     run = cluster.start_run("pregelBFS")
     engine = PregelEngine(cluster, run)
-
-    def compute(ctx: VertexContext, messages: List[int]) -> None:
-        best = min(messages)
-        if ctx.value is not None and ctx.value <= best:
-            return
-        ctx.set_value(best)
-        if max_level is not None and best >= max_level:
-            return
-        for child in ctx.successors():
-            ctx.send(child, best + 1)
-
-    engine.execute(compute, {source: [0]})
+    engine.execute(BfsLevelProgram(max_level), {source: [0]})
     return dict(engine.values), run.finish()
 
 
@@ -59,19 +149,9 @@ def pregel_sssp(
     propagate improvements until no message flows.
     """
     cluster.site_of(source)
-    weight_fn = weight_fn or (lambda u, v: 1.0)
     run = cluster.start_run("pregelSSSP")
     engine = PregelEngine(cluster, run)
-
-    def compute(ctx: VertexContext, messages: List[float]) -> None:
-        best = min(messages)
-        if ctx.value is not None and ctx.value <= best:
-            return
-        ctx.set_value(best)
-        for child in ctx.successors():
-            ctx.send(child, best + weight_fn(ctx.vertex, child))
-
-    engine.execute(compute, {source: [0.0]})
+    engine.execute(SsspProgram(weight_fn), {source: [0.0]})
     return dict(engine.values), run.finish()
 
 
@@ -95,24 +175,10 @@ def dis_dist_m(
     run.broadcast(query, MessageKind.QUERY)
 
     engine = PregelEngine(cluster, run)
-    target, bound = query.target, query.bound
-
-    def compute(ctx: VertexContext, messages: List[int]) -> None:
-        best = min(messages)
-        if ctx.value is not None and ctx.value <= best:
-            return
-        ctx.set_value(best)
-        if ctx.vertex == target:
-            ctx.engine.run.send_to_coordinator(ctx.site_id, "T", MessageKind.CONTROL)
-            ctx.halt_with(best)
-            return
-        if best >= bound:
-            return
-        for child in ctx.successors():
-            ctx.send(child, best + 1)
-
-    found = engine.execute(compute, {query.source: [0]})
-    answer = found is not None and found <= bound
+    found = engine.execute(
+        BoundedTokenProgram(query.target, query.bound), {query.source: [0]}
+    )
+    answer = found is not None and found <= query.bound
     if not answer:
         for site in cluster.sites:
             run.send_to_coordinator(site.site_id, "idle", MessageKind.CONTROL)

@@ -18,6 +18,7 @@ keyed by experiment id (what ``benchmarks/check_regression.py`` consumes).
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -49,6 +50,15 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
         "--queries", type=_positive_int, default=None, help="queries per point (>= 1)"
+    )
+    parser.add_argument(
+        "--sessions",
+        type=_positive_int,
+        default=None,
+        metavar="S",
+        help="standing-session sweep size for experiments that accept it "
+        "(mutation: opens S incremental sessions and reports the batched "
+        "repartition-remap savings at S in {1, S/2, S})",
     )
     parser.add_argument("--csv", type=Path, default=None, help="also write CSV here")
     parser.add_argument(
@@ -92,6 +102,10 @@ def main(argv=None) -> int:
             kwargs["scale"] = args.scale
         if args.queries is not None:
             kwargs["num_queries"] = args.queries
+        if args.sessions is not None:
+            accepted = inspect.signature(EXPERIMENTS[name]).parameters
+            if "sessions" in accepted:
+                kwargs["sessions"] = args.sessions
         start = time.perf_counter()
         result = EXPERIMENTS[name](**kwargs)
         elapsed = time.perf_counter() - start

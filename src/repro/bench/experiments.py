@@ -777,6 +777,7 @@ def exp_mutation(
     vf_tolerance: float = MUTATION_VF_TOLERANCE,
     dataset: str = MUTATION_DATASET,
     partitioner: str = MUTATION_PARTITIONER,
+    sessions: int = 0,
 ) -> ExperimentResult:
     """Dynamic graphs: a zipf query stream interleaved with edge mutations.
 
@@ -793,7 +794,18 @@ def exp_mutation(
     ``vf_ratio`` columns compare against an offline ``refined`` run on the
     final graph; the CI gate holds the drift row to ``moves <= budget`` and
     ``vf_ratio <= vf_tol``.
+
+    ``sessions > 0`` (CLI: ``--sessions S``) adds the standing-query
+    sweep: for S in {1, S/2, S}, the same mutation stream runs with S open
+    :class:`~repro.core.incremental.IncrementalReachSession` objects, and
+    every drift-triggered repartition remaps them as one batched
+    :func:`~repro.serving.engine.execute_plans` round.  The ``sessions-S``
+    rows report the dedup saving (``remap_visits_saved`` — per-session
+    remap visits minus batched), the map rounds and the distinct tasks:
+    batched remap cost grows sublinearly in S, which the CI gate enforces
+    as ``remap_visits_saved > 0`` at S >= 4.
     """
+    from ..core.incremental import IncrementalReachSession
     from ..partition.monitor import MutationMonitor
     from ..partition.refine import boundary_count, refined_partition
     from ..serving import BatchQueryEngine
@@ -897,7 +909,8 @@ def exp_mutation(
             "scenario", "queries", "mutations", "refinements", "moves",
             "budget", "Vf_start", "Vf_final", "Vf_offline", "vf_ratio",
             "vf_tol", "ship_KB", "ship_ms", "traffic_KB", "network_ms",
-            "visits", "break_even_queries",
+            "visits", "break_even_queries", "sessions", "remap_visits",
+            "remap_visits_saved", "remap_rounds", "remap_tasks",
         ],
         notes=(
             f"scale={scale}, card(F)={card}, start={partitioner}, {rounds} "
@@ -906,10 +919,15 @@ def exp_mutation(
             "assertion; Vf_offline = offline refined on the final graph"
         ),
     )
+    def add_full_row(**values: object) -> None:
+        row = {column: None for column in result.columns}
+        row.update(values)
+        result.add_row(**row)
+
     for name, stream in (("static", static), ("drift-refine", drift)):
         vf_final = stream["cluster"].fragmentation.num_boundary_nodes
         stream_monitor = stream["monitor"]
-        result.add_row(
+        add_full_row(
             scenario=name,
             queries=num_queries,
             mutations=num_mutations,
@@ -928,6 +946,144 @@ def exp_mutation(
             visits=stream["visits"],
             break_even_queries=break_even if name == "drift-refine" else None,
         )
+
+    if sessions > 0:
+        # The standing-query sweep: same mutation stream, S open sessions.
+        # Only the drift monitor runs (remap costs are repartition-time
+        # costs; the serving stream above already measured query costs).
+        # Standing queries must be non-trivial (s != t); top up from further
+        # seeds if the filter ate too many, and fail loudly rather than run
+        # a row labeled sessions=S with fewer than S sessions.
+        session_queries: List = []
+        for offset in range(1, 7):
+            if len(session_queries) >= sessions:
+                break
+            session_queries.extend(
+                query
+                for query in random_reach_queries(
+                    graph0, 4 * sessions, seed=seed + offset
+                )
+                if query.source != query.target
+            )
+        if len(session_queries) < sessions:
+            raise ValueError(
+                f"could not draw {sessions} non-trivial standing queries "
+                f"from the {dataset} analog at scale={scale}"
+            )
+        for s in sorted({1, max(1, sessions // 2), sessions}):
+            graph = load_dataset(dataset, scale=scale, seed=seed)
+            cluster = SimulatedCluster.from_graph(
+                graph, card, partitioner=partitioner, seed=seed
+            )
+            monitor = MutationMonitor(
+                cluster,
+                drift_threshold=drift_threshold,
+                move_budget=move_budget,
+                region_hops=region_hops,
+            )
+            open_sessions = [
+                IncrementalReachSession(cluster, query)
+                for query in session_queries[:s]
+            ]
+            for session in open_sessions:
+                session.initialize()
+            for op, u, v in mutations:
+                cluster.apply_edge_mutation(u, v, op == "add")
+            reports = monitor.refinements
+            saved = sum(r.remap_visits_saved for r in reports)
+            remap_rounds = sum(r.remap_rounds for r in reports)
+            remap_tasks = sum(r.remap_tasks for r in reports)
+            # Per-session remap visits = num_sites each (the disReach
+            # one-visit-per-site contract); batched = that total minus saved.
+            per_session_total = sum(
+                r.sessions_remapped * cluster.num_sites for r in reports
+            )
+            add_full_row(
+                scenario=f"sessions-{s}",
+                mutations=num_mutations,
+                refinements=len(reports),
+                budget=move_budget,
+                sessions=s,
+                remap_visits=per_session_total - saved,
+                remap_visits_saved=saved,
+                remap_rounds=remap_rounds,
+                remap_tasks=remap_tasks,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# baselines: cross-backend identity of the sharded Pregel baselines
+# ---------------------------------------------------------------------------
+def exp_baselines(
+    scale: float = SCALE / 5,
+    card: int = 4,
+    num_queries: int = 3,
+    seed: int = 0,
+    dataset: str = "amazon",
+) -> ExperimentResult:
+    """Cross-backend identity of the message-passing (Pregel) baselines.
+
+    Since the supersteps are sharded through the executor protocol
+    (stateless vertex programs via ``ParallelPhase.map``), ``disReachm``
+    and ``disDistm`` run on all three backends; this experiment evaluates
+    the pinned workload on each and reports the modeled stats side by
+    side.  Answers, visits, traffic, message counts and supersteps are
+    deterministic and must be identical across backends — asserted here
+    and enforced exactly by ``benchmarks/check_regression.py``.
+    """
+    from ..distributed.executors import EXECUTORS
+
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    reach_queries = random_reach_queries(graph, num_queries, seed=seed)
+    bounded_queries = random_bounded_queries(graph, num_queries, bound=8, seed=seed)
+    workloads = {"disReachm": reach_queries, "disDistm": bounded_queries}
+    result = ExperimentResult(
+        "baselines",
+        "Message-passing baselines: modeled stats across executor backends",
+        [
+            "algorithm", "backend", "answers", "total_visits", "traffic_KB",
+            "messages", "supersteps", "time_ms",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}, {num_queries} queries per "
+            "algorithm; all columns except time_ms are deterministic and "
+            "identical across backends by assertion"
+        ),
+    )
+    reference: Dict[str, Tuple] = {}
+    for algorithm, queries in workloads.items():
+        for backend in sorted(EXECUTORS):
+            cluster = SimulatedCluster.from_graph(
+                graph, card, partitioner="chunk", seed=seed, executor=backend
+            )
+            evaluations = [evaluate(cluster, q, algorithm) for q in queries]
+            signature = (
+                "".join("T" if r.answer else "F" for r in evaluations),
+                sum(r.stats.total_visits for r in evaluations),
+                sum(r.stats.traffic_bytes for r in evaluations),
+                sum(r.stats.num_messages for r in evaluations),
+                sum(r.stats.supersteps for r in evaluations),
+            )
+            if algorithm not in reference:
+                reference[algorithm] = signature
+            elif signature != reference[algorithm]:  # pragma: no cover - guard
+                raise AssertionError(
+                    f"{algorithm} diverged on the {backend} backend: "
+                    f"{signature} vs {reference[algorithm]}"
+                )
+            answers, visits, traffic, messages, supersteps = signature
+            result.add_row(
+                algorithm=algorithm,
+                backend=backend,
+                answers=answers,
+                total_visits=visits,
+                traffic_KB=traffic / 1e3,
+                messages=messages,
+                supersteps=supersteps,
+                time_ms=sum(r.stats.response_seconds for r in evaluations)
+                / len(evaluations) * 1e3,
+            )
     return result
 
 
@@ -951,4 +1107,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "workload": exp_workload,
     "partition": exp_partition,
     "mutation": exp_mutation,
+    "baselines": exp_baselines,
 }

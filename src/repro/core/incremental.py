@@ -19,6 +19,15 @@ that bookkeeping in :meth:`~repro.distributed.cluster.SimulatedCluster.
 apply_edge_mutation`, and the session re-evaluates the (at most two)
 affected fragments — two visits, two rvsets, still independent of |G|.
 
+Sessions evaluate **entirely on the plan/executor protocol** (DESIGN.md
+§5/§6): a full (re-)evaluation is a batch-of-one
+:class:`~repro.serving.plans.SessionRemapPlan` through
+:func:`~repro.serving.engine.execute_plans`, and the post-mutation partial
+re-evaluation submits its affected fragments as picklable
+:func:`~repro.serving.engine.eval_fragment_jobs` tasks via
+:meth:`ParallelPhase.map` — so every session path runs on every executor
+backend with identical modeled cost.
+
 Sessions are **repartition-safe** (DESIGN.md §8).  Each session registers
 weakly with its cluster and captures the cluster's ``partition_epoch`` at
 :meth:`~_IncrementalSession.initialize` time.  When the cluster
@@ -26,7 +35,11 @@ repartitions — explicitly, or because a drift-triggered refinement fired —
 the session is *remapped*: its cached per-fragment partials (keyed by
 fragment ids that may now name entirely different fragments) are dropped
 and the standing query is re-evaluated against the new fragmentation with
-honest modeled cost.  A session that somehow missed the notification (the
+honest modeled cost.  With several open sessions the cluster batches every
+remap into **one** deduplicated map round (the
+``SessionRemapPlan``/``execute_plans`` path above), so N standing queries
+over the same new fragmentation share the per-fragment work instead of
+paying it N times.  A session that somehow missed the notification (the
 epoch guard) refuses to mutate with a :class:`QueryError` instead of
 joining stale partials into a silently wrong standing answer.
 
@@ -38,16 +51,23 @@ fragment, version counter or cache is touched.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..automata.query_automaton import QueryAutomaton
 from ..distributed.cluster import SimulatedCluster
 from ..distributed.messages import MessageKind, payload_size
 from ..errors import QueryError
 from ..graph.digraph import Node
+from ..serving.engine import eval_fragment_jobs, execute_plans
+from ..serving.plans import QueryPlan, SessionRemapPlan
 from .queries import ReachQuery, RegularReachQuery
-from .reachability import ReachPartialAnswer, assemble_reach, local_eval_reach
-from .regular import RegularPartialAnswer, assemble_regular, local_eval_regular
+from .reachability import ReachPartialAnswer, ReachPlan, assemble_reach, local_eval_reach
+from .regular import (
+    RegularPartialAnswer,
+    RegularReachPlan,
+    assemble_regular,
+    local_eval_regular,
+)
 from .results import QueryResult
 
 
@@ -69,7 +89,12 @@ class _IncrementalSession:
         cluster.register_session(self)
 
     # -- subclass hooks --------------------------------------------------
-    def _local_eval(self, fragment) -> dict:
+    def _remap_plan(self) -> QueryPlan:
+        """The underlying partial-evaluation plan of the standing query."""
+        raise NotImplementedError
+
+    def _local_eval_task(self) -> Tuple[Callable, Tuple]:
+        """``(fn, args)`` of the picklable per-fragment evaluation task."""
         raise NotImplementedError
 
     def _assemble(self, partials: Dict[int, dict]) -> bool:
@@ -87,50 +112,61 @@ class _IncrementalSession:
         return self._evaluate_full("init")
 
     def _evaluate_full(self, label: str) -> QueryResult:
-        """Evaluate the standing query from scratch on the current fragments."""
-        self._epoch = self.cluster.partition_epoch
-        run = self.cluster.start_run(f"{self.algorithm}:{label}")
-        run.broadcast(self._broadcast_payload(), MessageKind.QUERY)
-        with run.parallel_phase() as phase:
-            for site in self.cluster.sites:
-                site_equations: dict = {}
-                with phase.at(site.site_id):
-                    for fragment in site.fragments:
-                        equations = self._local_eval(fragment)
-                        self._partials[fragment.fid] = equations
-                        site_equations.update(equations)
-                run.send_to_coordinator(
-                    site.site_id,
-                    self._wrap_payload(site_equations),
-                    MessageKind.PARTIAL,
-                )
-        with run.coordinator_work():
-            self._answer = self._assemble(self._partials)
+        """Evaluate the standing query from scratch on the current fragments.
+
+        A batch-of-one through the serving engine: the
+        :class:`~repro.serving.plans.SessionRemapPlan` installs the fresh
+        partials and answer during ``assemble``, and the replayed stats are
+        bit-identical to the one-shot algorithm's.
+        """
+        batch = execute_plans(self.cluster, [SessionRemapPlan(self)])
+        result = batch.results[0]
         # "sites" lists the sites this evaluation visited, like the update
         # path's results — callers can rely on one details shape throughout.
         details = {
             "incremental": label,
             "sites": tuple(site.site_id for site in self.cluster.sites),
         }
-        return QueryResult(self._answer, run.finish(), details)
+        return QueryResult(result.answer, result.stats, details)
+
+    def _install_remap(self, partials: Dict[int, dict], answer: bool) -> None:
+        """Plan hook: adopt a full evaluation's partials/answer/epoch."""
+        self._partials = partials
+        self._answer = answer
+        self._epoch = self.cluster.partition_epoch
+
+    def _begin_remap(self) -> bool:
+        """Cluster hook: drop stale partials; ``True`` iff a re-evaluation
+        is needed (the session was initialized)."""
+        self._partials.clear()
+        return self._answer is not None
+
+    def _finish_remap(self, result: QueryResult) -> None:
+        """Cluster hook: record one completed (possibly batched) remap."""
+        self.remaps += 1
+        self.last_remap = QueryResult(
+            result.answer,
+            result.stats,
+            {
+                "incremental": "remap",
+                "sites": tuple(site.site_id for site in self.cluster.sites),
+            },
+        )
 
     def _on_repartition(self) -> bool:
-        """Cluster hook: remap the standing query onto the new fragmentation.
+        """Per-session (unbatched) remap — the batched path's reference.
 
-        The cached partials are keyed by fragment ids of the *retired*
-        fragmentation — joining them with new-fragmentation partials would
-        produce a silently wrong answer, so they are dropped wholesale and
-        (for initialized sessions) the standing query is re-evaluated with
-        honest modeled cost, recorded in :attr:`last_remap`.  Returns
-        whether a re-evaluation actually ran.
+        :meth:`SimulatedCluster.repartition` normally batches every open
+        session's remap through the serving engine; this method remains the
+        one-session-at-a-time equivalent (used with
+        ``repartition(batch_remaps=False)`` and by the equivalence tests).
+        Returns whether a re-evaluation actually ran.
         """
-        self._partials.clear()
-        if self._answer is None:
+        if not self._begin_remap():
             # Never initialized: nothing to remap; initialize() will bind
             # to whatever fragmentation is current when it runs.
             return False
-        self.remaps += 1
-        self.last_remap = self._evaluate_full("remap")
+        self._finish_remap(self._evaluate_full("remap"))
         return True
 
     @property
@@ -156,6 +192,11 @@ class _IncrementalSession:
                         ) -> QueryResult:
         """Re-evaluate the touched fragments, re-solve at the coordinator.
 
+        The touched fragments are submitted as picklable
+        :func:`~repro.serving.engine.eval_fragment_jobs` tasks through
+        :meth:`ParallelPhase.map`, so the update path runs on the cluster's
+        executor backend like every other evaluation.
+
         ``refresh=True`` (the :meth:`resync` path — a change applied
         *outside* this session) additionally bumps the fragments' versions
         and drops their sites' index caches, which
@@ -176,17 +217,34 @@ class _IncrementalSession:
                 self.cluster.bump_fragment_version(fid)
         payload = self._broadcast_payload()
         size = payload_size(payload)
-        for site_id in sorted(by_site):
+        site_ids = sorted(by_site)
+        for site_id in site_ids:
             run.send_to_site(site_id, payload, MessageKind.QUERY, charge_time=False)
         run.network_round({site_id: size for site_id in by_site})
+        fn, args = self._local_eval_task()
         with run.parallel_phase() as phase:
-            for site_id in sorted(by_site):
+            site_values = phase.map(
+                eval_fragment_jobs,
+                [
+                    (
+                        site_id,
+                        (
+                            tuple(
+                                (fn, fragment, args)
+                                for fragment in by_site[site_id]
+                            ),
+                        ),
+                    )
+                    for site_id in site_ids
+                ],
+            )
+            for site_id, values in zip(site_ids, site_values):
                 site_equations: dict = {}
-                with phase.at(site_id):
-                    for fragment in by_site[site_id]:
-                        equations = self._local_eval(fragment)
-                        self._partials[fragment.fid] = equations
-                        site_equations.update(equations)
+                for fragment, (equations, _seconds) in zip(
+                    by_site[site_id], values
+                ):
+                    self._partials[fragment.fid] = equations
+                    site_equations.update(equations)
                 run.send_to_coordinator(
                     site_id, self._wrap_payload(site_equations), MessageKind.PARTIAL
                 )
@@ -196,7 +254,7 @@ class _IncrementalSession:
         return QueryResult(
             self._answer,
             stats,
-            {"incremental": "update", "sites": tuple(sorted(by_site))},
+            {"incremental": "update", "sites": tuple(site_ids)},
         )
 
     def resync(self, node: Node) -> QueryResult:
@@ -218,8 +276,8 @@ class _IncrementalSession:
         self.updates_applied += 1
         if self.cluster.partition_epoch != epoch_before:
             # A drift-triggered refinement repartitioned the cluster inside
-            # the mutation; _on_repartition() already re-evaluated the
-            # standing query on the post-mutation graph.
+            # the mutation; the remap already re-evaluated the standing
+            # query on the post-mutation graph.
             return self.last_remap
         return self._after_mutation(affected)
 
@@ -250,8 +308,11 @@ class IncrementalReachSession(_IncrementalSession):
     def _broadcast_payload(self):
         return self.query
 
-    def _local_eval(self, fragment):
-        return local_eval_reach(fragment, self.query)
+    def _remap_plan(self) -> ReachPlan:
+        return ReachPlan(self.query)
+
+    def _local_eval_task(self):
+        return local_eval_reach, (self.query,)
 
     def _wrap_payload(self, equations):
         return ReachPartialAnswer(equations)
@@ -284,8 +345,16 @@ class IncrementalRegularSession(_IncrementalSession):
     def _broadcast_payload(self):
         return self.automaton
 
-    def _local_eval(self, fragment):
-        return local_eval_regular(fragment, self.automaton)
+    def _remap_plan(self) -> RegularReachPlan:
+        plan = RegularReachPlan(self.query)
+        # One automaton instance per session: the plan's own compile is
+        # structurally identical, but sharing the object keeps the session's
+        # later update-path equations on the exact same automaton.
+        plan.automaton = self.automaton
+        return plan
+
+    def _local_eval_task(self):
+        return local_eval_regular, (self.automaton,)
 
     def _wrap_payload(self, equations):
         return RegularPartialAnswer(equations)

@@ -38,9 +38,11 @@ Algorithms drive a :class:`Run`::
         result = assemble(...)
     stats = run.finish()
 
-(``phase.at(site_id)`` remains available for inline, stateful site work —
-the Pregel substrate uses it, since its per-vertex closures mutate shared
-engine state and must stay sequential.)
+(``phase.at(site_id)`` remains available for inline, timed site work, but
+since the Pregel substrate moved to sharded supersteps — stateless vertex
+programs submitted through ``phase.map`` — every algorithm in the repo
+evaluates through the executor protocol; ``phase.at`` is kept for ad-hoc
+callers and tests.)
 
 The cluster also tracks a monotone *version* per fragment
 (:meth:`SimulatedCluster.fragment_version`): the serving layer
@@ -101,10 +103,11 @@ class ParallelPhase(PhaseTimer):
       cluster's executor backend.  ``fn`` must be module-level and its
       arguments picklable (the process backend ships them to workers);
       results come back in task order, each site's measured compute time
-      folded into the phase timer.
+      folded into the phase timer.  Every algorithm in the repo —
+      including the Pregel substrate's sharded supersteps — submits its
+      site work this way.
     * ``with phase.at(site_id): ...`` — run inline, timed.  Always
-      sequential regardless of backend; for stateful site work (the Pregel
-      substrate's vertex programs mutate shared engine state).
+      sequential regardless of backend; for ad-hoc inline site work.
     """
 
     def __init__(self, run: "Run") -> None:
@@ -354,6 +357,10 @@ class SimulatedCluster:
         self._sessions: "weakref.WeakSet" = weakref.WeakSet()
         self._caches: "weakref.WeakSet" = weakref.WeakSet()
         self._monitor_ref: Optional["weakref.ReferenceType"] = None
+        # Weak sets iterate in hash order; registrations get a monotone
+        # ticket so batched session remaps (and the shared-cache pick)
+        # process registrants in a deterministic order.
+        self._registration_counter = 0
 
     def _install_fragmentation(
         self,
@@ -462,14 +469,23 @@ class SimulatedCluster:
         """
         return self._partition_epoch
 
+    def _issue_registration_order(self, registrant: object) -> None:
+        """Stamp ``registrant`` with a deterministic processing ticket."""
+        if not hasattr(registrant, "_registration_order"):
+            registrant._registration_order = self._registration_counter
+            self._registration_counter += 1
+
     def register_session(self, session: object) -> None:
         """Weakly register an incremental session for repartition remapping.
 
-        :meth:`repartition` calls ``session._on_repartition()`` on every
-        live registered session after installing the new fragmentation.
-        The registry holds weak references only — dropping the session is
-        all the deregistration there is.
+        :meth:`repartition` remaps every live registered session after
+        installing the new fragmentation — by default as one **batched**
+        evaluation through the serving engine (every session wrapped in a
+        :class:`~repro.serving.plans.SessionRemapPlan`, deduplicating the
+        shared per-fragment work).  The registry holds weak references
+        only — dropping the session is all the deregistration there is.
         """
+        self._issue_registration_order(session)
         self._sessions.add(session)
 
     def register_cache(self, cache: object) -> None:
@@ -479,7 +495,11 @@ class SimulatedCluster:
         the *memory reclamation* half: fragment mutations and repartitions
         call ``cache.invalidate_fragment(fid)`` for every affected fragment
         so long-lived serving processes do not accumulate dead entries.
+        The first-registered live cache is additionally the one batched
+        session remaps share (:meth:`repartition`), so remap partials are
+        served from — and persist into — the serving layer's cache.
         """
+        self._issue_registration_order(cache)
         self._caches.add(cache)
 
     @property
@@ -644,6 +664,7 @@ class SimulatedCluster:
         seed: int = 0,
         fragment_assignment: Optional[Dict[int, int]] = None,
         validate: bool = True,
+        batch_remaps: bool = True,
     ) -> RepartitionReport:
         """Re-fragment the stored graph in place with a better partitioner.
 
@@ -674,6 +695,17 @@ class SimulatedCluster:
         is recomputed with honest modeled cost), and the attached mutation
         monitor's drift baseline is reset.
 
+        Session remaps are **batched** by default: every open session is
+        wrapped in a :class:`~repro.serving.plans.SessionRemapPlan` and
+        executed in one :func:`~repro.serving.engine.execute_plans` call,
+        so N standing queries over the same new fragmentation dedupe their
+        per-fragment local-eval tasks into one map round and share the
+        first-registered serving :class:`~repro.serving.cache.
+        SiteResultCache`.  The saving is reported on the returned report
+        (``remap_visits_saved``/``remap_rounds``/``remap_tasks``); each
+        session's own ``last_remap`` stats stay bit-identical to a
+        per-session remap (the serving engine's replay contract).
+
         Args:
             partitioner: strategy name, callable, or explicit assignment.
             num_fragments: new ``card(F)`` (default: keep the current count).
@@ -683,6 +715,9 @@ class SimulatedCluster:
             validate: run
                 :func:`~repro.partition.validation.check_fragmentation` on
                 the rebuilt fragmentation before installing it.
+            batch_remaps: remap open sessions as one batched evaluation
+                (default) instead of one at a time; answers and per-session
+                stats are identical either way.
 
         Returns:
             A :class:`~repro.partition.quality.RepartitionReport` with
@@ -712,10 +747,9 @@ class SimulatedCluster:
         # Versions alone keep registered caches *sound*; eager invalidation
         # reclaims the memory of every retired fragment generation.
         self._invalidate_caches(old_fids)
-        remapped = 0
-        for session in list(self._sessions):
-            if session._on_repartition():
-                remapped += 1
+        remapped, remap_saved, remap_rounds, remap_tasks = self._remap_sessions(
+            batch=batch_remaps
+        )
         report = RepartitionReport(
             partitioner=label,
             before=before,
@@ -724,11 +758,54 @@ class SimulatedCluster:
             shipping=shipping,
             epoch=self._partition_epoch,
             sessions_remapped=remapped,
+            remap_visits_saved=remap_saved,
+            remap_rounds=remap_rounds,
+            remap_tasks=remap_tasks,
         )
         monitor = self.mutation_monitor
         if monitor is not None:
             monitor.note_repartition(report)
         return report
+
+    def _remap_sessions(self, batch: bool = True) -> Tuple[int, int, int, int]:
+        """Remap every live registered session onto the new fragmentation.
+
+        Returns ``(sessions_remapped, visits_saved, map_rounds, tasks)``.
+        With ``batch=True`` the open sessions' full re-evaluations run as
+        ONE :func:`~repro.serving.engine.execute_plans` batch: identical
+        per-fragment tasks are deduplicated across sessions and served
+        from/into the first-registered serving cache, while each session's
+        per-query replayed stats remain bit-identical to a per-session
+        remap.  ``visits_saved`` is the per-session visit total minus what
+        the batched round actually charged — the measurable saving of the
+        dedup.
+        """
+        sessions = sorted(
+            self._sessions, key=lambda s: getattr(s, "_registration_order", 0)
+        )
+        if not batch:
+            remapped = sum(1 for session in sessions if session._on_repartition())
+            return remapped, 0, 0, 0
+        live = [session for session in sessions if session._begin_remap()]
+        if not live:
+            return 0, 0, 0, 0
+        # Imported here: serving.engine imports this module at load time.
+        from ..serving.engine import execute_plans
+        from ..serving.plans import SessionRemapPlan
+
+        caches = sorted(
+            self._caches, key=lambda c: getattr(c, "_registration_order", 0)
+        )
+        result = execute_plans(
+            self,
+            [SessionRemapPlan(session) for session in live],
+            cache=caches[0] if caches else None,
+        )
+        for session, query_result in zip(live, result.results):
+            session._finish_remap(query_result)
+        workload = result.workload
+        saved = workload.total_visits - workload.batch.total_visits
+        return len(live), saved, workload.batch.supersteps, workload.tasks_executed
 
     def _charge_shipping(
         self, graph: DiGraph, old_site_of_node: Dict[Node, int]

@@ -22,9 +22,16 @@ module makes the execution strategy a pluggable backend (DESIGN.md §5):
     A shared :class:`concurrent.futures.ProcessPoolExecutor`.  True
     parallelism across cores.  Task functions must be module-level and all
     task inputs/outputs picklable — which they are: fragments, queries,
-    query automata, and the partial-answer containers all round-trip through
-    :mod:`pickle`, and the ``TRUE``/``TARGET`` sentinels preserve identity
-    because their ``__new__`` returns the per-process singleton.
+    query automata, Pregel vertex programs, and the partial-answer
+    containers all round-trip through :mod:`pickle`, and the
+    ``TRUE``/``TARGET`` sentinels preserve identity because their
+    ``__new__`` returns the per-process singleton.
+
+The registered task functions (what algorithms actually submit):
+``serving.engine.eval_fragment_jobs`` (partial evaluation, batch serving,
+incremental-session updates), ``baselines.pregel.run_superstep`` (the
+Pregel substrate's sharded supersteps), ``baselines.ship_all.
+serialize_site`` and ``baselines.suciu.site_accessibility``.
 
 Backends only change *how fast the wall clock runs*; they never change
 answers or modeled costs.  Per-site compute time is measured inside the

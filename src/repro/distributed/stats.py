@@ -257,7 +257,7 @@ class PhaseTimer:
     same clock :func:`repro.distributed.executors.run_timed` uses for
     submitted tasks — so every algorithm's per-site compute is measured
     identically, immune to scheduler contention, whether it runs inline
-    (the Pregel substrate) or on an executor backend.
+    (``phase.at``, ad-hoc callers) or on an executor backend.
     """
 
     def __init__(self) -> None:

@@ -28,7 +28,7 @@ shipping cost pays for itself.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Mapping, Optional, Set, Tuple
 
 from ..errors import FragmentationError
 from ..graph.digraph import DiGraph, Node
@@ -67,6 +67,8 @@ class MutationMonitor:
         balance: float = DEFAULT_BALANCE,
         max_passes: int = 2,
         auto_refine: bool = True,
+        size_cap: Optional[int] = None,
+        pinned: Optional[Mapping[Node, int]] = None,
     ) -> None:
         """Attach to ``cluster`` and baseline on its current ``|Vf|``.
 
@@ -85,6 +87,12 @@ class MutationMonitor:
             auto_refine: trigger refinement automatically from
                 :meth:`record_mutation`; pass ``False`` to only track drift
                 and call :meth:`refine` manually.
+            size_cap: optional hard cap on fragment size ``|Fi|``
+                (nodes+edges) forwarded to every triggered refinement —
+                no move may push a fragment past it (>= 1).
+            pinned: optional node -> fragment-id residency map forwarded
+                to every triggered refinement — pinned nodes are never
+                moved away from their fragment (data residency).
         """
         if drift_threshold <= 0:
             raise FragmentationError(
@@ -94,6 +102,8 @@ class MutationMonitor:
             raise FragmentationError(f"move_budget must be >= 1, got {move_budget}")
         if region_hops < 0:
             raise FragmentationError(f"region_hops must be >= 0, got {region_hops}")
+        if size_cap is not None and size_cap < 1:
+            raise FragmentationError(f"size_cap must be >= 1, got {size_cap}")
         self.cluster = cluster
         self.drift_threshold = drift_threshold
         self.move_budget = move_budget
@@ -101,6 +111,8 @@ class MutationMonitor:
         self.balance = balance
         self.max_passes = max_passes
         self.auto_refine = auto_refine
+        self.size_cap = size_cap
+        self.pinned = dict(pinned) if pinned else None
         self.baseline_vf: int = cluster.fragmentation.num_boundary_nodes
         self.mutations_seen = 0
         #: Moves applied by the most recent refinement / over the lifetime.
@@ -180,6 +192,8 @@ class MutationMonitor:
                 max_passes=self.max_passes,
                 movable=self.affected_region(graph),
                 max_moves=self.move_budget,
+                size_cap=self.size_cap,
+                pinned=self.pinned,
             )
             self.last_moves = sum(
                 1 for node, fid in assignment.items() if refined[node] != fid

@@ -145,6 +145,14 @@ class RepartitionReport:
     :attr:`~repro.distributed.cluster.SimulatedCluster.partition_epoch`
     after the move, and ``sessions_remapped`` counts the open incremental
     sessions that were remapped onto the new fragmentation.
+
+    Session remaps run **batched** through the serving engine
+    (``SessionRemapPlan``/``execute_plans``): identical per-fragment tasks
+    of different sessions are evaluated once.  ``remap_visits_saved`` is
+    the per-session visit total minus what the batched round actually
+    charged (the measurable dedup saving, 0 when at most one session was
+    open), ``remap_rounds`` the parallel map rounds the batch ran, and
+    ``remap_tasks`` the distinct per-fragment evaluations it executed.
     """
 
     #: Partitioner name (or ``"<callable>"``/``"<assignment>"``) applied.
@@ -160,6 +168,13 @@ class RepartitionReport:
     epoch: int = 0
     #: Open incremental sessions remapped onto the new fragmentation.
     sessions_remapped: int = 0
+    #: Site visits a per-session remap sweep would have cost minus what the
+    #: batched remap actually charged.
+    remap_visits_saved: int = 0
+    #: Parallel map rounds of the batched remap (0 when nothing remapped).
+    remap_rounds: int = 0
+    #: Distinct per-fragment local-eval tasks the batched remap executed.
+    remap_tasks: int = 0
 
     @property
     def boundary_delta(self) -> int:
@@ -182,6 +197,12 @@ class RepartitionReport:
                 f" shipped {self.moved_nodes} nodes "
                 f"({self.shipping.traffic_bytes}B, "
                 f"{self.shipping.network_seconds * 1e3:.2f}ms)"
+            )
+        if self.sessions_remapped:
+            tail += (
+                f" remapped {self.sessions_remapped} session(s) in "
+                f"{self.remap_rounds} round(s), {self.remap_tasks} tasks, "
+                f"saved {self.remap_visits_saved} visits"
             )
         return (
             f"before: {self.before.summary()}\n"

@@ -59,12 +59,12 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_eighteen_registered(self):
+    def test_all_nineteen_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
             "fig11l", "ablation-index", "ablation-partitioner", "workload",
-            "partition", "mutation",
+            "partition", "mutation", "baselines",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -93,7 +93,9 @@ _TINY = {
     ),
     "mutation": dict(
         scale=0.001, num_queries=6, card=3, num_mutations=6, rounds=3,
+        sessions=2,
     ),
+    "baselines": dict(scale=0.0005, num_queries=1),
 }
 
 

@@ -295,3 +295,184 @@ class TestMutationGate:
         assert drift["refinements"] >= 1
         assert drift["moves"] <= drift["refinements"] * drift["budget"]
         assert drift["vf_ratio"] <= drift["vf_tol"]
+
+
+def _session_rows(sessions=(1, 4, 8), saved_at_4=48, batched=16, refinements=2):
+    rows = []
+    for s in sessions:
+        saved = 0 if s == 1 else saved_at_4 * (s // 4 or 1)
+        rows.append(
+            {
+                "scenario": f"sessions-{s}",
+                "sessions": s,
+                "refinements": refinements,
+                "remap_visits": batched,
+                "remap_visits_saved": saved,
+                "remap_rounds": refinements,
+                "remap_tasks": 30,
+            }
+        )
+    return rows
+
+
+def _mutation_with_sessions(**overrides):
+    payload = _mutation_payload()
+    rows = _session_rows()
+    for row in rows:
+        if row["sessions"] == overrides.get("at", 8):
+            row.update({k: v for k, v in overrides.items() if k != "at"})
+    payload["mutation"]["rows"].extend(rows)
+    return payload
+
+
+class TestSessionRemapGate:
+    """The batched-session-remap floors on the sessions-S sweep rows."""
+
+    def _both(self, tmp_path, name, extra):
+        payload = _payload()
+        payload.update(extra)
+        return _write(tmp_path, name, payload)
+
+    def test_healthy_sweep_passes(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _mutation_with_sessions())
+        cur = self._both(tmp_path, "cur.json", _mutation_with_sessions())
+        assert gate.main([cur, base]) == 0
+
+    def test_zero_savings_at_large_s_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _mutation_with_sessions())
+        cur = self._both(
+            tmp_path, "cur.json", _mutation_with_sessions(remap_visits_saved=0)
+        )
+        assert gate.main([cur, base]) == 1
+        assert "remap_visits_saved" in capsys.readouterr().err
+
+    def test_small_s_rows_not_held_to_floor(self, gate, tmp_path):
+        # S=1 legitimately saves nothing; only S >= 4 rows carry the floor.
+        base = self._both(tmp_path, "base.json", _mutation_with_sessions())
+        cur = self._both(
+            tmp_path,
+            "cur.json",
+            _mutation_with_sessions(at=1, remap_visits_saved=0),
+        )
+        assert gate.main([cur, base]) == 0
+
+    def test_missing_sweep_fails_when_baseline_has_it(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _mutation_with_sessions())
+        cur = self._both(tmp_path, "cur.json", _mutation_payload())
+        assert gate.main([cur, base]) == 1
+        assert "--sessions" in capsys.readouterr().err
+
+    def test_batched_visits_above_s_times_single_fails(self, gate, tmp_path, capsys):
+        # saved still positive, but batched visits regressed to linear-in-S:
+        # the anchor is the sessions-1 row (16), so 8 x 16 = 128 is the bar.
+        base = self._both(tmp_path, "base.json", _mutation_with_sessions())
+        cur = self._both(
+            tmp_path, "cur.json",
+            _mutation_with_sessions(remap_visits=130, remap_visits_saved=5),
+        )
+        assert gate.main([cur, base]) == 1
+        assert "S x per-session" in capsys.readouterr().err
+
+    def test_committed_baseline_has_session_sweep(self, gate):
+        payload = gate.load_payload(SCRIPT.parent / "baseline.json")
+        rows = gate.mutation_rows(payload)
+        sweep = {s: r for s, r in rows.items() if s.startswith("sessions-")}
+        assert sweep, "baseline.json must carry the --sessions sweep"
+        big = max(sweep.values(), key=lambda r: r["sessions"])
+        assert big["sessions"] >= 4
+        assert big["remap_visits_saved"] > 0
+        assert big["remap_visits"] < big["sessions"] * (
+            big["remap_visits"] + big["remap_visits_saved"]
+        )
+
+
+def _baselines_payload(visits=398, traffic=7.197, messages=793, supersteps=26,
+                       drift_backend=None):
+    rows = []
+    for algorithm in ("disReachm", "disDistm"):
+        for backend in ("process", "sequential", "thread"):
+            row = {
+                "algorithm": algorithm,
+                "backend": backend,
+                "answers": "FTF",
+                "total_visits": visits,
+                "traffic_KB": traffic,
+                "messages": messages,
+                "supersteps": supersteps,
+                "time_ms": 15.0,
+            }
+            if drift_backend == backend and algorithm == "disReachm":
+                row["total_visits"] = visits + 7
+            rows.append(row)
+    return {"baselines": {"columns": [], "rows": rows}}
+
+
+class TestBaselinesGate:
+    """Exact cross-backend identity of the sharded Pregel baselines."""
+
+    def _both(self, tmp_path, name, extra):
+        payload = _payload()
+        payload.update(extra)
+        return _write(tmp_path, name, payload)
+
+    def test_identical_rows_pass(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        cur = self._both(tmp_path, "cur.json", _baselines_payload())
+        assert gate.main([cur, base]) == 0
+
+    def test_backend_divergence_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        cur = self._both(
+            tmp_path, "cur.json", _baselines_payload(drift_backend="process")
+        )
+        assert gate.main([cur, base]) == 1
+        assert "cross-backend identity" in capsys.readouterr().err
+
+    def test_drift_from_committed_baseline_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        cur = self._both(tmp_path, "cur.json", _baselines_payload(visits=500))
+        assert gate.main([cur, base]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_wall_time_never_compared(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        payload = _baselines_payload()
+        for row in payload["baselines"]["rows"]:
+            row["time_ms"] = 999.0
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 0
+
+    def test_missing_backend_row_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        payload = _baselines_payload()
+        payload["baselines"]["rows"] = [
+            row for row in payload["baselines"]["rows"]
+            if row["backend"] != "process"
+        ]
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 1
+        assert "backend dropped out" in capsys.readouterr().err
+
+    def test_missing_algorithm_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        payload = _baselines_payload()
+        payload["baselines"]["rows"] = [
+            row for row in payload["baselines"]["rows"]
+            if row["algorithm"] != "disDistm"
+        ]
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 1
+        assert "no sequential row" in capsys.readouterr().err
+
+    def test_baselines_required_when_baseline_has_them(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _baselines_payload())
+        cur = _write(tmp_path, "cur.json", _payload())
+        with pytest.raises(SystemExit, match="baselines"):
+            gate.main([cur, base])
+
+    def test_committed_baseline_has_baselines_experiment(self, gate):
+        payload = gate.load_payload(SCRIPT.parent / "baseline.json")
+        rows = gate.baselines_rows(payload)
+        assert rows, "baseline.json must carry the pinned baselines run"
+        backends = {backend for _a, backend in rows}
+        assert backends == {"sequential", "thread", "process"}

@@ -95,3 +95,43 @@ class TestCli:
             assert column in partition_row
         partitioners = {row["partitioner"] for row in payload["partition"]["rows"]}
         assert {"hash", "refined", "multilevel"} <= partitioners
+
+    def test_sessions_flag_reaches_mutation_sweep(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        code = main(
+            [
+                "mutation",
+                "--scale", "0.001",
+                "--queries", "6",
+                "--sessions", "4",
+                "--json", str(target),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(target.read_text())["mutation"]["rows"]
+        sweep = [row for row in rows if str(row["scenario"]).startswith("sessions-")]
+        assert {row["sessions"] for row in sweep} == {1, 2, 4}
+        for row in sweep:
+            assert row["remap_visits_saved"] >= 0
+            assert row["remap_rounds"] >= 0
+
+    def test_sessions_flag_ignored_by_other_experiments(self, capsys):
+        # ablation-partitioner takes no `sessions` parameter; the flag must
+        # not crash it (it is filtered by signature inspection).
+        code = main(
+            [
+                "ablation-partitioner",
+                "--scale", "0.0005",
+                "--queries", "1",
+                "--sessions", "4",
+            ]
+        )
+        assert code == 0
+
+    def test_baselines_experiment_runs(self, capsys):
+        code = main(["baselines", "--scale", "0.0005", "--queries", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disReachm" in out and "process" in out

@@ -95,6 +95,33 @@ class TestBackendEquivalence:
         assert result.answer == sequential.answer
         assert result.stats.traffic_bytes == sequential.stats.traffic_bytes
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pregel_vertex_programs_identical_across_backends(self, backend):
+        """BFS/SSSP on the sharded Pregel substrate: values + modeled stats
+        match the sequential reference on every backend (DESIGN.md §5)."""
+        from repro.baselines import pregel_bfs_levels, pregel_sssp
+
+        def signature(cluster):
+            out = []
+            for driver in (pregel_bfs_levels, pregel_sssp):
+                values, stats = driver(cluster, "Ann")
+                out.append(
+                    (
+                        values,
+                        dict(stats.visits),
+                        stats.traffic_bytes,
+                        [(m.src, m.dst, m.kind, m.size_bytes) for m in stats.messages],
+                        stats.supersteps,
+                    )
+                )
+            return out
+
+        reference = signature(
+            SimulatedCluster(figure1_fragmentation(), executor="sequential")
+        )
+        cluster = SimulatedCluster(figure1_fragmentation(), executor=backend)
+        assert signature(cluster) == reference
+
     def test_evaluate_executor_override_restores_backend(self, figure1):
         _graph, _fragmentation, cluster = figure1
         assert cluster.executor.name == "sequential"

@@ -286,3 +286,150 @@ class TestBoundedRefinement:
         out = refine_assignment(g, assignment, 3, movable={"not-a-node", 0, 1})
         changed = {node for node in assignment if out[node] != assignment[node]}
         assert changed <= {0, 1}
+
+
+def _fragment_sizes(g, assignment, k):
+    """The |Fi| proxy refine_assignment caps: owned nodes + out-edges."""
+    sizes = [0] * k
+    for node in g.nodes():
+        sizes[assignment[node]] += 1 + sum(1 for _ in g.successors(node))
+    return sizes
+
+
+class TestConstrainedRefinement:
+    """size_cap (|Fi| = nodes+edges) and pinned (data residency) knobs."""
+
+    def _case(self, seed=5, n=24, k=3):
+        g = erdos_renyi(n, 3 * n, seed=seed)
+        assignment = {node: node % k for node in g.nodes()}
+        return g, assignment, k
+
+    def test_rejects_bad_knobs(self):
+        g, assignment, k = self._case()
+        with pytest.raises(FragmentationError, match="size_cap"):
+            refine_assignment(g, assignment, k, size_cap=0)
+        with pytest.raises(FragmentationError, match="pinned"):
+            refine_assignment(g, assignment, k, pinned={0: k + 5})
+
+    def test_size_cap_never_exceeded_by_moves(self):
+        g, assignment, k = self._case()
+        cap = max(_fragment_sizes(g, assignment, k))  # feasible from the start
+        out = refine_assignment(g, assignment, k, size_cap=cap)
+        assert max(_fragment_sizes(g, out, k)) <= cap
+        assert boundary_count(g, out) <= boundary_count(g, assignment)
+
+    def test_tight_size_cap_freezes_moves_into_full_fragments(self):
+        g, assignment, k = self._case()
+        sizes = _fragment_sizes(g, assignment, k)
+        # Every fragment is already at (or above) the cap: no move can land.
+        out = refine_assignment(g, assignment, k, size_cap=min(sizes))
+        grown = [
+            f for f in range(k)
+            if _fragment_sizes(g, out, k)[f] > max(sizes[f], min(sizes))
+        ]
+        assert not grown
+
+    def test_pinned_nodes_never_leave_their_fragment(self):
+        g, assignment, k = self._case()
+        pinned = {node: assignment[node] for node in list(g.nodes())[:8]}
+        out = refine_assignment(g, assignment, k, pinned=pinned)
+        for node, home in pinned.items():
+            assert out[node] == home
+        assert boundary_count(g, out) <= boundary_count(g, assignment)
+
+    def test_pinned_node_may_move_home_only(self):
+        g, assignment, k = self._case()
+        stray = next(iter(sorted(g.nodes())))
+        home = (assignment[stray] + 1) % k
+        pinned = {stray: home}
+        out = refine_assignment(g, assignment, k, pinned=pinned)
+        assert out[stray] in (assignment[stray], home)
+
+    @settings(max_examples=25)
+    @given(data=graph_and_assignment())
+    def test_constraints_keep_invariants(self, data):
+        g, assignment, k = data
+        nodes = sorted(g.nodes())
+        pinned = {node: assignment[node] for node in nodes[::3]}
+        cap = max(_fragment_sizes(g, assignment, k)) if nodes else 1
+        out = refine_assignment(g, assignment, k, size_cap=cap, pinned=pinned)
+        assert boundary_count(g, out) <= boundary_count(g, assignment)
+        assert max(_fragment_sizes(g, out, k), default=0) <= cap
+        for node, home in pinned.items():
+            assert out[node] == home
+
+    def test_monitor_threads_constraints_through(self):
+        from repro.distributed import SimulatedCluster
+        from repro.partition import MutationMonitor
+
+        g, assignment, k = self._case()
+        cluster = SimulatedCluster(build_fragmentation(g, assignment, k))
+        pinned = {node: assignment[node] for node in list(sorted(g.nodes()))[:6]}
+        sizes = _fragment_sizes(g, assignment, k)
+        monitor = MutationMonitor(
+            cluster,
+            drift_threshold=100.0,
+            move_budget=16,
+            region_hops=3,
+            size_cap=max(sizes),
+            pinned=pinned,
+        )
+        nodes = sorted(g.nodes())
+        added = 0
+        for u in nodes:
+            for v in nodes:
+                if added >= 10:
+                    break
+                fragment = cluster.fragmentation[cluster.fragmentation.placement[u]]
+                if u == v or fragment.local_graph.has_edge(u, v):
+                    continue
+                cluster.apply_edge_mutation(u, v, add=True)
+                added += 1
+        monitor.refine()
+        placement = cluster.fragmentation.placement
+        for node, home in pinned.items():
+            assert placement[node] == home
+
+    def test_monitor_rejects_bad_size_cap(self):
+        from repro.distributed import SimulatedCluster
+        from repro.partition import MutationMonitor
+
+        g, assignment, k = self._case()
+        cluster = SimulatedCluster(build_fragmentation(g, assignment, k))
+        with pytest.raises(FragmentationError, match="size_cap"):
+            MutationMonitor(cluster, size_cap=0)
+
+
+class TestMultilevelSeedDiversity:
+    """multilevel races several coarsening seeds and keeps the best."""
+
+    def _quality(self, g, assignment):
+        from repro.partition.refine import _cut_count
+
+        return boundary_count(g, assignment), _cut_count(g, assignment)
+
+    def test_more_seeds_never_worse(self):
+        g = erdos_renyi(40, 120, seed=2)
+        single = multilevel_partition(g, 4, seed=0, seeds=1)
+        raced = multilevel_partition(g, 4, seed=0, seeds=3)
+        assert self._quality(g, raced) <= self._quality(g, single)
+
+    def test_deterministic_in_seeds(self):
+        g = erdos_renyi(30, 90, seed=7)
+        assert multilevel_partition(g, 3, seed=1, seeds=3) == multilevel_partition(
+            g, 3, seed=1, seeds=3
+        )
+
+    def test_single_seed_reproduces_historical_pipeline(self):
+        g = erdos_renyi(30, 90, seed=9)
+        cap = balance_cap(g.num_nodes, 3, DEFAULT_BALANCE)
+        projected = _multilevel_seed(g, 3, 4)
+        expected = refine_assignment(
+            g, rebalance_assignment(g, projected, 3, cap), 3
+        )
+        assert multilevel_partition(g, 3, seed=4, seeds=1) == expected
+
+    def test_rejects_bad_seeds(self):
+        g = erdos_renyi(10, 20, seed=1)
+        with pytest.raises(FragmentationError, match="seeds"):
+            multilevel_partition(g, 2, seeds=0)

@@ -1,0 +1,187 @@
+"""Batched session remaps through the serving engine (DESIGN.md §8).
+
+The contract under test — the acceptance bar of the session-remap
+batching:
+
+* after a repartition, every open session's standing answer and its
+  ``last_remap`` modeled stats are **bit-identical** whether the cluster
+  remapped the sessions as one batched ``execute_plans`` round (the
+  default) or one at a time (``batch_remaps=False``) — on all three
+  executor backends;
+* the batch actually dedupes: on a shared-fragment workload the distinct
+  per-fragment tasks executed stay strictly below ``sessions x
+  fragments``, and ``remap_visits_saved`` is positive;
+* the batched remap shares the registered serving cache, so a query
+  served right after a repartition hits the remap's partials.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reachable, regular_reachable
+from repro.core.engine import evaluate
+from repro.core.incremental import IncrementalReachSession, IncrementalRegularSession
+from repro.core.queries import ReachQuery
+from repro.distributed import SimulatedCluster
+from repro.distributed.executors import EXECUTORS
+from repro.graph import erdos_renyi
+from repro.serving import BatchQueryEngine
+
+N = 24
+REGEX = "L0* | L1+"
+BACKENDS = sorted(EXECUTORS)
+
+
+def _modeled_signature(result):
+    """The deterministic, backend-independent part of a run's stats."""
+    stats = result.stats
+    return (
+        result.answer,
+        dict(stats.visits),
+        stats.traffic_bytes,
+        [(m.src, m.dst, m.kind, m.size_bytes) for m in stats.messages],
+        stats.supersteps,
+    )
+
+
+def _cluster(seed=3, k=3, executor=None):
+    graph = erdos_renyi(N, 2 * N, seed=seed, num_labels=3)
+    cluster = SimulatedCluster.from_graph(
+        graph, k, partitioner="hash", seed=0, executor=executor
+    )
+    return graph, cluster
+
+
+def _open_sessions(cluster, specs):
+    """One initialized session per (is_regular, source, target) spec."""
+    sessions = []
+    for is_regular, source, target in specs:
+        if is_regular:
+            session = IncrementalRegularSession(cluster, (source, target, REGEX))
+        else:
+            session = IncrementalReachSession(cluster, (source, target))
+        session.initialize()
+        sessions.append(session)
+    return sessions
+
+
+class TestBatchedEqualsPerSession:
+    """Hypothesis: batched and per-session remaps are bit-identical."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.booleans(), st.integers(0, N - 1), st.integers(0, N - 1)
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_standing_answers_and_stats_match(self, specs):
+        specs = [spec for spec in specs if spec[1] != spec[2]]
+        if not specs:
+            return
+        graph, batched_cluster = _cluster()
+        _, reference_cluster = _cluster()
+        batched = _open_sessions(batched_cluster, specs)
+        reference = _open_sessions(reference_cluster, specs)
+
+        report = batched_cluster.repartition("refined", seed=0)
+        reference_cluster.repartition("refined", seed=0, batch_remaps=False)
+
+        assert report.sessions_remapped == len(specs)
+        assert report.remap_visits_saved >= 0
+        assert report.remap_tasks <= len(specs) * len(batched_cluster.fragmentation)
+        for b_session, r_session, (is_regular, source, target) in zip(
+            batched, reference, specs
+        ):
+            if is_regular:
+                expected = regular_reachable(graph, source, target, REGEX)
+            else:
+                expected = reachable(graph, source, target)
+            assert b_session.answer == r_session.answer == expected
+            assert _modeled_signature(b_session.last_remap) == _modeled_signature(
+                r_session.last_remap
+            )
+            assert b_session._partials == r_session._partials
+            assert b_session._epoch == r_session._epoch == 1
+
+
+class TestDedupAndBackends:
+    """Shared-fragment workload: the dedup must measurably fire."""
+
+    #: Four standing queries over one shared pool — two literal duplicates
+    #: plus two more that share all non-endpoint fragments.
+    SPECS = [
+        (False, 0, N - 1),
+        (False, 0, N - 1),
+        (False, 1, N - 1),
+        (True, 0, N - 1),
+    ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dedup_fires_on_every_backend(self, backend):
+        graph, cluster = _cluster(executor=backend)
+        sessions = _open_sessions(cluster, self.SPECS)
+        report = cluster.repartition("refined", seed=0)
+
+        assert report.sessions_remapped == len(self.SPECS)
+        # Dedup: strictly fewer distinct tasks than sessions x fragments,
+        # and the batched round visited strictly fewer sites than a
+        # per-session sweep would have.
+        assert report.remap_tasks < len(self.SPECS) * len(cluster.fragmentation)
+        assert report.remap_visits_saved > 0
+        assert report.remap_rounds == 1
+        for session, (is_regular, source, target) in zip(sessions, self.SPECS):
+            if is_regular:
+                expected = regular_reachable(graph, source, target, REGEX)
+            else:
+                expected = reachable(graph, source, target)
+            assert session.answer == expected
+            # From-scratch evaluation agrees on the same backend.
+            assert evaluate(cluster, session.query).answer == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_last_remap_matches_per_session_path(self, backend):
+        _, batched_cluster = _cluster(executor=backend)
+        _, reference_cluster = _cluster(executor=backend)
+        batched = _open_sessions(batched_cluster, self.SPECS)
+        reference = _open_sessions(reference_cluster, self.SPECS)
+        batched_cluster.repartition("refined", seed=0)
+        reference_cluster.repartition("refined", seed=0, batch_remaps=False)
+        for b_session, r_session in zip(batched, reference):
+            assert _modeled_signature(b_session.last_remap) == _modeled_signature(
+                r_session.last_remap
+            )
+
+    def test_summary_mentions_remap(self):
+        _, cluster = _cluster()
+        sessions = _open_sessions(cluster, self.SPECS)  # kept alive: weak registry
+        report = cluster.repartition("refined", seed=0)
+        assert all(session.remaps == 1 for session in sessions)
+        assert "remapped 4 session(s)" in report.summary()
+
+
+class TestSharedServingCache:
+    def test_remap_populates_registered_cache(self):
+        _, cluster = _cluster()
+        engine = BatchQueryEngine(cluster)
+        query = ReachQuery(0, N - 1)
+        session = IncrementalReachSession(cluster, (0, N - 1))
+        session.initialize()
+        cluster.repartition("refined", seed=0)
+        # The batched remap ran through the engine's registered cache, so
+        # serving the same standing query right after needs zero new tasks.
+        batch = engine.run_batch([query])
+        assert batch.workload.tasks_executed == 0
+        assert batch.answers == [session.answer]
+
+    def test_uninitialized_sessions_skip_batch(self):
+        _, cluster = _cluster()
+        IncrementalReachSession(cluster, (0, N - 1))  # never initialized
+        report = cluster.repartition("refined", seed=0)
+        assert report.sessions_remapped == 0
+        assert report.remap_tasks == 0
+        assert report.remap_rounds == 0
