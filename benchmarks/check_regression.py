@@ -53,6 +53,15 @@ Three kinds of checks:
   supersteps) must be bit-identical across the sequential/thread/process
   rows of the current run, and identical to the committed baseline's
   sequential row (everything is deterministic, so both checks are exact).
+* **kernel identity + speedup floor** (when the baseline carries a
+  ``kernels`` experiment) — every local-evaluation kernel's ``evaluate``
+  rows must carry modeled stats bit-identical to the run's own
+  python/sequential reference on every backend (exact; python and numpy
+  legs are required, numba is optional), the python/sequential rows must
+  match the committed baseline's, and the pinned amazon ``jobs`` row must
+  keep the numpy kernel's wall-clock ``speedup`` at or above
+  ``KERNEL_SPEEDUP_FLOOR`` (the one *measured* gate — CPU-time sums with
+  a generous margin below the typically observed ratio).
 
 Exit status 0 = pass, 1 = regression, 2 = bad input.  When the run is
 *better* than baseline by more than the tolerance the gate still passes but
@@ -140,6 +149,24 @@ def baselines_rows(
         return None
     return {
         (str(row.get("algorithm")), str(row.get("backend"))): row
+        for row in experiment["rows"]
+    }
+
+
+def kernels_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[Tuple[str, str, str, str], Dict[str, object]]]:
+    """Kernels rows keyed ``(dataset, mode, kernel, backend)``, if present."""
+    experiment = payload.get("kernels")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {
+        (
+            str(row.get("dataset")),
+            str(row.get("mode")),
+            str(row.get("kernel")),
+            str(row.get("backend")),
+        ): row
         for row in experiment["rows"]
     }
 
@@ -497,6 +524,133 @@ def check_baselines(
         )
 
 
+#: Deterministic columns of the ``kernels`` evaluate rows (eval_ms excluded).
+KERNEL_IDENTITY_METRICS = (
+    "answers", "total_visits", "traffic_KB", "messages", "supersteps"
+)
+#: Wall-clock floor: numpy kernel vs python on the pinned amazon jobs row.
+#: The measured ratio sits well above this (CPU-time sums, best-of-3), so
+#: the generous gap absorbs CI-machine jitter without hiding a real
+#: de-vectorization regression.
+KERNEL_SPEEDUP_FLOOR = 5.0
+#: Kernel x backend coverage every run must carry (numba is optional).
+REQUIRED_KERNELS = ("python", "numpy")
+REQUIRED_BACKENDS = ("process", "sequential", "thread")
+
+
+def check_kernels(
+    current: Dict[Tuple[str, str, str, str], Dict[str, object]],
+    baseline: Dict[Tuple[str, str, str, str], Dict[str, object]],
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    report: List[str],
+) -> None:
+    """Kernel bit-identity (exact) + the numpy wall-clock speedup floor.
+
+    Three checks: every ``evaluate`` row of the current run must carry
+    modeled stats identical to the run's own python/sequential row for the
+    same dataset (kernels may change *how* a fragment is swept, never what
+    the cost model observes); the python/sequential rows must equal the
+    committed baseline's (catching modeled-cost drift); and the pinned
+    amazon ``jobs`` row for numpy must keep ``speedup`` at or above
+    :data:`KERNEL_SPEEDUP_FLOOR`.  Missing required kernel x backend rows
+    are failures — a silently dropped leg must not pass as vacuously
+    identical (numba rows are compared when present, never required).
+    """
+    datasets = sorted(
+        {ds for ds, mode, _k, _b in current if mode == "evaluate"}
+        | {ds for ds, mode, _k, _b in baseline if mode == "evaluate"}
+    )
+    for dataset in datasets:
+        reference = current.get((dataset, "evaluate", "python", "sequential"))
+        if reference is None:
+            failures.append(
+                f"kernels: {dataset} has no python/sequential evaluate row "
+                f"in {current_origin}"
+            )
+            continue
+        present_kernels = {
+            k for ds, mode, k, _b in current if ds == dataset and mode == "evaluate"
+        }
+        compared = sorted(present_kernels | set(REQUIRED_KERNELS))
+        for kernel in compared:
+            for backend in REQUIRED_BACKENDS:
+                row = current.get((dataset, "evaluate", kernel, backend))
+                label = f"kernels/{dataset}/{kernel}/{backend}"
+                if row is None:
+                    if kernel not in REQUIRED_KERNELS:
+                        continue  # optional kernel (numba) not in this run
+                    failures.append(
+                        f"{label}: required kernel x backend row missing from "
+                        f"{current_origin} — a kernel leg dropped out of the run"
+                    )
+                    report.append(
+                        f"| {label} | kernel identity | python/sequential | "
+                        f"MISSING | - | FAIL |"
+                    )
+                    continue
+                mismatched = [
+                    metric
+                    for metric in KERNEL_IDENTITY_METRICS
+                    if row.get(metric) != reference.get(metric)
+                ]
+                if mismatched:
+                    failures.append(
+                        f"{label}: diverges from python/sequential on "
+                        f"{', '.join(mismatched)} — kernel identity broken"
+                    )
+                report.append(
+                    f"| {label} | kernel identity | python/sequential | "
+                    f"{'match' if not mismatched else 'MISMATCH'} | - "
+                    f"| {'ok' if not mismatched else 'FAIL'} |"
+                )
+        base_reference = baseline.get(
+            (dataset, "evaluate", "python", "sequential")
+        )
+        if base_reference is None:
+            continue  # newly added dataset: nothing committed to pin to
+        drifted = [
+            metric
+            for metric in KERNEL_IDENTITY_METRICS
+            if reference.get(metric) != base_reference.get(metric)
+        ]
+        label = f"kernels/{dataset}"
+        if drifted:
+            failures.append(
+                f"{label}: python/sequential modeled stats drifted from the "
+                f"committed baseline on {', '.join(drifted)} (deterministic "
+                "quantities — regenerate benchmarks/baseline.json only for "
+                "an intentional cost-model change)"
+            )
+        report.append(
+            f"| {label} | vs committed baseline | exact | "
+            f"{'match' if not drifted else 'MISMATCH'} | - "
+            f"| {'ok' if not drifted else 'FAIL'} |"
+        )
+
+    jobs_row = current.get(("amazon", "jobs", "numpy", "None"))
+    label = "kernels/amazon/jobs/numpy"
+    if jobs_row is None:
+        failures.append(
+            f"{label}: pinned speedup row missing from {current_origin}; run "
+            f"`python -m repro.bench kernels --json <file>`"
+        )
+    else:
+        speedup = as_float(jobs_row, "speedup", current_origin, label)
+        ok = speedup >= KERNEL_SPEEDUP_FLOOR
+        if not ok:
+            failures.append(
+                f"{label}: speedup {speedup:g}x is below the floor "
+                f"{KERNEL_SPEEDUP_FLOOR:g}x — the vectorized kernel lost its "
+                "wall-clock advantage on the pinned amazon reach+bounded mix"
+            )
+        report.append(
+            f"| {label} | speedup (floor) | >= {KERNEL_SPEEDUP_FLOOR:g} | "
+            f"{speedup:g} | - | {'ok' if ok else 'FAIL'} |"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the gate; see the module docstring for semantics."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -609,6 +763,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
+    baseline_kernels = kernels_rows(baseline_payload)
+    if baseline_kernels is not None:
+        current_kernels = kernels_rows(current_payload)
+        if current_kernels is None:
+            raise SystemExit(
+                f"error: baseline has a kernels experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench kernels --json <file>`"
+            )
+        check_kernels(
+            current_kernels,
+            baseline_kernels,
+            current_origin,
+            str(baseline_path),
+            failures,
+            report,
+        )
+
     print("benchmark regression check:", current_origin, "vs", baseline_path)
     print("\n".join(report))
     if improvements:
@@ -631,8 +803,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     print(
         "ok: within tolerance, above serving floors; partition ceilings, "
-        "mutation envelope, session-remap batching floors and baseline "
-        "cross-backend identity hold"
+        "mutation envelope, session-remap batching floors, baseline "
+        "cross-backend identity, kernel identity and the kernel speedup "
+        "floor hold"
     )
     return 0
 

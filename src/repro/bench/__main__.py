@@ -24,6 +24,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..core.kernels import KERNELS, set_default_kernel
 from ..distributed.executors import EXECUTORS, set_default_executor
 from .experiments import EXPERIMENTS
 
@@ -76,10 +77,20 @@ def main(argv=None) -> int:
         "experiments build (default: sequential; modeled metrics are "
         "backend-independent, wall time is not)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=sorted(KERNELS),
+        default=None,
+        help="local-evaluation kernel for every plan the experiments build "
+        "(default: REPRO_KERNEL env var, else python; modeled metrics are "
+        "kernel-independent, wall time is not — see the 'kernels' experiment)",
+    )
     args = parser.parse_args(argv)
     # Experiments construct their own clusters internally; the process-wide
     # default is how one flag reaches all of them.
     set_default_executor(args.executor)
+    if args.kernel is not None:
+        set_default_kernel(args.kernel)
 
     if not args.experiment:
         print("available experiments:")

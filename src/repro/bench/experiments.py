@@ -1087,6 +1087,128 @@ def exp_baselines(
     return result
 
 
+def exp_kernels(
+    scale: float = SCALE,
+    card: int = 4,
+    num_queries: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Local-eval kernels: bit-identity across backends + wall-clock speedup.
+
+    Two row families (the ``mode`` column):
+
+    * ``evaluate`` — the pinned workloads served end-to-end through
+      :class:`~repro.serving.engine.BatchQueryEngine` under every available
+      kernel x every executor backend.  Answers and all modeled stats
+      (visits, traffic, messages, supersteps) are kernel- and
+      backend-invariant — asserted here, then exactly enforced by
+      ``benchmarks/check_regression.py``.  The amazon analog is unlabeled,
+      so it carries the reach + bounded mix; the RPQ leg runs on the
+      labeled youtube analog.
+    * ``jobs`` — the same amazon reach + bounded fragment jobs timed
+      directly through :func:`~repro.serving.engine.eval_fragment_jobs`
+      (summed per-job CPU seconds, best of three passes after a warmup
+      that amortizes the CSR build).  ``speedup`` is python_ms / eval_ms;
+      the CI gate holds the numpy row above ``KERNEL_SPEEDUP_FLOOR``.
+    """
+    from ..core.bounded import local_eval_bounded
+    from ..core.kernels import available_kernels
+    from ..core.reachability import local_eval_reach
+    from ..distributed.executors import EXECUTORS
+    from ..serving.engine import BatchQueryEngine, eval_fragment_jobs
+
+    kernels = available_kernels()
+    amazon = load_dataset("amazon", scale=scale, seed=seed)
+    youtube = load_dataset("youtube", scale=scale, seed=seed)
+    reach_queries = random_reach_queries(amazon, num_queries, seed=seed)
+    bounded_queries = random_bounded_queries(amazon, num_queries, bound=6, seed=seed)
+    rpq_queries = random_regular_queries(youtube, num_queries, num_states=8, seed=seed)
+    workloads = [
+        ("amazon", amazon, list(reach_queries) + list(bounded_queries)),
+        ("youtube", youtube, list(rpq_queries)),
+    ]
+
+    result = ExperimentResult(
+        "kernels",
+        "Local-eval kernels: identity across backends + wall-clock speedup",
+        [
+            "dataset", "mode", "kernel", "backend", "answers", "total_visits",
+            "traffic_KB", "messages", "supersteps", "eval_ms", "speedup",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}, kernels={'/'.join(kernels)}; "
+            "evaluate rows: modeled stats are kernel- and backend-invariant "
+            "by assertion; jobs rows: summed per-job CPU ms on the amazon "
+            "reach+bounded mix, best of 3 after warmup (speedup vs python)"
+        ),
+    )
+
+    reference: Dict[str, Tuple] = {}
+    for name, graph, queries in workloads:
+        for kernel in kernels:
+            for backend in sorted(EXECUTORS):
+                cluster = SimulatedCluster.from_graph(
+                    graph, card, partitioner="chunk", seed=seed, executor=backend
+                )
+                engine = BatchQueryEngine(cluster)
+                start = time.perf_counter()
+                batch = engine.run_batch(queries, kernel=kernel)
+                elapsed = time.perf_counter() - start
+                signature = (
+                    "".join("T" if a else "F" for a in batch.answers),
+                    sum(r.stats.total_visits for r in batch.results),
+                    sum(r.stats.traffic_bytes for r in batch.results),
+                    sum(r.stats.num_messages for r in batch.results),
+                    sum(r.stats.supersteps for r in batch.results),
+                )
+                if name not in reference:
+                    reference[name] = signature
+                elif signature != reference[name]:  # pragma: no cover - guard
+                    raise AssertionError(
+                        f"kernel {kernel!r} on the {backend} backend diverged "
+                        f"on {name}: {signature} vs {reference[name]}"
+                    )
+                answers, visits, traffic, messages, supersteps = signature
+                result.add_row(
+                    dataset=name,
+                    mode="evaluate",
+                    kernel=kernel,
+                    backend=backend,
+                    answers=answers,
+                    total_visits=visits,
+                    traffic_KB=traffic / 1e3,
+                    messages=messages,
+                    supersteps=supersteps,
+                    eval_ms=elapsed * 1e3,
+                )
+
+    # jobs mode: time the raw fragment-job sweep, outside the coordinator.
+    cluster = SimulatedCluster.from_graph(
+        amazon, card, partitioner="chunk", seed=seed
+    )
+    fragments = [cluster.site(i).fragment for i in range(cluster.num_sites)]
+    jobs = tuple(
+        [(local_eval_reach, f, (q, None)) for q in reach_queries for f in fragments]
+        + [(local_eval_bounded, f, (q, None)) for q in bounded_queries for f in fragments]
+    )
+    timings: Dict[str, float] = {}
+    for kernel in kernels:
+        eval_fragment_jobs(jobs, kernel=kernel)  # warmup: builds CSR + condensation
+        timings[kernel] = min(
+            sum(elapsed for _, elapsed in eval_fragment_jobs(jobs, kernel=kernel))
+            for _ in range(3)
+        )
+    for kernel in kernels:
+        result.add_row(
+            dataset="amazon",
+            mode="jobs",
+            kernel=kernel,
+            eval_ms=timings[kernel] * 1e3,
+            speedup=timings["python"] / timings[kernel],
+        )
+    return result
+
+
 #: CLI registry: experiment id -> callable.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": exp_table2,
@@ -1108,4 +1230,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "partition": exp_partition,
     "mutation": exp_mutation,
     "baselines": exp_baselines,
+    "kernels": exp_kernels,
 }

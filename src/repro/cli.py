@@ -43,6 +43,7 @@ import sys
 from pathlib import Path
 
 from .core.engine import algorithms_for, evaluate
+from .core.kernels import KERNELS, set_default_kernel
 from .core.queries import BoundedReachQuery, ReachQuery, RegularReachQuery
 from .distributed.cluster import SimulatedCluster
 from .distributed.executors import EXECUTORS
@@ -82,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution backend for site-local work "
                         "(default: sequential; answers and modeled costs "
                         "are identical under every backend)")
+    parser.add_argument("--kernel", choices=sorted(KERNELS), default=None,
+                        help="local-evaluation kernel (default: REPRO_KERNEL "
+                        "env var, else python); numpy/numba sweep fragments "
+                        "as CSR int arrays — same answers and modeled costs, "
+                        "much faster wall-clock (DESIGN.md §9)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="also print per-site visit counts")
 
@@ -248,6 +254,10 @@ def main(argv=None) -> int:
     if args.mutations is not None and args.mutations < 0:
         parser.error("--mutations must be non-negative")
     try:
+        if args.kernel is not None:
+            # Process-wide default: every plan this invocation constructs
+            # (single query, workload batches, session remaps) uses it.
+            set_default_kernel(args.kernel)
         if args.graph:
             graph = graph_io.load(args.graph)
         else:

@@ -30,6 +30,7 @@ from ..index.distance import DistanceOracleFactory
 from ..partition.fragment import Fragment
 from ..serving.engine import execute_plans
 from ..serving.plans import QueryPlan, endpoint_params
+from .kernels import resolve_kernel
 from .minplus import TARGET, MinPlusSystem, Term
 from .queries import BoundedReachQuery
 from .results import QueryResult
@@ -65,15 +66,20 @@ def local_eval_bounded(
     fragment: Fragment,
     query: BoundedReachQuery,
     oracle_factory: Optional[DistanceOracleFactory] = None,
+    kernel: Optional[str] = None,
 ) -> BoundedEquations:
     """Procedure ``localEvald`` on one fragment.
 
     Local distances are computed with one *reverse* BFS per boundary node
     (cut off at the bound), so the work is ``O(|Fi.O| · |Fi|)`` regardless
-    of how many in-nodes ask.  An optional distance oracle (e.g. the
+    of how many in-nodes ask; ``kernel`` swaps the sweeps for a vectorized
+    level-synchronous one (:mod:`repro.core.kernels`).  Every path emits
+    each equation's terms in the same canonical sorted-boundary order, so
+    kernels are tuple-identical.  An optional distance oracle (e.g. the
     per-fragment distance matrix of :mod:`repro.index.distance`) replaces
-    the BFS sweeps.
+    the sweeps entirely.
     """
+    kernel = resolve_kernel(kernel)
     iset = set(fragment.in_nodes)
     oset = set(fragment.virtual_nodes)
     if query.source in fragment.nodes:
@@ -86,16 +92,26 @@ def local_eval_bounded(
     def as_term_var(boundary: Node) -> Hashable:
         return TARGET if boundary == query.target else boundary
 
+    seeds = sorted(oset, key=repr)
     terms: Dict[Node, list] = {v: [] for v in iset}
     local = fragment.local_graph
     if oracle_factory is not None:
         oracle = oracle_factory(local)
         for v in iset:
-            for o in oset:
+            for o in seeds:
                 d = oracle.distance(v, o)
                 if d is not None and d <= query.bound:
                     terms[v].append((as_term_var(o), float(d)))
         return {v: tuple(ts) for v, ts in terms.items()}
+
+    if kernel != "python":
+        from .kernels import bounded_seed_terms
+
+        roots = sorted(iset, key=repr)
+        term_vars = [as_term_var(o) for o in seeds]
+        return bounded_seed_terms(
+            fragment, roots, seeds, query.bound, term_vars, kernel
+        )
 
     # One BFS per node on the smaller side of the (iset × oset) rectangle:
     # forward out-balls from in-nodes, or reverse in-balls from boundary
@@ -104,13 +120,13 @@ def local_eval_bounded(
     if len(iset) <= len(oset):
         for v in iset:
             dist_from_v = bfs_distances(local, v, cutoff=query.bound)
-            for o in oset:
+            for o in seeds:
                 d = dist_from_v.get(o)
                 if d is not None and d <= query.bound:
                     terms[v].append((as_term_var(o), float(d)))
     else:
         reverse_successors = local.predecessors
-        for o in oset:
+        for o in seeds:
             dist_to_o = bfs_distances(
                 None, o, successors=reverse_successors, cutoff=query.bound
             )
@@ -150,11 +166,15 @@ class BoundedReachPlan(QueryPlan):
         self,
         query: Union[BoundedReachQuery, Tuple[Node, Node, int]],
         oracle_factory: Optional[DistanceOracleFactory] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if not isinstance(query, BoundedReachQuery):
             query = BoundedReachQuery(*query)
         self.query = query
         self.oracle_factory = oracle_factory
+        # Resolved at construction; excluded from fragment_params because
+        # all kernels emit identical equations (see ReachPlan.__init__).
+        self.kernel = resolve_kernel(kernel)
 
     def validate(self, cluster: SimulatedCluster) -> None:
         cluster.site_of(self.query.source)
@@ -172,7 +192,7 @@ class BoundedReachPlan(QueryPlan):
         return local_eval_bounded
 
     def local_eval_args(self) -> Tuple[object, ...]:
-        return (self.query, self.oracle_factory)
+        return (self.query, self.oracle_factory, self.kernel)
 
     def fragment_params(self, fragment: Fragment) -> Hashable:
         return (
@@ -206,12 +226,13 @@ def dis_dist(
     query: Union[BoundedReachQuery, Tuple[Node, Node, int]],
     oracle_factory: Optional[DistanceOracleFactory] = None,
     collect_details: bool = False,
+    kernel: Optional[str] = None,
 ) -> QueryResult:
     """Algorithm ``disDist`` (Section 4) on a simulated cluster.
 
     The batch-of-one special case of the serving engine; see
     :func:`repro.core.reachability.dis_reach`.
     """
-    plan = BoundedReachPlan(query, oracle_factory)
+    plan = BoundedReachPlan(query, oracle_factory, kernel=kernel)
     batch = execute_plans(cluster, [plan], collect_details=collect_details)
     return batch.results[0]

@@ -77,12 +77,16 @@ def is_batchable(algorithm: str) -> bool:
     return algorithm in PLANS
 
 
-def plan_for(query: Query, algorithm: Optional[str] = None) -> QueryPlan:
+def plan_for(
+    query: Query, algorithm: Optional[str] = None, kernel: Optional[str] = None
+) -> QueryPlan:
     """Build the :class:`~repro.serving.plans.QueryPlan` for ``query``.
 
     With no ``algorithm``, the paper's partial-evaluation algorithm for the
     query's class is chosen — every default algorithm is batchable, so a
-    mixed workload needs no per-query configuration.
+    mixed workload needs no per-query configuration.  ``kernel`` selects
+    the local-evaluation kernel (:mod:`repro.core.kernels`); the default is
+    the process-wide default kernel.
     """
     if algorithm is None:
         try:
@@ -101,7 +105,7 @@ def plan_for(query: Query, algorithm: Optional[str] = None) -> QueryPlan:
             f"algorithm {algorithm!r} evaluates {query_type.__name__}, "
             f"got {type(query).__name__}"
         )
-    return plan_cls(query)
+    return plan_cls(query, kernel=kernel)
 
 
 def algorithms_for(query: Query) -> Tuple[str, ...]:

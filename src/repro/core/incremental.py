@@ -60,6 +60,7 @@ from ..errors import QueryError
 from ..graph.digraph import Node
 from ..serving.engine import eval_fragment_jobs, execute_plans
 from ..serving.plans import QueryPlan, SessionRemapPlan
+from .kernels import resolve_kernel
 from .queries import ReachQuery, RegularReachQuery
 from .reachability import ReachPartialAnswer, ReachPlan, assemble_reach, local_eval_reach
 from .regular import (
@@ -76,8 +77,13 @@ class _IncrementalSession:
 
     algorithm = "incremental"
 
-    def __init__(self, cluster: SimulatedCluster) -> None:
+    def __init__(
+        self, cluster: SimulatedCluster, kernel: Optional[str] = None
+    ) -> None:
         self.cluster = cluster
+        #: Resolved local-evaluation kernel used by every (re-)evaluation
+        #: this session runs — full, remap, and post-mutation partial alike.
+        self.kernel = resolve_kernel(kernel)
         self._partials: Dict[int, dict] = {}
         self._answer: Optional[bool] = None
         self._epoch: Optional[int] = None
@@ -295,8 +301,13 @@ class IncrementalReachSession(_IncrementalSession):
 
     algorithm = "incReach"
 
-    def __init__(self, cluster: SimulatedCluster, query: Union[ReachQuery, Tuple]):
-        super().__init__(cluster)
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        query: Union[ReachQuery, Tuple],
+        kernel: Optional[str] = None,
+    ):
+        super().__init__(cluster, kernel=kernel)
         if not isinstance(query, ReachQuery):
             query = ReachQuery(*query)
         if query.source == query.target:
@@ -309,10 +320,10 @@ class IncrementalReachSession(_IncrementalSession):
         return self.query
 
     def _remap_plan(self) -> ReachPlan:
-        return ReachPlan(self.query)
+        return ReachPlan(self.query, kernel=self.kernel)
 
     def _local_eval_task(self):
-        return local_eval_reach, (self.query,)
+        return local_eval_reach, (self.query, None, self.kernel)
 
     def _wrap_payload(self, equations):
         return ReachPartialAnswer(equations)
@@ -331,8 +342,9 @@ class IncrementalRegularSession(_IncrementalSession):
         self,
         cluster: SimulatedCluster,
         query: Union[RegularReachQuery, Tuple],
+        kernel: Optional[str] = None,
     ):
-        super().__init__(cluster)
+        super().__init__(cluster, kernel=kernel)
         if not isinstance(query, RegularReachQuery):
             query = RegularReachQuery(*query)
         cluster.site_of(query.source)
@@ -346,7 +358,7 @@ class IncrementalRegularSession(_IncrementalSession):
         return self.automaton
 
     def _remap_plan(self) -> RegularReachPlan:
-        plan = RegularReachPlan(self.query)
+        plan = RegularReachPlan(self.query, kernel=self.kernel)
         # One automaton instance per session: the plan's own compile is
         # structurally identical, but sharing the object keeps the session's
         # later update-path equations on the exact same automaton.
@@ -354,7 +366,7 @@ class IncrementalRegularSession(_IncrementalSession):
         return plan
 
     def _local_eval_task(self):
-        return local_eval_regular, (self.automaton,)
+        return local_eval_regular, (self.automaton, self.kernel)
 
     def _wrap_payload(self, equations):
         return RegularPartialAnswer(equations)

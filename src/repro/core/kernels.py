@@ -1,0 +1,530 @@
+"""Vectorized local-evaluation kernels over the CSR fragment core.
+
+The three local-evaluation procedures (``localEval`` / ``localEvald`` /
+``localEvalr``) each reduce to one sweep over a fragment's local graph.
+This module reimplements those sweeps as array kernels over the
+:mod:`repro.core.csr` int-array view, selectable by name:
+
+``python``
+    The default and the *reference*: the existing pure-python paths
+    (SCC-condensation bitmask sweeps, cutoff BFS) in
+    :mod:`repro.core.reachability` / ``bounded`` / ``regular``.  Pure
+    stdlib, always available.
+
+``numpy``
+    Bitset/frontier sweeps over CSR arrays: seed-reachability packs seed
+    memberships into ``uint64`` words and runs a Jacobi OR-propagation to
+    fixpoint (one fancy-index gather + ``bitwise_or.reduceat`` per round);
+    bounded distance runs the same propagation level-by-level, reading off
+    each root's newly acquired seeds per level; regular reachability runs
+    the OR-propagation per automaton transition over a ``[V, states,
+    words]`` cube with a vectorized label-match mask.
+
+``numba``
+    The same CSR arrays swept by ``@njit``-compiled loops (Gauss–Seidel
+    for plain reachability, synchronous levels where distances matter).
+    Optional: gated on numba being importable, soft-fail legs in CI.
+
+Selection precedence: an explicit ``kernel=`` argument, else the
+process-wide default (:func:`set_default_kernel` — what ``--kernel``
+sets), else the ``REPRO_KERNEL`` environment variable, else ``python``.
+Plans resolve the name once at construction, so the resolved string — not
+ambient state — travels to process-pool workers inside
+``local_eval_args``.
+
+**Identity contract**: every kernel produces bit-identical equations to
+the python reference — same disjunct sets, same term tuples in the same
+order — because all kernels share the python paths' deterministic
+sorted-by-``repr`` seed/root order and return plain python objects drawn
+from the fragment's own node set.  The kernels change *how* a fragment is
+swept, never *what* the paper's cost model observes, which is why kernel
+choice is deliberately absent from serving-cache keys
+(:meth:`~repro.serving.plans.QueryPlan.fragment_params`).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import KernelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..automata.query_automaton import QueryAutomaton
+    from ..partition.fragment import Fragment
+
+#: The selectable kernel names (``--kernel`` choices).
+KERNELS: Tuple[str, ...] = ("python", "numpy", "numba")
+
+#: Environment variable consulted when no explicit/default kernel is set.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_default_kernel_name: Optional[str] = None
+
+
+def kernel_available(name: str) -> bool:
+    """Whether ``name`` can run in this interpreter (deps importable)."""
+    if name == "python":
+        return True
+    if name == "numpy":
+        return importlib.util.find_spec("numpy") is not None
+    if name == "numba":
+        return (
+            importlib.util.find_spec("numba") is not None
+            and importlib.util.find_spec("numpy") is not None
+        )
+    return False
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """The kernels runnable right now, in registry order."""
+    return tuple(name for name in KERNELS if kernel_available(name))
+
+
+def set_default_kernel(name: Optional[str]) -> None:
+    """Set the process-wide default kernel (what ``kernel=None`` means).
+
+    Mirrors :func:`repro.distributed.executors.set_default_executor`: entry
+    points (``--kernel numpy``) switch every plan they construct without
+    threading a parameter through each experiment function.  ``None``
+    resets to the environment/``python`` fallback.
+    """
+    global _default_kernel_name
+    if name is not None:
+        _check_name(name)
+    _default_kernel_name = name
+
+
+def default_kernel() -> str:
+    """The effective default: ``set_default_kernel`` > env var > python."""
+    if _default_kernel_name is not None:
+        return _default_kernel_name
+    env = os.environ.get(KERNEL_ENV_VAR, "").strip()
+    if env:
+        _check_name(env)
+        return env
+    return "python"
+
+
+def _check_name(name: str) -> None:
+    if name not in KERNELS:
+        known = ", ".join(KERNELS)
+        raise KernelError(f"unknown kernel {name!r}; known: {known}")
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Coerce ``kernel`` (name or None = default) to an available kernel name."""
+    name = kernel if kernel is not None else default_kernel()
+    _check_name(name)
+    if not kernel_available(name):
+        dep = "numba (and numpy)" if name == "numba" else name
+        raise KernelError(
+            f"kernel {name!r} is unavailable: {dep} is not installed in "
+            "this environment (the 'python' kernel is always available)"
+        )
+    return name
+
+
+# ---------------------------------------------------------------------------
+# shared array helpers (numpy is an optional import — only reached when a
+# compiled kernel was requested and resolve_kernel() verified availability)
+# ---------------------------------------------------------------------------
+def _seed_bits(np, num_nodes: int, words: int, seed_rows: Sequence[int]):
+    """A ``uint64[V, W]`` bitset with seed ``j``'s bit set on its own row."""
+    bits = np.zeros((num_nodes, words), dtype=np.uint64)
+    for j, row in enumerate(seed_rows):
+        bits[row, j >> 6] |= np.uint64(1) << np.uint64(j & 63)
+    return bits
+
+
+def _row_to_int(np, row) -> int:
+    """One bitset row decoded to the python int the decode loops expect."""
+    return int.from_bytes(row.astype("<u8", copy=False).tobytes(), "little")
+
+
+def _unpack_rows(np, rows, width: int):
+    """Bitset rows -> bool matrix of the first ``width`` bit columns."""
+    as_bytes = np.ascontiguousarray(rows.astype("<u8", copy=False)).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :width].astype(bool)
+
+
+# ---------------------------------------------------------------------------
+# Boolean reachability (localEval)
+# ---------------------------------------------------------------------------
+def reach_seed_masks(
+    fragment: "Fragment",
+    roots: Sequence[Any],
+    seeds: Sequence[Any],
+    kernel: str,
+) -> Dict[Any, int]:
+    """Per-root seed bitmasks (python-int), bit ``j`` = reaches ``seeds[j]``.
+
+    Drop-in replacement for the python path's
+    :func:`repro.graph.reachsets.reachable_seed_masks_from` restricted to
+    ``roots`` (``include_self=True`` semantics: the fixpoint starts with
+    every seed holding its own bit, so a root that is itself a seed keeps
+    its bit via the empty path).
+
+    The numpy path sweeps the fragment's *cached* level-ordered SCC
+    condensation (:meth:`~repro.core.csr.FragmentCSR.condensation`): seed
+    bits are ORed into their components, then each condensation level
+    absorbs its successor levels in one ``reduceat`` — a single pass
+    touching every condensation edge once, with the Tarjan work amortized
+    across all queries on the fragment version.
+    """
+    import numpy as np
+
+    from .csr import fragment_csr
+
+    csr = fragment_csr(fragment)
+    index = csr.index
+    words = max(1, (len(seeds) + 63) >> 6)
+    if kernel == "numba":  # pragma: no cover - optional dependency
+        bits = _seed_bits(np, csr.num_nodes, words, [index[s] for s in seeds])
+        _numba_kernels().reach_fixpoint(csr.indptr, csr.indices, bits)
+        return {root: _row_to_int(np, bits[index[root]]) for root in roots}
+
+    cond = csr.condensation()
+    comp, level_ptr = cond.comp, cond.level_ptr
+    cindptr, cindices = cond.cindptr, cond.cindices
+    cbits = np.zeros((cond.num_comps, words), dtype=np.uint64)
+    for j, seed in enumerate(seeds):
+        cbits[comp[index[seed]], j >> 6] |= np.uint64(1) << np.uint64(j & 63)
+    # Ascending levels: every component at level >= 1 has at least one
+    # successor, and all successors live at strictly lower (final) levels.
+    for level in range(1, len(level_ptr) - 1):
+        c0, c1 = int(level_ptr[level]), int(level_ptr[level + 1])
+        segment = cindices[cindptr[c0] : cindptr[c1]]
+        starts = cindptr[c0:c1] - cindptr[c0]
+        agg = np.bitwise_or.reduceat(cbits[segment], starts, axis=0)
+        cbits[c0:c1] |= agg
+    return {root: _row_to_int(np, cbits[comp[index[root]]]) for root in roots}
+
+
+# ---------------------------------------------------------------------------
+# bounded distance (localEvald)
+# ---------------------------------------------------------------------------
+def bounded_seed_terms(
+    fragment: "Fragment",
+    roots: Sequence[Any],
+    seeds: Sequence[Any],
+    bound: int,
+    term_vars: Sequence[Any],
+    kernel: str,
+) -> Dict[Any, Tuple[Tuple[Any, float], ...]]:
+    """Per-root equation terms ``((term_vars[j], dist), ...)``, dist <= bound.
+
+    Level-synchronous propagation of a per-seed reachability matrix: a
+    seed's column first turns true on a row at level ``d`` exactly when the
+    row's shortest path to the seed has ``d`` hops, so per-level new-column
+    extraction at the root rows reads off BFS distances without a
+    Dijkstra-style priority queue.  The reachability state is an unpacked
+    ``bool[V, S]`` matrix (bounded never needs packed python-int masks, and
+    the unpacked form keeps each level to a handful of array ops — at
+    fragment scale the op *count*, not the byte count, is the cost).
+
+    ``term_vars`` are the caller's equation variables, one per seed in seed
+    order; terms are emitted per root in that order with float distances —
+    exactly the python path's append order, fused here so the distance
+    matrix is decoded straight into equation tuples in one pass.
+    """
+    import numpy as np
+
+    from .csr import fragment_csr
+
+    csr = fragment_csr(fragment)
+    index = csr.index
+    num_seeds = len(seeds)
+    root_rows = np.asarray([index[r] for r in roots], dtype=np.int64)
+    dists = np.full((len(roots), num_seeds), -1, dtype=np.int64)
+    if kernel == "numba":  # pragma: no cover - optional dependency
+        words = max(1, (num_seeds + 63) >> 6)
+        bits = _seed_bits(np, csr.num_nodes, words, [index[s] for s in seeds])
+        _numba_kernels().bounded_levels(
+            csr.indptr, csr.indices, bits, root_rows, dists, bound
+        )
+    else:
+        # Packed uint64 bitset (seed j = bit j): ~S/64 words per row keeps
+        # every per-level array op narrow — at fragment scale the op cost,
+        # not the algorithmic work, dominates.
+        words = max(1, (num_seeds + 63) >> 6)
+        bits = np.zeros((csr.num_nodes, words), dtype=np.uint64)
+        seed_rows = np.asarray([index[s] for s in seeds], dtype=np.int64)
+        seed_j = np.arange(num_seeds)
+        bits[seed_rows, seed_j >> 6] = np.uint64(1) << (seed_j & 63).astype(
+            np.uint64
+        )
+        known = _unpack_rows(np, bits[root_rows], num_seeds)
+        dists[known] = 0
+        indices = csr.indices
+        rows, starts = csr.nonempty_rows()
+        for level in range(1, bound + 1) if rows.size else ():
+            # Jacobi step (gather fully precedes update): row r's bitset at
+            # level L is exactly "reachable within L hops".
+            agg = np.bitwise_or.reduceat(bits[indices], starts, axis=0)
+            cur = bits[rows]
+            new = cur | agg
+            if np.array_equal(new, cur):
+                break
+            bits[rows] = new
+            now = _unpack_rows(np, bits[root_rows], num_seeds)
+            fresh = now & ~known
+            if fresh.any():
+                dists[fresh] = level
+                known = now
+    # Decode all roots in one nonzero scan (per-root scans are pure
+    # overhead at fragment scale); (ri, rj) come out row-major, so each
+    # root's terms stay in seed order.
+    lists: Dict[Any, List[Tuple[Any, float]]] = {root: [] for root in roots}
+    ri, rj = np.nonzero(dists >= 0)
+    hit = dists[ri, rj].astype(np.float64)
+    for i, j, d in zip(ri.tolist(), rj.tolist(), hit.tolist()):
+        lists[roots[i]].append((term_vars[j], d))
+    return {root: tuple(terms) for root, terms in lists.items()}
+
+
+# ---------------------------------------------------------------------------
+# regular reachability (localEvalr)
+# ---------------------------------------------------------------------------
+def regular_seed_masks(
+    fragment: "Fragment",
+    automaton: "QueryAutomaton",
+    roots: Sequence[Tuple[Any, int]],
+    seeds: Sequence[Tuple[Any, int]],
+    kernel: str,
+) -> Dict[Tuple[Any, int], int]:
+    """Per-root-pair seed bitmasks over the local product graph.
+
+    The product vertex set is ``V x Vq`` laid out as a ``[V, states,
+    words]`` bitset cube.  Bits flow against product edges — for every
+    automaton transition ``u -> u'`` and graph edge ``v -> w`` with
+    ``(w, u')`` label-consistent, row ``(v, u)`` absorbs ``(w, u')`` — so
+    the fixpoint at a root pair is exactly the python path's closure sweep
+    over :func:`repro.graph.product.product_successors`.  Label matching is
+    one vectorized comparison of interned label codes per state column;
+    the ``us``/``ut`` endpoint states match by node identity.
+    """
+    import numpy as np
+
+    from ..automata.query_automaton import US, UT
+    from .csr import fragment_csr
+
+    csr = fragment_csr(fragment)
+    index = csr.index
+    states = automaton.states()
+    col_of = {state: col for col, state in enumerate(states)}
+    num_states = len(states)
+    num_nodes = csr.num_nodes
+
+    # match[:, col]: may node v occupy the state at col?
+    match = np.zeros((num_nodes, num_states), dtype=bool)
+    analysis = automaton.analysis
+    for state in states:
+        col = col_of[state]
+        if state == US:
+            row = index.get(automaton.source)
+            if row is not None:
+                match[row, col] = True
+        elif state == UT:
+            row = index.get(automaton.target)
+            if row is not None:
+                match[row, col] = True
+        else:
+            expected = analysis.position_labels[state]
+            if expected is None:
+                match[:, col] = True
+            else:
+                code = csr.label_index.get(expected)
+                if code is not None:
+                    match[:, col] = csr.label_codes == code
+
+    num_seeds = len(seeds)
+    words = max(1, (num_seeds + 63) >> 6)
+    bits = np.zeros((num_nodes, num_states, words), dtype=np.uint64)
+    for j, (node, state) in enumerate(seeds):
+        bits[index[node], col_of[state], j >> 6] |= np.uint64(1) << np.uint64(j & 63)
+
+    transitions = [
+        (col_of[u], col_of[u2]) for u, u2 in automaton.transitions()
+    ]
+    if kernel == "numba":  # pragma: no cover - optional dependency
+        trans = np.asarray(transitions, dtype=np.int64).reshape(-1, 2)
+        _numba_kernels().regular_fixpoint(
+            csr.indptr, csr.indices, bits, match, trans
+        )
+    else:
+        from ..graph.scc import tarjan_scc
+
+        # Per successor-state column, the sub-CSR of graph edges whose
+        # *target* matches that state — bits only ever flow through
+        # label-consistent product pairs, so restricting the edge set up
+        # front replaces a full [V, W] mask allocation per transition per
+        # round with a one-time filter.
+        indptr, indices = csr.indptr, csr.indices
+        edge_src = np.repeat(
+            np.arange(num_nodes, dtype=np.int64), np.diff(indptr)
+        )
+        sub_csr: Dict[int, Any] = {}
+        for u2_col in {t[1] for t in transitions}:
+            emask = match[indices, u2_col]
+            targets = indices[emask]
+            if not targets.size:
+                sub_csr[u2_col] = None
+                continue
+            counts = np.bincount(edge_src[emask], minlength=num_nodes)
+            rows = np.flatnonzero(counts)
+            lens = counts[rows]
+            # emask preserves CSR (source-grouped) edge order, so targets
+            # are already segmented per source row.
+            sub_csr[u2_col] = (rows, np.cumsum(lens) - lens, targets)
+
+        def step(u_col: int, u2_col: int) -> bool:
+            entry = sub_csr[u2_col]
+            if entry is None:
+                return False
+            rows, starts, targets = entry
+            agg = np.bitwise_or.reduceat(
+                bits[targets, u2_col, :], starts, axis=0
+            )
+            cur = bits[rows, u_col, :]
+            new = cur | agg
+            if np.array_equal(new, cur):
+                return False
+            bits[rows, u_col, :] = new
+            return True
+
+        # Schedule transitions along the automaton's own SCC condensation
+        # (emitted successors-first): by the time a component runs, every
+        # successor state's plane outside it is final, so cross-component
+        # transitions apply exactly once and only intra-component cycles
+        # need a fixpoint loop.
+        for members in tarjan_scc(states, automaton.successors):
+            member_set = set(members)
+            incoming = []
+            internal = []
+            for u in members:
+                for u2 in automaton.successors(u):
+                    pair = (col_of[u], col_of[u2])
+                    (internal if u2 in member_set else incoming).append(pair)
+            for u_col, u2_col in incoming:
+                step(u_col, u2_col)
+            changed = bool(internal)
+            while changed:
+                changed = False
+                for u_col, u2_col in internal:
+                    if step(u_col, u2_col):
+                        changed = True
+    return {
+        (node, state): _row_to_int(np, bits[index[node], col_of[state]])
+        for node, state in roots
+    }
+
+
+# ---------------------------------------------------------------------------
+# numba variants (optional dependency; compiled lazily, cached per process)
+# ---------------------------------------------------------------------------
+_NUMBA_CACHE: Optional[Any] = None
+
+
+def _numba_kernels():  # pragma: no cover - numba absent in the default env
+    """Compile (once) and return the ``@njit`` fixpoint loops.
+
+    The numba kernels reuse this module's CSR/bitset layout and only
+    replace the propagation loops; results are bit-identical to the numpy
+    path (monotone fixpoints are schedule-independent, and the bounded
+    kernel keeps the numpy path's synchronous levels where schedule would
+    matter).
+    """
+    global _NUMBA_CACHE
+    if _NUMBA_CACHE is not None:
+        return _NUMBA_CACHE
+
+    import numba
+    import numpy as np
+
+    @numba.njit(cache=True)
+    def reach_fixpoint(indptr, indices, bits):
+        num_nodes, words = bits.shape
+        changed = True
+        while changed:
+            changed = False
+            for u in range(num_nodes):
+                for e in range(indptr[u], indptr[u + 1]):
+                    v = indices[e]
+                    for w in range(words):
+                        merged = bits[u, w] | bits[v, w]
+                        if merged != bits[u, w]:
+                            bits[u, w] = merged
+                            changed = True
+        return bits
+
+    @numba.njit(cache=True)
+    def bounded_levels(indptr, indices, bits, root_rows, dists, bound):
+        num_nodes, words = bits.shape
+        num_roots = root_rows.shape[0]
+        num_seeds = dists.shape[1]
+        for r in range(num_roots):
+            row = root_rows[r]
+            for j in range(num_seeds):
+                if (bits[row, j >> 6] >> np.uint64(j & 63)) & np.uint64(1):
+                    dists[r, j] = 0
+        prev = bits.copy()
+        for level in range(1, bound + 1):
+            changed = False
+            cur = prev.copy()
+            for u in range(num_nodes):
+                for e in range(indptr[u], indptr[u + 1]):
+                    v = indices[e]
+                    for w in range(words):
+                        merged = cur[u, w] | prev[v, w]
+                        if merged != cur[u, w]:
+                            cur[u, w] = merged
+                            changed = True
+            if not changed:
+                break
+            for r in range(num_roots):
+                row = root_rows[r]
+                for j in range(num_seeds):
+                    if dists[r, j] < 0 and (
+                        (cur[row, j >> 6] >> np.uint64(j & 63)) & np.uint64(1)
+                    ):
+                        dists[r, j] = level
+            prev = cur
+        for w in range(words):
+            for u in range(num_nodes):
+                bits[u, w] = prev[u, w]
+        return dists
+
+    @numba.njit(cache=True)
+    def regular_fixpoint(indptr, indices, bits, match, transitions):
+        num_nodes = bits.shape[0]
+        words = bits.shape[2]
+        num_transitions = transitions.shape[0]
+        changed = True
+        while changed:
+            changed = False
+            for t in range(num_transitions):
+                u_col = transitions[t, 0]
+                u2_col = transitions[t, 1]
+                for v in range(num_nodes):
+                    for e in range(indptr[v], indptr[v + 1]):
+                        w_node = indices[e]
+                        if not match[w_node, u2_col]:
+                            continue
+                        for w in range(words):
+                            merged = bits[v, u_col, w] | bits[w_node, u2_col, w]
+                            if merged != bits[v, u_col, w]:
+                                bits[v, u_col, w] = merged
+                                changed = True
+        return bits
+
+    class _Kernels:
+        pass
+
+    kernels = _Kernels()
+    kernels.reach_fixpoint = reach_fixpoint
+    kernels.bounded_levels = bounded_levels
+    kernels.regular_fixpoint = regular_fixpoint
+    _NUMBA_CACHE = kernels
+    return kernels

@@ -29,6 +29,7 @@ from ..partition.fragment import Fragment
 from ..serving.engine import execute_plans
 from ..serving.plans import QueryPlan, endpoint_params
 from .bes import TRUE, BooleanEquationSystem, Disjunct
+from .kernels import resolve_kernel
 from .queries import ReachQuery
 from .results import QueryResult
 
@@ -62,6 +63,7 @@ def local_eval_reach(
     fragment: Fragment,
     query: ReachQuery,
     oracle_factory: Optional[OracleFactory] = None,
+    kernel: Optional[str] = None,
 ) -> ReachEquations:
     """Procedure ``localEval`` (Fig. 3) on one fragment.
 
@@ -71,10 +73,13 @@ def local_eval_reach(
     target contributing ``true``.
 
     The default reachability engine answers all ``des(v, Fi) ∩ oset``
-    questions in one SCC-condensation bitmask sweep; passing an
-    ``oracle_factory`` (Section 3's "any indexing techniques ... can be
-    applied here") switches the inner engine to a prebuilt local index.
+    questions in one SCC-condensation bitmask sweep; ``kernel`` swaps that
+    sweep for a vectorized one (:mod:`repro.core.kernels`) with
+    bit-identical equations; passing an ``oracle_factory`` (Section 3's
+    "any indexing techniques ... can be applied here") switches the inner
+    engine to a prebuilt local index instead.
     """
+    kernel = resolve_kernel(kernel)
     iset = set(fragment.in_nodes)
     oset = set(fragment.virtual_nodes)
     if query.source in fragment.nodes:
@@ -101,8 +106,14 @@ def local_eval_reach(
             )
         return equations
 
-    # Sweep only what the in-nodes can see (one shared forward closure).
-    masks = reachable_seed_masks_from(sorted(iset, key=repr), local.successors, seeds)
+    roots = sorted(iset, key=repr)
+    if kernel != "python":
+        from .kernels import reach_seed_masks
+
+        masks = reach_seed_masks(fragment, roots, seeds, kernel)
+    else:
+        # Sweep only what the in-nodes can see (one shared forward closure).
+        masks = reachable_seed_masks_from(roots, local.successors, seeds)
     # Nodes in the same SCC share one mask; decode each distinct mask once
     # (on well-connected fragments this collapses thousands of decodes).
     decoded: Dict[int, FrozenSet[Disjunct]] = {}
@@ -146,11 +157,17 @@ class ReachPlan(QueryPlan):
         self,
         query: Union[ReachQuery, Tuple[Node, Node]],
         oracle_factory: Optional[OracleFactory] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if not isinstance(query, ReachQuery):
             query = ReachQuery(*query)
         self.query = query
         self.oracle_factory = oracle_factory
+        # Resolved here (not at eval time) so the concrete kernel name ships
+        # inside local_eval_args to process-pool workers, independent of
+        # their environment.  Deliberately absent from fragment_params: all
+        # kernels are bit-identical, so partials are kernel-invariant.
+        self.kernel = resolve_kernel(kernel)
 
     def validate(self, cluster: SimulatedCluster) -> None:
         cluster.site_of(self.query.source)  # validates existence
@@ -169,7 +186,7 @@ class ReachPlan(QueryPlan):
         return local_eval_reach
 
     def local_eval_args(self) -> Tuple[object, ...]:
-        return (self.query, self.oracle_factory)
+        return (self.query, self.oracle_factory, self.kernel)
 
     def fragment_params(self, fragment: Fragment) -> Hashable:
         return (
@@ -201,6 +218,7 @@ def dis_reach(
     query: Union[ReachQuery, Tuple[Node, Node]],
     oracle_factory: Optional[OracleFactory] = None,
     collect_details: bool = False,
+    kernel: Optional[str] = None,
 ) -> QueryResult:
     """Algorithm ``disReach`` (Fig. 3) on a simulated cluster.
 
@@ -209,6 +227,6 @@ def dis_reach(
     cache, the same broadcast → parallel local evaluation → assemble
     message sequence and accounting as ever.
     """
-    plan = ReachPlan(query, oracle_factory)
+    plan = ReachPlan(query, oracle_factory, kernel=kernel)
     batch = execute_plans(cluster, [plan], collect_details=collect_details)
     return batch.results[0]

@@ -39,6 +39,7 @@ from ..partition.fragment import Fragment
 from ..serving.engine import execute_plans
 from ..serving.plans import QueryPlan, endpoint_params
 from .bes import TRUE, BooleanEquationSystem, Disjunct
+from .kernels import resolve_kernel
 from .queries import RegularReachQuery
 from .results import QueryResult
 
@@ -74,6 +75,7 @@ class RegularPartialAnswer:
 def local_eval_regular(
     fragment: Fragment,
     automaton: QueryAutomaton,
+    kernel: Optional[str] = None,
 ) -> RegularEquations:
     """Procedures ``localEvalr``/``cmpRvec`` (Fig. 7) on one fragment.
 
@@ -81,8 +83,11 @@ def local_eval_regular(
     product vertex; seeds are the boundary pairs — ``(w, uw)`` for virtual
     ``w`` — plus ``(t, ut)`` when the target is local, which contributes
     ``true``.  The returned equations cover every in-node (and the source,
-    when local) at every state it matches.
+    when local) at every state it matches.  ``kernel`` swaps the product
+    closure sweep for a vectorized one (:mod:`repro.core.kernels`) with
+    bit-identical equations.
     """
+    kernel = resolve_kernel(kernel)
     source, target = automaton.source, automaton.target
     iset = set(fragment.in_nodes)
     oset = set(fragment.virtual_nodes)
@@ -115,18 +120,23 @@ def local_eval_regular(
     def as_disjunct(pair: Pair) -> Disjunct:
         return TRUE if pair == (target, UT) else pair
 
-    successors = product_successors(local, automaton.successors, matches)
-    # Sweep only the product vertices some in-pair can actually see: one
-    # shared forward closure from every (in-node, state) row, instead of
-    # enumerating the full |Fi| × |Vq| product (or, as the per-pair
-    # formulation of [30] does, re-walking it once per row).
     roots = [
         (v, state)
         for v in sorted(iset, key=repr)
         for state in automaton.states()
         if matches(v, state)
     ]
-    masks = reachable_seed_masks_from(roots, successors, seeds)
+    if kernel != "python":
+        from .kernels import regular_seed_masks
+
+        masks = regular_seed_masks(fragment, automaton, roots, seeds, kernel)
+    else:
+        successors = product_successors(local, automaton.successors, matches)
+        # Sweep only the product vertices some in-pair can actually see: one
+        # shared forward closure from every (in-node, state) row, instead of
+        # enumerating the full |Fi| × |Vq| product (or, as the per-pair
+        # formulation of [30] does, re-walking it once per row).
+        masks = reachable_seed_masks_from(roots, successors, seeds)
 
     equations: RegularEquations = {}
     decoded: Dict[int, FrozenSet[Disjunct]] = {}
@@ -172,7 +182,9 @@ class RegularReachPlan(QueryPlan):
     algorithm = "disRPQ"
 
     def __init__(
-        self, query: Union[RegularReachQuery, Tuple[Node, Node, object]]
+        self,
+        query: Union[RegularReachQuery, Tuple[Node, Node, object]],
+        kernel: Optional[str] = None,
     ) -> None:
         if not isinstance(query, RegularReachQuery):
             query = RegularReachQuery(*query)
@@ -180,6 +192,9 @@ class RegularReachPlan(QueryPlan):
         # Step 1: the coordinator builds Gq(R) once and posts it (not the
         # raw regex) to every site — its size is O(|R|), independent of |G|.
         self.automaton = query.automaton()
+        # Resolved at construction; excluded from fragment_params because
+        # all kernels emit identical equations (see ReachPlan.__init__).
+        self.kernel = resolve_kernel(kernel)
 
     def validate(self, cluster: SimulatedCluster) -> None:
         cluster.site_of(self.query.source)
@@ -197,7 +212,7 @@ class RegularReachPlan(QueryPlan):
         return local_eval_regular
 
     def local_eval_args(self) -> Tuple[object, ...]:
-        return (self.automaton,)
+        return (self.automaton, self.kernel)
 
     def fragment_params(self, fragment: Fragment) -> Hashable:
         return (
@@ -236,12 +251,13 @@ def dis_rpq(
     cluster: SimulatedCluster,
     query: Union[RegularReachQuery, Tuple[Node, Node, object]],
     collect_details: bool = False,
+    kernel: Optional[str] = None,
 ) -> QueryResult:
     """Algorithm ``disRPQ`` (Section 5.2) on a simulated cluster.
 
     The batch-of-one special case of the serving engine; see
     :func:`repro.core.reachability.dis_reach`.
     """
-    plan = RegularReachPlan(query)
+    plan = RegularReachPlan(query, kernel=kernel)
     batch = execute_plans(cluster, [plan], collect_details=collect_details)
     return batch.results[0]

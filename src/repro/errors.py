@@ -46,5 +46,9 @@ class DistributedError(ReproError):
     """The simulated cluster was asked to do something inconsistent."""
 
 
+class KernelError(ReproError):
+    """An unknown or unavailable local-evaluation kernel was requested."""
+
+
 class MapReduceError(ReproError):
     """The simulated MapReduce runtime was misconfigured."""

@@ -35,13 +35,25 @@ class DiGraph:
     ['Walt']
     """
 
-    __slots__ = ("_succ", "_pred", "_labels", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_labels", "_num_edges", "_mutation_stamp")
 
     def __init__(self) -> None:
         self._succ: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, Set[Node]] = {}
         self._labels: Dict[Node, Label] = {}
         self._num_edges = 0
+        self._mutation_stamp = 0
+
+    @property
+    def mutation_stamp(self) -> int:
+        """Monotone counter bumped by every structural or label mutation.
+
+        Derived array views of the graph (the CSR fragment core in
+        :mod:`repro.core.csr`) cache against this stamp: a cached view built
+        at stamp ``s`` is valid exactly while ``mutation_stamp == s``, so
+        in-place mutation invalidates structurally, with no registration.
+        """
+        return self._mutation_stamp
 
     # ------------------------------------------------------------------
     # construction
@@ -72,8 +84,10 @@ class DiGraph:
             self._succ[node] = set()
             self._pred[node] = set()
             self._labels[node] = label
+            self._mutation_stamp += 1
         elif label is not None:
             self._labels[node] = label
+            self._mutation_stamp += 1
 
     def add_edge(self, u: Node, v: Node, create: bool = False) -> None:
         """Add the directed edge ``(u, v)``.
@@ -93,6 +107,7 @@ class DiGraph:
             self._succ[u].add(v)
             self._pred[v].add(u)
             self._num_edges += 1
+            self._mutation_stamp += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         if u not in self._succ or v not in self._succ[u]:
@@ -100,6 +115,7 @@ class DiGraph:
         self._succ[u].discard(v)
         self._pred[v].discard(u)
         self._num_edges -= 1
+        self._mutation_stamp += 1
 
     def remove_node(self, node: Node) -> None:
         if node not in self._succ:
@@ -111,11 +127,13 @@ class DiGraph:
         del self._succ[node]
         del self._pred[node]
         del self._labels[node]
+        self._mutation_stamp += 1
 
     def set_label(self, node: Node, label: Label) -> None:
         if node not in self._succ:
             raise NodeNotFound(node)
         self._labels[node] = label
+        self._mutation_stamp += 1
 
     # ------------------------------------------------------------------
     # inspection

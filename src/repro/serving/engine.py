@@ -60,17 +60,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids the core cycle)
 FragmentJob = Tuple[Callable[..., Any], Fragment, Tuple[Any, ...]]
 
 
-def eval_fragment_jobs(jobs: Tuple[FragmentJob, ...]) -> Tuple[Tuple[Any, float], ...]:
+def eval_fragment_jobs(
+    jobs: Tuple[FragmentJob, ...], kernel: Optional[str] = None
+) -> Tuple[Tuple[Any, float], ...]:
     """One site's visit in a batched round: run its missing fragment jobs.
 
     Module-level (hence picklable) so the process backend can ship it; each
     job is timed individually (CPU time, the simulator's per-site clock) so
     cache entries can later replay per-query response accounting.
+
+    Plans ship their resolved kernel name *inside* each job's args, so the
+    normal serving path leaves ``kernel`` unset.  Passing ``kernel``
+    forwards it as a keyword override to every job — for callers (the
+    kernel bench) that build args without one and want to time the same
+    job list under several kernels.
     """
     out = []
     for fn, fragment, args in jobs:
         start = time.thread_time()
-        equations = fn(fragment, *args)
+        if kernel is None:
+            equations = fn(fragment, *args)
+        else:
+            equations = fn(fragment, *args, kernel=kernel)
         out.append((equations, time.thread_time() - start))
     return tuple(out)
 
@@ -321,8 +332,15 @@ class BatchQueryEngine:
         queries: Sequence,
         algorithm: Optional[str] = None,
         collect_details: bool = False,
+        kernel: Optional[str] = None,
     ) -> BatchResult:
-        """Evaluate ``queries`` as one batch (default algorithm per class)."""
+        """Evaluate ``queries`` as one batch (default algorithm per class).
+
+        ``kernel`` selects the local-evaluation kernel for every plan in
+        the batch (default: the process-wide default kernel); cached
+        partials are shared across kernels because all kernels produce
+        bit-identical equations.
+        """
         from ..core.engine import evaluate, is_batchable, plan_for
 
         queries = list(queries)
@@ -336,7 +354,7 @@ class BatchQueryEngine:
             for result in results:
                 _accumulate(workload, result.stats)
             return BatchResult(results=results, workload=workload)
-        plans = [plan_for(query, algorithm) for query in queries]
+        plans = [plan_for(query, algorithm, kernel=kernel) for query in queries]
         return execute_plans(
             self.cluster, plans, cache=self.cache, collect_details=collect_details
         )
@@ -346,9 +364,12 @@ class BatchQueryEngine:
         query,
         algorithm: Optional[str] = None,
         collect_details: bool = False,
+        kernel: Optional[str] = None,
     ):
         """Single query through the serving path (a batch of one)."""
-        return self.run_batch([query], algorithm, collect_details).results[0]
+        return self.run_batch(
+            [query], algorithm, collect_details, kernel=kernel
+        ).results[0]
 
     def invalidate_fragment(self, fid: int) -> int:
         """Drop cached partials of ``fid`` (see also ``bump_fragment_version``)."""

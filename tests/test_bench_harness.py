@@ -59,12 +59,12 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_nineteen_registered(self):
+    def test_all_twenty_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
             "fig11l", "ablation-index", "ablation-partitioner", "workload",
-            "partition", "mutation", "baselines",
+            "partition", "mutation", "baselines", "kernels",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -96,6 +96,9 @@ _TINY = {
         sessions=2,
     ),
     "baselines": dict(scale=0.0005, num_queries=1),
+    # "kernels" is absent by design: its jobs rows legitimately omit the
+    # backend/answers columns, so the every-column-in-every-row check below
+    # does not apply; tests/test_kernels.py smoke-runs it instead.
 }
 
 

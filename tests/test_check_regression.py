@@ -476,3 +476,156 @@ class TestBaselinesGate:
         assert rows, "baseline.json must carry the pinned baselines run"
         backends = {backend for _a, backend in rows}
         assert backends == {"sequential", "thread", "process"}
+
+
+def _kernels_payload(visits=24, traffic=97.526, messages=48, supersteps=6,
+                     speedup=6.5, kernels=("python", "numpy"),
+                     drift_pair=None):
+    rows = []
+    for dataset in ("amazon", "youtube"):
+        for kernel in kernels:
+            for backend in ("process", "sequential", "thread"):
+                row = {
+                    "dataset": dataset,
+                    "mode": "evaluate",
+                    "kernel": kernel,
+                    "backend": backend,
+                    "answers": "FTF",
+                    "total_visits": visits,
+                    "traffic_KB": traffic,
+                    "messages": messages,
+                    "supersteps": supersteps,
+                    "eval_ms": 50.0,
+                }
+                if drift_pair == (kernel, backend) and dataset == "amazon":
+                    row["total_visits"] = visits + 3
+                rows.append(row)
+    for kernel in kernels:
+        rows.append(
+            {
+                "dataset": "amazon",
+                "mode": "jobs",
+                "kernel": kernel,
+                "eval_ms": 90.0 if kernel == "python" else 90.0 / speedup,
+                "speedup": 1.0 if kernel == "python" else speedup,
+            }
+        )
+    return {"kernels": {"columns": [], "rows": rows}}
+
+
+class TestKernelsGate:
+    """Kernel bit-identity (exact) + the numpy wall-clock speedup floor."""
+
+    def _both(self, tmp_path, name, extra):
+        payload = _payload()
+        payload.update(extra)
+        return _write(tmp_path, name, payload)
+
+    def test_identical_rows_pass(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        cur = self._both(tmp_path, "cur.json", _kernels_payload())
+        assert gate.main([cur, base]) == 0
+
+    def test_kernel_divergence_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        cur = self._both(
+            tmp_path, "cur.json",
+            _kernels_payload(drift_pair=("numpy", "thread")),
+        )
+        assert gate.main([cur, base]) == 1
+        assert "kernel identity broken" in capsys.readouterr().err
+
+    def test_drift_from_committed_baseline_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        cur = self._both(tmp_path, "cur.json", _kernels_payload(visits=99))
+        assert gate.main([cur, base]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_speedup_below_floor_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        cur = self._both(tmp_path, "cur.json", _kernels_payload(speedup=3.0))
+        assert gate.main([cur, base]) == 1
+        assert "below the floor" in capsys.readouterr().err
+
+    def test_eval_ms_never_compared(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        payload = _kernels_payload()
+        for row in payload["kernels"]["rows"]:
+            row["eval_ms"] = 9999.0
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 0
+
+    def test_missing_required_kernel_leg_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        payload = _kernels_payload()
+        payload["kernels"]["rows"] = [
+            row for row in payload["kernels"]["rows"]
+            if not (row["kernel"] == "numpy" and row.get("backend") == "process")
+        ]
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 1
+        assert "kernel leg dropped out" in capsys.readouterr().err
+
+    def test_numba_rows_optional_but_compared_when_present(
+        self, gate, tmp_path, capsys
+    ):
+        # absent entirely: fine (numba never required) ...
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        cur = self._both(tmp_path, "cur.json", _kernels_payload())
+        assert gate.main([cur, base]) == 0
+        # ... present and divergent: held to the same identity bar
+        cur = self._both(
+            tmp_path, "cur2.json",
+            _kernels_payload(
+                kernels=("python", "numpy", "numba"),
+                drift_pair=("numba", "sequential"),
+            ),
+        )
+        assert gate.main([cur, base]) == 1
+        assert "numba" in capsys.readouterr().err
+
+    def test_missing_jobs_row_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        payload = _kernels_payload()
+        payload["kernels"]["rows"] = [
+            row for row in payload["kernels"]["rows"] if row["mode"] != "jobs"
+        ]
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 1
+        assert "pinned speedup row missing" in capsys.readouterr().err
+
+    def test_missing_reference_row_fails(self, gate, tmp_path, capsys):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        payload = _kernels_payload()
+        payload["kernels"]["rows"] = [
+            row for row in payload["kernels"]["rows"]
+            if not (
+                row["dataset"] == "youtube"
+                and row["kernel"] == "python"
+                and row.get("backend") == "sequential"
+            )
+        ]
+        cur = self._both(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base]) == 1
+        assert "no python/sequential evaluate row" in capsys.readouterr().err
+
+    def test_kernels_required_when_baseline_has_them(self, gate, tmp_path):
+        base = self._both(tmp_path, "base.json", _kernels_payload())
+        cur = _write(tmp_path, "cur.json", _payload())
+        with pytest.raises(SystemExit, match="kernels"):
+            gate.main([cur, base])
+
+    def test_workload_only_baseline_skips_kernel_checks(self, gate, tmp_path):
+        base = _write(tmp_path, "base.json", _payload())
+        cur = self._both(tmp_path, "cur.json", _kernels_payload(speedup=0.5))
+        assert gate.main([cur, base]) == 0
+
+    def test_committed_baseline_has_kernels_experiment(self, gate):
+        payload = gate.load_payload(SCRIPT.parent / "baseline.json")
+        rows = gate.kernels_rows(payload)
+        assert rows, "baseline.json must carry the pinned kernels run"
+        kernels = {k for _d, mode, k, _b in rows if mode == "evaluate"}
+        assert set(gate.REQUIRED_KERNELS) <= kernels
+        jobs = rows.get(("amazon", "jobs", "numpy", "None"))
+        assert jobs is not None
+        assert jobs["speedup"] >= gate.KERNEL_SPEEDUP_FLOOR

@@ -22,6 +22,20 @@ class TestCli:
         assert "Partitioner ablation" in out
         assert "random" in out
 
+    def test_kernel_flag_accepted(self, capsys):
+        from repro.core.kernels import default_kernel, set_default_kernel
+
+        try:
+            code = main(
+                ["ablation-partitioner", "--scale", "0.0005", "--queries", "1",
+                 "--kernel", "numpy"]
+            )
+            assert code == 0
+            assert default_kernel() == "numpy"
+        finally:
+            set_default_kernel(None)  # --kernel sets the process-wide default
+        assert "Partitioner ablation" in capsys.readouterr().out
+
     def test_csv_output(self, tmp_path, capsys):
         target = tmp_path / "out.csv"
         code = main(

@@ -1,0 +1,455 @@
+"""The CSR fragment core and the vectorized local-evaluation kernels.
+
+Four contracts (DESIGN.md §9):
+
+* **selection** — explicit ``kernel=`` argument > process-wide default
+  (``--kernel``) > ``REPRO_KERNEL`` env var > ``python``; unknown or
+  unavailable names raise :class:`~repro.errors.KernelError`.
+* **CSR lowering** — interning follows the kernels' canonical
+  sorted-by-``repr`` order, the arrays mirror the local graph exactly, and
+  derived state (condensation, nonempty rows) is level-consistent.
+* **invalidation** — a stale CSR is never swept after
+  ``apply_edge_mutation``: only the (at most two) affected fragments
+  rebuild; every untouched fragment keeps the identical cached arrays.
+* **identity** — every compiled kernel produces bit-identical equations,
+  answers and modeled stats to the python reference, across all three
+  query classes, all three executor backends, and repartitions
+  (hypothesis-driven at the fragment level, pinned at the cluster level).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.core.bounded import local_eval_bounded  # noqa: E402
+from repro.core.csr import CSRCondensation, cached_csr, fragment_csr  # noqa: E402
+from repro.core.engine import evaluate  # noqa: E402
+from repro.core.kernels import (  # noqa: E402
+    KERNEL_ENV_VAR,
+    KERNELS,
+    available_kernels,
+    default_kernel,
+    kernel_available,
+    resolve_kernel,
+    set_default_kernel,
+)
+from repro.core.queries import BoundedReachQuery, ReachQuery  # noqa: E402
+from repro.core.reachability import local_eval_reach  # noqa: E402
+from repro.core.regular import local_eval_regular  # noqa: E402
+from repro.distributed import SimulatedCluster  # noqa: E402
+from repro.distributed.executors import EXECUTORS  # noqa: E402
+from repro.errors import KernelError  # noqa: E402
+from repro.graph import DiGraph, erdos_renyi  # noqa: E402
+from repro.partition import build_fragmentation, random_partition  # noqa: E402
+from repro.serving import BatchQueryEngine  # noqa: E402
+from repro.serving.engine import eval_fragment_jobs  # noqa: E402
+from repro.workload.query_gen import random_regular_queries  # noqa: E402
+
+#: Every non-reference kernel runnable here (numpy always, numba if present).
+COMPILED = [name for name in available_kernels() if name != "python"]
+BACKENDS = sorted(EXECUTORS)
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    # Each test sees the hardcoded fallback ("python"), whatever the
+    # surrounding run exported (the kernel-identity CI job sets REPRO_KERNEL).
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    set_default_kernel(None)
+    yield
+    set_default_kernel(None)
+
+
+def _fragmented(seed=0, num_nodes=18, num_edges=40, k=3):
+    graph = erdos_renyi(num_nodes, num_edges, seed=seed, num_labels=3)
+    assignment = random_partition(graph, k, seed=seed)
+    return graph, build_fragmentation(graph, assignment, k)
+
+
+def _automaton_of(query):
+    automaton = query.automaton
+    return automaton() if callable(automaton) else automaton
+
+
+class TestKernelSelection:
+    def test_fallback_is_python(self):
+        assert default_kernel() == "python"
+        assert resolve_kernel() == "python"
+        assert resolve_kernel(None) == "python"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+        assert default_kernel() == "numpy"
+        assert resolve_kernel() == "numpy"
+
+    def test_set_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+        set_default_kernel("python")
+        assert resolve_kernel() == "python"
+        set_default_kernel(None)  # reset restores the env layer
+        assert resolve_kernel() == "numpy"
+
+    def test_explicit_argument_beats_default(self):
+        set_default_kernel("numpy")
+        assert resolve_kernel("python") == "python"
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            resolve_kernel("fortran")
+        with pytest.raises(KernelError, match="unknown kernel"):
+            set_default_kernel("fortran")
+        monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+        with pytest.raises(KernelError, match="unknown kernel"):
+            default_kernel()
+
+    @pytest.mark.skipif(
+        kernel_available("numba"), reason="numba installed: nothing unavailable"
+    )
+    def test_unavailable_kernel_rejected_with_advice(self):
+        with pytest.raises(KernelError, match="unavailable"):
+            resolve_kernel("numba")
+
+    def test_available_kernels_is_ordered_subset(self):
+        available = available_kernels()
+        assert set(available) <= set(KERNELS)
+        assert available[0] == "python"
+        assert "numpy" in available  # this test module requires numpy
+
+
+class TestFragmentCSR:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return _fragmented(seed=5)
+
+    def test_interning_is_sorted_by_repr(self, case):
+        _, fragmentation = case
+        for fragment in fragmentation:
+            csr = fragment_csr(fragment)
+            assert list(csr.order) == sorted(fragment.local_graph.nodes(), key=repr)
+            assert all(csr.order[i] == node for node, i in csr.index.items())
+
+    def test_adjacency_mirrors_local_graph(self, case):
+        _, fragmentation = case
+        for fragment in fragmentation:
+            graph = fragment.local_graph
+            csr = fragment_csr(fragment)
+            assert csr.num_nodes == graph.num_nodes
+            assert csr.num_edges == graph.num_edges
+            for i, node in enumerate(csr.order):
+                row = csr.indices[csr.indptr[i] : csr.indptr[i + 1]].tolist()
+                assert row == sorted(row)  # per-row sorted by interned id
+                assert {csr.order[j] for j in row} == set(graph.successors(node))
+
+    def test_label_codes_roundtrip(self, case):
+        _, fragmentation = case
+        for fragment in fragmentation:
+            graph = fragment.local_graph
+            csr = fragment_csr(fragment)
+            for i, node in enumerate(csr.order):
+                code = int(csr.label_codes[i])
+                assert csr.labels[code] == graph.label(node)
+                assert csr.label_index[graph.label(node)] == code
+
+    def test_cache_is_per_fragment_and_stamped(self, case):
+        _, fragmentation = case
+        fragment = fragmentation[0]
+        csr = fragment_csr(fragment)
+        assert fragment_csr(fragment) is csr
+        assert cached_csr(fragment) is csr
+        assert csr.stamp == fragment.local_graph.mutation_stamp
+
+    def test_nonempty_rows_are_reduceat_boundaries(self, case):
+        _, fragmentation = case
+        for fragment in fragmentation:
+            csr = fragment_csr(fragment)
+            rows, starts = csr.nonempty_rows()
+            out_degrees = np.diff(csr.indptr)
+            assert rows.tolist() == np.flatnonzero(out_degrees).tolist()
+            assert starts.tolist() == csr.indptr[rows].tolist()
+            assert csr.nonempty_rows() is csr.nonempty_rows()  # cached
+
+    def test_condensation_levels_are_dataflow_consistent(self, case):
+        _, fragmentation = case
+        for fragment in fragmentation:
+            csr = fragment_csr(fragment)
+            cond = csr.condensation()
+            assert csr.condensation() is cond  # cached
+            assert isinstance(cond, CSRCondensation)
+            # comp ids ascend with level; every successor sits strictly
+            # lower, so a single ascending-level sweep reads final rows only.
+            for c in range(cond.num_comps):
+                row = cond.cindices[cond.cindptr[c] : cond.cindptr[c + 1]]
+                assert (row < c).all()
+            level_of = np.empty(cond.num_comps, dtype=int)
+            for level in range(len(cond.level_ptr) - 1):
+                level_of[cond.level_ptr[level] : cond.level_ptr[level + 1]] = level
+            for c in range(cond.num_comps):
+                row = cond.cindices[cond.cindptr[c] : cond.cindptr[c + 1]]
+                if level_of[c] == 0:
+                    assert row.size == 0
+                else:  # level = 1 + max successor level, so the max is hit
+                    assert level_of[row].max() == level_of[c] - 1
+            # node-level edges never point to a later component
+            for i in range(csr.num_nodes):
+                row = csr.indices[csr.indptr[i] : csr.indptr[i + 1]]
+                assert (cond.comp[row] <= cond.comp[i]).all()
+
+    def test_edgeless_graph_lowering(self):
+        graph = DiGraph()
+        for name in ("a", "b", "c"):
+            graph.add_node(name, label="L")
+        fragmentation = build_fragmentation(graph, {n: 0 for n in graph.nodes()}, 1)
+        csr = fragment_csr(fragmentation[0])
+        assert csr.num_edges == 0
+        rows, starts = csr.nonempty_rows()
+        assert rows.size == 0 and starts.size == 0
+        cond = csr.condensation()
+        assert cond.num_comps == 3
+        assert cond.level_ptr.tolist() == [0, 3]  # all sinks, single level
+
+
+class TestCSRInvalidation:
+    """The mutation regression contract: stale arrays are never swept and
+    at most the <= 2 affected fragments rebuild."""
+
+    def _cluster(self, seed=3):
+        graph = erdos_renyi(24, 60, seed=seed, num_labels=3)
+        return graph, SimulatedCluster.from_graph(graph, 3, "chunk")
+
+    @staticmethod
+    def _warm(cluster):
+        return {
+            fragment.fid: fragment_csr(fragment)
+            for fragment in cluster.fragmentation
+        }
+
+    @staticmethod
+    def _intra_edge(cluster):
+        placement = cluster.fragmentation.placement
+        for fragment in cluster.fragmentation:
+            for u in sorted(fragment.nodes, key=repr):
+                for v in sorted(fragment.local_graph.successors(u), key=repr):
+                    if placement.get(v) == fragment.fid:
+                        return u, v
+        raise AssertionError("fixture graph has no intra-fragment edge")
+
+    @staticmethod
+    def _absent_cross_pair(cluster):
+        placement = cluster.fragmentation.placement
+        nodes = sorted(placement, key=repr)
+        for u in nodes:
+            fragment = cluster.fragmentation[placement[u]]
+            for v in nodes:
+                if placement[v] != placement[u] and not fragment.local_graph.has_edge(
+                    u, v
+                ):
+                    return u, v
+        raise AssertionError("fixture graph has no absent cross-fragment pair")
+
+    def _assert_fresh_everywhere(self, cluster):
+        # The invariant behind "a stale CSR is never swept": whatever a
+        # kernel obtains through fragment_csr reflects the live graph.
+        for fragment in cluster.fragmentation:
+            assert fragment_csr(fragment).stamp == fragment.local_graph.mutation_stamp
+
+    def test_intra_fragment_mutation_rebuilds_only_the_owner(self):
+        _, cluster = self._cluster()
+        warmed = self._warm(cluster)
+        u, v = self._intra_edge(cluster)
+        affected = cluster.apply_edge_mutation(u, v, add=False)
+        assert len(affected) == 1
+        for fragment in cluster.fragmentation:
+            if fragment.fid in affected:
+                assert cached_csr(fragment) is None  # stale view retired
+                rebuilt = fragment_csr(fragment)
+                assert rebuilt is not warmed[fragment.fid]
+                assert rebuilt.stamp == fragment.local_graph.mutation_stamp
+            else:
+                assert cached_csr(fragment) is warmed[fragment.fid]
+        self._assert_fresh_everywhere(cluster)
+
+    def test_cross_fragment_mutation_rebuilds_at_most_two(self):
+        _, cluster = self._cluster()
+        warmed = self._warm(cluster)
+        u, v = self._absent_cross_pair(cluster)
+        affected = cluster.apply_edge_mutation(u, v, add=True)
+        assert len(affected) == 2
+        for fragment in cluster.fragmentation:
+            if fragment.fid in affected:
+                # replaced fragment objects start with an empty cache slot
+                assert cached_csr(fragment) is None
+                assert fragment_csr(fragment) is not warmed[fragment.fid]
+            else:
+                assert cached_csr(fragment) is warmed[fragment.fid]
+        self._assert_fresh_everywhere(cluster)
+
+    def test_stale_arrays_never_reach_a_kernel_sweep(self):
+        graph, cluster = self._cluster(seed=9)
+        nodes = sorted(graph.nodes(), key=repr)
+        query = ReachQuery(nodes[0], nodes[-1])
+        self._warm(cluster)
+        u, v = self._intra_edge(cluster)
+        cluster.apply_edge_mutation(u, v, add=False)
+        x, y = self._absent_cross_pair(cluster)
+        cluster.apply_edge_mutation(x, y, add=True)
+        for fragment in cluster.fragmentation:
+            reference = local_eval_reach(fragment, query)
+            for kernel in COMPILED:
+                assert local_eval_reach(fragment, query, kernel=kernel) == reference
+
+
+@st.composite
+def labeled_cases(draw, max_nodes=14):
+    num_nodes = draw(st.integers(min_value=4, max_value=max_nodes))
+    num_edges = draw(st.integers(min_value=0, max_value=3 * num_nodes))
+    seed = draw(st.integers(0, 10_000))
+    graph = erdos_renyi(num_nodes, num_edges, seed=seed, num_labels=3)
+    k = draw(st.integers(min_value=1, max_value=3))
+    assignment = random_partition(graph, k, seed=seed)
+    fragmentation = build_fragmentation(graph, assignment, k)
+    nodes = sorted(graph.nodes(), key=repr)
+    s = draw(st.sampled_from(nodes))
+    t = draw(st.sampled_from(nodes))
+    return graph, fragmentation, s, t, seed
+
+
+class TestKernelIdentityProperties:
+    """Bit-identical equations on arbitrary fragments, per query class."""
+
+    @given(labeled_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_reach_equations_identical(self, case):
+        _, fragmentation, s, t, _ = case
+        query = ReachQuery(s, t)
+        for fragment in fragmentation:
+            reference = local_eval_reach(fragment, query)
+            for kernel in COMPILED:
+                assert local_eval_reach(fragment, query, kernel=kernel) == reference
+
+    @given(labeled_cases(), st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_equations_identical(self, case, bound):
+        _, fragmentation, s, t, _ = case
+        query = BoundedReachQuery(s, t, bound)
+        for fragment in fragmentation:
+            # Compared without re-sorting: the identity contract covers the
+            # term tuples' order, not just their contents.
+            reference = local_eval_bounded(fragment, query)
+            for kernel in COMPILED:
+                assert local_eval_bounded(fragment, query, kernel=kernel) == reference
+
+    @given(labeled_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_regular_equations_identical(self, case):
+        graph, fragmentation, _, _, seed = case
+        (query,) = random_regular_queries(graph, 1, num_states=6, seed=seed)
+        automaton = _automaton_of(query)
+        for fragment in fragmentation:
+            reference = local_eval_regular(fragment, automaton)
+            for kernel in COMPILED:
+                assert (
+                    local_eval_regular(fragment, automaton, kernel=kernel) == reference
+                )
+
+
+def _result_signature(result):
+    stats = result.stats
+    return (
+        result.answer,
+        dict(stats.visits),
+        stats.traffic_bytes,
+        [(m.src, m.dst, m.kind, m.size_bytes) for m in stats.messages],
+        stats.supersteps,
+    )
+
+
+class TestClusterIdentity:
+    """End-to-end: answers and modeled stats are invariant under kernel x
+    backend, before and after a repartition."""
+
+    def _workload(self, seed=7):
+        graph = erdos_renyi(24, 60, seed=seed, num_labels=3)
+        cluster = SimulatedCluster.from_graph(graph, 3, "chunk")
+        nodes = sorted(graph.nodes(), key=repr)
+        queries = [
+            ReachQuery(nodes[0], nodes[-1]),
+            ReachQuery(nodes[1], nodes[2]),
+            BoundedReachQuery(nodes[0], nodes[-1], 4),
+            BoundedReachQuery(nodes[3], nodes[-2], 2),
+            *random_regular_queries(graph, 2, num_states=6, seed=seed),
+        ]
+        return cluster, queries
+
+    def _assert_invariant(self, cluster, queries):
+        reference = [_result_signature(evaluate(cluster, q)) for q in queries]
+        for kernel in available_kernels():
+            for backend in BACKENDS:
+                with cluster.using_executor(backend):
+                    batch = BatchQueryEngine(cluster).run_batch(queries, kernel=kernel)
+                got = [_result_signature(result) for result in batch.results]
+                assert got == reference, (kernel, backend)
+        return reference
+
+    def test_identity_holds_across_repartition(self):
+        cluster, queries = self._workload()
+        before = self._assert_invariant(cluster, queries)
+        cluster.repartition("refined")
+        after = self._assert_invariant(cluster, queries)
+        # stats legitimately move with the partition; answers never do
+        assert [sig[0] for sig in after] == [sig[0] for sig in before]
+
+
+class TestEvalFragmentJobs:
+    def test_jobs_are_timed_and_kernel_overridable(self):
+        _, fragmentation = _fragmented(seed=11)
+        nodes = sorted(fragmentation[0].nodes, key=repr)
+        query = ReachQuery(nodes[0], nodes[-1])
+        bounded = BoundedReachQuery(nodes[0], nodes[-1], 3)
+        jobs = tuple(
+            [(local_eval_reach, f, (query, None)) for f in fragmentation]
+            + [(local_eval_bounded, f, (bounded, None)) for f in fragmentation]
+        )
+        timed = eval_fragment_jobs(jobs)
+        assert len(timed) == len(jobs)
+        reference = [equations for equations, _ in timed]
+        assert all(elapsed >= 0.0 for _, elapsed in timed)
+        for kernel in COMPILED:
+            rerun = eval_fragment_jobs(jobs, kernel=kernel)
+            assert [equations for equations, _ in rerun] == reference
+
+
+class TestExpKernelsShape:
+    def test_rows_cover_kernels_backends_and_the_speedup_floor_row(self):
+        from repro.bench.experiments import exp_kernels
+
+        result = exp_kernels(scale=0.004, card=2, num_queries=2, seed=0)
+        assert "kernel" in result.columns and "speedup" in result.columns
+        rows = result.rows
+        evaluate_keys = {
+            (r["dataset"], r["kernel"], r["backend"])
+            for r in rows
+            if r["mode"] == "evaluate"
+        }
+        for kernel in available_kernels():
+            for backend in BACKENDS:
+                assert ("amazon", kernel, backend) in evaluate_keys
+                assert ("youtube", kernel, backend) in evaluate_keys
+        jobs = {r["kernel"]: r for r in rows if r["mode"] == "jobs"}
+        assert set(jobs) == set(available_kernels())
+        assert jobs["python"]["speedup"] == 1.0
+        assert jobs["numpy"]["eval_ms"] > 0.0
+        # identity inside the experiment (it also asserts this itself)
+        for dataset in ("amazon", "youtube"):
+            stats = {
+                (r["kernel"], r["backend"]): (
+                    r["answers"], r["total_visits"], r["traffic_KB"],
+                    r["messages"], r["supersteps"],
+                )
+                for r in rows
+                if r["mode"] == "evaluate" and r["dataset"] == dataset
+            }
+            assert len(set(stats.values())) == 1

@@ -50,6 +50,25 @@ class TestQueries:
         assert code == 0
         assert "qr(0, 10)" in capsys.readouterr().out
 
+    def test_kernel_flag_preserves_answer_and_stats(self, graph_file, capsys):
+        import re
+
+        from repro.core.kernels import set_default_kernel
+
+        def normalized(argv):
+            assert main(argv) == 0
+            # the kernel may only change measured times, never the modeled line
+            return re.sub(r"response=[0-9.]*ms", "", capsys.readouterr().out)
+
+        reference = normalized(["--graph", graph_file, "reach", "Ann", "Mark"])
+        try:
+            got = normalized(
+                ["--graph", graph_file, "--kernel", "numpy", "reach", "Ann", "Mark"]
+            )
+        finally:
+            set_default_kernel(None)  # --kernel sets the process-wide default
+        assert got == reference
+
 
 class TestErrors:
     def test_unknown_node(self, graph_file, capsys):
