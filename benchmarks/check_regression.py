@@ -651,6 +651,107 @@ def check_kernels(
         )
 
 
+def serving_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[str, Dict[str, object]]]:
+    """Serving-experiment rows keyed by mode, if present."""
+    experiment = payload.get("serving")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {str(row.get("mode")): row for row in experiment["rows"]}
+
+
+#: Closed-loop QPS floor: fraction of the committed baseline's serving QPS
+#: the current run must reach.  QPS is *measured* (wall clock across TCP +
+#: thread scheduling), so the floor is deliberately loose — it catches a
+#: serving path falling off a cliff (serialization in the batcher, a lost
+#: admission window), not machine-to-machine jitter.
+SERVING_QPS_FLOOR_FRACTION = 0.15
+#: p99 admission-to-reply latency ceiling: multiple of the baseline's p99.
+SERVING_P99_CEILING_FACTOR = 8.0
+
+
+def check_serving(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    report: List[str],
+) -> None:
+    """Exact answer identity + loose measured QPS floor / p99 ceiling.
+
+    ``answers_match`` is deterministic (every TCP-served answer compared to
+    direct sequential evaluation inside the experiment) and gated exactly;
+    the closed-loop ``qps`` and server-side ``p99_ms`` are measured, so
+    they get a conservative floor/ceiling relative to the committed
+    baseline rather than a tolerance band.
+    """
+    for mode in ("direct", "serving"):
+        row = current.get(mode)
+        label = f"serving/{mode}"
+        if row is None:
+            failures.append(
+                f"{label}: row missing from {current_origin}; run "
+                f"`python -m repro.bench serving --json <file>`"
+            )
+            continue
+        matched = row.get("answers_match") == 1
+        if not matched:
+            failures.append(
+                f"{label}: answers_match != 1 — TCP-served answers diverged "
+                "from direct sequential evaluation"
+            )
+        report.append(
+            f"| {label} | answers_match (exact) | 1 | "
+            f"{row.get('answers_match')} | - | {'ok' if matched else 'FAIL'} |"
+        )
+
+    row = current.get("serving")
+    base = baseline.get("serving")
+    if row is None or base is None:
+        if base is None:
+            failures.append(
+                f"serving: row 'serving' missing from {baseline_origin}"
+            )
+        return
+    label = "serving/serving"
+    qps = as_float(row, "qps", current_origin, label)
+    qps_floor = as_float(base, "qps", baseline_origin, label) * SERVING_QPS_FLOOR_FRACTION
+    ok = qps >= qps_floor
+    if not ok:
+        failures.append(
+            f"{label}: qps {qps:g} is below the floor {qps_floor:g} "
+            f"({SERVING_QPS_FLOOR_FRACTION:.0%} of baseline) — the serving "
+            "path lost its throughput"
+        )
+    report.append(
+        f"| {label} | qps (floor) | >= {qps_floor:g} | {qps:g} | - "
+        f"| {'ok' if ok else 'FAIL'} |"
+    )
+    p99 = as_float(row, "p99_ms", current_origin, label)
+    p99_ceiling = (
+        as_float(base, "p99_ms", baseline_origin, label) * SERVING_P99_CEILING_FACTOR
+    )
+    ok = p99 <= p99_ceiling
+    if not ok:
+        failures.append(
+            f"{label}: p99_ms {p99:g} exceeds the ceiling {p99_ceiling:g} "
+            f"({SERVING_P99_CEILING_FACTOR:g}x baseline) — admission-to-reply "
+            "latency blew up"
+        )
+    report.append(
+        f"| {label} | p99_ms (ceiling) | <= {p99_ceiling:g} | {p99:g} | - "
+        f"| {'ok' if ok else 'FAIL'} |"
+    )
+
+
+#: Experiment ids ``--only`` accepts (everything the gate knows to check).
+GATED_EXPERIMENTS = (
+    "workload", "partition", "mutation", "baselines", "kernels", "serving"
+)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the gate; see the module docstring for semantics."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -668,6 +769,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.25,
         help="allowed relative workload-cost growth before failing "
         "(default: 0.25; partition Vf ceilings are always exact)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=GATED_EXPERIMENTS,
+        metavar="EXPERIMENT",
+        help="gate only the named experiment(s) (repeatable; default: every "
+        "experiment the baseline carries — use this when a CI job runs a "
+        "single experiment, e.g. `--only serving`)",
     )
     args = parser.parse_args(argv)
     if len(args.paths) < 2:
@@ -688,6 +798,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     baseline_payload = load_payload(baseline_path)
     current_origin = ", ".join(str(p) for p in current_paths)
 
+    only = set(args.only or ())
+
+    def wanted(experiment: str) -> bool:
+        """Should this experiment's checks run under ``--only``?"""
+        return not only or experiment in only
+
     failures: List[str] = []
     improvements: List[str] = []
     report: List[str] = [
@@ -695,18 +811,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "| --- | --- | ---: | ---: | ---: | --- |",
     ]
 
-    check_workload(
-        workload_rows(current_payload, current_origin),
-        workload_rows(baseline_payload, str(baseline_path)),
-        args.tolerance,
-        current_origin,
-        str(baseline_path),
-        failures,
-        improvements,
-        report,
-    )
+    if wanted("workload"):
+        check_workload(
+            workload_rows(current_payload, current_origin),
+            workload_rows(baseline_payload, str(baseline_path)),
+            args.tolerance,
+            current_origin,
+            str(baseline_path),
+            failures,
+            improvements,
+            report,
+        )
 
-    baseline_partition = partition_rows(baseline_payload)
+    baseline_partition = partition_rows(baseline_payload) if wanted("partition") else None
     if baseline_partition is not None:
         current_partition = partition_rows(current_payload)
         if current_partition is None:
@@ -725,7 +842,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
-    baseline_mutation = mutation_rows(baseline_payload)
+    baseline_mutation = mutation_rows(baseline_payload) if wanted("mutation") else None
     if baseline_mutation is not None:
         current_mutation = mutation_rows(current_payload)
         if current_mutation is None:
@@ -745,7 +862,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
-    baseline_baselines = baselines_rows(baseline_payload)
+    baseline_baselines = baselines_rows(baseline_payload) if wanted("baselines") else None
     if baseline_baselines is not None:
         current_baselines = baselines_rows(current_payload)
         if current_baselines is None:
@@ -763,7 +880,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
-    baseline_kernels = kernels_rows(baseline_payload)
+    baseline_kernels = kernels_rows(baseline_payload) if wanted("kernels") else None
     if baseline_kernels is not None:
         current_kernels = kernels_rows(current_payload)
         if current_kernels is None:
@@ -775,6 +892,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         check_kernels(
             current_kernels,
             baseline_kernels,
+            current_origin,
+            str(baseline_path),
+            failures,
+            report,
+        )
+
+    baseline_serving = serving_rows(baseline_payload) if wanted("serving") else None
+    if baseline_serving is not None:
+        current_serving = serving_rows(current_payload)
+        if current_serving is None:
+            raise SystemExit(
+                f"error: baseline has a serving experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench serving --json <file>`"
+            )
+        check_serving(
+            current_serving,
+            baseline_serving,
             current_origin,
             str(baseline_path),
             failures,
@@ -804,8 +939,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         "ok: within tolerance, above serving floors; partition ceilings, "
         "mutation envelope, session-remap batching floors, baseline "
-        "cross-backend identity, kernel identity and the kernel speedup "
-        "floor hold"
+        "cross-backend identity, kernel identity, the kernel speedup "
+        "floor and the networked-serving QPS/p99 gates hold"
     )
     return 0
 

@@ -17,7 +17,7 @@ from repro import (
     ReachQuery,
     RegularReachQuery,
     SimulatedCluster,
-    evaluate,
+    connect,
 )
 
 
@@ -52,26 +52,31 @@ def main() -> None:
         f"boundary nodes, {frag.num_cross_edges} cross edges"
     )
 
+    # One client fronts every way of running queries.  The same connect()
+    # also takes a DiGraph (fragmented for you) or the "host:port" of a
+    # running `repro-serve` front end, with identical methods and answers.
+    client = connect(cluster)
+
     # 1. Plain reachability: does p0 reach p7?
-    result = evaluate(cluster, ReachQuery("p0", "p7"))
+    result = client.query(ReachQuery("p0", "p7"))
     print(f"\nqr(p0, p7) = {result.answer}")
     print(f"  visits per site: {result.stats.visits_per_site()}  (paper: exactly 1)")
     print(f"  traffic: {result.stats.traffic_bytes} bytes "
           f"(independent of |G| — only boundary equations ship)")
 
     # 2. Bounded reachability: within 4 hops?
-    result = evaluate(cluster, BoundedReachQuery("p0", "p7", 4))
+    result = client.query(BoundedReachQuery("p0", "p7", 4))
     print(f"\nqbr(p0, p7, 4) = {result.answer}  (dist = {result.distance})")
 
     # 3. Regular reachability: a path through DB papers only?
-    result = evaluate(cluster, RegularReachQuery("p0", "p4", "DB*"))
+    result = client.query(RegularReachQuery("p0", "p4", "DB*"))
     print(f"\nqrr(p0, p4, DB*) = {result.answer}")
-    result = evaluate(cluster, RegularReachQuery("p0", "p4", "ML SYS*"))
+    result = client.query(RegularReachQuery("p0", "p4", "ML SYS*"))
     print(f"qrr(p0, p4, ML SYS*) = {result.answer}")
 
     # Compare against a baseline: same answer, very different shipping bill.
-    partial = evaluate(cluster, ReachQuery("p0", "p7"), algorithm="disReach")
-    shipall = evaluate(cluster, ReachQuery("p0", "p7"), algorithm="disReachn")
+    partial = client.query(ReachQuery("p0", "p7"), algorithm="disReach")
+    shipall = client.query(ReachQuery("p0", "p7"), algorithm="disReachn")
     print(
         f"\ndisReach vs disReachn traffic: "
         f"{partial.stats.traffic_bytes} vs {shipall.stats.traffic_bytes} bytes"

@@ -3,12 +3,18 @@ Reachability Queries* (Fan, Wang, Wu; VLDB 2012).
 
 Quickstart::
 
-    from repro import DiGraph, SimulatedCluster, ReachQuery, evaluate
+    import repro
 
-    g = DiGraph.from_edges([("a", "b"), ("b", "c")], labels={"b": "HR"})
-    cluster = SimulatedCluster.from_graph(g, num_fragments=2, seed=0)
-    result = evaluate(cluster, ReachQuery("a", "c"))
+    g = repro.DiGraph.from_edges([("a", "b"), ("b", "c")], labels={"b": "HR"})
+    client = repro.connect(g, fragments=2, seed=0)
+    result = client.query(repro.ReachQuery("a", "c"))
     assert result.answer and result.stats.max_visits_per_site == 1
+
+The same ``connect()`` call accepts an existing
+:class:`~repro.distributed.cluster.SimulatedCluster` or a ``"host:port"``
+address of a ``repro-serve`` TCP front end, and the returned client serves
+single queries (``query``), batches (``batch``) and standing incremental
+sessions (``session``) identically over both transports.
 
 The package mirrors the paper:
 
@@ -17,11 +23,16 @@ The package mirrors the paper:
 * :mod:`repro.baselines`   — disReachn/m, disDistn, disRPQn/d (Section 7)
 * :mod:`repro.graph`, :mod:`repro.automata`, :mod:`repro.partition`,
   :mod:`repro.distributed` — the substrates
+* :mod:`repro.serving`, :mod:`repro.net` — the batch engine and the TCP
+  serving stack (coordinator/broker executor backend, ``repro-serve``)
 * :mod:`repro.workload`, :mod:`repro.bench` — datasets, query generators and
   the per-figure experiment harness
 """
 
+import warnings as _warnings
+
 from .automata import PositionNFA, QueryAutomaton, parse_regex
+from .client import Client, connect
 from .core import (
     BooleanEquationSystem,
     BoundedReachQuery,
@@ -35,7 +46,6 @@ from .core import (
     dis_reach,
     dis_rpq,
     distance,
-    evaluate,
     evaluate_centralized,
     reachable,
     regular_reachable,
@@ -59,11 +69,69 @@ from .partition import (
     check_fragmentation,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Old entry points now fronted by :func:`connect` — still importable from
+#: here, behind a :class:`DeprecationWarning` (PEP 562 module __getattr__).
+#: Importing them from their home modules stays warning-free.
+_DEPRECATED = {
+    "evaluate": (
+        "repro.core.engine",
+        "evaluate",
+        "use repro.connect(...).query(...) (or import it from "
+        "repro.core.engine)",
+    ),
+    "execute_plans": (
+        "repro.serving.engine",
+        "execute_plans",
+        "use repro.connect(...).batch(...) (or import it from "
+        "repro.serving.engine)",
+    ),
+    "BatchQueryEngine": (
+        "repro.serving.engine",
+        "BatchQueryEngine",
+        "use repro.connect(...) (or import it from repro.serving.engine)",
+    ),
+    "IncrementalReachSession": (
+        "repro.core.incremental",
+        "IncrementalReachSession",
+        "use repro.connect(...).session(ReachQuery(...)) (or import it "
+        "from repro.core.incremental)",
+    ),
+    "IncrementalRegularSession": (
+        "repro.core.incremental",
+        "IncrementalRegularSession",
+        "use repro.connect(...).session(RegularReachQuery(...)) (or "
+        "import it from repro.core.incremental)",
+    ),
+}
+
+
+def __getattr__(name):
+    """Deprecation shims: resolve old entry points with a warning."""
+    try:
+        module_name, attr, hint = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    _warnings.warn(
+        f"repro.{name} is deprecated; {hint}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    """Advertise the blessed surface plus the deprecated shims."""
+    return sorted(set(globals()) | set(_DEPRECATED))
+
 
 __all__ = [
     "BooleanEquationSystem",
     "BoundedReachQuery",
+    "Client",
     "DiGraph",
     "DistributedError",
     "ExecutionStats",
@@ -88,6 +156,7 @@ __all__ = [
     "bounded_reachable",
     "build_fragmentation",
     "check_fragmentation",
+    "connect",
     "dis_dist",
     "dis_reach",
     "dis_rpq",

@@ -146,7 +146,13 @@ def run_superstep(
         successors: Tuple[Node, ...] = ()
         for fragment in fragments:
             if vertex in fragment.nodes:
-                successors = tuple(fragment.local_graph.successors(vertex))
+                # Deterministic (repr) order: successor sets iterate in hash
+                # order, which varies with PYTHONHASHSEED across processes —
+                # the socket backend's brokers are fresh interpreters, so
+                # hash order there is not the coordinator's.
+                successors = tuple(
+                    sorted(fragment.local_graph.successors(vertex), key=repr)
+                )
                 break
         value = updates.get(vertex, values.get(vertex))
         outcome = program.compute(vertex, value, messages, successors)

@@ -1209,6 +1209,115 @@ def exp_kernels(
     return result
 
 
+def exp_serving(
+    scale: float = SCALE,
+    seed: int = 0,
+    num_queries: int = 80,
+    card: int = 4,
+    clients: int = 4,
+) -> ExperimentResult:
+    """Networked serving: closed-loop load against the TCP front end.
+
+    Boots a :class:`~repro.net.server.ServingServer` (the ``repro-serve``
+    stack) over a pinned cluster on an ephemeral port, then drives it with
+    ``clients`` closed-loop TCP clients — each issues its share of a
+    zipf-skewed mixed workload one query at a time, waiting for every reply
+    before sending the next.  Single-query requests ride the admission
+    batcher, so concurrent clients are coalesced into engine batches.
+
+    Every remote answer is asserted bit-identical to direct sequential
+    :func:`~repro.core.engine.evaluate` on the same cluster
+    (``answers_match``).  The headline numbers — closed-loop ``qps`` and
+    the server-measured ``p50_ms``/``p99_ms`` admission-to-reply latency —
+    are what the CI serving gate checks against ``benchmarks/baseline.json``
+    (exact answers, conservative QPS floor and p99 ceiling).
+    """
+    import threading
+
+    from ..net.client import ServeClient
+    from ..net.server import start_background_server
+    from ..serving import BatchQueryEngine
+    from ..workload.query_gen import zipf_workload
+
+    num_nodes = max(int(40_000 * scale), 120)
+    graph = synthetic_graph(num_nodes, 2 * num_nodes, num_labels=6, seed=seed)
+    cluster = _cluster(graph, card, seed=seed)
+    queries = zipf_workload(graph, num_queries, seed=seed)
+
+    with stopwatch() as seq_watch:
+        reference = [evaluate(cluster, query) for query in queries]
+
+    engine = BatchQueryEngine(cluster)
+    server = start_background_server(engine, window=0.002, max_batch=32)
+    address = server.address
+    try:
+        answers: List[Optional[bool]] = [None] * len(queries)
+        errors: List[BaseException] = []
+
+        def drive(worker: int) -> None:
+            try:
+                with ServeClient(address) as client:
+                    for i in range(worker, len(queries), clients):
+                        answers[i] = client.query(queries[i]).answer
+            except BaseException as exc:  # noqa: BLE001 - joined below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(worker,))
+            for worker in range(clients)
+        ]
+        with stopwatch() as serve_watch:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:  # pragma: no cover - transport failures surface here
+            raise errors[0]
+        stats = server.stats_snapshot()
+    finally:
+        server.shutdown()
+
+    mismatches = sum(
+        1 for mine, ref in zip(answers, reference) if mine != ref.answer
+    )
+    if mismatches:  # pragma: no cover - identity is tested, this is a guard
+        raise AssertionError(f"served answers diverged on {mismatches} queries")
+
+    result = ExperimentResult(
+        experiment="serving",
+        title=f"Networked serving, {num_queries} queries x {clients} closed-loop clients",
+        columns=[
+            "mode", "queries", "clients", "wall_ms", "qps",
+            "p50_ms", "p99_ms", "batches", "answers_match",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}, window=2ms; served answers "
+            "bit-identical to direct sequential evaluation; p50/p99 are "
+            "server-side admission-to-reply latency"
+        ),
+    )
+    result.add_row(
+        mode="direct",
+        queries=len(queries),
+        clients=1,
+        wall_ms=seq_watch[0] * 1e3,
+        qps=len(queries) / max(seq_watch[0], 1e-9),
+        answers_match=1,
+    )
+    result.add_row(
+        mode="serving",
+        queries=len(queries),
+        clients=clients,
+        wall_ms=serve_watch[0] * 1e3,
+        qps=len(queries) / max(serve_watch[0], 1e-9),
+        p50_ms=stats["p50_ms"],
+        p99_ms=stats["p99_ms"],
+        batches=stats["batches"],
+        answers_match=1,
+    )
+    return result
+
+
 #: CLI registry: experiment id -> callable.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": exp_table2,
@@ -1231,4 +1340,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "mutation": exp_mutation,
     "baselines": exp_baselines,
     "kernels": exp_kernels,
+    "serving": exp_serving,
 }

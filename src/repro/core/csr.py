@@ -78,6 +78,7 @@ class FragmentCSR:
         "stamp",
         "_cond",
         "_rows",
+        "_match",
     )
 
     def __init__(self, graph: Any) -> None:
@@ -112,6 +113,7 @@ class FragmentCSR:
         self.stamp: int = graph.mutation_stamp
         self._cond: Optional["CSRCondensation"] = None
         self._rows: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._match: Dict[Any, np.ndarray] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -135,6 +137,34 @@ class FragmentCSR:
         if self._cond is None:
             self._cond = CSRCondensation(self)
         return self._cond
+
+    def position_match(self, analysis: Any) -> np.ndarray:
+        """``bool[V, P]``: may node row ``v`` occupy Glushkov position ``p``?
+
+        The hoisted automaton-match prologue of the regular algorithm:
+        column ``p`` is all-true for a wildcard position, else one
+        vectorized comparison of the interned label codes.  Cached per
+        :class:`~repro.automata.glushkov.GlushkovAnalysis` (frozen, hence
+        hashable) with this CSR's lifetime — the serving engine evaluates
+        the same automaton against a fragment many times (batch dedup,
+        incremental refresh), and the matrix is query-independent given
+        the analysis, so every caller after the first gets it for free.
+        The returned array is shared: treat it as read-only.
+        """
+        cached = self._match.get(analysis)
+        if cached is None:
+            cached = np.zeros(
+                (self.num_nodes, analysis.num_positions), dtype=bool
+            )
+            for position, expected in enumerate(analysis.position_labels):
+                if expected is None:
+                    cached[:, position] = True
+                else:
+                    code = self.label_index.get(expected)
+                    if code is not None:
+                        cached[:, position] = self.label_codes == code
+            self._match[analysis] = cached
+        return cached
 
     def nonempty_rows(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(rows, starts)``: rows with >= 1 successor and their offsets.

@@ -122,14 +122,17 @@ def evaluate(
     query: Query,
     algorithm: Optional[str] = None,
     executor: Union[str, ExecutorBackend, None] = None,
+    kernel: Optional[str] = None,
 ) -> QueryResult:
     """Evaluate ``query`` on ``cluster``.
 
     With no ``algorithm``, the paper's partial-evaluation algorithm for the
     query's class is used.  ``executor`` overrides the cluster's execution
-    backend for this one evaluation (``sequential``/``thread``/``process``);
-    backends change wall-clock behavior only — answers and modeled costs are
-    identical under every backend.
+    backend for this one evaluation (``sequential``/``thread``/``process``/
+    ``socket``); ``kernel`` selects the local-evaluation kernel for the
+    partial-evaluation algorithms (the baselines take none — passing one
+    raises :class:`QueryError`).  Backends and kernels change wall-clock
+    behavior only — answers and modeled costs are identical under all.
     """
     if algorithm is None:
         try:
@@ -146,7 +149,17 @@ def evaluate(
             f"algorithm {algorithm!r} evaluates {query_type.__name__}, "
             f"got {type(query).__name__}"
         )
+    kwargs: Dict[str, object] = {}
+    if kernel is not None:
+        import inspect
+
+        if "kernel" not in inspect.signature(fn).parameters:
+            raise QueryError(
+                f"algorithm {algorithm!r} does not take a kernel "
+                "(only the partial-evaluation algorithms do)"
+            )
+        kwargs["kernel"] = kernel
     if executor is None:
-        return fn(cluster, query)
+        return fn(cluster, query, **kwargs)
     with cluster.using_executor(executor):
-        return fn(cluster, query)
+        return fn(cluster, query, **kwargs)

@@ -287,6 +287,68 @@ def bounded_seed_terms(
 # ---------------------------------------------------------------------------
 # regular reachability (localEvalr)
 # ---------------------------------------------------------------------------
+def automaton_match_matrix(csr: Any, automaton: "QueryAutomaton") -> Any:
+    """``bool[V, num_states]``: the node×state match matrix, column-aligned
+    with ``automaton.states()`` (``US``, positions, ``UT``).
+
+    The position columns come from the CSR view's cached
+    :meth:`~repro.core.csr.FragmentCSR.position_match` (query-independent
+    per Glushkov analysis, so repeated evaluations of the same automaton
+    shape reuse them); only the two one-hot endpoint columns (``US`` =
+    the source row, ``UT`` = the target row) are assembled per call.
+    Treat the result as read-only — the position block is shared.
+    """
+    import numpy as np
+
+    match = np.zeros((csr.num_nodes, automaton.num_states), dtype=bool)
+    match[:, 1:-1] = csr.position_match(automaton.analysis)
+    source_row = csr.index.get(automaton.source)
+    if source_row is not None:
+        match[source_row, 0] = True
+    target_row = csr.index.get(automaton.target)
+    if target_row is not None:
+        match[target_row, -1] = True
+    return match
+
+
+def regular_boundary_pairs(
+    fragment: "Fragment",
+    automaton: "QueryAutomaton",
+    iset: Any,
+    oset: Any,
+) -> Tuple[List[Tuple[Any, int]], List[Tuple[Any, int]]]:
+    """Vectorized enumeration of the regular algorithm's roots and seeds.
+
+    Returns ``(roots, seeds)`` in exactly the python prologue's order —
+    nodes sorted by ``repr``, states in ``automaton.states()`` order, one
+    pair per matching combination (seeds skip ``US``, which no transition
+    enters).  Interned ids ascend with ``repr`` order, so sorting the
+    subset's rows reproduces the node order, and row-major ``nonzero``
+    over the match matrix reproduces the nested loops.
+    """
+    import numpy as np
+
+    from .csr import fragment_csr
+
+    csr = fragment_csr(fragment)
+    match = automaton_match_matrix(csr, automaton)
+    states = automaton.states()
+
+    def pairs(nodes: Any, columns: Any, column_states: Any) -> List[Tuple[Any, int]]:
+        rows = np.asarray(sorted(csr.index[node] for node in nodes), dtype=np.int64)
+        if not rows.size:
+            return []
+        hit_rows, hit_cols = np.nonzero(match[rows][:, columns])
+        return [
+            (csr.order[rows[i]], column_states[j])
+            for i, j in zip(hit_rows.tolist(), hit_cols.tolist())
+        ]
+
+    roots = pairs(iset, slice(None), states)
+    seeds = pairs(oset, slice(1, None), states[1:])
+    return roots, seeds
+
+
 def regular_seed_masks(
     fragment: "Fragment",
     automaton: "QueryAutomaton",
@@ -307,41 +369,21 @@ def regular_seed_masks(
     """
     import numpy as np
 
-    from ..automata.query_automaton import US, UT
     from .csr import fragment_csr
 
     csr = fragment_csr(fragment)
     index = csr.index
     states = automaton.states()
     col_of = {state: col for col, state in enumerate(states)}
-    num_states = len(states)
     num_nodes = csr.num_nodes
 
-    # match[:, col]: may node v occupy the state at col?
-    match = np.zeros((num_nodes, num_states), dtype=bool)
-    analysis = automaton.analysis
-    for state in states:
-        col = col_of[state]
-        if state == US:
-            row = index.get(automaton.source)
-            if row is not None:
-                match[row, col] = True
-        elif state == UT:
-            row = index.get(automaton.target)
-            if row is not None:
-                match[row, col] = True
-        else:
-            expected = analysis.position_labels[state]
-            if expected is None:
-                match[:, col] = True
-            else:
-                code = csr.label_index.get(expected)
-                if code is not None:
-                    match[:, col] = csr.label_codes == code
+    # match[:, col]: may node v occupy the state at col?  Position columns
+    # come cached from the CSR view (the hoisted match prologue).
+    match = automaton_match_matrix(csr, automaton)
 
     num_seeds = len(seeds)
     words = max(1, (num_seeds + 63) >> 6)
-    bits = np.zeros((num_nodes, num_states, words), dtype=np.uint64)
+    bits = np.zeros((num_nodes, len(states), words), dtype=np.uint64)
     for j, (node, state) in enumerate(seeds):
         bits[index[node], col_of[state], j >> 6] |= np.uint64(1) << np.uint64(j & 63)
 

@@ -98,39 +98,44 @@ def local_eval_regular(
     if not iset:
         return {}
 
-    local = fragment.local_graph
-    matches = automaton.match_fn(local)
-
-    # Seeds: every state a boundary node may occupy.  (t, UT) is the
-    # ``true`` seed; (w, US) is unreachable by construction (no transition
-    # enters the start state) and is omitted.
-    seeds: List[Pair] = []
-    for o in sorted(oset, key=repr):
-        for state in automaton.states():
-            if state != US and matches(o, state):
-                seeds.append((o, state))
-    if not seeds:
-        return {
-            (v, state): frozenset()
-            for v in iset
-            for state in automaton.states()
-            if matches(v, state)
-        }
-
     def as_disjunct(pair: Pair) -> Disjunct:
         return TRUE if pair == (target, UT) else pair
 
-    roots = [
-        (v, state)
-        for v in sorted(iset, key=repr)
-        for state in automaton.states()
-        if matches(v, state)
-    ]
+    # Roots: every state each in-node (and local source) matches; seeds:
+    # every state a boundary node may occupy.  (t, UT) is the ``true``
+    # seed; (w, US) is unreachable by construction (no transition enters
+    # the start state) and is omitted.  The array kernels enumerate both
+    # from the CSR view's cached match matrix — the hoisted prologue —
+    # in exactly the python loops' (sorted node, state order) order, and
+    # never build the per-pair ``match_fn`` closure at all.
     if kernel != "python":
-        from .kernels import regular_seed_masks
+        from .kernels import regular_boundary_pairs, regular_seed_masks
 
+        roots, seeds = regular_boundary_pairs(fragment, automaton, iset, oset)
+        if not seeds:
+            return {pair: frozenset() for pair in roots}
         masks = regular_seed_masks(fragment, automaton, roots, seeds, kernel)
     else:
+        local = fragment.local_graph
+        matches = automaton.match_fn(local)
+        seeds = []
+        for o in sorted(oset, key=repr):
+            for state in automaton.states():
+                if state != US and matches(o, state):
+                    seeds.append((o, state))
+        if not seeds:
+            return {
+                (v, state): frozenset()
+                for v in iset
+                for state in automaton.states()
+                if matches(v, state)
+            }
+        roots = [
+            (v, state)
+            for v in sorted(iset, key=repr)
+            for state in automaton.states()
+            if matches(v, state)
+        ]
         successors = product_successors(local, automaton.successors, matches)
         # Sweep only the product vertices some in-pair can actually see: one
         # shared forward closure from every (in-node, state) row, instead of
@@ -140,20 +145,17 @@ def local_eval_regular(
 
     equations: RegularEquations = {}
     decoded: Dict[int, FrozenSet[Disjunct]] = {}
-    for v in iset:
-        for state in automaton.states():
-            if not matches(v, state):
-                continue
-            mask = masks[(v, state)]
-            disjuncts = decoded.get(mask)
-            if disjuncts is None:
-                disjuncts = frozenset(
-                    as_disjunct(seed)
-                    for i, seed in enumerate(seeds)
-                    if mask >> i & 1
-                )
-                decoded[mask] = disjuncts
-            equations[(v, state)] = disjuncts
+    for pair in roots:
+        mask = masks[pair]
+        disjuncts = decoded.get(mask)
+        if disjuncts is None:
+            disjuncts = frozenset(
+                as_disjunct(seed)
+                for i, seed in enumerate(seeds)
+                if mask >> i & 1
+            )
+            decoded[mask] = disjuncts
+        equations[pair] = disjuncts
     return equations
 
 

@@ -1,7 +1,8 @@
 """Simulated distributed runtime: sites, coordinator, traffic/visit accounting.
 
 Parallel phases execute on a pluggable backend (:mod:`.executors`):
-``sequential`` (default, deterministic), ``thread``, or ``process``.
+``sequential`` (default, deterministic), ``thread``, ``process``, or
+``socket`` (separate OS processes over TCP; :mod:`repro.net`).
 """
 
 from .cluster import ParallelPhase, Run, SimulatedCluster
@@ -11,6 +12,7 @@ from .executors import (
     ProcessExecutor,
     SequentialExecutor,
     SiteTask,
+    SocketExecutor,
     TaskResult,
     ThreadExecutor,
     default_executor_name,
@@ -37,6 +39,7 @@ __all__ = [
     "SimulatedCluster",
     "Site",
     "SiteTask",
+    "SocketExecutor",
     "TaskResult",
     "ThreadExecutor",
     "WorkloadStats",

@@ -337,6 +337,7 @@ class SimulatedCluster:
         self.latency = latency
         self.master_service = master_service
         self.executor = resolve_executor(executor)
+        self.executor.bind_cluster(self)
         self._install_fragmentation(fragmentation, fragment_assignment)
         # Monotone per-fragment data versions: serving-layer caches key their
         # entries on these, so bumping a version (after any in-place fragment
@@ -869,6 +870,7 @@ class SimulatedCluster:
         """
         previous = self.executor
         self.executor = resolve_executor(executor)
+        self.executor.bind_cluster(self)
         try:
             yield self
         finally:

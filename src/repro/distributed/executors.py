@@ -104,6 +104,14 @@ class ExecutorBackend:
     def run_tasks(self, tasks: Sequence[SiteTask]) -> List[TaskResult]:
         raise NotImplementedError
 
+    def bind_cluster(self, cluster: Any) -> None:
+        """Notify the backend which cluster it executes for (optional hook).
+
+        The in-process backends ignore this; the socket backend uses it to
+        key shipped fragments by ``(cluster, fid, fragment_version)`` so
+        mutations and repartitions invalidate remote broker state.
+        """
+
     def close(self) -> None:
         """Release any worker pool (optional; pools are also reaped at exit)."""
 
@@ -225,11 +233,73 @@ class ProcessExecutor(_PoolBackend):
     _kind = "process"
 
 
+class SocketExecutor(ExecutorBackend):
+    """Site tasks on broker *processes* reached over TCP (DESIGN.md §10).
+
+    The networked shape of the process backend: a coordinator (this side)
+    round-robins each phase's tasks over a pool of broker processes
+    speaking length-prefixed pickle frames, shipping each fragment across
+    the wire once and addressing it by ``(fid, fragment_version)``
+    afterwards.  Answers and modeled stats stay bit-identical to
+    ``sequential``; broker death degrades to retry-then-inline evaluation
+    (``degraded_tasks`` counts how often), never to a wrong answer.
+
+    By default the pool spawns ``num_brokers`` localhost children and is
+    shared per configuration across executor instances (like the
+    thread/process pools).  Pass ``addresses=["host:port", ...]`` to use
+    externally managed ``python -m repro.net.broker --listen`` brokers,
+    ``timeout`` to tighten the per-round response deadline, and
+    ``shared=False`` for a dedicated pool (what the crash tests use).
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        num_brokers: Optional[int] = None,
+        addresses: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+        shared: bool = True,
+    ) -> None:
+        """Configure the backend; brokers start on first ``run_tasks``."""
+        import weakref
+
+        from ..net import coordinator
+
+        if num_brokers is not None and num_brokers < 1:
+            raise DistributedError(f"num_brokers must be >= 1, got {num_brokers}")
+        self.num_brokers = num_brokers or coordinator.DEFAULT_NUM_BROKERS
+        self.addresses = tuple(addresses) if addresses is not None else None
+        self.timeout = coordinator.DEFAULT_TIMEOUT if timeout is None else timeout
+        self.shared = shared
+        self.degraded_tasks = 0
+        self._own_pool = None
+        self._clusters: Any = weakref.WeakValueDictionary()
+
+    def bind_cluster(self, cluster: Any) -> None:
+        """Register ``cluster`` for version-addressed fragment keys."""
+        from ..net import coordinator
+
+        coordinator.bind_cluster(self, cluster)
+
+    def run_tasks(self, tasks: Sequence[SiteTask]) -> List[TaskResult]:
+        from ..net import coordinator
+
+        return coordinator.run_socket_tasks(self, tasks)
+
+    def close(self) -> None:
+        """Shut down this executor's broker pool."""
+        from ..net import coordinator
+
+        coordinator.close_executor(self)
+
+
 #: Registry of the interchangeable backends (``--executor`` choices).
 EXECUTORS: Dict[str, Type[ExecutorBackend]] = {
     SequentialExecutor.name: SequentialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    SocketExecutor.name: SocketExecutor,
 }
 
 _default_executor_name = SequentialExecutor.name

@@ -1,0 +1,169 @@
+"""Length-prefixed pickle frames: the one wire format of the net package.
+
+Every message between coordinator, brokers, the asyncio serving front end
+and its clients is a *frame*::
+
+    b"RPRO" + uint32(big-endian payload length) + pickle(payload)
+
+msgpack would be the conventional choice, but the runtime is pure stdlib
+by design (DESIGN.md §1) and the payloads are the library's own picklable
+objects — queries, automata, fragments, equations, ``QueryResult``\\ s —
+so :mod:`pickle` (highest protocol) is both the simplest and the fastest
+encoding available.  All endpoints are processes of this same codebase on
+links the operator controls (localhost first); frames are not a trust
+boundary.
+
+Error contract: a frame that cannot be read — wrong magic, a length
+beyond :data:`MAX_FRAME_BYTES`, a connection closing mid-frame, an
+unpicklable payload — raises a clean :class:`~repro.errors.QueryError`
+stating what was wrong.  A connection that closes cleanly *between*
+frames raises :class:`EOFError` so servers can tell an orderly hangup
+from a torn frame.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, NamedTuple, Tuple
+
+from ..errors import QueryError
+
+#: Frame magic: guards against a stray client speaking another protocol.
+MAGIC = b"RPRO"
+
+#: Hard ceiling on one frame's payload (a defensive bound, far above any
+#: real fragment or batch; a corrupt length header fails fast instead of
+#: attempting a multi-gigabyte allocation).
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = len(MAGIC) + _HEADER.size
+
+
+class FragmentRef(NamedTuple):
+    """A fragment addressed by key instead of by value (the handshake).
+
+    The coordinator ships each fragment to a broker once; afterwards task
+    arguments carry this reference and the broker resolves it against its
+    local store.  ``key`` is ``("v", cluster_token, fid, version, stamp)``
+    for fragments resolvable through a bound cluster — so repartitions and
+    version bumps invalidate remote state exactly like the serving cache —
+    or ``("o", object_token, stamp)`` for free-standing fragments.
+    """
+
+    key: Tuple[Any, ...]
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialize ``payload`` into one complete frame (header + pickle)."""
+    try:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise QueryError(f"unpicklable frame payload: {exc}") from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise QueryError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return MAGIC + _HEADER.pack(len(body)) + body
+
+
+def decode_header(header: bytes) -> int:
+    """Validate a frame header, returning the payload length."""
+    if header[: len(MAGIC)] != MAGIC:
+        raise QueryError(
+            f"malformed frame: bad magic {header[:len(MAGIC)]!r} "
+            f"(expected {MAGIC!r})"
+        )
+    (length,) = _HEADER.unpack(header[len(MAGIC) :])
+    if length > MAX_FRAME_BYTES:
+        raise QueryError(
+            f"malformed frame: declared payload of {length} bytes exceeds "
+            f"the {MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return length
+
+
+def decode_payload(body: bytes) -> Any:
+    """Deserialize one frame's payload bytes."""
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise QueryError(f"malformed frame payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# blocking sockets (coordinator <-> broker, ServeClient)
+# ---------------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or raise (EOFError / QueryError)."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                raise EOFError("connection closed")
+            raise QueryError(
+                f"truncated frame: connection closed with {remaining} of "
+                f"{count} {what} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame from a blocking socket.
+
+    Raises :class:`EOFError` on a clean close before any header byte and
+    :class:`~repro.errors.QueryError` on malformed or truncated frames.
+    """
+    header = _recv_exactly(sock, HEADER_BYTES, "header")
+    length = decode_header(header)
+    return decode_payload(_recv_exactly(sock, length, "payload"))
+
+
+# ---------------------------------------------------------------------------
+# asyncio streams (serving front end)
+# ---------------------------------------------------------------------------
+async def write_frame(writer: Any, payload: Any) -> None:
+    """Write one frame to an asyncio ``StreamWriter`` and drain."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+async def read_frame(reader: Any) -> Any:
+    """Read one frame from an asyncio ``StreamReader``.
+
+    Same error contract as :func:`recv_frame`: clean close between frames
+    raises :class:`EOFError`, anything torn raises
+    :class:`~repro.errors.QueryError`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed") from None
+        raise QueryError(
+            f"truncated frame: connection closed after {len(exc.partial)} "
+            f"of {HEADER_BYTES} header bytes"
+        ) from None
+    length = decode_header(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise QueryError(
+            f"truncated frame: connection closed after {len(exc.partial)} "
+            f"of {length} payload bytes"
+        ) from None
+    return decode_payload(body)

@@ -47,6 +47,7 @@ from typing import (
 )
 
 from ..distributed.cluster import SimulatedCluster
+from ..errors import QueryError
 from ..distributed.messages import MessageKind, payload_size
 from ..distributed.stats import ExecutionStats, WorkloadStats
 from ..partition.fragment import Fragment
@@ -370,6 +371,36 @@ class BatchQueryEngine:
         return self.run_batch(
             [query], algorithm, collect_details, kernel=kernel
         ).results[0]
+
+    def open_session(self, query, kernel: Optional[str] = None):
+        """Open a standing incremental session for ``query``.
+
+        The engine-side factory behind ``Client.session()``: dispatches on
+        the query class to the matching incremental session
+        (:class:`~repro.core.incremental.IncrementalReachSession` /
+        :class:`~repro.core.incremental.IncrementalRegularSession`),
+        initializes it, and returns it with its first answer standing.
+        Bounded queries have no incremental maintenance story (the
+        boundedness certificate is not locally repairable), so they raise
+        :class:`~repro.errors.QueryError`.
+        """
+        from ..core.incremental import (
+            IncrementalReachSession,
+            IncrementalRegularSession,
+        )
+        from ..core.queries import ReachQuery, RegularReachQuery
+
+        if isinstance(query, ReachQuery):
+            session = IncrementalReachSession(self.cluster, query, kernel=kernel)
+        elif isinstance(query, RegularReachQuery):
+            session = IncrementalRegularSession(self.cluster, query, kernel=kernel)
+        else:
+            raise QueryError(
+                f"no incremental session for {type(query).__name__}; "
+                "sessions support ReachQuery and RegularReachQuery"
+            )
+        session.initialize()
+        return session
 
     def invalidate_fragment(self, fid: int) -> int:
         """Drop cached partials of ``fid`` (see also ``bump_fragment_version``)."""

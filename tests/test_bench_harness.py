@@ -59,12 +59,12 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_twenty_registered(self):
+    def test_all_twenty_one_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
             "fig11l", "ablation-index", "ablation-partitioner", "workload",
-            "partition", "mutation", "baselines", "kernels",
+            "partition", "mutation", "baselines", "kernels", "serving",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -99,6 +99,8 @@ _TINY = {
     # "kernels" is absent by design: its jobs rows legitimately omit the
     # backend/answers columns, so the every-column-in-every-row check below
     # does not apply; tests/test_kernels.py smoke-runs it instead.
+    # "serving" is absent for the same reason (the direct row has no
+    # batch/latency columns); test_exp_serving_smoke below runs it.
 }
 
 
@@ -113,4 +115,19 @@ def test_experiment_smoke(name):
         for column in result.columns:
             assert column in row, (name, column)
     # formatting must not crash
+    assert result.format_table()
+
+
+def test_exp_serving_smoke():
+    """Tiny closed-loop serving run: both rows present, answers identical."""
+    result = EXPERIMENTS["serving"](
+        scale=0.001, num_queries=6, card=3, clients=2
+    )
+    assert isinstance(result, ExperimentResult)
+    rows = {row["mode"]: row for row in result.rows}
+    assert set(rows) == {"direct", "serving"}
+    assert rows["direct"]["answers_match"] == 1
+    assert rows["serving"]["answers_match"] == 1
+    assert rows["serving"]["batches"] >= 1
+    assert rows["serving"]["p99_ms"] >= rows["serving"]["p50_ms"] >= 0.0
     assert result.format_table()

@@ -20,6 +20,7 @@ from repro.distributed.executors import (
     ProcessExecutor,
     SequentialExecutor,
     SiteTask,
+    SocketExecutor,
     ThreadExecutor,
     default_executor_name,
     get_executor,
@@ -193,10 +194,11 @@ def _explode():
 
 class TestRegistry:
     def test_known_backends(self):
-        assert set(EXECUTORS) == {"sequential", "thread", "process"}
+        assert set(EXECUTORS) == {"sequential", "thread", "process", "socket"}
         assert isinstance(get_executor("sequential"), SequentialExecutor)
         assert isinstance(get_executor("thread"), ThreadExecutor)
         assert isinstance(get_executor("process"), ProcessExecutor)
+        assert isinstance(get_executor("socket"), SocketExecutor)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(DistributedError, match="unknown executor"):
