@@ -130,8 +130,10 @@ def _run_request(request: Dict[str, Any], store: FragmentStore) -> Dict[str, Any
     error: Optional[BaseException] = None
     error_index = -1
     for index, (site_id, fn, args) in enumerate(request.get("tasks", ())):
-        task = SiteTask(site_id, fn, resolve_refs(args, store))
         try:
+            # resolve_refs inside the try: a missing fragment fails *this*
+            # task's index instead of the whole frame with error_index -1.
+            task = SiteTask(site_id, fn, resolve_refs(args, store))
             results.append(run_timed(task))
         except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
             error, error_index = exc, index
@@ -197,12 +199,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="127.0.0.1",
         help="bind/dial host (default: 127.0.0.1 — localhost first)",
     )
+    parser.add_argument(
+        "--allow-remote",
+        action="store_true",
+        help="permit a non-loopback --listen bind (run frames execute "
+        "arbitrary shipped functions: anyone who can reach the socket can "
+        "run code as this process; only use on a trusted, isolated network)",
+    )
     args = parser.parse_args(argv)
     if args.connect is not None:
         host, _, port = args.connect.rpartition(":")
         sock = socket.create_connection((host or args.host, int(port)))
         serve_connection(sock)
         return 0
+    from .framing import guard_bind_host
+
+    try:
+        guard_bind_host(args.host, args.allow_remote, "repro broker")
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((args.host, args.listen))

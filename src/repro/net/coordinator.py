@@ -441,7 +441,14 @@ def run_socket_tasks(executor: Any, tasks: Sequence[Any]) -> List[Any]:
                     results[indices[offset]] = result
                 error = response.get("error")
                 if error is not None:
-                    error_index = indices[response["error_index"]]
+                    raw_index = response.get("error_index", -1)
+                    if 0 <= raw_index < len(indices):
+                        error_index = indices[raw_index]
+                    else:
+                        # The broker failed outside any task (e.g. an
+                        # unknown op): attribute the error to this link's
+                        # first task so first-error ordering stays sound.
+                        error_index = indices[0]
                     if first_error is None or error_index < first_error[0]:
                         first_error = (error_index, error)
             pending = sorted(failed)

@@ -56,6 +56,40 @@ class FragmentRef(NamedTuple):
     key: Tuple[Any, ...]
 
 
+def is_loopback_host(host: str) -> bool:
+    """Whether ``host`` can only be reached from this machine."""
+    return host == "localhost" or host.startswith("127.") or host == "::1"
+
+
+def guard_bind_host(host: str, allow_remote: bool, prog: str) -> None:
+    """Enforce the localhost-first posture on a listening endpoint.
+
+    Frames carry unauthenticated pickle and brokers execute shipped task
+    functions, so anyone who can reach a listening socket can run code as
+    this process.  A non-loopback bind therefore requires an explicit
+    ``--allow-remote`` opt-in, and even then gets a prominent warning so
+    the exposure is deliberate, never accidental.
+    """
+    import sys
+
+    if is_loopback_host(host):
+        return
+    if not allow_remote:
+        raise QueryError(
+            f"{prog}: refusing to bind {host!r}: frames are unauthenticated "
+            "pickle (remote code execution for anyone who can reach the "
+            "socket). Pass --allow-remote only on a trusted, isolated "
+            "network."
+        )
+    print(
+        f"WARNING: {prog} binding {host!r}: frames are unauthenticated "
+        "pickle — anyone who can reach this socket can execute code as "
+        "this process. Only expose it on a trusted, isolated network.",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def encode_frame(payload: Any) -> bytes:
     """Serialize ``payload`` into one complete frame (header + pickle)."""
     try:

@@ -48,7 +48,7 @@ def percentile(samples: List[float], q: float) -> float:
 class _Pending:
     """One admitted query waiting for (or riding in) a batch."""
 
-    __slots__ = ("qid", "request", "writer", "lock", "enqueued")
+    __slots__ = ("qid", "request", "writer", "lock", "enqueued", "done")
 
     def __init__(
         self,
@@ -63,6 +63,7 @@ class _Pending:
         self.writer = writer
         self.lock = lock
         self.enqueued = enqueued
+        self.done = False
 
 
 class ServingServer:
@@ -227,6 +228,8 @@ class ServingServer:
         try:
             if op == "query":
                 assert self._queue is not None and self._loop is not None
+                if "query" not in request:
+                    raise QueryError("malformed 'query' request: missing 'query'")
                 item = _Pending(
                     qid, request, writer, lock, enqueued=self._loop.time()
                 )
@@ -305,7 +308,14 @@ class ServingServer:
                     )
                 except asyncio.TimeoutError:
                     break
-            await self._run_admitted(batch)
+            try:
+                await self._run_admitted(batch)
+            except Exception as exc:  # noqa: BLE001 - batcher must survive
+                # An unexpected error fails this batch's queries; the
+                # batcher itself must keep draining the admission queue.
+                error = QueryError(f"internal serving error: {exc!r}")
+                for item in batch:
+                    await self._finish(item, {"qid": item.qid, "error": error})
 
     async def _run_admitted(self, batch: List[_Pending]) -> None:
         """Evaluate one admitted batch, grouped by (algorithm, kernel)."""
@@ -330,6 +340,14 @@ class ServingServer:
                 for item in items:
                     await self._run_single(item, algorithm, kernel)
                 continue
+            if len(result.results) != len(items):
+                error = QueryError(
+                    f"engine returned {len(result.results)} results for a "
+                    f"batch of {len(items)} queries"
+                )
+                for item in items:
+                    await self._finish(item, {"qid": item.qid, "error": error})
+                continue
             for item, query_result in zip(items, result.results):
                 await self._finish(item, {"qid": item.qid, "value": query_result})
 
@@ -347,8 +365,11 @@ class ServingServer:
         await self._finish(item, {"qid": item.qid, "value": value})
 
     async def _finish(self, item: _Pending, payload: Dict[str, Any]) -> None:
-        """Reply to one admitted query and record its latency."""
+        """Reply to one admitted query (once) and record its latency."""
         assert self._loop is not None
+        if item.done:
+            return
+        item.done = True
         self._latencies.append(self._loop.time() - item.enqueued)
         self._served += 1
         await self._reply(item.writer, item.lock, payload)
@@ -449,6 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--kernel", choices=sorted(KERNELS), default=None,
                         help="local-evaluation kernel default for the server")
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--allow-remote", action="store_true",
+                        help="permit a non-loopback --host bind (frames are "
+                        "unauthenticated pickle: anyone who can reach the "
+                        "socket can execute code as this process; only use "
+                        "on a trusted, isolated network)")
     parser.add_argument("--port", type=int, default=0,
                         help="listen port (default: 0 = ephemeral, printed)")
     parser.add_argument("--window", type=float, default=2.0, metavar="MS",
@@ -470,9 +496,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     from ..graph import graph_io
     from ..serving import BatchQueryEngine
     from ..workload.datasets import load_dataset
+    from .framing import guard_bind_host
 
     args = build_parser().parse_args(argv)
     try:
+        guard_bind_host(args.host, args.allow_remote, "repro-serve")
         if args.kernel is not None:
             set_default_kernel(args.kernel)
         if args.graph:

@@ -233,6 +233,19 @@ class TestRemoteTransport:
             assert reply["qid"] == 1
             assert isinstance(reply["error"], QueryError)
 
+    def test_query_frame_without_body_gets_clean_error(self, server):
+        # A 'query' op missing its 'query' key must be rejected at
+        # dispatch — not enqueued where it would crash the batcher.
+        host, _, port = server.address.rpartition(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            send_frame(sock, {"op": "query", "qid": 7})
+            reply = recv_frame(sock)
+            assert reply["qid"] == 7
+            assert isinstance(reply["error"], QueryError)
+        # The batcher is still alive: a well-formed query still answers.
+        with connect(server.address) as remote:
+            assert remote.query(ReachQuery("a", "d")).answer is True
+
     def test_concurrent_clients_are_admission_batched(self, server):
         answers = {}
         errors = []
@@ -274,6 +287,38 @@ class TestBackpressureAndValidation:
             for t in threads:
                 t.join()
             assert answers == [True] * 4
+        finally:
+            server.shutdown()
+
+    def test_batcher_survives_unexpected_engine_error(self):
+        # A non-ReproError escaping the engine must fail that batch's
+        # queries, not kill the batcher coroutine for good.
+        class FlakyEngine:
+            def __init__(self, engine):
+                self._engine = engine
+                self.boom = True
+
+            def run_batch(self, *args, **kwargs):
+                if self.boom:
+                    self.boom = False
+                    raise RuntimeError("engine bug")
+                return self._engine.run_batch(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._engine, name)
+
+        cluster = SimulatedCluster.from_graph(
+            _chain_graph(), 2, partitioner="chunk", seed=0
+        )
+        server = start_background_server(
+            BatchQueryEngine(cluster), window=0.0
+        )
+        server.engine = FlakyEngine(server.engine)
+        try:
+            with connect(server.address) as remote:
+                with pytest.raises(QueryError, match="internal serving error"):
+                    remote.query(ReachQuery("a", "d"))
+                assert remote.query(ReachQuery("a", "d")).answer is True
         finally:
             server.shutdown()
 

@@ -33,13 +33,14 @@ from repro.distributed import SimulatedCluster
 from repro.distributed.executors import SocketExecutor
 from repro.errors import DistributedError, QueryError
 from repro.graph import erdos_renyi
-from repro.net.broker import FragmentStore, resolve_refs
+from repro.net.broker import FragmentStore, _run_request, resolve_refs
 from repro.net.framing import (
     HEADER_BYTES,
     MAGIC,
     MAX_FRAME_BYTES,
     FragmentRef,
     encode_frame,
+    guard_bind_host,
     recv_frame,
     send_frame,
 )
@@ -113,6 +114,35 @@ class TestFraming:
             encode_frame(socket.socket())
 
 
+class TestBindGuard:
+    def test_loopback_hosts_pass_silently(self, capsys):
+        for host in ("127.0.0.1", "127.1.2.3", "localhost", "::1"):
+            guard_bind_host(host, False, "test")
+        assert capsys.readouterr().err == ""
+
+    def test_non_loopback_refused_without_opt_in(self):
+        for host in ("0.0.0.0", "::", "192.168.1.5", ""):
+            with pytest.raises(QueryError, match="refusing to bind"):
+                guard_bind_host(host, False, "test")
+
+    def test_opt_in_downgrades_refusal_to_warning(self, capsys):
+        guard_bind_host("0.0.0.0", True, "test")
+        assert "WARNING" in capsys.readouterr().err
+
+    def test_broker_cli_refuses_remote_listen(self, capsys):
+        from repro.net.broker import main
+
+        assert main(["--listen", "0", "--host", "0.0.0.0"]) == 2
+        assert "refusing to bind" in capsys.readouterr().err
+
+    def test_serve_cli_refuses_remote_bind(self, capsys):
+        from repro.net.server import main
+
+        # The guard fires before the graph file would be opened.
+        assert main(["--graph", "does-not-exist", "--host", "0.0.0.0"]) == 2
+        assert "refusing to bind" in capsys.readouterr().err
+
+
 class TestFragmentStore:
     def test_missing_key_is_a_query_error(self):
         store = FragmentStore()
@@ -176,6 +206,24 @@ def _modeled_signature(result):
         [(m.src, m.dst, m.kind, m.size_bytes) for m in stats.messages],
         stats.supersteps,
     )
+
+
+class TestRunRequest:
+    def test_missing_fragment_error_carries_the_task_index(self):
+        # Resolution failures must land on the failing task's index, not
+        # -1, so the coordinator attributes the error correctly.
+        store = FragmentStore()
+        request = {
+            "op": "run",
+            "tasks": [
+                (0, len, ((),)),
+                (1, len, (FragmentRef(("o", 99, 0)),)),
+            ],
+        }
+        response = _run_request(request, store)
+        assert isinstance(response["error"], QueryError)
+        assert response["error_index"] == 1
+        assert len(response["results"]) == 1
 
 
 class TestFragmentShipping:
