@@ -53,6 +53,17 @@ Three kinds of checks:
   supersteps) must be bit-identical across the sequential/thread/process
   rows of the current run, and identical to the committed baseline's
   sequential row (everything is deterministic, so both checks are exact).
+* **real-graph harness** (when the baseline carries a ``snap``
+  experiment) — the offline fixture sweep (``bench snap --fixture``) must
+  hold the Theorem 1–2 envelope on every static cell (``env_ok == 1``),
+  keep answers identical across partitioners/backends/kernels, keep
+  ``refined`` at-or-below ``hash`` on both ``|Vf|`` and modeled disReach
+  traffic per dataset, and keep every edge-arrival ``replay`` row
+  bit-identical to its static prefix load (``replay_match == 1``) with at
+  least one drift-triggered refinement on the monitor row.  ``Vf`` and
+  answers are additionally exact against the committed baseline, the
+  modeled cost columns tolerance-compared, and a baseline cell missing
+  from the current run fails (skips must never pass silently in CI).
 * **kernel identity + speedup floor** (when the baseline carries a
   ``kernels`` experiment) — every local-evaluation kernel's ``evaluate``
   rows must carry modeled stats bit-identical to the run's own
@@ -746,9 +757,197 @@ def check_serving(
     )
 
 
+def snap_rows(
+    payload: Dict[str, dict],
+) -> Optional[List[Dict[str, object]]]:
+    """Snap-experiment rows (all modes), if present."""
+    experiment = payload.get("snap")
+    if not experiment or "rows" not in experiment:
+        return None
+    return list(experiment["rows"])
+
+
+def _snap_key(row: Dict[str, object]) -> Tuple[str, str, str, str, str, str]:
+    """Identity of one snap row (mode + full sweep coordinates)."""
+    return tuple(
+        str(row.get(col))
+        for col in ("dataset", "mode", "partitioner", "algorithm", "backend", "kernel")
+    )
+
+
+def check_snap(
+    current: List[Dict[str, object]],
+    baseline: List[Dict[str, object]],
+    tolerance: float,
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    improvements: List[str],
+    report: List[str],
+) -> None:
+    """Real-graph harness gate: envelopes, replay identity, refined wins.
+
+    Everything gated here is deterministic (modeled traffic/visits, boundary
+    counts, answers, replay identity on the committed fixtures), so the
+    checks are exact except the tolerance band on the modeled cost columns:
+
+    * every ``static`` row holds the Theorem 1–2 envelope (``env_ok == 1``)
+      and its answers agree with every other cell of its (dataset,
+      algorithm) pair — partition/backend/kernel agnosticism;
+    * per dataset, ``refined`` beats-or-ties ``hash`` on both ``|Vf|`` and
+      modeled disReach ``traffic_KB`` (the paper's headline ordering);
+    * every ``replay`` row is bit-identical to its static prefix load
+      (``replay_match == 1``) and every ``replay-monitor`` row fired at
+      least one drift-triggered refinement;
+    * against the committed baseline: ``Vf`` is an exact ceiling, answers
+      match exactly, and ``traffic_KB``/``network_ms``/``visits`` stay
+      within the tolerance band; a baseline row missing from the current
+      run (e.g. silently skipped) is a failure.
+    """
+    cur_by_key = {_snap_key(row): row for row in current}
+
+    # (a) within-run invariants of the current rows.
+    answer_ref: Dict[Tuple[str, str], Tuple[str, object]] = {}
+    for row in current:
+        key = _snap_key(row)
+        label = "snap/" + "/".join(p for p in key if p != "None")
+        mode = str(row.get("mode"))
+        if mode == "static":
+            env_ok = row.get("env_ok") == 1
+            if not env_ok:
+                failures.append(
+                    f"{label}: env_ok != 1 — realized modeled traffic "
+                    "escaped the Theorem 1-2 envelope"
+                )
+            report.append(
+                f"| {label} | env_ok (exact) | 1 | {row.get('env_ok')} | - "
+                f"| {'ok' if env_ok else 'FAIL'} |"
+            )
+            pair = (str(row.get("dataset")), str(row.get("algorithm")))
+            answers = str(row.get("answers"))
+            if pair not in answer_ref:
+                answer_ref[pair] = (answers, label)
+            elif answers != answer_ref[pair][0]:
+                failures.append(
+                    f"{label}: answers {answers!r} diverge from "
+                    f"{answer_ref[pair][1]}'s {answer_ref[pair][0]!r} — "
+                    "partition/backend/kernel agnosticism broken"
+                )
+        elif mode == "replay":
+            matched = row.get("replay_match") == 1
+            if not matched:
+                failures.append(
+                    f"{label}: replay_match != 1 — the edge-arrival replay "
+                    "diverged from the static prefix load"
+                )
+            report.append(
+                f"| {label} | replay_match (exact) | 1 "
+                f"| {row.get('replay_match')} | - "
+                f"| {'ok' if matched else 'FAIL'} |"
+            )
+        elif mode == "replay-monitor":
+            refines = as_float(row, "refines", current_origin, label)
+            ok = refines >= 1
+            if not ok:
+                failures.append(
+                    f"{label}: no drift-triggered refinement fired during "
+                    "the replay (refines == 0)"
+                )
+            report.append(
+                f"| {label} | refines (floor) | >= 1 | {refines:g} | - "
+                f"| {'ok' if ok else 'FAIL'} |"
+            )
+
+    # (b) refined beats-or-ties hash per dataset (Vf AND disReach traffic).
+    static = [row for row in current if row.get("mode") == "static"]
+    for dataset in sorted({str(row.get("dataset")) for row in static}):
+        pick = {
+            pname: next(
+                (
+                    row
+                    for row in static
+                    if str(row.get("dataset")) == dataset
+                    and str(row.get("partitioner")) == pname
+                    and str(row.get("algorithm")) == "disReach"
+                ),
+                None,
+            )
+            for pname in ("refined", "hash")
+        }
+        if pick["refined"] is None or pick["hash"] is None:
+            continue
+        label = f"snap/{dataset}"
+        vf_ok = as_float(
+            pick["refined"], "Vf", current_origin, label
+        ) <= as_float(pick["hash"], "Vf", current_origin, label)
+        traffic_ok = as_float(
+            pick["refined"], "traffic_KB", current_origin, label
+        ) <= as_float(pick["hash"], "traffic_KB", current_origin, label)
+        ok = vf_ok and traffic_ok
+        if not ok:
+            failures.append(
+                f"{label}: refined does not beat-or-tie hash on "
+                f"{'Vf' if not vf_ok else 'traffic_KB'} — the paper's "
+                "partition-quality ordering broke on a real edge list"
+            )
+        report.append(
+            f"| {label} | refined <= hash (Vf & traffic) | - "
+            f"| {'ok' if ok else 'violated'} | - | {'ok' if ok else 'FAIL'} |"
+        )
+
+    # (c) against the committed baseline: exact Vf/answers, cost tolerance.
+    for row in baseline:
+        if str(row.get("mode")) != "static":
+            continue
+        key = _snap_key(row)
+        label = "snap/" + "/".join(key)
+        cur = cur_by_key.get(key)
+        if cur is None:
+            failures.append(
+                f"{label}: baseline row missing from the current run — a "
+                "sweep cell was dropped or silently skipped"
+            )
+            continue
+        base_vf = as_float(row, "Vf", baseline_origin, label)
+        cur_vf = as_float(cur, "Vf", current_origin, label)
+        if cur_vf > base_vf:
+            failures.append(
+                f"{label}: Vf={cur_vf:g} exceeds the committed ceiling "
+                f"{base_vf:g} (deterministic)"
+            )
+        elif cur_vf < base_vf:
+            improvements.append(
+                f"{label}: Vf={cur_vf:g} is below the ceiling {base_vf:g}"
+            )
+        if str(cur.get("answers")) != str(row.get("answers")):
+            failures.append(
+                f"{label}: answers {cur.get('answers')!r} differ from the "
+                f"baseline's {row.get('answers')!r} (deterministic workload)"
+            )
+        for metric in COST_METRICS:
+            base_value = as_float(row, metric, baseline_origin, label)
+            cur_value = as_float(cur, metric, current_origin, label)
+            limit = base_value * (1.0 + tolerance)
+            ok = cur_value <= limit
+            if not ok:
+                failures.append(
+                    f"{label}: {metric} regressed {base_value:g} -> "
+                    f"{cur_value:g} (tolerance {tolerance:.0%})"
+                )
+            elif base_value > 0 and cur_value < base_value * (1.0 - tolerance):
+                improvements.append(
+                    f"{label}: {metric} improved {base_value:g} -> {cur_value:g}"
+                )
+            report.append(
+                f"| {label} | {metric} | {base_value:g} | {cur_value:g} "
+                f"| {limit:g} | {'ok' if ok else 'FAIL'} |"
+            )
+
+
 #: Experiment ids ``--only`` accepts (everything the gate knows to check).
 GATED_EXPERIMENTS = (
-    "workload", "partition", "mutation", "baselines", "kernels", "serving"
+    "workload", "partition", "mutation", "baselines", "kernels", "serving",
+    "snap",
 )
 
 
@@ -916,6 +1115,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
+    baseline_snap = snap_rows(baseline_payload) if wanted("snap") else None
+    if baseline_snap is not None:
+        current_snap = snap_rows(current_payload)
+        if current_snap is None:
+            raise SystemExit(
+                f"error: baseline has a snap experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench snap --fixture --json <file>`"
+            )
+        check_snap(
+            current_snap,
+            baseline_snap,
+            args.tolerance,
+            current_origin,
+            str(baseline_path),
+            failures,
+            improvements,
+            report,
+        )
+
     print("benchmark regression check:", current_origin, "vs", baseline_path)
     print("\n".join(report))
     if improvements:
@@ -940,7 +1159,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ok: within tolerance, above serving floors; partition ceilings, "
         "mutation envelope, session-remap batching floors, baseline "
         "cross-backend identity, kernel identity, the kernel speedup "
-        "floor and the networked-serving QPS/p99 gates hold"
+        "floor, the networked-serving QPS/p99 gates and the snap "
+        "fixture-harness invariants hold"
     )
     return 0
 

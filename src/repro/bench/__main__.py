@@ -61,6 +61,37 @@ def main(argv=None) -> int:
         "(mutation: opens S incremental sessions and reports the batched "
         "repartition-remap savings at S in {1, S/2, S})",
     )
+    parser.add_argument(
+        "--fixture",
+        action="store_true",
+        help="snap experiment: sweep the committed tests/data/ fixtures "
+        "instead of downloaded datasets (fully offline — the CI smoke)",
+    )
+    parser.add_argument(
+        "--snap-graph",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="snap experiment: sweep this edge-list file (plain or gzip, "
+        "SNAP dialect) instead of the registered datasets; repeatable",
+    )
+    parser.add_argument(
+        "--wall-budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="snap experiment: per-dataset wall budget before the remaining "
+        "cells are skipped (with the reason in the row)",
+    )
+    parser.add_argument(
+        "--rss-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="snap experiment: refuse datasets whose estimated resident size "
+        "exceeds this (skip row carries the estimate)",
+    )
     parser.add_argument("--csv", type=Path, default=None, help="also write CSV here")
     parser.add_argument(
         "--json",
@@ -108,15 +139,25 @@ def main(argv=None) -> int:
     csv_chunks = []
     json_payload = {}
     for name in names:
+        # Per-experiment knobs are forwarded only when the experiment's
+        # signature accepts them (not every experiment has a scale or a
+        # fixture mode).
+        accepted = inspect.signature(EXPERIMENTS[name]).parameters
         kwargs = {"seed": args.seed}
-        if args.scale is not None:
+        if args.scale is not None and "scale" in accepted:
             kwargs["scale"] = args.scale
         if args.queries is not None:
             kwargs["num_queries"] = args.queries
-        if args.sessions is not None:
-            accepted = inspect.signature(EXPERIMENTS[name]).parameters
-            if "sessions" in accepted:
-                kwargs["sessions"] = args.sessions
+        if args.sessions is not None and "sessions" in accepted:
+            kwargs["sessions"] = args.sessions
+        if args.fixture and "fixture" in accepted:
+            kwargs["fixture"] = True
+        if args.snap_graph and "snap_graphs" in accepted:
+            kwargs["snap_graphs"] = tuple(args.snap_graph)
+        if args.wall_budget_s is not None and "wall_budget_s" in accepted:
+            kwargs["wall_budget_s"] = args.wall_budget_s
+        if args.rss_budget_mb is not None and "rss_budget_mb" in accepted:
+            kwargs["rss_budget_mb"] = args.rss_budget_mb
         start = time.perf_counter()
         result = EXPERIMENTS[name](**kwargs)
         elapsed = time.perf_counter() - start

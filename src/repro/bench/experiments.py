@@ -13,6 +13,7 @@ registered in :data:`EXPERIMENTS` for the CLI (``python -m repro.bench``).
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -1318,6 +1319,454 @@ def exp_serving(
     return result
 
 
+# ---------------------------------------------------------------------------
+# snap: real-graph scale harness (SNAP datasets / committed fixtures)
+# ---------------------------------------------------------------------------
+#: Pinned knobs of the ``snap`` experiment's offline fixture mode (what the
+#: CI gate enforces): small deterministic sweep on the committed fixtures.
+SNAP_FIXTURE_PARTITIONERS = ("hash", "refined")
+SNAP_FIXTURE_BACKENDS = ("sequential", "thread")
+#: Real-dataset sweep dimensions (budget-capped, skip-with-reason).
+SNAP_PARTITIONERS = ("hash", "chunk", "refined")
+SNAP_BACKENDS = ("sequential", "thread", "process")
+#: Theorem-envelope headroom: realized mean traffic bytes per query must
+#: stay under ``SNAP_ENV_FACTOR`` x the evaluated |Vq|^p * |Vf|^2 bound.
+#: The bound counts boundary-node terms; realized bytes carry per-term
+#: serialization constants (ids + lengths), so the factor absorbs the
+#: bytes-per-term constant — it is NOT a fudge on the |Vf|^2 shape.
+SNAP_ENV_FACTOR = 64
+#: Estimated resident bytes per inserted edge of the DiGraph adjacency
+#: representation (two set entries + dict overhead, measured on CPython
+#: 3.12) — the pre-load guard multiplies this by the published edge count.
+SNAP_RSS_BYTES_PER_EDGE = 120
+DEFAULT_SNAP_WALL_BUDGET_S = 300.0
+DEFAULT_SNAP_RSS_BUDGET_MB = 6144.0
+#: Edge-arrival records replayed per real-dataset replay cell (fixtures
+#: replay their whole stream).
+DEFAULT_SNAP_REPLAY_LIMIT = 4000
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MB (0.0 if unreadable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return raw / 1e6 if sys.platform == "darwin" else raw / 1e3
+
+
+def _snap_queries(graph: DiGraph, count: int, seed: int, bound: int = 6):
+    """Cheap deterministic reach + bounded workloads for large graphs.
+
+    :func:`~repro.workload.query_gen.random_reach_queries` plants positives
+    from the *full* descendant set — one unbounded BFS per attempt, which on
+    a multi-million-edge SNAP graph is exactly the cost the harness budgets
+    guard against.  Here positives come from a capped BFS (at most
+    ``_SNAP_BFS_CAP`` visited nodes, sorted expansion for determinism) and
+    negatives from uniform pairs, so query generation stays O(cap) per
+    query regardless of graph size.  ~Half the queries are planted
+    positive; answers are still computed exactly by the algorithms.
+    """
+    import random as _random
+
+    from ..core.queries import BoundedReachQuery, ReachQuery
+
+    rng = _random.Random(seed)
+    nodes = sorted(graph.nodes())
+    reach, bounded = [], []
+    while len(reach) < count:
+        source = rng.choice(nodes)
+        if len(reach) % 2 == 0:
+            pool = _capped_descendants(graph, source, _SNAP_BFS_CAP)
+            target = rng.choice(pool) if pool else rng.choice(nodes)
+        else:
+            target = rng.choice(nodes)
+        if target == source:
+            continue
+        reach.append(ReachQuery(source, target))
+        bounded.append(BoundedReachQuery(source, target, bound))
+    return reach, bounded
+
+
+_SNAP_BFS_CAP = 2048
+
+
+def _capped_descendants(graph: DiGraph, source, cap: int) -> List:
+    """Proper descendants of ``source``, stopping after ``cap`` nodes."""
+    seen = {source}
+    frontier = [source]
+    while frontier and len(seen) < cap:
+        nxt = []
+        for node in frontier:
+            for succ in sorted(graph.successors(node)):
+                if succ not in seen:
+                    seen.add(succ)
+                    nxt.append(succ)
+                    if len(seen) >= cap:
+                        break
+            if len(seen) >= cap:
+                break
+        frontier = nxt
+    seen.discard(source)
+    return sorted(seen)
+
+
+def exp_snap(
+    seed: int = 0,
+    card: int = 4,
+    num_queries: int = 4,
+    fixture: bool = False,
+    snap_graphs: Sequence[str] = (),
+    replay_limit: int = DEFAULT_SNAP_REPLAY_LIMIT,
+    wall_budget_s: float = DEFAULT_SNAP_WALL_BUDGET_S,
+    rss_budget_mb: float = DEFAULT_SNAP_RSS_BUDGET_MB,
+) -> ExperimentResult:
+    """Real-graph scale harness: SNAP datasets end-to-end (ROADMAP item 1).
+
+    Three row families per dataset (the ``mode`` column):
+
+    * ``load`` — the streaming parse (:mod:`repro.workload.snap`) timed and
+      RSS-stamped: the measured nodes/edges/wall/RSS record README's
+      largest-graph-served number.
+    * ``static`` — the sweep of partitioners x algorithms x backends x
+      kernels.  Each cell reports the fragmentation's ``|Vf|``, the
+      evaluated Theorem 1–2 envelope (``bound = |Vf|^2``) and the realized
+      mean modeled traffic next to it; ``env_ok`` holds realized bytes
+      under ``SNAP_ENV_FACTOR x bound`` and answers are asserted identical
+      across every cell of a (dataset, algorithm) pair.
+    * ``replay`` / ``replay-monitor`` — the edge-arrival replay: a
+      nodes-only cluster (assignment computed on the full graph) absorbs
+      the dataset's stream through ``apply_edge_mutation``; the plain
+      replay is then checked **bit-identical** (answers/visits/traffic) to
+      a static load of the same prefix under the same assignment
+      (``replay_match``), and the monitor run reports drift-triggered
+      bounded refinements (``refines``/``moves``).
+
+    ``fixture=True`` (CLI: ``--fixture``) pins the sweep to the two
+    committed ``tests/data/`` fixtures with a fixed sub-grid — fully
+    offline and deterministic, the shape ``benchmarks/check_regression.py``
+    gates.  Otherwise the registered SNAP datasets run (cells are
+    budget-capped by ``wall_budget_s`` per dataset and a pre-load RSS
+    estimate against ``rss_budget_mb``; over-budget work is skipped with a
+    reason row, never silently).  ``snap_graphs`` (CLI: ``--snap-graph
+    PATH``, repeatable) sweeps arbitrary edge-list files instead — any
+    graph in the SNAP dialect, e.g. a generated real-scale stand-in.
+    """
+    from pathlib import Path as _Path
+
+    from ..core.kernels import available_kernels
+    from ..distributed.cluster import _resolve_assignment
+    from ..partition.builder import build_fragmentation
+    from ..partition.monitor import MutationMonitor
+    from ..partition.quality import measure_quality
+    from ..serving.engine import BatchQueryEngine
+    from ..workload import snap as snap_mod
+
+    if fixture:
+        datasets = [(name, "fixture") for name in sorted(snap_mod.FIXTURES)]
+        partitioners: Sequence[str] = SNAP_FIXTURE_PARTITIONERS
+        backends: Sequence[str] = SNAP_FIXTURE_BACKENDS
+        kernels: Sequence[str] = ("python",)
+    elif snap_graphs:
+        datasets = [(str(path), "path") for path in snap_graphs]
+        partitioners = SNAP_PARTITIONERS
+        backends = SNAP_BACKENDS
+        kernels = available_kernels()
+    else:
+        datasets = [(name, "snap") for name in sorted(snap_mod.SNAP_SPECS)]
+        partitioners = SNAP_PARTITIONERS
+        backends = SNAP_BACKENDS
+        kernels = available_kernels()
+
+    result = ExperimentResult(
+        "snap",
+        "Real-graph scale harness: SNAP sweep + edge-arrival replay",
+        [
+            "dataset", "mode", "partitioner", "algorithm", "backend",
+            "kernel", "nodes", "edges", "Vf", "bound", "traffic_KB",
+            "network_ms", "visits", "answers", "env_ok", "wall_ms",
+            "rss_MB", "status", "replayed", "refines", "moves",
+            "replay_match",
+        ],
+        notes=(
+            f"card(F)={card}, {num_queries} queries/class, env factor "
+            f"{SNAP_ENV_FACTOR}; mode=fixture: {fixture}; bound = Theorem "
+            "1-2 envelope |Vf|^2; replay rows feed the arrival stream "
+            "through apply_edge_mutation (replay_match=1: bit-identical to "
+            "the static prefix load); budget-skipped cells carry a reason "
+            "in the status column"
+        ),
+    )
+
+    for dataset, kind in datasets:
+        started = time.perf_counter()
+
+        def over_budget() -> bool:
+            return time.perf_counter() - started > wall_budget_s
+
+        # -- pre-load guards ------------------------------------------------
+        if kind == "snap":
+            spec = snap_mod.get_spec(dataset)
+            inserted = spec.edges * (1 if spec.directed else 2)
+            est_mb = inserted * SNAP_RSS_BYTES_PER_EDGE / 1e6
+            if est_mb > rss_budget_mb:
+                result.add_row(
+                    dataset=dataset, mode="skip",
+                    status=(
+                        f"skipped: estimated RSS {est_mb:.0f}MB exceeds "
+                        f"budget {rss_budget_mb:.0f}MB "
+                        f"(--rss-budget-mb to raise)"
+                    ),
+                )
+                continue
+            if not snap_mod.dataset_path(dataset).exists():
+                result.add_row(
+                    dataset=dataset, mode="skip",
+                    status=(
+                        "skipped: not in cache — run `python -m "
+                        f"repro.workload.snap download {dataset}`"
+                    ),
+                )
+                continue
+
+        # -- load (streaming parse, timed) ----------------------------------
+        stats = snap_mod.EdgeListStats()
+        with stopwatch() as load_watch:
+            if kind == "fixture":
+                graph = snap_mod.load_fixture(dataset, stats=stats)
+            elif kind == "path":
+                graph = snap_mod.load_edge_file(dataset, stats=stats)
+            else:
+                graph = snap_mod.load_snap(dataset, stats=stats)
+        result.add_row(
+            dataset=dataset, mode="load",
+            nodes=graph.num_nodes, edges=graph.num_edges,
+            wall_ms=load_watch[0] * 1e3, rss_MB=_peak_rss_mb(),
+            status=stats.note(),
+        )
+
+        reach_queries, bounded_queries = _snap_queries(graph, num_queries, seed)
+        workloads = [
+            ("disReach", reach_queries), ("disDist", bounded_queries),
+        ]
+
+        # -- static sweep: partitioners x backends x kernels x algorithms ---
+        # Modeled metrics (|Vf|, traffic, visits, answers) are backend- and
+        # kernel-independent, so a budgeted run must cover every partitioner
+        # once before widening: the primary cells (first backend, fastest
+        # kernel) answer the refined-vs-hash headline, the wide cells only
+        # add wall-clock cross-checks.  The replay rows run between the two
+        # passes, so the budget cuts the least informative cells first.
+        reference: Dict[str, Tuple] = {}
+        preferred_kernel = "numpy" if "numpy" in kernels else kernels[0]
+        primary_cells = []
+        wide_cells = []
+        for pname in partitioners:
+            for backend in backends:
+                for kernel in kernels:
+                    cell = (pname, backend, kernel)
+                    if backend == backends[0] and kernel == preferred_kernel:
+                        primary_cells.append(cell)
+                    else:
+                        wide_cells.append(cell)
+
+        partition_cache: Dict[str, Tuple] = {}
+
+        def partition_info(pname):
+            if pname not in partition_cache:
+                assignment, _ = _resolve_assignment(graph, card, pname, seed)
+                partition_cache[pname] = (
+                    assignment,
+                    measure_quality(
+                        build_fragmentation(graph, assignment, card)
+                    ),
+                )
+            return partition_cache[pname]
+
+        engine_key = None
+        engine = None
+
+        def run_cells(cells) -> bool:
+            """Evaluate static cells in order; True if the budget cut them."""
+            nonlocal engine_key, engine
+            for pname, backend, kernel in cells:
+                assignment, quality = partition_info(pname)
+                if engine_key != (pname, backend):
+                    engine = BatchQueryEngine(
+                        SimulatedCluster(
+                            build_fragmentation(graph, assignment, card),
+                            executor=backend,
+                        )
+                    )
+                    engine_key = (pname, backend)
+                for algorithm, queries in workloads:
+                    if over_budget():
+                        return True
+                    with stopwatch() as watch:
+                        batch = engine.run_batch(
+                            queries, algorithm=algorithm, kernel=kernel
+                        )
+                    answers = "".join(
+                        "T" if a else "F" for a in batch.answers
+                    )
+                    if algorithm not in reference:
+                        reference[algorithm] = answers
+                    elif answers != reference[algorithm]:  # pragma: no cover - guard
+                        raise AssertionError(
+                            f"{dataset}/{algorithm}: answers under "
+                            f"{pname}/{backend}/{kernel} diverge "
+                            f"({answers} vs {reference[algorithm]})"
+                        )
+                    n = len(queries)
+                    traffic = sum(
+                        r.stats.traffic_bytes for r in batch.results
+                    )
+                    bound = quality.traffic_bound(algorithm)
+                    result.add_row(
+                        dataset=dataset, mode="static",
+                        partitioner=pname, algorithm=algorithm,
+                        backend=backend, kernel=kernel,
+                        nodes=graph.num_nodes, edges=graph.num_edges,
+                        Vf=quality.num_boundary_nodes, bound=bound,
+                        traffic_KB=traffic / n / 1e3,
+                        network_ms=sum(
+                            r.stats.network_seconds for r in batch.results
+                        ) / n * 1e3,
+                        visits=sum(
+                            r.stats.total_visits for r in batch.results
+                        ),
+                        answers=answers,
+                        env_ok=int(traffic / n <= SNAP_ENV_FACTOR * bound),
+                        wall_ms=watch[0] * 1e3,
+                        rss_MB=_peak_rss_mb(),
+                        status="ok",
+                    )
+            return False
+
+        if run_cells(primary_cells):
+            result.add_row(
+                dataset=dataset, mode="skip",
+                status=(
+                    f"skipped remaining cells: wall budget {wall_budget_s:.0f}s "
+                    "exceeded (--wall-budget-s to raise)"
+                ),
+            )
+            continue
+
+        # -- edge-arrival replay (equivalence + monitor) --------------------
+        limit = None if kind == "fixture" else replay_limit
+
+        def edge_stream():
+            if kind == "path":
+                fh = snap_mod.open_edge_file(dataset)
+                try:
+                    yield from snap_mod.iter_edge_list(fh)
+                finally:
+                    fh.close()
+            else:
+                yield from snap_mod.iter_dataset_edges(dataset)
+
+        for pname in partitioners:
+            if over_budget():
+                result.add_row(
+                    dataset=dataset, mode="skip",
+                    status=f"skipped replay: wall budget {wall_budget_s:.0f}s exceeded",
+                )
+                break
+            replayed, assignment = snap_mod.nodes_only_cluster(
+                graph, card, partitioner=pname, seed=seed
+            )
+            with stopwatch() as watch:
+                report = snap_mod.replay_edges(
+                    replayed, edge_stream(), limit=limit
+                )
+            # Static twin: same assignment over the same prefix.
+            records = report.applied + report.duplicates
+            prefix = DiGraph()
+            for node in graph.nodes():
+                prefix.add_node(node)
+            prefix.add_edges_from(_prefix_records(edge_stream(), records))
+            static = SimulatedCluster(
+                build_fragmentation(prefix, assignment, card)
+            )
+            match = int(
+                _query_signature(replayed, reach_queries)
+                == _query_signature(static, reach_queries)
+            )
+            result.add_row(
+                dataset=dataset, mode="replay", partitioner=pname,
+                nodes=prefix.num_nodes, edges=prefix.num_edges,
+                Vf=replayed.fragmentation.num_boundary_nodes,
+                wall_ms=watch[0] * 1e3, rss_MB=_peak_rss_mb(),
+                status="ok", replayed=report.applied,
+                replay_match=match,
+            )
+            if not match:  # pragma: no cover - guard
+                raise AssertionError(
+                    f"{dataset}/{pname}: replayed cluster diverged from the "
+                    "static prefix load"
+                )
+
+        if over_budget():
+            result.add_row(
+                dataset=dataset, mode="skip",
+                status=(
+                    f"skipped replay-monitor: wall budget "
+                    f"{wall_budget_s:.0f}s exceeded"
+                ),
+            )
+        else:
+            monitored, _ = snap_mod.nodes_only_cluster(
+                graph, card, partitioner="hash", seed=seed
+            )
+            monitor = MutationMonitor(
+                monitored, drift_threshold=0.1, move_budget=64, region_hops=1
+            )
+            with stopwatch() as watch:
+                report = snap_mod.replay_edges(
+                    monitored, edge_stream(), limit=limit
+                )
+            result.add_row(
+                dataset=dataset, mode="replay-monitor", partitioner="hash",
+                Vf=monitored.fragmentation.num_boundary_nodes,
+                wall_ms=watch[0] * 1e3, rss_MB=_peak_rss_mb(),
+                status="ok", replayed=report.applied,
+                refines=len(monitor.refinements),
+                moves=sum(r.moved_nodes for r in monitor.refinements),
+            )
+
+        # -- wide static cells: the wall-clock cross-checks -----------------
+        if run_cells(wide_cells):
+            result.add_row(
+                dataset=dataset, mode="skip",
+                status=(
+                    f"skipped remaining cells: wall budget {wall_budget_s:.0f}s "
+                    "exceeded (--wall-budget-s to raise)"
+                ),
+            )
+    return result
+
+
+def _prefix_records(edges, limit: int):
+    """First ``limit`` records of an edge stream (0 yields nothing)."""
+    for count, edge in enumerate(edges, start=1):
+        if count > limit:
+            return
+        yield edge
+
+
+def _query_signature(cluster: SimulatedCluster, queries) -> Tuple:
+    """(answers, visits, traffic) of sequentially evaluating ``queries``."""
+    evaluations = [evaluate(cluster, q, "disReach") for q in queries]
+    return (
+        tuple(r.answer for r in evaluations),
+        sum(r.stats.total_visits for r in evaluations),
+        sum(r.stats.traffic_bytes for r in evaluations),
+    )
+
+
 #: CLI registry: experiment id -> callable.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": exp_table2,
@@ -1341,4 +1790,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "baselines": exp_baselines,
     "kernels": exp_kernels,
     "serving": exp_serving,
+    "snap": exp_snap,
 }

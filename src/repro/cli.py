@@ -22,6 +22,11 @@ Lets a user exercise the whole system from a shell, no Python required::
     # built-in dataset stand-ins work too
     python -m repro --dataset amazon --scale 0.002 reach 0 100
 
+    # real SNAP graphs: download once, then query the actual edge list
+    # (scale is ignored for these — see `python -m repro.workload.snap list`)
+    python -m repro.workload.snap download wiki-Vote
+    python -m repro --dataset wiki-Vote --fragments 8 reach 3 25
+
     # serve a 100-query zipf workload as one batch (cross-query reuse)
     python -m repro --graph g.txt --workload 100 --executor process
 

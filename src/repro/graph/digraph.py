@@ -109,6 +109,42 @@ class DiGraph:
             self._num_edges += 1
             self._mutation_stamp += 1
 
+    def add_edges_from(self, edges: Iterable[Edge]) -> int:
+        """Bulk streaming edge insert; missing endpoints are created unlabeled.
+
+        The construction path for large edge streams (the SNAP loader in
+        :mod:`repro.workload.snap`): one pass over ``edges`` touching the
+        adjacency dicts directly, so parallel edges collapse as they stream
+        past without an intermediate edge list or per-call method dispatch.
+        Semantically each record is ``add_edge(u, v, create=True)``; the
+        mutation stamp is bumped once for the whole batch (derived views
+        revalidate the same either way).
+
+        Returns:
+            The number of edges actually inserted (duplicates excluded).
+        """
+        succ = self._succ
+        pred = self._pred
+        labels = self._labels
+        added = 0
+        for u, v in edges:
+            targets = succ.get(u)
+            if targets is None:
+                targets = succ[u] = set()
+                pred[u] = set()
+                labels[u] = None
+            if v not in succ:
+                succ[v] = set()
+                pred[v] = set()
+                labels[v] = None
+            if v not in targets:
+                targets.add(v)
+                pred[v].add(u)
+                added += 1
+        self._num_edges += added
+        self._mutation_stamp += 1
+        return added
+
     def remove_edge(self, u: Node, v: Node) -> None:
         if u not in self._succ or v not in self._succ[u]:
             raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")

@@ -1,0 +1,684 @@
+"""SNAP dataset layer: download, cache, streaming parse, edge-arrival replay.
+
+The paper's experiments (Section 7) run on real SNAP web/social graphs; the
+synthetic stand-ins in :mod:`repro.workload.datasets` imitate their degree
+structure but not their actual skew.  This module serves the originals:
+
+* a **registry** of SNAP graphs (:data:`SNAP_SPECS` — wiki-Vote,
+  ego-facebook, soc-Slashdot0811 and the multi-million-edge
+  soc-LiveJournal1), each with its URL, directedness and published sizes;
+* a **cache** directory (``$REPRO_DATA_DIR``, default
+  ``~/.cache/repro/snap``) with checksum-verified downloads
+  (``python -m repro.workload.snap download wiki-Vote``) — a sha256 pinned
+  in the spec is enforced, otherwise the digest is recorded on first
+  download in a ``.sha256`` sidecar and every later re-download or
+  ``verify`` run is checked against it (trust on first use);
+* a **streaming parser** (:func:`iter_edge_list`) for the SNAP edge-list
+  dialect — plain or gzip (sniffed from magic bytes, not the extension),
+  ``#``/``%`` comment lines, strict two-column ``u v`` integer records with
+  per-line errors, configurable self-loop policy — that lowers straight
+  into :class:`~repro.graph.digraph.DiGraph` through the bulk
+  :meth:`~repro.graph.digraph.DiGraph.add_edges_from` path, never
+  materializing an intermediate edge list (duplicates collapse in the
+  graph's adjacency sets as they stream past);
+* an **edge-arrival replay mode** (:func:`nodes_only_cluster` +
+  :func:`replay_edges`) that feeds the dataset's edge order through
+  :meth:`~repro.distributed.cluster.SimulatedCluster.apply_edge_mutation`
+  on the epoch-aware cluster — with an optional
+  :class:`~repro.partition.monitor.MutationMonitor` attached this is the
+  dynamic-graph story of DESIGN.md §8 driven by a real arrival trace.
+
+Offline operation is first-class: two tiny committed fixtures
+(:func:`fixture_specs`, under ``tests/data/``) exercise the whole
+plain+gzip pipeline with zero network access — CI's ``bench snap
+--fixture`` smoke and the ``tests/test_snap.py`` suite run on them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import hashlib
+import io
+import os
+import sys
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..distributed.cluster import SimulatedCluster, _resolve_assignment
+from ..errors import GraphError, QueryError
+from ..graph.digraph import DiGraph, Edge
+from ..partition.builder import build_fragmentation
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the dataset cache directory.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+#: Default cache directory (under the user's home) when the env var is unset.
+DEFAULT_DATA_DIR = Path("~/.cache/repro/snap")
+
+
+def snap_cache_dir() -> Path:
+    """The dataset cache directory (``$REPRO_DATA_DIR`` or the default)."""
+    root = os.environ.get(DATA_DIR_ENV)
+    return (Path(root) if root else DEFAULT_DATA_DIR).expanduser()
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SnapSpec:
+    """One SNAP dataset: where it lives and what the published page says."""
+
+    name: str
+    url: str
+    #: Published |V| / |E| (from the SNAP page) — used for budget estimates
+    #: and post-load sanity reporting, not enforced exactly.
+    nodes: int
+    edges: int
+    #: SNAP ships undirected graphs as one edge per line; the loader then
+    #: inserts both directions.
+    directed: bool
+    description: str
+    #: Pinned sha256 of the (compressed) file, when known.  ``None`` means
+    #: trust-on-first-use: the digest is recorded in a ``.sha256`` sidecar
+    #: at download time and verified on later downloads / ``verify`` runs.
+    sha256: Optional[str] = None
+
+    @property
+    def filename(self) -> str:
+        """Cache file name (the URL's last path component)."""
+        return self.url.rsplit("/", 1)[-1]
+
+
+#: The registered SNAP graphs (ROADMAP's real-graph scale harness set).
+SNAP_SPECS: Dict[str, SnapSpec] = {
+    spec.name: spec
+    for spec in [
+        SnapSpec(
+            "wiki-Vote",
+            "https://snap.stanford.edu/data/wiki-Vote.txt.gz",
+            7_115, 103_689, True,
+            "Wikipedia adminship election votes (directed)",
+        ),
+        SnapSpec(
+            "ego-facebook",
+            "https://snap.stanford.edu/data/facebook_combined.txt.gz",
+            4_039, 88_234, False,
+            "Facebook ego-network union (undirected; loaded symmetric)",
+        ),
+        SnapSpec(
+            "soc-Slashdot0811",
+            "https://snap.stanford.edu/data/soc-Slashdot0811.txt.gz",
+            77_360, 905_468, True,
+            "Slashdot friend/foe links, Nov 2008 (directed)",
+        ),
+        SnapSpec(
+            "soc-LiveJournal1",
+            "https://snap.stanford.edu/data/soc-LiveJournal1.txt.gz",
+            4_847_571, 68_993_773, True,
+            "LiveJournal friendship network (directed, multi-million-edge)",
+        ),
+    ]
+}
+
+
+def dataset_path(name: str) -> Path:
+    """Cache path of dataset ``name`` (the file need not exist yet)."""
+    return snap_cache_dir() / get_spec(name).filename
+
+
+def get_spec(name: str) -> SnapSpec:
+    """Look up a registered SNAP dataset, with a helpful error."""
+    try:
+        return SNAP_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SNAP_SPECS))
+        raise QueryError(f"unknown SNAP dataset {name!r}; known: {known}") from None
+
+
+def missing_dataset_error(name: str) -> QueryError:
+    """The error for a registered-but-not-downloaded dataset.
+
+    Names the exact download command and the cache path, per the harness
+    contract: offline checkouts get instructions, not a FileNotFoundError.
+    """
+    path = dataset_path(name)
+    return QueryError(
+        f"SNAP dataset {name!r} is not in the cache ({path}); download it "
+        f"first with `python -m repro.workload.snap download {name}` "
+        f"(cache dir: {snap_cache_dir()}, override via ${DATA_DIR_ENV})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# download with checksum
+# ---------------------------------------------------------------------------
+def _sha256_of(path: Path) -> str:
+    """Streaming sha256 of a file (constant memory)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _sidecar(path: Path) -> Path:
+    """The ``.sha256`` sidecar recording a downloaded file's digest."""
+    return path.with_name(path.name + ".sha256")
+
+
+def expected_sha256(spec: SnapSpec) -> Optional[str]:
+    """The digest ``spec``'s cache file must match, if one is known.
+
+    A sha256 pinned in the spec wins; otherwise the sidecar recorded at
+    first download (trust on first use); otherwise ``None`` (nothing to
+    check against yet).
+    """
+    if spec.sha256:
+        return spec.sha256
+    sidecar = _sidecar(dataset_path(spec.name))
+    if sidecar.exists():
+        return sidecar.read_text(encoding="utf-8").split()[0]
+    return None
+
+
+def verify_file(path: Path, sha256: str) -> None:
+    """Raise :class:`QueryError` unless ``path`` hashes to ``sha256``."""
+    actual = _sha256_of(path)
+    if actual != sha256:
+        raise QueryError(
+            f"checksum mismatch for {path}: expected sha256 {sha256}, "
+            f"got {actual} — delete the file and re-download"
+        )
+
+
+def download(name: str, force: bool = False) -> Path:
+    """Fetch dataset ``name`` into the cache, verifying its checksum.
+
+    The transfer streams into a ``.part`` temp file that is atomically
+    renamed only after the checksum passes, so an interrupted or corrupt
+    download never masquerades as a cached dataset.  Returns the cache
+    path; a second call is a no-op unless ``force`` is set.
+    """
+    spec = get_spec(name)
+    target = dataset_path(name)
+    if target.exists() and not force:
+        return target
+    target.parent.mkdir(parents=True, exist_ok=True)
+    part = target.with_name(target.name + ".part")
+    try:
+        with urllib.request.urlopen(spec.url) as response, part.open("wb") as out:
+            while True:
+                chunk = response.read(1 << 20)
+                if not chunk:
+                    break
+                out.write(chunk)
+    except OSError as exc:
+        part.unlink(missing_ok=True)
+        raise QueryError(f"download of {spec.url} failed: {exc}") from exc
+    digest = _sha256_of(part)
+    expected = expected_sha256(spec)
+    if expected is not None and digest != expected:
+        part.unlink(missing_ok=True)
+        raise QueryError(
+            f"checksum mismatch downloading {name!r}: expected sha256 "
+            f"{expected}, got {digest}"
+        )
+    part.replace(target)
+    if expected is None:
+        # Trust on first use: record the digest so later re-downloads and
+        # `verify` runs detect corruption or upstream changes.
+        _sidecar(target).write_text(digest + "\n", encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# streaming edge-list parser
+# ---------------------------------------------------------------------------
+@dataclass
+class EdgeListStats:
+    """Counters filled in while an edge stream is consumed."""
+
+    lines: int = 0
+    comments: int = 0
+    #: Edges yielded by the parser (before graph-side duplicate collapse).
+    parsed_edges: int = 0
+    self_loops: int = 0
+    #: Parsed minus inserted — filled by the loaders, not the parser.
+    duplicates: int = 0
+
+    def note(self) -> str:
+        """One-line human summary of what streamed past."""
+        return (
+            f"{self.lines} lines ({self.comments} comments), "
+            f"{self.parsed_edges} edges parsed, {self.self_loops} self-loops "
+            f"skipped, {self.duplicates} duplicates collapsed"
+        )
+
+
+#: Comment prefixes accepted in edge-list files ('#' is SNAP's; some
+#: mirrors use '%').
+COMMENT_PREFIXES = ("#", "%")
+
+
+def open_edge_file(path: PathLike) -> IO[str]:
+    """Open an edge-list file as text, transparently un-gzipping.
+
+    Gzip is detected from the two magic bytes, not the file extension, so
+    renamed or extension-less downloads parse the same.
+    """
+    path = Path(path)
+    raw = path.open("rb")
+    magic = raw.read(2)
+    raw.seek(0)
+    if magic == b"\x1f\x8b":
+        return io.TextIOWrapper(gzip.GzipFile(fileobj=raw), encoding="utf-8")
+    return io.TextIOWrapper(raw, encoding="utf-8")
+
+
+def iter_edge_list(
+    lines: Iterable[str],
+    skip_self_loops: bool = True,
+    stats: Optional[EdgeListStats] = None,
+) -> Iterator[Edge]:
+    """Stream ``(u, v)`` int pairs out of SNAP edge-list text.
+
+    One edge per line as two whitespace-separated integers; blank lines and
+    ``#``/``%`` comments are skipped.  Anything else — wrong column count,
+    non-integer ids — raises :class:`GraphError` naming the line.  Self
+    loops are dropped by default (reachability cannot observe them; SNAP
+    social graphs carry a handful); pass ``skip_self_loops=False`` to keep
+    them.  Duplicate edges are *not* filtered here — they collapse for free
+    in ``DiGraph``'s adjacency sets, which is what keeps this a constant-
+    memory single pass.
+    """
+    if stats is None:
+        stats = EdgeListStats()
+    for lineno, raw in enumerate(lines, start=1):
+        stats.lines = lineno
+        line = raw.strip()
+        if not line or line.startswith(COMMENT_PREFIXES):
+            if line:
+                stats.comments += 1
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(
+                f"edge-list line {lineno}: expected 'u v', got {raw.rstrip()!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise GraphError(
+                f"edge-list line {lineno}: non-integer node id in "
+                f"{raw.rstrip()!r}"
+            ) from None
+        stats.parsed_edges += 1
+        if u == v:
+            if skip_self_loops:
+                stats.self_loops += 1
+                continue
+        yield (u, v)
+
+
+def _symmetrize(edges: Iterable[Edge]) -> Iterator[Edge]:
+    """Both directions of every edge (undirected SNAP files)."""
+    for u, v in edges:
+        yield (u, v)
+        yield (v, u)
+
+
+def load_edge_file(
+    path: PathLike,
+    directed: bool = True,
+    max_edges: Optional[int] = None,
+    skip_self_loops: bool = True,
+    stats: Optional[EdgeListStats] = None,
+) -> DiGraph:
+    """Stream an edge-list file straight into a :class:`DiGraph`.
+
+    The parse is one pass with constant overhead per line: edges flow from
+    the (possibly gzipped) file through :func:`iter_edge_list` into
+    :meth:`DiGraph.add_edges_from` without an intermediate list or set.
+    ``max_edges`` stops after that many *parsed* records (a prefix load in
+    arrival order — the unit the replay mode and budget-capped benches
+    work in).  For ``directed=False`` every record inserts both directions
+    (and ``max_edges`` still counts records, not insertions).
+    """
+    if stats is None:
+        stats = EdgeListStats()
+    graph = DiGraph()
+    with open_edge_file(path) as fh:
+        edges: Iterator[Edge] = iter_edge_list(
+            fh, skip_self_loops=skip_self_loops, stats=stats
+        )
+        if max_edges is not None:
+            edges = _prefix(edges, max_edges)
+        if not directed:
+            edges = _symmetrize(edges)
+        graph.add_edges_from(edges)
+    yielded = stats.parsed_edges - stats.self_loops
+    stats.duplicates = yielded * (1 if directed else 2) - graph.num_edges
+    return graph
+
+
+def _prefix(edges: Iterator[Edge], limit: int) -> Iterator[Edge]:
+    """The first ``limit`` edges of a stream (never pulls a record past it)."""
+    if limit <= 0:
+        return
+    for count, edge in enumerate(edges, start=1):
+        yield edge
+        if count >= limit:
+            return
+
+
+def to_snap_text(graph: DiGraph) -> str:
+    """Render a graph in the SNAP edge-list dialect (sorted, commented).
+
+    Only the edge structure survives (SNAP files carry no labels or
+    isolated nodes); node ids must be integers.  The inverse of
+    :func:`iter_edge_list` for graphs in the format's image — the
+    round-trip property ``load(to_snap_text(g)) == g`` is what
+    ``tests/test_snap.py`` checks.
+    """
+    lines = [
+        "# Directed graph (each unordered pair of nodes is saved once)",
+        f"# Nodes: {graph.num_nodes} Edges: {graph.num_edges}",
+        "# FromNodeId\tToNodeId",
+    ]
+    for u, v in sorted(graph.edges()):
+        if not isinstance(u, int) or not isinstance(v, int):
+            raise GraphError(
+                f"SNAP text needs integer node ids, got ({u!r}, {v!r})"
+            )
+        lines.append(f"{u}\t{v}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# registry-level loading
+# ---------------------------------------------------------------------------
+def load_snap(
+    name: str,
+    max_edges: Optional[int] = None,
+    stats: Optional[EdgeListStats] = None,
+) -> DiGraph:
+    """Load registered SNAP dataset ``name`` from the cache.
+
+    Raises the instructive :func:`missing_dataset_error` when the file was
+    never downloaded.  ``max_edges`` prefix-loads in arrival order (see
+    :func:`load_edge_file`).
+    """
+    spec = get_spec(name)
+    path = dataset_path(name)
+    if not path.exists():
+        raise missing_dataset_error(name)
+    return load_edge_file(
+        path, directed=spec.directed, max_edges=max_edges, stats=stats
+    )
+
+
+# ---------------------------------------------------------------------------
+# offline fixtures (committed under tests/data/)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FixtureSpec:
+    """A committed tiny edge-list fixture (offline stand-in for a download)."""
+
+    name: str
+    filename: str
+    directed: bool
+    sha256: str
+
+    def path(self, data_dir: Optional[PathLike] = None) -> Path:
+        """Resolve the fixture file (see :func:`fixture_dir`)."""
+        return fixture_dir(data_dir) / self.filename
+
+
+#: The two committed fixtures: one plain, one gzipped, both with comment
+#: lines, duplicate edges and self-loops (the parser's whole policy
+#: surface).  The sha256 pins are enforced by tests/test_snap.py.
+FIXTURES: Dict[str, FixtureSpec] = {
+    spec.name: spec
+    for spec in [
+        FixtureSpec(
+            "fixture-plain", "snap_fixture_plain.txt", True,
+            "0fca7a1829da795566a2909e12745db2ddc3a01dd4341a8723d07e0f9d63117f",
+        ),
+        FixtureSpec(
+            "fixture-gzip", "snap_fixture_gzip.txt.gz", True,
+            "b92322d75f6c51a46c4d7a1a3bb6924cddce04a3a95f8ad4c95be5309862505c",
+        ),
+    ]
+}
+
+#: Environment variable pointing at the fixture directory.
+FIXTURE_DIR_ENV = "REPRO_SNAP_FIXTURES"
+
+
+def fixture_dir(data_dir: Optional[PathLike] = None) -> Path:
+    """Locate the committed fixture directory.
+
+    Precedence: explicit argument, ``$REPRO_SNAP_FIXTURES``, ``tests/data``
+    under the current directory (CI runs from the checkout root), then
+    ``tests/data`` relative to this file's repo (editable installs).
+    """
+    if data_dir is not None:
+        return Path(data_dir)
+    env = os.environ.get(FIXTURE_DIR_ENV)
+    if env:
+        return Path(env)
+    cwd_candidate = Path("tests/data")
+    if cwd_candidate.is_dir():
+        return cwd_candidate
+    return Path(__file__).resolve().parents[3] / "tests" / "data"
+
+
+def load_fixture(
+    name: str,
+    data_dir: Optional[PathLike] = None,
+    max_edges: Optional[int] = None,
+    stats: Optional[EdgeListStats] = None,
+) -> DiGraph:
+    """Load a committed fixture by name (fully offline)."""
+    try:
+        spec = FIXTURES[name]
+    except KeyError:
+        known = ", ".join(sorted(FIXTURES))
+        raise QueryError(f"unknown SNAP fixture {name!r}; known: {known}") from None
+    path = spec.path(data_dir)
+    if not path.exists():
+        raise QueryError(
+            f"SNAP fixture {name!r} not found at {path}; run from the repo "
+            f"root or point ${FIXTURE_DIR_ENV} at the tests/data directory"
+        )
+    return load_edge_file(
+        path, directed=spec.directed, max_edges=max_edges, stats=stats
+    )
+
+
+# ---------------------------------------------------------------------------
+# streaming edge-arrival replay
+# ---------------------------------------------------------------------------
+@dataclass
+class ReplayReport:
+    """What one :func:`replay_edges` run did to the cluster."""
+
+    #: Edges applied through ``apply_edge_mutation``.
+    applied: int = 0
+    #: Stream records skipped because the edge was already present.
+    duplicates: int = 0
+    #: Partition epoch delta observed (monitor-triggered refinements).
+    epochs: int = 0
+    #: Per-call progress marks (edge index, |Vf|) sampled every ``sample``.
+    vf_trace: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def nodes_only_cluster(
+    graph: DiGraph,
+    num_fragments: int,
+    partitioner: Union[str, Dict] = "chunk",
+    seed: int = 0,
+    executor: Optional[str] = None,
+) -> Tuple[SimulatedCluster, Dict]:
+    """A cluster holding ``graph``'s nodes with **no edges yet**.
+
+    The partition assignment is computed on the *full* graph (placement
+    quality comes from the final structure — the realistic setup where the
+    partitioner ran on yesterday's snapshot and today's edges stream in),
+    then installed over an edge-less skeleton.  Replaying every edge of
+    ``graph`` through :func:`replay_edges` reconstructs, fragment by
+    fragment, exactly the cluster a static
+    :meth:`SimulatedCluster.from_graph` load would have built — the
+    bit-identity `tests/test_snap.py` proves.
+
+    Returns ``(cluster, assignment)`` so a static prefix cluster can reuse
+    the identical assignment.
+    """
+    assignment, _label = _resolve_assignment(graph, num_fragments, partitioner, seed)
+    skeleton = DiGraph()
+    for node in graph.nodes():
+        skeleton.add_node(node, graph.label(node))
+    fragmentation = build_fragmentation(skeleton, assignment, num_fragments)
+    cluster = SimulatedCluster(fragmentation, executor=executor)
+    return cluster, assignment
+
+
+def replay_edges(
+    cluster: SimulatedCluster,
+    edges: Iterable[Edge],
+    limit: Optional[int] = None,
+    sample: int = 0,
+) -> ReplayReport:
+    """Feed ``edges`` in arrival order through ``apply_edge_mutation``.
+
+    Every record takes the full dynamic-graph path (validation, fragment
+    anatomy updates for cross edges, version bumps, cache invalidation,
+    monitor notification — DESIGN.md §8), so an attached
+    :class:`~repro.partition.monitor.MutationMonitor` sees the true arrival
+    trace and may trigger bounded refinements mid-replay.  Records whose
+    edge is already present are counted as duplicates and skipped (arrival
+    streams repeat edges; replaying a prefix twice is idempotent).
+    ``sample > 0`` records an ``(index, |Vf|)`` trace point every that many
+    applied edges.
+    """
+    report = ReplayReport()
+    start_epoch = cluster.partition_epoch
+    for u, v in edges:
+        if limit is not None and report.applied + report.duplicates >= limit:
+            break
+        fragmentation = cluster.fragmentation
+        fid_u = fragmentation.placement.get(u)
+        if fid_u is not None and fragmentation[fid_u].local_graph.has_edge(u, v):
+            report.duplicates += 1
+            continue
+        cluster.apply_edge_mutation(u, v, add=True)
+        report.applied += 1
+        if sample and report.applied % sample == 0:
+            report.vf_trace.append(
+                (report.applied, cluster.fragmentation.num_boundary_nodes)
+            )
+    report.epochs = cluster.partition_epoch - start_epoch
+    return report
+
+
+def iter_dataset_edges(
+    name: str,
+    stats: Optional[EdgeListStats] = None,
+) -> Iterator[Edge]:
+    """The arrival-order edge stream of a cached dataset or fixture.
+
+    Undirected datasets yield both directions per record, matching what
+    :func:`load_snap` inserts.
+    """
+    if name in FIXTURES:
+        spec_directed = FIXTURES[name].directed
+        path = FIXTURES[name].path()
+        if not path.exists():
+            raise QueryError(
+                f"SNAP fixture {name!r} not found at {path}; run from the "
+                f"repo root or set ${FIXTURE_DIR_ENV}"
+            )
+    else:
+        spec_directed = get_spec(name).directed
+        path = dataset_path(name)
+        if not path.exists():
+            raise missing_dataset_error(name)
+    with open_edge_file(path) as fh:
+        edges: Iterator[Edge] = iter_edge_list(fh, stats=stats)
+        if not spec_directed:
+            edges = _symmetrize(edges)
+        yield from edges
+
+
+# ---------------------------------------------------------------------------
+# module CLI: python -m repro.workload.snap {list,download,verify}
+# ---------------------------------------------------------------------------
+def _cmd_list(_args: argparse.Namespace) -> int:
+    """``list``: registry + cache status."""
+    cache = snap_cache_dir()
+    print(f"cache dir: {cache} (override via ${DATA_DIR_ENV})")
+    for name in sorted(SNAP_SPECS):
+        spec = SNAP_SPECS[name]
+        path = cache / spec.filename
+        if path.exists():
+            status = f"cached ({path.stat().st_size:,} bytes)"
+        else:
+            status = "not downloaded"
+        print(
+            f"  {name:20s} |V|={spec.nodes:>9,} |E|={spec.edges:>11,} "
+            f"{'directed' if spec.directed else 'undirected':10s} {status}"
+        )
+    return 0
+
+
+def _cmd_download(args: argparse.Namespace) -> int:
+    """``download NAME``: fetch + checksum-verify into the cache."""
+    path = download(args.name, force=args.force)
+    print(f"{args.name}: cached at {path} ({path.stat().st_size:,} bytes)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """``verify NAME``: re-hash the cached file against the known digest."""
+    spec = get_spec(args.name)
+    path = dataset_path(args.name)
+    if not path.exists():
+        raise missing_dataset_error(args.name)
+    expected = expected_sha256(spec)
+    if expected is None:
+        print(f"{args.name}: no recorded checksum (spec unpinned, no sidecar)")
+        return 1
+    verify_file(path, expected)
+    print(f"{args.name}: ok (sha256 {expected})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.workload.snap``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload.snap",
+        description="Manage the SNAP dataset cache (download/verify/list).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the registry and cache status")
+    dl = sub.add_parser("download", help="fetch one dataset into the cache")
+    dl.add_argument("name", choices=sorted(SNAP_SPECS))
+    dl.add_argument("--force", action="store_true", help="re-download even if cached")
+    ver = sub.add_parser("verify", help="re-hash a cached dataset")
+    ver.add_argument("name", choices=sorted(SNAP_SPECS))
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "download": _cmd_download, "verify": _cmd_verify}
+    try:
+        return handlers[args.command](args)
+    except QueryError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

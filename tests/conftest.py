@@ -8,7 +8,10 @@ Reproducibility (the CI matrix depends on it):
 * the global :mod:`random` generator is re-seeded before every test, so no
   test depends on how many tests ran before it;
 * the ``slow`` marker (registered here and in ``pyproject.toml``) lets the
-  matrix deselect long runs with ``-m "not slow"``.
+  matrix deselect long runs with ``-m "not slow"``;
+* the ``network`` marker guards tests that download (SNAP datasets) — the
+  default ``addopts`` in ``pyproject.toml`` deselects it, so tier-1 runs
+  fully offline (opt in with ``-m network``).
 """
 
 from __future__ import annotations
@@ -83,3 +86,7 @@ def random_case():
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running test")
+    config.addinivalue_line(
+        "markers",
+        "network: needs internet access (deselected by default via addopts)",
+    )

@@ -629,3 +629,153 @@ class TestKernelsGate:
         jobs = rows.get(("amazon", "jobs", "numpy", "None"))
         assert jobs is not None
         assert jobs["speedup"] >= gate.KERNEL_SPEEDUP_FLOOR
+
+
+def _snap_payload(
+    refined_vf=20,
+    env_ok=1,
+    replay_match=1,
+    refines=3,
+    traffic=0.5,
+    answers="TF",
+    drift_answers=None,
+):
+    """A minimal snap-experiment payload (one fixture dataset)."""
+    rows = [
+        {"dataset": "fixture-plain", "mode": "load", "nodes": 27, "edges": 64},
+    ]
+    for partitioner, vf in (("hash", 27), ("refined", refined_vf)):
+        for algorithm in ("disReach", "disDist"):
+            for backend in ("sequential", "thread"):
+                rows.append(
+                    {
+                        "dataset": "fixture-plain",
+                        "mode": "static",
+                        "partitioner": partitioner,
+                        "algorithm": algorithm,
+                        "backend": backend,
+                        "kernel": "python",
+                        "Vf": vf,
+                        "bound": vf * vf,
+                        "traffic_KB": traffic * (2 if partitioner == "hash" else 1),
+                        "network_ms": 1.0,
+                        "visits": 16,
+                        "answers": (
+                            drift_answers
+                            if drift_answers and backend == "thread"
+                            else answers
+                        ),
+                        "env_ok": env_ok,
+                    }
+                )
+    rows.append(
+        {
+            "dataset": "fixture-plain",
+            "mode": "replay",
+            "partitioner": "hash",
+            "replayed": 64,
+            "replay_match": replay_match,
+        }
+    )
+    rows.append(
+        {
+            "dataset": "fixture-plain",
+            "mode": "replay-monitor",
+            "partitioner": "hash",
+            "replayed": 64,
+            "refines": refines,
+            "moves": 12,
+        }
+    )
+    return {"snap": {"columns": [], "rows": rows}}
+
+
+class TestSnapGate:
+    """The real-graph harness gate: envelopes, replay identity, refined wins."""
+
+    def test_identical_runs_pass(self, gate, tmp_path):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        cur = _write(tmp_path, "cur.json", _snap_payload())
+        assert gate.main([cur, base, "--only", "snap"]) == 0
+
+    def test_envelope_escape_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        cur = _write(tmp_path, "cur.json", _snap_payload(env_ok=0))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "envelope" in capsys.readouterr().err
+
+    def test_replay_divergence_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        cur = _write(tmp_path, "cur.json", _snap_payload(replay_match=0))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "replay" in capsys.readouterr().err
+
+    def test_answer_divergence_across_cells_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        cur = _write(tmp_path, "cur.json", _snap_payload(drift_answers="FT"))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "agnosticism broken" in capsys.readouterr().err
+
+    def test_refined_losing_to_hash_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        # refined Vf above hash's 27 AND higher traffic than hash's 2x leg
+        cur = _write(
+            tmp_path, "cur.json", _snap_payload(refined_vf=40, traffic=1.5)
+        )
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        err = capsys.readouterr().err
+        assert "refined does not beat-or-tie hash" in err
+
+    def test_vf_ceiling_is_exact(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload(refined_vf=20))
+        cur = _write(tmp_path, "cur.json", _snap_payload(refined_vf=21))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "ceiling" in capsys.readouterr().err
+
+    def test_no_refinement_fired_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        cur = _write(tmp_path, "cur.json", _snap_payload(refines=0))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "refinement" in capsys.readouterr().err
+
+    def test_baseline_answer_drift_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload(answers="TF"))
+        cur = _write(tmp_path, "cur.json", _snap_payload(answers="TT"))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "differ from the baseline" in capsys.readouterr().err
+
+    def test_traffic_regression_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload(traffic=0.5))
+        cur = _write(tmp_path, "cur.json", _snap_payload(traffic=0.8))
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_dropped_cell_fails(self, gate, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        payload = _snap_payload()
+        payload["snap"]["rows"] = [
+            row
+            for row in payload["snap"]["rows"]
+            if not (
+                row.get("mode") == "static" and row.get("backend") == "thread"
+            )
+        ]
+        cur = _write(tmp_path, "cur.json", payload)
+        assert gate.main([cur, base, "--only", "snap"]) == 1
+        assert "silently skipped" in capsys.readouterr().err
+
+    def test_snap_required_when_baseline_has_it(self, gate, tmp_path):
+        base = _write(tmp_path, "base.json", _snap_payload())
+        cur = _write(tmp_path, "cur.json", _payload())
+        with pytest.raises(SystemExit, match="snap"):
+            gate.main([cur, base, "--only", "snap"])
+
+    def test_committed_baseline_has_snap_experiment(self, gate):
+        payload = gate.load_payload(SCRIPT.parent / "baseline.json")
+        rows = gate.snap_rows(payload)
+        assert rows, "baseline.json must carry the pinned snap fixture run"
+        modes = {str(row.get("mode")) for row in rows}
+        assert {"load", "static", "replay", "replay-monitor"} <= modes
+        assert all(
+            row.get("env_ok") == 1 for row in rows if row.get("mode") == "static"
+        )

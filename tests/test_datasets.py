@@ -6,11 +6,20 @@ from repro.errors import ReproError
 from repro.workload import DATASETS, load_dataset
 
 
+#: The generated stand-ins (everything except the real SNAP downloads).
+SYNTHETIC = sorted(
+    name for name, spec in DATASETS.items() if spec.family != "snap"
+)
+
+
 class TestSpecs:
-    def test_all_nine_paper_datasets_present(self):
+    def test_all_registered_datasets_present(self):
         assert set(DATASETS) == {
             "livejournal", "wikitalk", "berkstan", "notredame", "amazon",
             "citation", "meme", "youtube", "internet",
+            # real SNAP downloads (repro.workload.snap)
+            "wiki-Vote", "ego-facebook", "soc-Slashdot0811",
+            "soc-LiveJournal1",
         }
 
     def test_paper_sizes_recorded(self):
@@ -20,8 +29,18 @@ class TestSpecs:
         assert DATASETS["citation"].num_labels == 6300
         assert DATASETS["internet"].paper_fragments == 10
 
+    def test_snap_specs_are_real_unlabeled_graphs(self):
+        from repro.workload.snap import SNAP_SPECS
 
-@pytest.mark.parametrize("name", sorted(DATASETS))
+        snap = {n for n, s in DATASETS.items() if s.family == "snap"}
+        assert snap == set(SNAP_SPECS)
+        for name in snap:
+            assert DATASETS[name].num_labels == 0
+            assert DATASETS[name].paper_nodes == SNAP_SPECS[name].nodes
+            assert DATASETS[name].paper_edges == SNAP_SPECS[name].edges
+
+
+@pytest.mark.parametrize("name", SYNTHETIC)
 class TestLoading:
     def test_scaled_sizes(self, name):
         g = load_dataset(name, scale=0.002, seed=1)
@@ -53,6 +72,11 @@ class TestErrors:
     def test_bad_scale(self):
         with pytest.raises(ReproError):
             load_dataset("amazon", scale=0)
+
+    def test_missing_snap_download_names_the_command(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        with pytest.raises(ReproError, match="repro.workload.snap download wiki-Vote"):
+            load_dataset("wiki-Vote")
 
 
 class TestShapes:
