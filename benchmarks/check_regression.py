@@ -944,10 +944,113 @@ def check_snap(
             )
 
 
+def oracles_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[str, Dict[str, object]]]:
+    """Oracles-experiment rows keyed by oracle name, if present."""
+    experiment = payload.get("oracles")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {str(row.get("oracle")): row for row in experiment["rows"]}
+
+
+#: Oracle rows every run must carry (the registry's maintainable sweep).
+REQUIRED_ORACLES = ("none", "bfs", "tol", "landmarks")
+#: Oracles whose incremental maintenance must beat rebuild-at-every-mutation.
+MAINTAINED_ORACLES = ("tol", "landmarks")
+#: TOL's acceptance ceiling: total maintenance <= half the rebuild cost.
+ORACLE_TOL_MAINTAIN_CEILING = 0.5
+#: Warm-query wall-clock floor vs the BFS oracle on the pinned stream.  The
+#: measured ratios sit far above this (label intersection vs per-pair BFS),
+#: so the generous gap absorbs CI jitter without hiding an index that
+#: quietly degenerated into a BFS.
+ORACLE_SPEEDUP_FLOOR = 3.0
+
+
+def check_oracles(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    report: List[str],
+) -> None:
+    """Maintained-index identity (exact) + maintain-vs-rebuild ceilings.
+
+    Four checks on the current run: every required oracle row is present;
+    every present row carries ``answers_match == 1`` and
+    ``executors_match == 1`` (bit-identity against the index-free sweep,
+    and across sequential/thread/process/socket — exact, no tolerance);
+    the maintained oracles keep ``maintain_s`` strictly below
+    ``rebuild_s`` (with TOL additionally under
+    :data:`ORACLE_TOL_MAINTAIN_CEILING`); and their warm-query speedup
+    vs the BFS oracle stays above :data:`ORACLE_SPEEDUP_FLOOR`.  The
+    committed baseline only establishes that the experiment is gated —
+    identity and ratios are properties of the current run.
+    """
+    del baseline, baseline_origin  # presence-triggered; see docstring
+    for name in REQUIRED_ORACLES:
+        if name not in current:
+            failures.append(
+                f"oracles/{name}: required row missing from {current_origin}; "
+                "run `python -m repro.bench oracles --json <file>`"
+            )
+            report.append(
+                f"| oracles/{name} | row present | yes | MISSING | - | FAIL |"
+            )
+    for name in sorted(current):
+        row = current[name]
+        label = f"oracles/{name}"
+        for metric in ("answers_match", "executors_match"):
+            value = row.get(metric)
+            ok = value == 1
+            if not ok:
+                failures.append(
+                    f"{label}: {metric} = {value!r} — the maintained index "
+                    "diverged from the index-free sweep (identity is exact)"
+                )
+            report.append(
+                f"| {label} | {metric} (exact) | 1 | {value!r} | - "
+                f"| {'ok' if ok else 'FAIL'} |"
+            )
+    for name in MAINTAINED_ORACLES:
+        row = current.get(name)
+        if row is None:
+            continue  # already failed the presence check above
+        label = f"oracles/{name}"
+        maintain_s = as_float(row, "maintain_s", current_origin, label)
+        rebuild_s = as_float(row, "rebuild_s", current_origin, label)
+        ceiling = ORACLE_TOL_MAINTAIN_CEILING if name == "tol" else 1.0
+        ok = rebuild_s > 0 and maintain_s < rebuild_s * ceiling
+        if not ok:
+            failures.append(
+                f"{label}: maintenance {maintain_s:g}s is not under "
+                f"{ceiling:g}x the rebuild-equivalent {rebuild_s:g}s — "
+                "incremental maintenance lost to rebuild-at-every-mutation"
+            )
+        report.append(
+            f"| {label} | maintain_s (ceiling) | < {ceiling:g}x rebuild | "
+            f"{maintain_s:g} vs {rebuild_s:g} | - | {'ok' if ok else 'FAIL'} |"
+        )
+        speedup = as_float(row, "speedup_vs_bfs", current_origin, label)
+        ok = speedup >= ORACLE_SPEEDUP_FLOOR
+        if not ok:
+            failures.append(
+                f"{label}: warm-query speedup {speedup:g}x vs the BFS oracle "
+                f"is below the floor {ORACLE_SPEEDUP_FLOOR:g}x — the label "
+                "index lost its lookup advantage on the pinned stream"
+            )
+        report.append(
+            f"| {label} | speedup_vs_bfs (floor) | >= "
+            f"{ORACLE_SPEEDUP_FLOOR:g} | {speedup:g} | - "
+            f"| {'ok' if ok else 'FAIL'} |"
+        )
+
+
 #: Experiment ids ``--only`` accepts (everything the gate knows to check).
 GATED_EXPERIMENTS = (
     "workload", "partition", "mutation", "baselines", "kernels", "serving",
-    "snap",
+    "snap", "oracles",
 )
 
 
@@ -1109,6 +1212,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         check_serving(
             current_serving,
             baseline_serving,
+            current_origin,
+            str(baseline_path),
+            failures,
+            report,
+        )
+
+    baseline_oracles = oracles_rows(baseline_payload) if wanted("oracles") else None
+    if baseline_oracles is not None:
+        current_oracles = oracles_rows(current_payload)
+        if current_oracles is None:
+            raise SystemExit(
+                f"error: baseline has an oracles experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench oracles --json <file>`"
+            )
+        check_oracles(
+            current_oracles,
+            baseline_oracles,
             current_origin,
             str(baseline_path),
             failures,

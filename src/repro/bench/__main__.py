@@ -26,6 +26,7 @@ from pathlib import Path
 
 from ..core.kernels import KERNELS, set_default_kernel
 from ..distributed.executors import EXECUTORS, set_default_executor
+from ..index.registry import ORACLES, set_default_oracle
 from .experiments import EXPERIMENTS
 
 
@@ -116,12 +117,23 @@ def main(argv=None) -> int:
         "(default: REPRO_KERNEL env var, else python; modeled metrics are "
         "kernel-independent, wall time is not — see the 'kernels' experiment)",
     )
+    parser.add_argument(
+        "--oracle",
+        choices=sorted(ORACLES),
+        default=None,
+        help="reachability index for every disReach plan the experiments "
+        "build (default: REPRO_ORACLE env var, else none); the mutation "
+        "experiment additionally reports its maintain-vs-rebuild sweep "
+        "for the named oracle",
+    )
     args = parser.parse_args(argv)
     # Experiments construct their own clusters internally; the process-wide
     # default is how one flag reaches all of them.
     set_default_executor(args.executor)
     if args.kernel is not None:
         set_default_kernel(args.kernel)
+    if args.oracle is not None:
+        set_default_oracle(args.oracle)
 
     if not args.experiment:
         print("available experiments:")
@@ -152,6 +164,8 @@ def main(argv=None) -> int:
             kwargs["sessions"] = args.sessions
         if args.fixture and "fixture" in accepted:
             kwargs["fixture"] = True
+        if args.oracle is not None and "oracle" in accepted:
+            kwargs["oracle"] = args.oracle
         if args.snap_graph and "snap_graphs" in accepted:
             kwargs["snap_graphs"] = tuple(args.snap_graph)
         if args.wall_budget_s is not None and "wall_budget_s" in accepted:

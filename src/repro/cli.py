@@ -49,6 +49,7 @@ from pathlib import Path
 
 from .core.engine import algorithms_for, evaluate
 from .core.kernels import KERNELS, set_default_kernel
+from .index.registry import ORACLES, set_default_oracle
 from .core.queries import BoundedReachQuery, ReachQuery, RegularReachQuery
 from .distributed.cluster import SimulatedCluster
 from .distributed.executors import EXECUTORS
@@ -93,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "env var, else python); numpy/numba sweep fragments "
                         "as CSR int arrays — same answers and modeled costs, "
                         "much faster wall-clock (DESIGN.md §9)")
+    parser.add_argument("--oracle", choices=sorted(ORACLES), default=None,
+                        help="reachability index for disReach local "
+                        "evaluation (default: REPRO_ORACLE env var, else "
+                        "none); built per fragment, cached by mutation "
+                        "stamp, maintained incrementally under edge "
+                        "mutation (DESIGN.md §12)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="also print per-site visit counts")
 
@@ -263,6 +270,10 @@ def main(argv=None) -> int:
             # Process-wide default: every plan this invocation constructs
             # (single query, workload batches, session remaps) uses it.
             set_default_kernel(args.kernel)
+        if args.oracle is not None:
+            # Same mechanism for the reachability index; only disReach
+            # plans consult it.
+            set_default_oracle(args.oracle)
         if args.graph:
             graph = graph_io.load(args.graph)
         else:

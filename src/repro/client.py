@@ -41,6 +41,7 @@ class Client:
         query: Any,
         algorithm: Optional[str] = None,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ) -> Any:
         """Evaluate one query; returns its :class:`QueryResult`."""
         raise NotImplementedError
@@ -50,6 +51,7 @@ class Client:
         queries: Sequence[Any],
         algorithm: Optional[str] = None,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ) -> Any:
         """Evaluate ``queries`` as one batch; returns a :class:`BatchResult`."""
         raise NotImplementedError
@@ -83,16 +85,16 @@ class LocalClient(Client):
         self.engine = BatchQueryEngine(cluster)
         self._served = 0
 
-    def query(self, query, algorithm=None, kernel=None):
+    def query(self, query, algorithm=None, kernel=None, oracle=None):
         """Evaluate one query through the serving path (a batch of one)."""
         self._served += 1
-        return self.engine.evaluate(query, algorithm, kernel=kernel)
+        return self.engine.evaluate(query, algorithm, kernel=kernel, oracle=oracle)
 
-    def batch(self, queries, algorithm=None, kernel=None):
+    def batch(self, queries, algorithm=None, kernel=None, oracle=None):
         """Evaluate ``queries`` as one engine batch."""
         queries = list(queries)
         self._served += len(queries)
-        return self.engine.run_batch(queries, algorithm, kernel=kernel)
+        return self.engine.run_batch(queries, algorithm, kernel=kernel, oracle=oracle)
 
     def session(self, query, kernel=None):
         """Open a standing incremental session against the local cluster."""
@@ -117,13 +119,17 @@ class RemoteClient(Client):
         self.address = address
         self._client = ServeClient(address, timeout=timeout)
 
-    def query(self, query, algorithm=None, kernel=None):
+    def query(self, query, algorithm=None, kernel=None, oracle=None):
         """Evaluate one query on the server (admission-batched)."""
-        return self._client.query(query, algorithm=algorithm, kernel=kernel)
+        return self._client.query(
+            query, algorithm=algorithm, kernel=kernel, oracle=oracle
+        )
 
-    def batch(self, queries, algorithm=None, kernel=None):
+    def batch(self, queries, algorithm=None, kernel=None, oracle=None):
         """Evaluate ``queries`` as one server-side engine batch."""
-        return self._client.batch(queries, algorithm=algorithm, kernel=kernel)
+        return self._client.batch(
+            queries, algorithm=algorithm, kernel=kernel, oracle=oracle
+        )
 
     def session(self, query, kernel=None):
         """Open a standing incremental session on the server."""
@@ -145,6 +151,7 @@ def connect(
     partitioner: str = "chunk",
     executor: Any = None,
     kernel: Optional[str] = None,
+    oracle: Optional[str] = None,
     seed: int = 0,
     timeout: float = 60.0,
 ) -> Client:
@@ -160,13 +167,18 @@ def connect(
 
     ``executor`` (name or :class:`ExecutorBackend` instance) selects the
     execution backend when this call constructs the cluster; ``kernel``
-    sets the default local-evaluation kernel for queries issued through
-    the returned client.  The parameter names match the ``repro`` CLI
-    flags (``--fragments --partitioner --executor --kernel --seed``).
+    sets the default local-evaluation kernel and ``oracle`` the default
+    reachability index (a :mod:`repro.index.registry` name, validated
+    here so typos fail at connect time) for queries issued through the
+    returned client.  The parameter names match the ``repro`` CLI flags
+    (``--fragments --partitioner --executor --kernel --oracle --seed``).
     """
     from .distributed.cluster import SimulatedCluster
     from .graph.digraph import DiGraph
+    from .index.registry import resolve_oracle
 
+    if oracle is not None:
+        resolve_oracle(oracle)
     if isinstance(target, SimulatedCluster):
         client: Client = LocalClient(target)
     elif isinstance(target, DiGraph):
@@ -185,23 +197,39 @@ def connect(
             "connect() takes a SimulatedCluster, a DiGraph, or a "
             f"'host:port' address; got {target!r}"
         )
-    if kernel is not None:
-        client = _KernelDefaultClient(client, kernel)
+    if kernel is not None or oracle is not None:
+        client = _DefaultsClient(client, kernel=kernel, oracle=oracle)
     return client
 
 
-class _KernelDefaultClient(Client):
-    """Decorator client filling in a default kernel for every call."""
+class _DefaultsClient(Client):
+    """Decorator client filling in default kernel/oracle for every call."""
 
-    def __init__(self, inner: Client, kernel: str) -> None:
+    def __init__(
+        self,
+        inner: Client,
+        kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
+    ) -> None:
         self._inner = inner
         self._kernel = kernel
+        self._oracle = oracle
 
-    def query(self, query, algorithm=None, kernel=None):
-        return self._inner.query(query, algorithm, kernel=kernel or self._kernel)
+    def query(self, query, algorithm=None, kernel=None, oracle=None):
+        return self._inner.query(
+            query,
+            algorithm,
+            kernel=kernel or self._kernel,
+            oracle=oracle or self._oracle,
+        )
 
-    def batch(self, queries, algorithm=None, kernel=None):
-        return self._inner.batch(queries, algorithm, kernel=kernel or self._kernel)
+    def batch(self, queries, algorithm=None, kernel=None, oracle=None):
+        return self._inner.batch(
+            queries,
+            algorithm,
+            kernel=kernel or self._kernel,
+            oracle=oracle or self._oracle,
+        )
 
     def session(self, query, kernel=None):
         return self._inner.session(query, kernel=kernel or self._kernel)

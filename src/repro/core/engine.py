@@ -78,7 +78,10 @@ def is_batchable(algorithm: str) -> bool:
 
 
 def plan_for(
-    query: Query, algorithm: Optional[str] = None, kernel: Optional[str] = None
+    query: Query,
+    algorithm: Optional[str] = None,
+    kernel: Optional[str] = None,
+    oracle: Optional[str] = None,
 ) -> QueryPlan:
     """Build the :class:`~repro.serving.plans.QueryPlan` for ``query``.
 
@@ -86,7 +89,11 @@ def plan_for(
     query's class is chosen — every default algorithm is batchable, so a
     mixed workload needs no per-query configuration.  ``kernel`` selects
     the local-evaluation kernel (:mod:`repro.core.kernels`); the default is
-    the process-wide default kernel.
+    the process-wide default kernel.  ``oracle`` names a registered
+    reachability index (:mod:`repro.index.registry`) and applies to
+    ``disReach`` only; the process-wide default oracle likewise reaches
+    only reachability plans — distance and RPQ local evaluations have no
+    oracle seam.
     """
     if algorithm is None:
         try:
@@ -104,6 +111,13 @@ def plan_for(
         raise QueryError(
             f"algorithm {algorithm!r} evaluates {query_type.__name__}, "
             f"got {type(query).__name__}"
+        )
+    if algorithm == "disReach":
+        return plan_cls(query, kernel=kernel, oracle=oracle)
+    if oracle is not None and oracle != "none":
+        raise QueryError(
+            f"algorithm {algorithm!r} does not take a reachability oracle "
+            "(only disReach does)"
         )
     return plan_cls(query, kernel=kernel)
 
@@ -123,6 +137,7 @@ def evaluate(
     algorithm: Optional[str] = None,
     executor: Union[str, ExecutorBackend, None] = None,
     kernel: Optional[str] = None,
+    oracle: Optional[str] = None,
 ) -> QueryResult:
     """Evaluate ``query`` on ``cluster``.
 
@@ -130,9 +145,11 @@ def evaluate(
     query's class is used.  ``executor`` overrides the cluster's execution
     backend for this one evaluation (``sequential``/``thread``/``process``/
     ``socket``); ``kernel`` selects the local-evaluation kernel for the
-    partial-evaluation algorithms (the baselines take none — passing one
-    raises :class:`QueryError`).  Backends and kernels change wall-clock
-    behavior only — answers and modeled costs are identical under all.
+    partial-evaluation algorithms and ``oracle`` a registered reachability
+    index for ``disReach`` (the baselines take neither — passing one
+    raises :class:`QueryError`).  Backends, kernels and oracles change
+    wall-clock behavior only — answers and modeled costs are identical
+    under all.
     """
     if algorithm is None:
         try:
@@ -159,6 +176,15 @@ def evaluate(
                 "(only the partial-evaluation algorithms do)"
             )
         kwargs["kernel"] = kernel
+    if oracle is not None:
+        import inspect
+
+        if "oracle" not in inspect.signature(fn).parameters:
+            raise QueryError(
+                f"algorithm {algorithm!r} does not take a reachability oracle "
+                "(only disReach does)"
+            )
+        kwargs["oracle"] = oracle
     if executor is None:
         return fn(cluster, query, **kwargs)
     with cluster.using_executor(executor):

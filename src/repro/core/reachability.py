@@ -25,6 +25,8 @@ from ..distributed.messages import equation_set_size
 from ..graph.digraph import Node
 from ..graph.reachsets import reachable_seed_masks_from
 from ..index.base import OracleFactory
+from ..index.registry import resolve_oracle
+from ..index.store import fragment_oracle
 from ..partition.fragment import Fragment
 from ..serving.engine import execute_plans
 from ..serving.plans import QueryPlan, endpoint_params
@@ -64,6 +66,7 @@ def local_eval_reach(
     query: ReachQuery,
     oracle_factory: Optional[OracleFactory] = None,
     kernel: Optional[str] = None,
+    oracle: Optional[str] = None,
 ) -> ReachEquations:
     """Procedure ``localEval`` (Fig. 3) on one fragment.
 
@@ -75,9 +78,12 @@ def local_eval_reach(
     The default reachability engine answers all ``des(v, Fi) ∩ oset``
     questions in one SCC-condensation bitmask sweep; ``kernel`` swaps that
     sweep for a vectorized one (:mod:`repro.core.kernels`) with
-    bit-identical equations; passing an ``oracle_factory`` (Section 3's
-    "any indexing techniques ... can be applied here") switches the inner
-    engine to a prebuilt local index instead.
+    bit-identical equations.  ``oracle`` names a registry index (Section
+    3's "any indexing techniques ... can be applied here") resolved from
+    the fragment's per-stamp store — built at most once, maintained
+    across mutations — while ``oracle_factory`` keeps the seed-era
+    escape hatch of a caller-supplied per-eval factory.  Both inner
+    engines are exact, so equations stay bit-identical either way.
     """
     kernel = resolve_kernel(kernel)
     iset = set(fragment.in_nodes)
@@ -98,11 +104,18 @@ def local_eval_reach(
         return {v: frozenset() for v in iset}
 
     local = fragment.local_graph
-    if oracle_factory is not None:
-        oracle = oracle_factory(local)
+    if oracle_factory is None and oracle not in (None, "none"):
+        engine = fragment_oracle(fragment, oracle)
         for v in iset:
             equations[v] = frozenset(
-                as_disjunct(o) for o in seeds if oracle.reaches(v, o)
+                as_disjunct(o) for o in seeds if engine.reaches(v, o)
+            )
+        return equations
+    if oracle_factory is not None:
+        engine = oracle_factory(local)
+        for v in iset:
+            equations[v] = frozenset(
+                as_disjunct(o) for o in seeds if engine.reaches(v, o)
             )
         return equations
 
@@ -158,16 +171,23 @@ class ReachPlan(QueryPlan):
         query: Union[ReachQuery, Tuple[Node, Node]],
         oracle_factory: Optional[OracleFactory] = None,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ) -> None:
         if not isinstance(query, ReachQuery):
             query = ReachQuery(*query)
         self.query = query
         self.oracle_factory = oracle_factory
-        # Resolved here (not at eval time) so the concrete kernel name ships
-        # inside local_eval_args to process-pool workers, independent of
-        # their environment.  Deliberately absent from fragment_params: all
-        # kernels are bit-identical, so partials are kernel-invariant.
+        # Resolved here (not at eval time) so the concrete kernel/oracle
+        # names ship inside local_eval_args to process-pool and socket
+        # workers, independent of their environment.  The kernel is
+        # deliberately absent from fragment_params (all kernels are
+        # bit-identical, so partials are kernel-invariant); the oracle
+        # name is included — the registry guarantees exact answers too,
+        # but keeping oracle identity in serving-cache keys means a
+        # cached partial is never attributed to an engine that did not
+        # produce it.
         self.kernel = resolve_kernel(kernel)
+        self.oracle = resolve_oracle(oracle)
 
     def validate(self, cluster: SimulatedCluster) -> None:
         cluster.site_of(self.query.source)  # validates existence
@@ -186,12 +206,13 @@ class ReachPlan(QueryPlan):
         return local_eval_reach
 
     def local_eval_args(self) -> Tuple[object, ...]:
-        return (self.query, self.oracle_factory, self.kernel)
+        return (self.query, self.oracle_factory, self.kernel, self.oracle)
 
     def fragment_params(self, fragment: Fragment) -> Hashable:
         return (
             *endpoint_params(fragment, self.query.source, self.query.target),
             self.oracle_factory,
+            self.oracle,
         )
 
     def wrap_partial(self, site_equations: ReachEquations) -> ReachPartialAnswer:
@@ -219,6 +240,7 @@ def dis_reach(
     oracle_factory: Optional[OracleFactory] = None,
     collect_details: bool = False,
     kernel: Optional[str] = None,
+    oracle: Optional[str] = None,
 ) -> QueryResult:
     """Algorithm ``disReach`` (Fig. 3) on a simulated cluster.
 
@@ -227,6 +249,6 @@ def dis_reach(
     cache, the same broadcast → parallel local evaluation → assemble
     message sequence and accounting as ever.
     """
-    plan = ReachPlan(query, oracle_factory, kernel=kernel)
+    plan = ReachPlan(query, oracle_factory, kernel=kernel, oracle=oracle)
     batch = execute_plans(cluster, [plan], collect_details=collect_details)
     return batch.results[0]

@@ -72,6 +72,7 @@ from typing import (
 
 from ..errors import DistributedError, QueryError
 from ..graph.digraph import DiGraph, Node
+from ..index.store import OracleStore
 from ..partition.builder import build_fragmentation
 from ..partition.fragment import Fragment, Fragmentation
 from ..partition.partitioners import call_partitioner, get_partitioner
@@ -362,6 +363,11 @@ class SimulatedCluster:
         # ticket so batched session remaps (and the shared-cache pick)
         # process registrants in a deterministic order.
         self._registration_counter = 0
+        # Per-fragment reachability-oracle store (DESIGN.md §12).  NOT a
+        # member of _caches: those registries exist to be invalidated on
+        # every mutation, while maintained oracles must *survive* one —
+        # apply_edge_mutation routes each delta into the store explicitly.
+        self.oracle_store = OracleStore(self)
 
     def _install_fragmentation(
         self,
@@ -585,6 +591,10 @@ class SimulatedCluster:
                 frag_u.local_graph.add_edge(u, v)
             else:
                 frag_u.local_graph.remove_edge(u, v)
+            # Maintained oracles repair in place instead of dying with the
+            # version bump below (the maintenance contract: the graph is
+            # already mutated when the delta arrives).
+            self.oracle_store.on_edge_mutation(frag_u, u, v, add)
             affected: Tuple[int, ...] = (fu,)
         else:
             frag_v = self.fragmentation[fv]
@@ -598,6 +608,14 @@ class SimulatedCluster:
                 for slot, held in enumerate(site.fragments):
                     if held.fid == fragment.fid:
                         site.fragments[slot] = fragment
+            # dataclasses.replace dropped the instance-dict cache slots;
+            # move the oracle caches onto the rebuilt Fragment objects,
+            # then route the delta to the source side — only its local
+            # graph changed (the target side's anatomy bookkeeping does
+            # not touch local_graph).
+            self.oracle_store.migrate(frag_u, replacements[0])
+            self.oracle_store.migrate(frag_v, replacements[1])
+            self.oracle_store.on_edge_mutation(replacements[0], u, v, add)
             affected = (fu, fv)
 
         for fid in affected:
@@ -739,11 +757,16 @@ class SimulatedCluster:
         # version strictly greater than any its fid ever carried here.
         self._retired_versions.update(self._fragment_versions)
         old_fids = tuple(self._fragment_versions)
+        old_fragments = self.fragmentation.fragments
         self._install_fragmentation(fragmentation, fragment_assignment)
         self._fragment_versions = {
             f.fid: self._retired_versions.get(f.fid, -1) + 1 for f in fragmentation
         }
         self._partition_epoch += 1
+        # Fragments whose node set and local graph content survived the
+        # repartition keep their maintained oracles (rebound to the new
+        # graph objects); only moved fragments pay an index rebuild.
+        self.oracle_store.after_repartition(old_fragments)
         moved_nodes, shipping = self._charge_shipping(graph, old_site_of_node)
         # Versions alone keep registered caches *sound*; eager invalidation
         # reclaims the memory of every retired fragment generation.

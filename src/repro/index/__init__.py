@@ -1,6 +1,12 @@
 """Pluggable local reachability/distance indexes (Section 3's remark)."""
 
-from .base import BFSOracle, OracleFactory, ReachabilityOracle
+from .base import (
+    BFSOracle,
+    MaintainableOracle,
+    OracleFactory,
+    ReachabilityOracle,
+    TrivialOracle,
+)
 from .distance import (
     BFSDistanceOracle,
     DistanceMatrixOracle,
@@ -8,10 +14,30 @@ from .distance import (
     DistanceOracleFactory,
 )
 from .grail import GrailOracle
+from .landmarks import LandmarkOracle
+from .registry import (
+    ORACLE_ENV_VAR,
+    ORACLE_NAMES,
+    ORACLES,
+    build_oracle,
+    default_oracle,
+    resolve_oracle,
+    set_default_oracle,
+)
+from .store import (
+    OracleEntry,
+    OracleStore,
+    OracleStoreStats,
+    fragment_oracle,
+    invalidate_fragment_oracles,
+)
+from .tol import TOLOracle
 from .transitive_closure import TransitiveClosureOracle
 from .twohop import TwoHopOracle
 
-#: name -> oracle factory, for the index-choice ablation bench.
+#: name -> oracle factory, for the index-choice ablation bench.  Kept for
+#: back-compat ("2hop" spelling included); the registry in
+#: :mod:`repro.index.registry` is the canonical name -> factory map.
 REACHABILITY_INDEXES = {
     "bfs": BFSOracle,
     "transitive-closure": TransitiveClosureOracle,
@@ -26,9 +52,25 @@ __all__ = [
     "DistanceOracle",
     "DistanceOracleFactory",
     "GrailOracle",
+    "LandmarkOracle",
+    "MaintainableOracle",
+    "ORACLES",
+    "ORACLE_ENV_VAR",
+    "ORACLE_NAMES",
+    "OracleEntry",
     "OracleFactory",
+    "OracleStore",
+    "OracleStoreStats",
     "REACHABILITY_INDEXES",
     "ReachabilityOracle",
+    "TOLOracle",
     "TransitiveClosureOracle",
+    "TrivialOracle",
     "TwoHopOracle",
+    "build_oracle",
+    "default_oracle",
+    "fragment_oracle",
+    "invalidate_fragment_oracles",
+    "resolve_oracle",
+    "set_default_oracle",
 ]

@@ -1,0 +1,239 @@
+"""Shared machinery for mutation-maintained condensation indexes.
+
+Both :class:`~repro.index.tol.TOLOracle` and
+:class:`~repro.index.landmarks.LandmarkOracle` label the *condensation*
+of their fragment graph.  This base class owns the dynamic condensation:
+it keeps component membership, the condensation adjacency with per-edge
+multiplicities (several graph edges can collapse onto one condensation
+edge), and classifies every mutation into one of three buckets:
+
+``cheap``
+    the condensation's transitive closure is provably unchanged — e.g.
+    an intra-SCC insertion, a parallel edge, an insertion between
+    already-ordered components, or a deletion whose endpoints stay
+    connected — so the labels need no work at all;
+
+``repairs``
+    a genuinely new condensation edge; the subclass repairs its labels
+    via :meth:`_repair_insert`, restricted to the affected region
+    (ancestors of the tail / descendants of the head);
+
+``rebuilds``
+    structural damage — an SCC merge or split, a disappearing node, a
+    repair that blew past its damage threshold — where incremental
+    repair is unsound or uneconomical and the index is rebuilt from the
+    (already-mutated) graph.
+
+The maintenance contract (DESIGN.md §12): hooks run *after* the graph
+was mutated, and all derived state is a pure function of graph content.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set, Tuple
+
+from ..graph.digraph import DiGraph, Node
+from ..graph.scc import tarjan_scc
+from .base import MaintainableOracle
+
+
+class DynamicCondensationOracle(MaintainableOracle):
+    """Base for label indexes over an incrementally-maintained condensation."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        self._build_all()
+
+    # ------------------------------------------------------------------
+    # construction
+    def _build_all(self) -> None:
+        graph = self.graph
+        comps = tarjan_scc(list(graph.nodes()), graph.successors)
+        self._comp_of: Dict[Node, int] = {}
+        self._members: Dict[int, Set[Node]] = {}
+        for cid, members in enumerate(comps):
+            self._members[cid] = set(members)
+            for node in members:
+                self._comp_of[node] = cid
+        self._succ: Dict[int, Set[int]] = {cid: set() for cid in self._members}
+        self._pred: Dict[int, Set[int]] = {cid: set() for cid in self._members}
+        self._cedge_count: Dict[Tuple[int, int], int] = {}
+        for u, v in graph.edges():
+            cu, cv = self._comp_of[u], self._comp_of[v]
+            if cu == cv:
+                continue
+            key = (cu, cv)
+            if key not in self._cedge_count:
+                self._succ[cu].add(cv)
+                self._pred[cv].add(cu)
+                self._cedge_count[key] = 0
+            self._cedge_count[key] += 1
+        self._next_cid = len(comps)
+        self._build_labels()
+
+    def _rebuild(self) -> None:
+        self._build_all()
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    def _build_labels(self) -> None:
+        """(Re)derive all label state from the current condensation."""
+        raise NotImplementedError
+
+    def _new_component(self, cid: int) -> None:
+        """A fresh singleton component appeared (new node, no edges yet)."""
+        raise NotImplementedError
+
+    def _repair_insert(self, cu: int, cv: int) -> bool:
+        """Repair labels after new condensation edge ``cu -> cv``.
+
+        Called after the adjacency already carries the edge.  Returns
+        False to request a rebuild (damage threshold / budget exceeded);
+        partially-applied repairs must remain *sound* so that aborting
+        into a rebuild is always safe.
+        """
+        raise NotImplementedError
+
+    def _query(self, cu: int, cv: int) -> bool:
+        """cu reaches cv in the condensation (``cu != cv`` guaranteed)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # queries
+    def reaches(self, source: Node, target: Node) -> bool:
+        if source == target:
+            return self.graph.has_node(source)
+        cu = self._comp_of.get(source)
+        cv = self._comp_of.get(target)
+        if cu is None or cv is None:
+            return False
+        if cu == cv:
+            return True
+        return self._query(cu, cv)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    def on_edge_added(self, source: Node, target: Node) -> None:
+        graph = self.graph
+        # Placeholder endpoints appear together with cross-fragment edges.
+        for node in (source, target):
+            if node not in self._comp_of and graph.has_node(node):
+                cid = self._next_cid
+                self._next_cid += 1
+                self._comp_of[node] = cid
+                self._members[cid] = {node}
+                self._succ[cid] = set()
+                self._pred[cid] = set()
+                self._new_component(cid)
+        cu = self._comp_of.get(source)
+        cv = self._comp_of.get(target)
+        if cu is None or cv is None:
+            self._note("rebuilds")
+            self._rebuild()
+            return
+        if cu == cv:
+            self._note("cheap")
+            return
+        key = (cu, cv)
+        if self._cedge_count.get(key):
+            self._cedge_count[key] += 1
+            self._note("cheap")
+            return
+        if self._cond_reaches(cv, cu):
+            # The new edge closes a cycle: components merge.
+            self._note("rebuilds")
+            self._rebuild()
+            return
+        ordered_already = self._query(cu, cv)
+        self._cedge_count[key] = 1
+        self._succ[cu].add(cv)
+        self._pred[cv].add(cu)
+        if ordered_already:
+            # cu already reached cv, so the closure — and therefore every
+            # label certificate — is unchanged.
+            self._note("cheap")
+            return
+        if self._repair_insert(cu, cv):
+            self._note("repairs")
+        else:
+            self._note("rebuilds")
+            self._rebuild()
+
+    def on_edge_removed(self, source: Node, target: Node) -> None:
+        graph = self.graph
+        if source == target:
+            self._note("cheap")
+            return
+        if not (graph.has_node(source) and graph.has_node(target)):
+            # The edge took a placeholder node with it.
+            self._note("rebuilds")
+            self._rebuild()
+            return
+        cu = self._comp_of.get(source)
+        cv = self._comp_of.get(target)
+        if cu is None or cv is None:
+            self._note("rebuilds")
+            self._rebuild()
+            return
+        if cu == cv:
+            # Intra-SCC deletion: cheap iff the component held together.
+            members = self._members[cu]
+            parts = tarjan_scc(
+                list(members),
+                lambda n: (s for s in graph.successors(n) if s in members),
+            )
+            if len(parts) == 1:
+                self._note("cheap")
+                return
+            self._note("rebuilds")
+            self._rebuild()
+            return
+        key = (cu, cv)
+        count = self._cedge_count.get(key, 0)
+        if count > 1:
+            self._cedge_count[key] = count - 1
+            self._note("cheap")
+            return
+        if count == 1:
+            del self._cedge_count[key]
+            self._succ[cu].discard(cv)
+            self._pred[cv].discard(cu)
+            if self._cond_reaches(cu, cv):
+                # cu still reaches cv, so no pair lost reachability and
+                # every existing certificate stays true.
+                self._note("cheap")
+                return
+        self._note("rebuilds")
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def _cond_reaches(self, src: int, dst: int) -> bool:
+        """Plain BFS over the condensation adjacency."""
+        if src == dst:
+            return True
+        queue = deque([src])
+        seen = {src}
+        while queue:
+            comp = queue.popleft()
+            for nxt in self._succ[comp]:
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    def _reach_set(self, start: int, adjacency: Dict[int, Set[int]]) -> Set[int]:
+        """Everything reachable from ``start`` via ``adjacency`` (exclusive)."""
+        queue = deque([start])
+        seen = {start}
+        out: Set[int] = set()
+        while queue:
+            comp = queue.popleft()
+            for nxt in adjacency[comp]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    out.add(nxt)
+                    queue.append(nxt)
+        return out

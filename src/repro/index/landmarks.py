@@ -1,0 +1,142 @@
+"""Budgeted landmark labeling with a portal-pruned BFS fallback.
+
+After Seufert et al. (FERRARI, arXiv:1211.3375): under a hard ``budget``
+on total label entries, admit high-degree condensation components as
+*landmarks* in order, giving each admitted landmark **complete** forward
+and backward labels (``L ∈ Lin[x]`` iff ``L`` reaches ``x``, ``L ∈
+Lout[x]`` iff ``x`` reaches ``L``).  Admission stops at the first
+candidate whose labels would overflow the budget.
+
+Queries: a pair touching a landmark is answered exactly from the labels;
+otherwise a non-empty ``Lout[u] ∩ Lin[v]`` proves reachability, and an
+empty one falls back to a BFS that *prunes at landmarks* — any landmark
+the BFS can reach is already in ``Lout[u]`` (completeness), so its
+absence from ``Lin[v]`` proves the whole region behind that portal is a
+dead end.
+
+Maintenance of a genuinely new condensation edge ``cu -> cv``: each
+landmark that reaches ``cu`` is pushed forward from ``cv`` and each
+landmark reachable from ``cv`` is pushed backward from ``cu``, pruning
+where the landmark is already present — sound precisely *because*
+per-landmark labels are complete, so presence at a component implies
+presence everywhere behind it.  If the pushes overflow the budget the
+repair reports failure and the rebuild re-selects landmarks that fit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from ..graph.digraph import DiGraph
+from .dyncond import DynamicCondensationOracle
+
+
+class LandmarkOracle(DynamicCondensationOracle):
+    """Complete per-landmark labels under a hard entry budget."""
+
+    def __init__(self, graph: DiGraph, budget: Optional[int] = None) -> None:
+        self._budget_arg = budget
+        super().__init__(graph)
+
+    # ------------------------------------------------------------------
+    def _build_labels(self) -> None:
+        comps = list(self._members)
+        if self._budget_arg is not None:
+            self._budget = self._budget_arg
+        else:
+            self._budget = max(64, 8 * len(comps))
+        self._lin: Dict[int, Set[int]] = {c: set() for c in comps}
+        self._lout: Dict[int, Set[int]] = {c: set() for c in comps}
+        self._landmarks: List[int] = []
+        self._landmark_set: Set[int] = set()
+        self._entries = 0
+        order = sorted(
+            comps,
+            key=lambda c: (
+                -(len(self._succ[c]) + len(self._pred[c])),
+                min(repr(m) for m in self._members[c]),
+            ),
+        )
+        for cand in order:
+            desc = self._reach_set(cand, self._succ)
+            anc = self._reach_set(cand, self._pred)
+            cost = len(desc) + len(anc)
+            if self._entries + cost > self._budget:
+                break
+            for comp in desc:
+                self._lin[comp].add(cand)
+            for comp in anc:
+                self._lout[comp].add(cand)
+            self._entries += cost
+            self._landmarks.append(cand)
+            self._landmark_set.add(cand)
+
+    # ------------------------------------------------------------------
+    def _new_component(self, cid: int) -> None:
+        self._lin[cid] = set()
+        self._lout[cid] = set()
+
+    def _query(self, cu: int, cv: int) -> bool:
+        if cu in self._landmark_set:
+            return cu in self._lin[cv]
+        if cv in self._landmark_set:
+            return cv in self._lout[cu]
+        if self._lout[cu] & self._lin[cv]:
+            return True
+        # Portal-pruned fallback BFS: landmarks act as closed doors.
+        queue = deque([cu])
+        seen = {cu}
+        while queue:
+            comp = queue.popleft()
+            for nxt in self._succ[comp]:
+                if nxt == cv:
+                    return True
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                if nxt in self._landmark_set:
+                    continue
+                queue.append(nxt)
+        return False
+
+    def _repair_insert(self, cu: int, cv: int) -> bool:
+        forward = set(self._lin[cu])
+        if cu in self._landmark_set:
+            forward.add(cu)
+        backward = set(self._lout[cv])
+        if cv in self._landmark_set:
+            backward.add(cv)
+        for mark in forward:
+            self._push(mark, cv, self._succ, self._lin)
+        for mark in backward:
+            self._push(mark, cu, self._pred, self._lout)
+        if self._entries > self._budget:
+            return False
+        return True
+
+    def _push(
+        self,
+        mark: int,
+        start: int,
+        adjacency: Dict[int, Set[int]],
+        labels: Dict[int, Set[int]],
+    ) -> None:
+        """Restore per-landmark completeness in one direction.
+
+        Prune-at-present: if ``mark`` already labels a component, the
+        (old) region behind it is already complete, and inside the
+        repair region all reachability predates the inserted edge.
+        """
+        queue = deque([start])
+        seen = {start}
+        while queue:
+            comp = queue.popleft()
+            if mark in labels[comp] or comp == mark:
+                continue
+            labels[comp].add(mark)
+            self._entries += 1
+            for nxt in adjacency[comp]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)

@@ -1,0 +1,108 @@
+"""Named, picklable oracle registry with ``--kernel``-style precedence.
+
+Plans and serving-cache keys carry an oracle *name*, never a closure:
+names survive ``pickle`` across the process and socket executors, where a
+per-call factory lambda would not.  Precedence mirrors
+:mod:`repro.core.kernels` exactly — an explicit ``oracle=`` argument,
+else the process-wide default (:func:`set_default_oracle` — what
+``--oracle`` sets), else the ``REPRO_ORACLE`` environment variable, else
+``none`` (the label-sweep path with no oracle at all).
+
+Unknown names raise :class:`~repro.errors.QueryError` listing the
+registered names, whether they arrive via CLI, environment, or
+``evaluate()``.  Degenerate fragments (empty, single-node, or edgeless
+local graphs) get a :class:`~repro.index.base.TrivialOracle` instead of
+whatever the name says — building a label index over nothing is a crash
+waiting to happen and identity reachability is already exact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import QueryError
+from ..graph.digraph import DiGraph
+from .base import BFSOracle, ReachabilityOracle, TrivialOracle
+from .grail import GrailOracle
+from .landmarks import LandmarkOracle
+from .tol import TOLOracle
+from .transitive_closure import TransitiveClosureOracle
+from .twohop import TwoHopOracle
+
+#: Registry name -> oracle class; ``none`` means "no oracle" (the
+#: kernel/bitmask sweep path in ``local_eval_reach``).
+ORACLES: Dict[str, Optional[Callable[[DiGraph], ReachabilityOracle]]] = {
+    "none": None,
+    "bfs": BFSOracle,
+    "transitive-closure": TransitiveClosureOracle,
+    "twohop": TwoHopOracle,
+    "grail": GrailOracle,
+    "tol": TOLOracle,
+    "landmarks": LandmarkOracle,
+}
+
+#: The oracle names that actually build an index (``none`` excluded).
+ORACLE_NAMES: Tuple[str, ...] = tuple(ORACLES)
+
+#: Environment variable consulted when no explicit/default oracle is set.
+ORACLE_ENV_VAR = "REPRO_ORACLE"
+
+_default_oracle_name: Optional[str] = None
+
+
+def _check_name(name: str) -> None:
+    if name not in ORACLES:
+        known = ", ".join(ORACLES)
+        raise QueryError(f"unknown oracle {name!r}; registered oracles: {known}")
+
+
+def set_default_oracle(name: Optional[str]) -> None:
+    """Set the process-wide default oracle (what ``oracle=None`` means).
+
+    Mirrors :func:`repro.core.kernels.set_default_kernel`: entry points
+    (``--oracle tol``) switch every reachability plan they construct
+    without threading a parameter through each call site.  ``None``
+    resets to the environment/``none`` fallback.
+    """
+    global _default_oracle_name
+    if name is not None:
+        _check_name(name)
+    _default_oracle_name = name
+
+
+def default_oracle() -> str:
+    """The effective default: ``set_default_oracle`` > env var > none."""
+    if _default_oracle_name is not None:
+        return _default_oracle_name
+    env = os.environ.get(ORACLE_ENV_VAR, "").strip()
+    if env:
+        _check_name(env)
+        return env
+    return "none"
+
+
+def resolve_oracle(oracle: Optional[str] = None) -> str:
+    """Coerce ``oracle`` (name or None = default) to a registered name."""
+    name = oracle if oracle is not None else default_oracle()
+    _check_name(name)
+    return name
+
+
+def build_oracle(name: str, graph: DiGraph) -> ReachabilityOracle:
+    """Build the named oracle for one fragment-local graph.
+
+    Picklable by construction: module-level function + registry name.
+    Degenerate graphs (≤ 1 node, or no edges) get a
+    :class:`TrivialOracle` regardless of ``name``.
+    """
+    _check_name(name)
+    factory = ORACLES[name]
+    if factory is None:
+        raise QueryError(
+            "oracle 'none' names the sweep path and cannot be built; "
+            "resolve the name before asking for an index"
+        )
+    if graph.num_nodes <= 1 or graph.num_edges == 0:
+        return TrivialOracle(graph)
+    return factory(graph)

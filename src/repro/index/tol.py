@@ -1,0 +1,120 @@
+"""Total-order labeling (TOL-style) with incremental insert maintenance.
+
+After Zhu et al., SIGMOD'14 (SNIPPETS.md Snippet 1): fix a total priority
+order over the condensation's components and run a pruned label
+construction in that order, so high-priority components act as hubs and
+low-priority components carry few entries.  ``u`` reaches ``v`` iff
+``(Lout[u] ∪ {u}) ∩ (Lin[v] ∪ {v})`` is non-empty.
+
+The dynamic part, on top of :class:`DynamicCondensationOracle`'s
+classification: a genuinely order-extending insertion ``cu -> cv`` is
+repaired by pushing every hub of ``Lin[cu] ∪ {cu}`` into the descendant
+region of ``cv`` — the only region whose reachable-from set changed.
+The repair maintains the *cover invariant*: for every reachable pair
+``(a, b)``, some common hub certifies it.  Proof sketch for a pair newly
+connected through the inserted edge (``a ⇒ cu -> cv ⇒ b``): the old
+labels hold a hub ``g ∈ (Lout[a] ∪ {a}) ∩ (Lin[cu] ∪ {cu})``, and the
+push plants exactly that ``g`` into ``Lin`` of every descendant of
+``cv`` (the DAG guarantees descendants of ``cv`` cannot re-use the new
+edge, so the region is the *old* descendant set).  Pairs reachable
+before keep their old certificates because labels only grow.  The push
+is exhaustive inside the region and therefore bounded by a damage
+threshold; past it the repair aborts (partial labels are sound — every
+planted entry is a true reachability statement) and the index rebuilds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set
+
+from ..graph.digraph import DiGraph
+from .dyncond import DynamicCondensationOracle
+
+
+class TOLOracle(DynamicCondensationOracle):
+    """Priority-ordered 2-hop labels over the condensation, maintained in place."""
+
+    def __init__(self, graph: DiGraph, repair_limit: Optional[int] = None) -> None:
+        self._repair_limit_arg = repair_limit
+        super().__init__(graph)
+
+    # ------------------------------------------------------------------
+    def _build_labels(self) -> None:
+        self._lin: Dict[int, Set[int]] = {c: set() for c in self._members}
+        self._lout: Dict[int, Set[int]] = {c: set() for c in self._members}
+        # Total order: decreasing condensation degree, ties broken by the
+        # smallest member repr so the order depends on content only.
+        order = sorted(
+            self._members,
+            key=lambda c: (
+                -(len(self._succ[c]) + len(self._pred[c])),
+                min(repr(m) for m in self._members[c]),
+            ),
+        )
+        self._priority: Dict[int, int] = {c: i for i, c in enumerate(order)}
+        self._next_priority = len(order)
+        if self._repair_limit_arg is not None:
+            self._repair_limit = self._repair_limit_arg
+        else:
+            self._repair_limit = max(64, 4 * len(order))
+        for hub in order:
+            self._pruned_bfs(hub, forward=True)
+            self._pruned_bfs(hub, forward=False)
+
+    def _pruned_bfs(self, hub: int, forward: bool) -> None:
+        """Label the (anti)reachable region of ``hub``, pruning covered nodes."""
+        adjacency = self._succ if forward else self._pred
+        target_labels = self._lin if forward else self._lout
+        queue = deque([hub])
+        seen = {hub}
+        while queue:
+            comp = queue.popleft()
+            if comp != hub:
+                if self._covered(hub, comp, forward):
+                    continue
+                target_labels[comp].add(hub)
+            for nxt in adjacency[comp]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+
+    def _covered(self, hub: int, comp: int, forward: bool) -> bool:
+        """hub→comp (forward) or comp→hub already certified by a third hub?"""
+        if forward:
+            common = (self._lout[hub] | {hub}) & (self._lin[comp] | {comp})
+        else:
+            common = (self._lout[comp] | {comp}) & (self._lin[hub] | {hub})
+        return bool(common - {hub, comp})
+
+    # ------------------------------------------------------------------
+    def _new_component(self, cid: int) -> None:
+        self._lin[cid] = set()
+        self._lout[cid] = set()
+        self._priority[cid] = self._next_priority
+        self._next_priority += 1
+
+    def _query(self, cu: int, cv: int) -> bool:
+        return bool((self._lout[cu] | {cu}) & (self._lin[cv] | {cv}))
+
+    def _repair_insert(self, cu: int, cv: int) -> bool:
+        budget = self._repair_limit
+        visited = 0
+        # Highest-priority hubs first: if the threshold hits, the most
+        # valuable certificates are the ones already planted.
+        hubs = sorted(self._lin[cu] | {cu}, key=self._priority.__getitem__)
+        for hub in hubs:
+            queue = deque([cv])
+            seen = {cv}
+            while queue:
+                comp = queue.popleft()
+                visited += 1
+                if visited > budget:
+                    return False
+                if comp != hub:
+                    self._lin[comp].add(hub)
+                for nxt in self._succ[comp]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+        return True

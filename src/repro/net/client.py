@@ -112,10 +112,17 @@ class ServeClient:
         query: Any,
         algorithm: Optional[str] = None,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ) -> Any:
         """Evaluate one query (admission-batched server side)."""
         return self._request(
-            {"op": "query", "query": query, "algorithm": algorithm, "kernel": kernel}
+            {
+                "op": "query",
+                "query": query,
+                "algorithm": algorithm,
+                "kernel": kernel,
+                "oracle": oracle,
+            }
         )
 
     def batch(
@@ -123,6 +130,7 @@ class ServeClient:
         queries: Sequence[Any],
         algorithm: Optional[str] = None,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ) -> Any:
         """Evaluate ``queries`` as one explicit engine batch."""
         return self._request(
@@ -131,6 +139,7 @@ class ServeClient:
                 "queries": list(queries),
                 "algorithm": algorithm,
                 "kernel": kernel,
+                "oracle": oracle,
             }
         )
 

@@ -241,6 +241,7 @@ class ServingServer:
                     request["queries"],
                     request.get("algorithm"),
                     kernel=request.get("kernel"),
+                    oracle=request.get("oracle"),
                 )
                 self._served += len(request["queries"])
             elif op == "session_open":
@@ -318,27 +319,32 @@ class ServingServer:
                     await self._finish(item, {"qid": item.qid, "error": error})
 
     async def _run_admitted(self, batch: List[_Pending]) -> None:
-        """Evaluate one admitted batch, grouped by (algorithm, kernel)."""
+        """Evaluate one admitted batch, grouped by (algorithm, kernel, oracle)."""
         assert self._loop is not None
-        groups: "OrderedDict[Tuple[Any, Any], List[_Pending]]" = OrderedDict()
+        groups: "OrderedDict[Tuple[Any, Any, Any], List[_Pending]]" = OrderedDict()
         for item in batch:
             key = (
                 item.request.get("algorithm"),
                 item.request.get("kernel"),
+                item.request.get("oracle"),
             )
             groups.setdefault(key, []).append(item)
         self._batches += 1
-        for (algorithm, kernel), items in groups.items():
+        for (algorithm, kernel, oracle), items in groups.items():
             queries = [item.request["query"] for item in items]
             try:
                 result = await self._in_engine(
-                    self.engine.run_batch, queries, algorithm, kernel=kernel
+                    self.engine.run_batch,
+                    queries,
+                    algorithm,
+                    kernel=kernel,
+                    oracle=oracle,
                 )
             except ReproError:
                 # One bad query can poison a batch; replay one by one so
                 # the error lands on the query that caused it.
                 for item in items:
-                    await self._run_single(item, algorithm, kernel)
+                    await self._run_single(item, algorithm, kernel, oracle)
                 continue
             if len(result.results) != len(items):
                 error = QueryError(
@@ -352,12 +358,16 @@ class ServingServer:
                 await self._finish(item, {"qid": item.qid, "value": query_result})
 
     async def _run_single(
-        self, item: _Pending, algorithm: Any, kernel: Any
+        self, item: _Pending, algorithm: Any, kernel: Any, oracle: Any = None
     ) -> None:
         """Fallback path: evaluate one admitted query alone."""
         try:
             value = await self._in_engine(
-                self.engine.evaluate, item.request["query"], algorithm, kernel=kernel
+                self.engine.evaluate,
+                item.request["query"],
+                algorithm,
+                kernel=kernel,
+                oracle=oracle,
             )
         except ReproError as exc:
             await self._finish(item, {"qid": item.qid, "error": exc})
@@ -436,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro-serve`` argument parser (mirrors the ``repro`` CLI)."""
     from ..core.kernels import KERNELS
     from ..distributed.executors import EXECUTORS
+    from ..index.registry import ORACLES
     from ..partition.partitioners import PARTITIONERS
     from ..workload.datasets import DATASETS
 
@@ -469,6 +480,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(repeatable; socket executor; overrides --brokers)")
     parser.add_argument("--kernel", choices=sorted(KERNELS), default=None,
                         help="local-evaluation kernel default for the server")
+    parser.add_argument("--oracle", choices=sorted(ORACLES), default=None,
+                        help="reachability-index default for the server "
+                        "(registry name; maintained per fragment)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--allow-remote", action="store_true",
                         help="permit a non-loopback --host bind (frames are "
@@ -494,6 +508,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from ..distributed.cluster import SimulatedCluster
     from ..distributed.executors import SocketExecutor
     from ..graph import graph_io
+    from ..index.registry import set_default_oracle
     from ..serving import BatchQueryEngine
     from ..workload.datasets import load_dataset
     from .framing import guard_bind_host
@@ -503,6 +518,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         guard_bind_host(args.host, args.allow_remote, "repro-serve")
         if args.kernel is not None:
             set_default_kernel(args.kernel)
+        if args.oracle is not None:
+            set_default_oracle(args.oracle)
         if args.graph:
             graph = graph_io.load(args.graph)
         else:

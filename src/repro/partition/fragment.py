@@ -59,6 +59,25 @@ class Fragment:
         """Membership means *ownership*: virtual nodes do not count."""
         return node in self.nodes
 
+    def __getstate__(self) -> dict:
+        """Pickle the fragment without its site-local caches.
+
+        The instance ``__dict__`` doubles as cache storage (CSR arrays,
+        reachability oracles — see :mod:`repro.core.csr` and
+        :mod:`repro.index.store`); those are derived, process-local and
+        sometimes large, so shipping a fragment to a process/socket
+        worker sends only the declared fields.  Workers rebuild their
+        own caches lazily on first use.
+        """
+        state = dict(self.__dict__)
+        state.pop("_csr_cache", None)
+        state.pop("_oracle_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Fragment(fid={self.fid}, |Vi|={len(self.nodes)}, "

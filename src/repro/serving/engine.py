@@ -334,13 +334,18 @@ class BatchQueryEngine:
         algorithm: Optional[str] = None,
         collect_details: bool = False,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ) -> BatchResult:
         """Evaluate ``queries`` as one batch (default algorithm per class).
 
         ``kernel`` selects the local-evaluation kernel for every plan in
         the batch (default: the process-wide default kernel); cached
         partials are shared across kernels because all kernels produce
-        bit-identical equations.
+        bit-identical equations.  ``oracle`` names a registered
+        reachability index for the ``disReach`` plans in the batch;
+        unlike the kernel it *is* part of the cache key (via
+        ``fragment_params``), so partials stay attributed to the engine
+        that produced them.
         """
         from ..core.engine import evaluate, is_batchable, plan_for
 
@@ -348,14 +353,22 @@ class BatchQueryEngine:
         if algorithm is not None and not is_batchable(algorithm):
             # Baselines have no partial results to cache; evaluate honestly
             # one by one and report the batch as entirely un-batched.
-            results = [evaluate(self.cluster, query, algorithm) for query in queries]
+            # Forwarding the oracle keeps the registry's error contract:
+            # baselines take none, so an explicit oracle raises QueryError.
+            results = [
+                evaluate(self.cluster, query, algorithm, oracle=oracle)
+                for query in queries
+            ]
             workload = WorkloadStats(
                 num_queries=len(queries), num_unbatched=len(queries)
             )
             for result in results:
                 _accumulate(workload, result.stats)
             return BatchResult(results=results, workload=workload)
-        plans = [plan_for(query, algorithm, kernel=kernel) for query in queries]
+        plans = [
+            plan_for(query, algorithm, kernel=kernel, oracle=oracle)
+            for query in queries
+        ]
         return execute_plans(
             self.cluster, plans, cache=self.cache, collect_details=collect_details
         )
@@ -366,10 +379,11 @@ class BatchQueryEngine:
         algorithm: Optional[str] = None,
         collect_details: bool = False,
         kernel: Optional[str] = None,
+        oracle: Optional[str] = None,
     ):
         """Single query through the serving path (a batch of one)."""
         return self.run_batch(
-            [query], algorithm, collect_details, kernel=kernel
+            [query], algorithm, collect_details, kernel=kernel, oracle=oracle
         ).results[0]
 
     def open_session(self, query, kernel: Optional[str] = None):

@@ -59,13 +59,13 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_twenty_two_registered(self):
+    def test_all_twenty_three_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
             "fig11l", "ablation-index", "ablation-partitioner", "workload",
             "partition", "mutation", "baselines", "kernels", "serving",
-            "snap",
+            "snap", "oracles",
         }
         assert set(EXPERIMENTS) == expected
 

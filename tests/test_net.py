@@ -373,3 +373,74 @@ class TestSocketIdentityProperties:
             assert _modeled_signature(
                 evaluate(networked, query)
             ) == _modeled_signature(evaluate(sequential, query))
+
+
+class TestOracleOverSocket:
+    """Plans carry the oracle *name*: it must survive the wire intact."""
+
+    @staticmethod
+    def _spawn_brokers(count=2, timeout=20.0):
+        import subprocess
+        import sys
+        import time as time_mod
+
+        procs, addresses = [], []
+        for _ in range(count):
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+            probe.close()
+            procs.append(
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro.net.broker", "--listen", str(port)],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+            addresses.append(f"127.0.0.1:{port}")
+        deadline = time_mod.monotonic() + timeout
+        for address in addresses:
+            host, _, port = address.rpartition(":")
+            while True:
+                try:
+                    socket.create_connection((host, int(port)), timeout=1.0).close()
+                    break
+                except OSError:
+                    if time_mod.monotonic() > deadline:
+                        for proc in procs:
+                            proc.kill()
+                        pytest.fail(f"broker at {address} never came up")
+        return procs, addresses
+
+    def test_tol_plan_identical_on_external_brokers(self):
+        """A plan with ``oracle="tol"`` is bit-identical sequential vs socket
+        against externally managed brokers, across an edge mutation (new
+        stamp, new wire key, maintained index on the coordinator side)."""
+        from repro.core.reachability import dis_reach
+
+        procs, addresses = self._spawn_brokers()
+        executor = SocketExecutor(addresses=addresses, shared=False, timeout=15.0)
+        try:
+            networked = SimulatedCluster(figure1_fragmentation(), executor=executor)
+            sequential = SimulatedCluster(figure1_fragmentation())
+            queries = [ReachQuery("Ann", "Mark"), ReachQuery("Mark", "Ann")]
+            for oracle in (None, "tol"):
+                for query in queries:
+                    assert _modeled_signature(
+                        dis_reach(networked, query, oracle=oracle)
+                    ) == _modeled_signature(dis_reach(sequential, query, oracle=oracle))
+            for cluster in (networked, sequential):
+                cluster.apply_edge_mutation("Ann", "Mark", add=True)
+            for query in queries:
+                reference = _modeled_signature(dis_reach(sequential, query))
+                assert _modeled_signature(
+                    dis_reach(networked, query, oracle="tol")
+                ) == reference
+                assert _modeled_signature(
+                    dis_reach(sequential, query, oracle="tol")
+                ) == reference
+        finally:
+            executor.close()
+            for proc in procs:
+                proc.kill()
+                proc.wait()

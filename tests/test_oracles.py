@@ -1,0 +1,320 @@
+"""The maintained oracle layer: registry, maintenance, store, identity.
+
+Four contracts from DESIGN.md §12:
+
+* **Registry** — oracles are named, picklable entries; plans carry the
+  name, unknown names die as :class:`QueryError` listing what exists,
+  and degenerate fragments get a trivial oracle instead of a crash.
+* **Identity** — every registered oracle answers exactly like
+  :class:`BFSOracle` on arbitrary graphs, including after arbitrary
+  mutation sequences routed through the maintenance hooks.
+* **Maintenance** — a maintained TOL/landmark index equals a
+  from-scratch build after any mutation sequence, and the stats ledger
+  balances (``events == cheap + repairs + rebuilds``).
+* **Store** — per-fragment entries are keyed by
+  ``(fid, fragment_version, mutation_stamp)``, survive cross-fragment
+  mutations by migration and repartitions by content adoption, and
+  never leak through pickling.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import evaluate
+from repro.core.queries import BoundedReachQuery, ReachQuery
+from repro.core.reachability import dis_reach
+from repro.distributed.cluster import SimulatedCluster
+from repro.errors import QueryError
+from repro.graph import DiGraph
+from repro.index import (
+    BFSOracle,
+    LandmarkOracle,
+    MaintainableOracle,
+    ORACLE_NAMES,
+    ORACLES,
+    TOLOracle,
+    TrivialOracle,
+    build_oracle,
+    fragment_oracle,
+    resolve_oracle,
+    set_default_oracle,
+)
+
+MAINTAINED = {"bfs": BFSOracle, "tol": TOLOracle, "landmarks": LandmarkOracle}
+
+
+def _graph(n, edges):
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i, label="L")
+    for u, v in edges:
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def _all_pairs(oracle, nodes):
+    return {(s, t) for s in nodes for t in nodes if oracle.reaches(s, t)}
+
+
+@st.composite
+def graphs(draw, max_nodes=12):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=3 * n,
+        )
+    )
+    return _graph(n, edges)
+
+
+@st.composite
+def mutation_sequences(draw, max_nodes=10, max_steps=10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=2 * n,
+        )
+    )
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(), st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=max_steps,
+        )
+    )
+    return n, edges, steps
+
+
+class TestRegistry:
+    def test_registered_names_are_stable(self):
+        assert ORACLE_NAMES == ("none", "bfs", "transitive-closure", "twohop",
+                                "grail", "tol", "landmarks")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(QueryError, match="registered oracles: none, bfs"):
+            resolve_oracle("nope")
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(QueryError, match="unknown oracle"):
+            set_default_oracle("nope")
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "tol")
+        assert resolve_oracle(None) == "tol"
+        monkeypatch.setenv("REPRO_ORACLE", "bogus")
+        with pytest.raises(QueryError, match="unknown oracle 'bogus'"):
+            resolve_oracle(None)
+
+    def test_registry_entries_are_picklable(self):
+        for name, cls in ORACLES.items():
+            assert pickle.loads(pickle.dumps(cls)) is cls, name
+
+    def test_degenerate_graphs_get_trivial_oracle(self):
+        empty = DiGraph()
+        single = DiGraph()
+        single.add_node("a", label="L")
+        for graph in (empty, single):
+            for name in ORACLE_NAMES:
+                if name == "none":
+                    continue
+                oracle = build_oracle(name, graph)
+                assert isinstance(oracle, TrivialOracle), (name, graph)
+        assert build_oracle("tol", single).reaches("a", "a")
+        assert not build_oracle("tol", single).reaches("a", "b")
+
+    def test_building_none_is_an_error(self):
+        with pytest.raises(QueryError, match="names the sweep path"):
+            build_oracle("none", _graph(2, [(0, 1)]))
+
+    def test_evaluate_rejects_oracle_for_non_disreach(self):
+        cluster = SimulatedCluster.from_graph(
+            _graph(6, [(0, 1), (1, 2), (3, 4)]), 2, partitioner="chunk"
+        )
+        with pytest.raises(QueryError, match="only disReach"):
+            evaluate(cluster, BoundedReachQuery(0, 2, 4), oracle="tol")
+
+
+class TestStaticIdentity:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_every_oracle_agrees_with_bfs(self, graph):
+        nodes = sorted(graph.nodes())
+        reference = _all_pairs(BFSOracle(graph), nodes)
+        for name in ORACLE_NAMES:
+            if name == "none":
+                continue
+            assert _all_pairs(build_oracle(name, graph), nodes) == reference, name
+
+
+class TestMaintenance:
+    @given(mutation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_maintained_equals_fresh_after_mutations(self, case):
+        n, edges, steps = case
+        for name, cls in MAINTAINED.items():
+            graph = _graph(n, edges)
+            oracle = cls(graph)
+            for add, u, v in steps:
+                if add and u != v and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    oracle.on_edge_added(u, v)
+                elif not add and graph.has_edge(u, v):
+                    graph.remove_edge(u, v)
+                    oracle.on_edge_removed(u, v)
+            nodes = sorted(graph.nodes())
+            fresh = _all_pairs(cls(graph), nodes)
+            assert _all_pairs(oracle, nodes) == fresh, name
+            reference = _all_pairs(BFSOracle(graph), nodes)
+            assert fresh == reference, name
+
+    @given(mutation_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_stats_ledger_balances(self, case):
+        n, edges, steps = case
+        for name, cls in MAINTAINED.items():
+            graph = _graph(n, edges)
+            oracle = cls(graph)
+            applied = 0
+            for add, u, v in steps:
+                if add and u != v and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    oracle.on_edge_added(u, v)
+                    applied += 1
+                elif not add and graph.has_edge(u, v):
+                    graph.remove_edge(u, v)
+                    oracle.on_edge_removed(u, v)
+                    applied += 1
+            stats = oracle.maintenance_stats()
+            assert stats["events"] == applied, name
+            assert stats["events"] == (
+                stats["cheap"] + stats["repairs"] + stats["rebuilds"]
+            ), name
+
+    def test_maintainable_protocol_surface(self):
+        graph = _graph(3, [(0, 1)])
+        for cls in MAINTAINED.values():
+            oracle = cls(graph)
+            assert isinstance(oracle, MaintainableOracle)
+            assert set(oracle.maintenance_stats()) == {
+                "events", "cheap", "repairs", "rebuilds"
+            }
+
+
+def _figure_cluster(k=2, n=10):
+    edges = [(i, i + 1) for i in range(n - 1)] + [(n - 1, 0), (2, 7), (8, 3)]
+    return SimulatedCluster.from_graph(_graph(n, edges), k, partitioner="chunk")
+
+
+class TestStore:
+    def test_keys_carry_fid_version_stamp_name(self):
+        cluster = _figure_cluster()
+        fragment = cluster.site(0).fragment
+        fragment_oracle(fragment, "tol")
+        keys = cluster.oracle_store.keys()
+        assert keys == [
+            (
+                fragment.fid,
+                cluster.fragment_version(fragment.fid),
+                fragment.local_graph.mutation_stamp,
+                "tol",
+            )
+        ]
+
+    def test_build_once_then_hits(self):
+        cluster = _figure_cluster()
+        fragment = cluster.site(0).fragment
+        first = fragment_oracle(fragment, "tol")
+        assert fragment_oracle(fragment, "tol") is first
+        stats = cluster.oracle_store.maintenance_stats()["tol"]
+        assert stats.builds == 1
+        assert stats.hits == 1
+
+    def test_intra_fragment_mutation_maintains_not_rebuilds(self):
+        cluster = _figure_cluster()
+        fragment = cluster.site(0).fragment
+        first = fragment_oracle(fragment, "tol")
+        nodes = sorted(fragment.local_graph.nodes())
+        u, v = nodes[0], nodes[1]
+        cluster.apply_edge_mutation(u, v, add=not fragment.local_graph.has_edge(u, v))
+        assert fragment_oracle(fragment, "tol") is first  # maintained, valid
+        stats = cluster.oracle_store.maintenance_stats()["tol"]
+        assert stats.maintains == 1
+        assert stats.rebuilds == 0
+
+    def test_unmaintainable_entry_rebuilds_after_mutation(self):
+        cluster = _figure_cluster()
+        fragment = cluster.site(0).fragment
+        first = fragment_oracle(fragment, "transitive-closure")
+        nodes = sorted(fragment.local_graph.nodes())
+        u, v = nodes[0], nodes[1]
+        cluster.apply_edge_mutation(u, v, add=not fragment.local_graph.has_edge(u, v))
+        fragment = cluster.site(0).fragment
+        assert fragment_oracle(fragment, "transitive-closure") is not first
+        stats = cluster.oracle_store.maintenance_stats()["transitive-closure"]
+        assert stats.rebuilds == 1
+
+    def test_cross_fragment_mutation_migrates_entries(self):
+        cluster = _figure_cluster()
+        frag0 = cluster.site(0).fragment
+        frag1 = cluster.site(1).fragment
+        oracle = fragment_oracle(frag0, "tol")
+        u = sorted(frag0.nodes)[0]
+        v = sorted(frag1.nodes)[0]
+        cluster.apply_edge_mutation(u, v, add=not frag0.local_graph.has_edge(u, v))
+        new0 = cluster.site(0).fragment
+        assert new0 is not frag0  # dataclasses.replace built a new Fragment
+        assert fragment_oracle(new0, "tol") is oracle  # slot migrated, maintained
+
+    def test_repartition_adopts_unmoved_fragments(self):
+        cluster = _figure_cluster()
+        oracles = [
+            fragment_oracle(cluster.site(i).fragment, "tol")
+            for i in range(cluster.num_sites)
+        ]
+        cluster.repartition("chunk")  # same split: every fragment unmoved
+        adopted = [
+            fragment_oracle(cluster.site(i).fragment, "tol")
+            for i in range(cluster.num_sites)
+        ]
+        assert adopted == oracles
+        stats = cluster.oracle_store.maintenance_stats()["tol"]
+        assert stats.rebuilds == 0
+
+    def test_fragment_pickle_drops_oracle_slot(self):
+        cluster = _figure_cluster()
+        fragment = cluster.site(0).fragment
+        fragment_oracle(fragment, "tol")
+        clone = pickle.loads(pickle.dumps(fragment))
+        assert "_oracle_cache" not in clone.__dict__
+        assert "_csr_cache" not in clone.__dict__
+        assert clone.nodes == fragment.nodes
+        # A worker process simply rebuilds its own copy on first use.
+        rebuilt = fragment_oracle(clone, "tol")
+        assert rebuilt.reaches is not None
+
+
+class TestEndToEnd:
+    @given(mutation_sequences(max_nodes=12, max_steps=8))
+    @settings(max_examples=15, deadline=None)
+    def test_dis_reach_identity_under_mutations(self, case):
+        n, edges, steps = case
+        cluster = SimulatedCluster.from_graph(
+            _graph(n, edges), 2, partitioner="chunk"
+        )
+        queries = [ReachQuery(0, n - 1), ReachQuery(n - 1, 0), ReachQuery(0, 1)]
+        for add, u, v in steps + [(True, 0, n - 1)]:
+            graph = cluster.fragmentation.restore_graph()
+            if add and u != v and not graph.has_edge(u, v):
+                cluster.apply_edge_mutation(u, v, add=True)
+            elif not add and graph.has_edge(u, v):
+                cluster.apply_edge_mutation(u, v, add=False)
+            reference = [dis_reach(cluster, q).answer for q in queries]
+            for name in ("bfs", "tol", "landmarks"):
+                got = [dis_reach(cluster, q, oracle=name).answer for q in queries]
+                assert got == reference, name
