@@ -73,6 +73,19 @@ Three kinds of checks:
   keep the numpy kernel's wall-clock ``speedup`` at or above
   ``KERNEL_SPEEDUP_FLOOR`` (the one *measured* gate — CPU-time sums with
   a generous margin below the typically observed ratio).
+* **shortcut superstep cuts** (when the baseline carries a ``shortcuts``
+  experiment) — the hopset/reach precompute must keep paying on the
+  pinned high-diameter datasets: every baseline cell must be present in
+  the current run, every non-skip row must carry ``status == "ok"`` with
+  the full four-backend sweep in its ``backends`` column (the bench
+  asserts bit-identity across backends before emitting the row), the
+  deterministic columns (``answers``, ``supersteps``, ``shortcut_edges``,
+  ``shortcut_msgs``) must equal the committed baseline exactly, and every
+  ``reach``/``hopset`` row on the ``path``/``grid`` datasets must keep
+  ``reduction >= SHORTCUT_REDUCTION_FLOOR`` (all superstep counts are
+  deterministic; the tightest pinned cell, the exact-distance hopset on
+  the tall grid, sits at ~4.05x).  ``build_ms``/``time_ms`` are measured
+  and therefore reported but never compared.
 
 Exit status 0 = pass, 1 = regression, 2 = bad input.  When the run is
 *better* than baseline by more than the tolerance the gate still passes but
@@ -1047,10 +1060,155 @@ def check_oracles(
         )
 
 
+def shortcuts_rows(
+    payload: Dict[str, dict],
+) -> Optional[Dict[Tuple[str, str, str], Dict[str, object]]]:
+    """Shortcuts rows keyed ``(dataset, mode, algorithm)``, if present."""
+    experiment = payload.get("shortcuts")
+    if not experiment or "rows" not in experiment:
+        return None
+    return {
+        (
+            str(row.get("dataset")),
+            str(row.get("mode")),
+            str(row.get("algorithm")),
+        ): row
+        for row in experiment["rows"]
+    }
+
+
+#: Deterministic columns of the shortcuts rows (build_ms/time_ms are
+#: measured construction/query wall time and therefore never compared).
+SHORTCUT_IDENTITY_METRICS = (
+    "answers", "supersteps", "shortcut_edges", "shortcut_msgs"
+)
+#: Superstep-reduction floor every reach/hopset cell must hold on the
+#: pinned :data:`SHORTCUT_FLOOR_DATASETS`.  All superstep counts are
+#: deterministic; the tightest pinned cell (hopset x disDistm on the tall
+#: grid, where exact-distance shortcuts cannot skip the short axis) sits
+#: at ~4.05x, everything else is 17x-128x.  longcycle rows are identity-
+#: checked but not floored — they exist to pin the cyclic-graph behavior.
+SHORTCUT_REDUCTION_FLOOR = 4.0
+SHORTCUT_FLOOR_DATASETS = ("path", "grid")
+#: Executor backends every ok row's sweep must cover (the bench asserts
+#: modeled-stat bit-identity across them before emitting the row).
+SHORTCUT_REQUIRED_BACKENDS = ("process", "sequential", "socket", "thread")
+
+
+def check_shortcuts(
+    current: Dict[Tuple[str, str, str], Dict[str, object]],
+    baseline: Dict[Tuple[str, str, str], Dict[str, object]],
+    current_origin: str,
+    baseline_origin: str,
+    failures: List[str],
+    report: List[str],
+) -> None:
+    """Shortcut answer identity (exact) + the superstep-reduction floor.
+
+    Four checks: every baseline cell must be present in the current run (a
+    silently dropped dataset x mode x algorithm cell must not pass as
+    vacuously fast); every cell except the by-construction
+    ``reach x disDistm`` skip must carry ``status == "ok"`` and a
+    ``backends`` sweep covering :data:`SHORTCUT_REQUIRED_BACKENDS`; the
+    deterministic :data:`SHORTCUT_IDENTITY_METRICS` must equal the
+    committed baseline exactly (answers and superstep counts are modeled,
+    so any drift is a semantics change, not noise); and every
+    ``reach``/``hopset`` row on :data:`SHORTCUT_FLOOR_DATASETS` must keep
+    ``reduction`` at or above :data:`SHORTCUT_REDUCTION_FLOOR` — the
+    acceptance bar of the shortcut precompute.
+    """
+    for key in sorted(baseline):
+        if key not in current:
+            failures.append(
+                f"shortcuts/{'/'.join(key)}: baseline row missing from "
+                f"{current_origin} — a sweep cell was dropped or silently "
+                "skipped"
+            )
+            report.append(
+                f"| shortcuts/{'/'.join(key)} | row present | yes | MISSING "
+                f"| - | FAIL |"
+            )
+    for key in sorted(current):
+        dataset, mode, algorithm = key
+        row = current[key]
+        label = f"shortcuts/{dataset}/{mode}/{algorithm}"
+        status = str(row.get("status"))
+        if mode == "reach" and algorithm == "disDistm":
+            # By construction: reach shortcuts carry no distances, so the
+            # bench emits a loud skip row instead of a sweep.
+            ok = status.startswith("skipped")
+            if not ok:
+                failures.append(
+                    f"{label}: expected the by-construction skip row, got "
+                    f"status {status!r} — a weightless shortcut set reached "
+                    "a distance query"
+                )
+            report.append(
+                f"| {label} | status (exact) | skipped | {status} | - "
+                f"| {'ok' if ok else 'FAIL'} |"
+            )
+            continue
+        if status != "ok":
+            failures.append(
+                f"{label}: status {status!r} — a shortcut sweep cell "
+                "degraded to a skip (backends must never drop silently)"
+            )
+            report.append(
+                f"| {label} | status (exact) | ok | {status} | - | FAIL |"
+            )
+            continue
+        swept = set(str(row.get("backends")).split("/"))
+        missing = [b for b in SHORTCUT_REQUIRED_BACKENDS if b not in swept]
+        if missing:
+            failures.append(
+                f"{label}: backend(s) {', '.join(missing)} missing from the "
+                f"identity sweep {row.get('backends')!r}"
+            )
+        report.append(
+            f"| {label} | backend sweep | "
+            f"{'/'.join(SHORTCUT_REQUIRED_BACKENDS)} | {row.get('backends')} "
+            f"| - | {'ok' if not missing else 'FAIL'} |"
+        )
+        base_row = baseline.get(key)
+        if base_row is not None:
+            drifted = [
+                metric
+                for metric in SHORTCUT_IDENTITY_METRICS
+                if row.get(metric) != base_row.get(metric)
+            ]
+            if drifted:
+                failures.append(
+                    f"{label}: {', '.join(drifted)} drifted from the "
+                    "committed baseline (deterministic quantities — "
+                    "regenerate benchmarks/baseline.json only for an "
+                    "intentional shortcut-construction change)"
+                )
+            report.append(
+                f"| {label} | vs committed baseline | exact | "
+                f"{'match' if not drifted else 'MISMATCH'} | - "
+                f"| {'ok' if not drifted else 'FAIL'} |"
+            )
+        if mode != "none" and dataset in SHORTCUT_FLOOR_DATASETS:
+            reduction = as_float(row, "reduction", current_origin, label)
+            ok = reduction >= SHORTCUT_REDUCTION_FLOOR
+            if not ok:
+                failures.append(
+                    f"{label}: superstep reduction {reduction:g}x is below "
+                    f"the floor {SHORTCUT_REDUCTION_FLOOR:g}x — the "
+                    "precompute stopped paying on a pinned high-diameter "
+                    "dataset"
+                )
+            report.append(
+                f"| {label} | reduction (floor) | >= "
+                f"{SHORTCUT_REDUCTION_FLOOR:g} | {reduction:g} | - "
+                f"| {'ok' if ok else 'FAIL'} |"
+            )
+
+
 #: Experiment ids ``--only`` accepts (everything the gate knows to check).
 GATED_EXPERIMENTS = (
     "workload", "partition", "mutation", "baselines", "kernels", "serving",
-    "snap", "oracles",
+    "snap", "oracles", "shortcuts",
 )
 
 
@@ -1236,6 +1394,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report,
         )
 
+    baseline_shortcuts = shortcuts_rows(baseline_payload) if wanted("shortcuts") else None
+    if baseline_shortcuts is not None:
+        current_shortcuts = shortcuts_rows(current_payload)
+        if current_shortcuts is None:
+            raise SystemExit(
+                f"error: baseline has a shortcuts experiment but none of "
+                f"{current_origin} does; run "
+                f"`python -m repro.bench shortcuts --json <file>`"
+            )
+        check_shortcuts(
+            current_shortcuts,
+            baseline_shortcuts,
+            current_origin,
+            str(baseline_path),
+            failures,
+            report,
+        )
+
     baseline_snap = snap_rows(baseline_payload) if wanted("snap") else None
     if baseline_snap is not None:
         current_snap = snap_rows(current_payload)
@@ -1280,8 +1456,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ok: within tolerance, above serving floors; partition ceilings, "
         "mutation envelope, session-remap batching floors, baseline "
         "cross-backend identity, kernel identity, the kernel speedup "
-        "floor, the networked-serving QPS/p99 gates and the snap "
-        "fixture-harness invariants hold"
+        "floor, the shortcut superstep-reduction floor, the "
+        "networked-serving QPS/p99 gates and the snap fixture-harness "
+        "invariants hold"
     )
     return 0
 

@@ -29,13 +29,14 @@ protocol, not from how the supersteps execute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 from ..core.queries import ReachQuery
 from ..core.results import QueryResult
 from ..distributed.cluster import SimulatedCluster
 from ..distributed.messages import MessageKind
 from ..graph.digraph import Node
+from ..graph.shortcuts import resolve_shortcuts
 from .pregel import PregelEngine, VertexOutcome, VertexProgram
 
 
@@ -59,7 +60,7 @@ class ReachTokenProgram(VertexProgram):
         vertex: Node,
         value: Any,
         messages: List[Any],
-        successors: Tuple[Node, ...],
+        successors: Tuple[Tuple[Node, Optional[float]], ...],
     ) -> VertexOutcome:
         if value:  # already active: tokens to active nodes are dropped (iii)
             return VertexOutcome()
@@ -71,19 +72,29 @@ class ReachTokenProgram(VertexProgram):
         return VertexOutcome(
             value=True,
             set_value=True,
-            messages=tuple((child, "T") for child in successors),
+            messages=tuple((child, "T") for child, _weight in successors),
         )
 
 
 def dis_reach_m(
     cluster: SimulatedCluster,
     query: Union[ReachQuery, Tuple[Node, Node]],
+    shortcuts: Optional[str] = None,
 ) -> QueryResult:
-    """Distributed BFS over the Pregel substrate."""
+    """Distributed BFS over the Pregel substrate.
+
+    ``shortcuts`` selects a precomputed shortcut overlay (DESIGN.md §13):
+    ``"reach"`` or ``"hopset"`` runs the token protocol over the augmented
+    adjacency — the answer is unchanged (shortcuts only connect pairs that
+    were already reachable) while the superstep count collapses to
+    sub-diameter; ``None`` defers to the process default / env var.
+    """
     if not isinstance(query, ReachQuery):
         query = ReachQuery(*query)
     cluster.site_of(query.source)
     cluster.site_of(query.target)
+    mode = resolve_shortcuts(shortcuts)
+    shortcut_set = cluster.shortcut_set(mode) if mode != "none" else None
 
     run = cluster.start_run("disReachm")
     if query.source == query.target:
@@ -93,7 +104,7 @@ def dis_reach_m(
     # The master posts the query to every worker.
     run.broadcast(query, MessageKind.QUERY)
 
-    engine = PregelEngine(cluster, run)
+    engine = PregelEngine(cluster, run, shortcuts=shortcut_set)
     result = engine.execute(ReachTokenProgram(query.target), {query.source: ["T"]})
     answer = bool(result)
 
@@ -103,8 +114,7 @@ def dis_reach_m(
             run.send_to_coordinator(site.site_id, "idle", MessageKind.CONTROL)
 
     stats = run.finish()
-    return QueryResult(
-        answer,
-        stats,
-        {"supersteps": stats.supersteps, "activated": len(engine.values)},
-    )
+    details = {"supersteps": stats.supersteps, "activated": len(engine.values)}
+    if shortcut_set is not None:
+        details["shortcuts"] = engine.shortcut_details()
+    return QueryResult(answer, stats, details)

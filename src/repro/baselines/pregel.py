@@ -38,17 +38,37 @@ Accounting, on top of :class:`~repro.distributed.cluster.Run`:
 
 The engine is generic: any :class:`VertexProgram` (BFS, SSSP — see
 :mod:`repro.baselines.pregel_programs`) runs unchanged on the substrate.
+
+**Shortcut precompute** (DESIGN.md §13): the engine optionally runs over a
+:class:`~repro.graph.shortcuts.ShortcutSet` — an augmented adjacency whose
+extra edges provably preserve reachability (and, for the ``hopset``
+variant, exact distances) while collapsing the superstep count from
+O(diameter) to ~O(sqrt(n)) on high-diameter graphs.  A program sees every
+successor as a ``(child, weight)`` pair: ``weight is None`` marks an
+original fragment edge (the program applies its own edge rule), a number
+marks a shortcut edge carrying the exact distance it replaces.  Shortcut
+targets are disjoint from original successors by construction, so every
+outgoing message is classified at the sending site (the ``via_shortcut``
+provenance tag) and the engine accounts shortcut routing — messages,
+master-routed transfers, bytes — separately from original-edge traffic.
+With no shortcut set installed the pipeline is byte-identical to the
+unaugmented substrate: same messages, same order, same modeled stats.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, NamedTuple, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from ..distributed.cluster import Run, SimulatedCluster
 from ..distributed.messages import COORDINATOR, MessageKind, payload_size
 from ..errors import DistributedError
 from ..graph.digraph import Node
+from ..graph.shortcuts import ShortcutSet
 from ..partition.fragment import Fragment
+
+#: Per-vertex shortcut successors as shipped to a site task: the pending
+#: vertices' slice of :attr:`~repro.graph.shortcuts.ShortcutSet.edges`.
+ShortcutSlice = Dict[Node, Tuple[Tuple[Node, Optional[float]], ...]]
 
 
 class VertexOutcome(NamedTuple):
@@ -84,13 +104,17 @@ class VertexProgram:
         vertex: Node,
         value: Any,
         messages: List[Any],
-        successors: Tuple[Node, ...],
+        successors: Tuple[Tuple[Node, Optional[float]], ...],
     ) -> VertexOutcome:
         """One vertex's reaction to its superstep inbox.
 
         ``value`` is the vertex's current state (``None`` if never set);
-        ``successors`` are its out-neighbors in the owner fragment's local
-        graph — internal edges and cross edges to virtual nodes alike.
+        ``successors`` are ``(child, weight)`` pairs: the out-neighbors in
+        the owner fragment's local graph (internal edges and cross edges
+        to virtual nodes alike, ``weight is None`` — the program applies
+        its own edge rule), followed by any shortcut successors, whose
+        ``weight`` is the exact distance the shortcut replaces (``None``
+        for reach-only shortcut sets, which carry no distances).
         """
         raise NotImplementedError
 
@@ -111,13 +135,15 @@ class SiteSuperstepResult(NamedTuple):
     """One site's share of one superstep, as pure data.
 
     ``updates`` are the new per-vertex state values; ``outbox`` the
-    combined outgoing messages in deterministic (first-occurrence) order;
+    combined outgoing ``(target, value, via_shortcut)`` messages in
+    deterministic (first-occurrence) order — ``via_shortcut`` is the
+    provenance tag separating shortcut-edge from original-edge traffic;
     ``reports`` the payloads to forward to the master; ``halted``/``result``
     the (last) halt decision of the site's vertices.
     """
 
     updates: Dict[Node, Any]
-    outbox: Tuple[Tuple[Node, Any], ...]
+    outbox: Tuple[Tuple[Node, Any, bool], ...]
     reports: Tuple[Any, ...]
     halted: bool
     result: Any
@@ -129,6 +155,7 @@ def run_superstep(
     vertex_messages: Dict[Node, List[Any]],
     values: Dict[Node, Any],
     superstep: int,
+    shortcuts: Optional[ShortcutSlice] = None,
 ) -> SiteSuperstepResult:
     """One site's superstep: a pure, module-level (hence picklable) task.
 
@@ -136,14 +163,22 @@ def run_superstep(
     the shipped state slice, then applies the program's combiner per target
     vertex before the messages leave the worker.  Deterministic in its
     inputs, so every executor backend produces the same result.
+
+    ``shortcuts`` is the pending vertices' slice of a shortcut set: each
+    vertex's successors are extended with its shortcut targets (which are
+    disjoint from its original successors by construction), and every
+    generated message is tagged ``via_shortcut`` by target membership.
+    The combiner runs per ``(target, via_shortcut)`` class so provenance
+    survives boundary aggregation; with ``shortcuts=None`` every tag is
+    ``False`` and the outbox matches the unaugmented substrate exactly.
     """
     updates: Dict[Node, Any] = {}
-    outbox: List[Tuple[Node, Any]] = []
+    outbox: List[Tuple[Node, Any, bool]] = []
     reports: List[Any] = []
     halted = False
     result: Any = None
     for vertex, messages in vertex_messages.items():
-        successors: Tuple[Node, ...] = ()
+        successors: Tuple[Tuple[Node, Optional[float]], ...] = ()
         for fragment in fragments:
             if vertex in fragment.nodes:
                 # Deterministic (repr) order: successor sets iterate in hash
@@ -151,28 +186,37 @@ def run_superstep(
                 # the socket backend's brokers are fresh interpreters, so
                 # hash order there is not the coordinator's.
                 successors = tuple(
-                    sorted(fragment.local_graph.successors(vertex), key=repr)
+                    (child, None)
+                    for child in sorted(
+                        fragment.local_graph.successors(vertex), key=repr
+                    )
                 )
                 break
+        extra = shortcuts.get(vertex, ()) if shortcuts else ()
+        shortcut_targets = {child for child, _weight in extra}
         value = updates.get(vertex, values.get(vertex))
-        outcome = program.compute(vertex, value, messages, successors)
+        outcome = program.compute(vertex, value, messages, successors + extra)
         if outcome.set_value:
             updates[vertex] = outcome.value
-        outbox.extend(outcome.messages)
+        for target, payload in outcome.messages:
+            outbox.append((target, payload, target in shortcut_targets))
         if outcome.report is not None:
             reports.append(outcome.report)
         if outcome.halt:
             halted = True
             result = outcome.result
-    # Combiner at the fragment boundary: one combined inbox per target
-    # (dict insertion order keeps first-occurrence order deterministic).
-    by_target: Dict[Node, List[Any]] = {}
-    for target, value in outbox:
-        by_target.setdefault(target, []).append(value)
-    combined: List[Tuple[Node, Any]] = []
-    for target, values in by_target.items():
-        for value in program.combine(values):
-            combined.append((target, value))
+    # Combiner at the fragment boundary: one combined inbox per target and
+    # provenance class (dict insertion order keeps first-occurrence order
+    # deterministic).  Keeping the classes separate costs at most one
+    # extra message per (site, target) when both edge kinds feed a target,
+    # and is what lets the engine account shortcut traffic separately.
+    by_target: Dict[Tuple[Node, bool], List[Any]] = {}
+    for target, payload, via_shortcut in outbox:
+        by_target.setdefault((target, via_shortcut), []).append(payload)
+    combined: List[Tuple[Node, Any, bool]] = []
+    for (target, via_shortcut), payloads in by_target.items():
+        for payload in program.combine(payloads):
+            combined.append((target, payload, via_shortcut))
     return SiteSuperstepResult(
         updates, tuple(combined), tuple(reports), halted, result
     )
@@ -187,7 +231,12 @@ class PregelEngine:
     supersteps execute on whatever backend the cluster uses.
     """
 
-    def __init__(self, cluster: SimulatedCluster, run: Run) -> None:
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        run: Run,
+        shortcuts: Optional[ShortcutSet] = None,
+    ) -> None:
         self.cluster = cluster
         self.run = run
         #: Explicit per-vertex state (what the old closure captures held).
@@ -195,6 +244,14 @@ class PregelEngine:
         self.owner: Dict[Node, int] = cluster.node_site_map()
         self._result: Any = None
         self._halted = False
+        #: Optional augmented adjacency (DESIGN.md §13); per-superstep
+        #: slices of it ship with each site task.
+        self.shortcuts = shortcuts
+        #: Shortcut-traffic provenance: deliveries, master-routed
+        #: transfers and routed bytes attributable to shortcut edges.
+        self.shortcut_messages = 0
+        self.shortcut_routed = 0
+        self.shortcut_traffic_bytes = 0
 
     def execute(
         self,
@@ -228,17 +285,27 @@ class PregelEngine:
                     if any(vertex in fragment.nodes for vertex in vertex_msgs)
                 )
                 values = {vertex: self.values.get(vertex) for vertex in vertex_msgs}
+                slice_: Optional[ShortcutSlice] = None
+                if self.shortcuts is not None:
+                    slice_ = {
+                        vertex: self.shortcuts.edges[vertex]
+                        for vertex in vertex_msgs
+                        if vertex in self.shortcuts.edges
+                    }
                 tasks.append(
-                    (site_id, (program, fragments, vertex_msgs, values, superstep))
+                    (
+                        site_id,
+                        (program, fragments, vertex_msgs, values, superstep, slice_),
+                    )
                 )
 
-            outboxes: List[Tuple[int, Node, Any]] = []
+            outboxes: List[Tuple[int, Node, Any, bool]] = []
             with self.run.parallel_phase() as phase:
                 results = phase.map(run_superstep, tasks)
                 for site_id, site_result in zip(site_ids, results):
                     self.values.update(site_result.updates)
-                    for target, value in site_result.outbox:
-                        outboxes.append((site_id, target, value))
+                    for target, value, via_shortcut in site_result.outbox:
+                        outboxes.append((site_id, target, value, via_shortcut))
                     for payload in site_result.reports:
                         # "Si sends message T to Sc" — the worker's report,
                         # charged inside the phase like any other transfer.
@@ -254,17 +321,27 @@ class PregelEngine:
         return self._result
 
     # ------------------------------------------------------------------
-    def _route(self, outboxes: List[Tuple[int, Node, Any]]) -> Dict[Node, List[Any]]:
-        """Deliver messages; cross-fragment ones go through the master."""
+    def _route(
+        self, outboxes: List[Tuple[int, Node, Any, bool]]
+    ) -> Dict[Node, List[Any]]:
+        """Deliver messages; cross-fragment ones go through the master.
+
+        Shortcut-tagged messages are charged exactly like original-edge
+        ones (they are real traffic), but tallied separately so the
+        accounting can report how much of a run's cost the augmented
+        edges carried (DESIGN.md §13).
+        """
         nxt: Dict[Node, List[Any]] = {}
         up_bytes: Dict[int, int] = {}  # worker -> master, per source site
         down_bytes: Dict[int, int] = {}  # master -> worker, per destination site
         routed = 0
-        for src_site, target, value in outboxes:
+        for src_site, target, value, via_shortcut in outboxes:
             dst_site = self.owner.get(target)
             if dst_site is None:
                 raise DistributedError(f"message to unknown vertex {target!r}")
             nxt.setdefault(target, []).append(value)
+            if via_shortcut:
+                self.shortcut_messages += 1
             if dst_site == src_site:
                 continue  # intra-worker delivery: free
             size = payload_size(target) + payload_size(value)
@@ -278,6 +355,9 @@ class PregelEngine:
             up_bytes[src_site] = up_bytes.get(src_site, 0) + size
             down_bytes[dst_site] = down_bytes.get(dst_site, 0) + size
             routed += 1
+            if via_shortcut:
+                self.shortcut_routed += 1
+                self.shortcut_traffic_bytes += 2 * size
         if up_bytes:
             self.run.network_round(up_bytes)
         if down_bytes:
@@ -286,3 +366,17 @@ class PregelEngine:
         # serialization cost the paper criticizes in message passing.
         self.run.serialized_routing(routed)
         return nxt
+
+    def shortcut_details(self) -> Dict[str, Any]:
+        """The shortcut-provenance summary entry points attach to results."""
+        assert self.shortcuts is not None
+        stats = self.shortcuts.stats
+        return {
+            "mode": self.shortcuts.kind,
+            "edges": stats.edges,
+            "pivots": stats.pivots,
+            "build_seconds": stats.build_seconds,
+            "messages": self.shortcut_messages,
+            "routed": self.shortcut_routed,
+            "traffic_bytes": self.shortcut_traffic_bytes,
+        }

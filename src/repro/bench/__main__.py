@@ -26,6 +26,7 @@ from pathlib import Path
 
 from ..core.kernels import KERNELS, set_default_kernel
 from ..distributed.executors import EXECUTORS, set_default_executor
+from ..graph.shortcuts import SHORTCUT_MODES, set_default_shortcuts
 from ..index.registry import ORACLES, set_default_oracle
 from .experiments import EXPERIMENTS
 
@@ -126,6 +127,15 @@ def main(argv=None) -> int:
         "experiment additionally reports its maintain-vs-rebuild sweep "
         "for the named oracle",
     )
+    parser.add_argument(
+        "--shortcuts",
+        choices=sorted(SHORTCUT_MODES),
+        default=None,
+        help="shortcut precompute for every message-passing baseline the "
+        "experiments run (default: REPRO_SHORTCUTS env var, else none); "
+        "the 'shortcuts' experiment sweeps all modes regardless "
+        "(DESIGN.md §13)",
+    )
     args = parser.parse_args(argv)
     # Experiments construct their own clusters internally; the process-wide
     # default is how one flag reaches all of them.
@@ -134,6 +144,8 @@ def main(argv=None) -> int:
         set_default_kernel(args.kernel)
     if args.oracle is not None:
         set_default_oracle(args.oracle)
+    if args.shortcuts is not None:
+        set_default_shortcuts(args.shortcuts)
 
     if not args.experiment:
         print("available experiments:")

@@ -1359,21 +1359,30 @@ def exp_baselines(
         "Message-passing baselines: modeled stats across executor backends",
         [
             "algorithm", "backend", "answers", "total_visits", "traffic_KB",
-            "messages", "supersteps", "time_ms",
+            "messages", "supersteps", "time_ms", "status",
         ],
         notes=(
             f"scale={scale}, card(F)={card}, {num_queries} queries per "
             "algorithm; all columns except time_ms are deterministic and "
-            "identical across backends by assertion"
+            "identical across backends by assertion; a backend that cannot "
+            "run in this environment gets a loud skip row, never a silently "
+            "missing cell (same policy as `bench snap`)"
         ),
     )
     reference: Dict[str, Tuple] = {}
     for algorithm, queries in workloads.items():
         for backend in sorted(EXECUTORS):
-            cluster = SimulatedCluster.from_graph(
-                graph, card, partitioner="chunk", seed=seed, executor=backend
-            )
-            evaluations = [evaluate(cluster, q, algorithm) for q in queries]
+            try:
+                cluster = SimulatedCluster.from_graph(
+                    graph, card, partitioner="chunk", seed=seed, executor=backend
+                )
+                evaluations = [evaluate(cluster, q, algorithm) for q in queries]
+            except Exception as exc:  # pragma: no cover - env-dependent
+                result.add_row(
+                    algorithm=algorithm, backend=backend,
+                    status=f"skipped: backend unavailable ({exc})",
+                )
+                continue
             signature = (
                 "".join("T" if r.answer else "F" for r in evaluations),
                 sum(r.stats.total_visits for r in evaluations),
@@ -1399,6 +1408,7 @@ def exp_baselines(
                 supersteps=supersteps,
                 time_ms=sum(r.stats.response_seconds for r in evaluations)
                 / len(evaluations) * 1e3,
+                status="ok",
             )
     return result
 
@@ -1433,6 +1443,8 @@ def exp_kernels(
     from ..distributed.executors import EXECUTORS
     from ..serving.engine import BatchQueryEngine, eval_fragment_jobs
 
+    from ..core.kernels import KERNELS as ALL_KERNELS
+
     kernels = available_kernels()
     amazon = load_dataset("amazon", scale=scale, seed=seed)
     youtube = load_dataset("youtube", scale=scale, seed=seed)
@@ -1450,14 +1462,24 @@ def exp_kernels(
         [
             "dataset", "mode", "kernel", "backend", "answers", "total_visits",
             "traffic_KB", "messages", "supersteps", "eval_ms", "speedup",
+            "status",
         ],
         notes=(
             f"scale={scale}, card(F)={card}, kernels={'/'.join(kernels)}; "
             "evaluate rows: modeled stats are kernel- and backend-invariant "
             "by assertion; jobs rows: summed per-job CPU ms on the amazon "
-            "reach+bounded mix, best of 3 after warmup (speedup vs python)"
+            "reach+bounded mix, best of 3 after warmup (speedup vs python); "
+            "a registered kernel missing its dependencies gets a loud skip "
+            "row, never a silently missing cell"
         ),
     )
+    for name in ALL_KERNELS:
+        if name not in kernels:
+            result.add_row(
+                mode="skip", kernel=name,
+                status=f"skipped: kernel {name!r} unavailable "
+                "(dependency not installed in this environment)",
+            )
 
     reference: Dict[str, Tuple] = {}
     for name, graph, queries in workloads:
@@ -1522,6 +1544,126 @@ def exp_kernels(
             eval_ms=timings[kernel] * 1e3,
             speedup=timings["python"] / timings[kernel],
         )
+    return result
+
+
+def exp_shortcuts(
+    scale: float = SCALE,
+    card: int = 4,
+    seed: int = 0,
+    datasets: Sequence[str] = ("path", "grid", "longcycle"),
+) -> ExperimentResult:
+    """Shortcut precompute: sub-diameter supersteps on high-diameter graphs.
+
+    Sweeps the pinned high-diameter datasets (path/grid/longcycle,
+    DESIGN.md §13) under every shortcut mode for both message-passing
+    baselines.  Queries span the diameter (and the disDistm bound is |V|,
+    so its superstep count is diameter-, not bound-limited).  Every
+    ``reach``/``hopset`` cell is additionally run on all four executor
+    backends and asserted bit-identical (answers, visits, traffic,
+    messages, supersteps) to the sequential run; an unavailable backend
+    gets a loud skip row.  ``reduction`` is the none-mode superstep count
+    divided by the mode's — the number the CI gate keeps >= 4x on the
+    path/grid rows (hopset x disDistm included; reach x disDistm is
+    rejected by construction and carries a loud skip row instead).
+    ``build_ms``/``shortcut_edges``/``shortcut_msgs`` expose the
+    precompute cost and how much of the traffic rode shortcut edges.
+    """
+    from ..distributed.executors import EXECUTORS
+    from ..core.queries import BoundedReachQuery, ReachQuery
+    from ..errors import ShortcutError
+
+    result = ExperimentResult(
+        "shortcuts",
+        "Shortcut precompute: superstep cuts on pinned high-diameter graphs",
+        [
+            "dataset", "mode", "algorithm", "backends", "answers",
+            "supersteps", "reduction", "shortcut_edges", "shortcut_msgs",
+            "build_ms", "time_ms", "status",
+        ],
+        notes=(
+            f"scale={scale}, card(F)={card}; queries span the diameter with "
+            "bound=|V|; answers/visits/traffic/messages/supersteps asserted "
+            "identical across all available executor backends per cell; "
+            "reduction = supersteps(none) / supersteps(mode)"
+        ),
+    )
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, seed=seed)
+        n = graph.num_nodes
+        pairs = [(0, n - 1), (0, n // 2), (n // 4, 3 * n // 4), (n - 1, 0)]
+        workloads = {
+            "disReachm": [ReachQuery(s, t) for s, t in pairs],
+            "disDistm": [BoundedReachQuery(s, t, n) for s, t in pairs],
+        }
+        base_supersteps: Dict[str, int] = {}
+        for mode in ("none", "reach", "hopset"):
+            for algorithm, queries in workloads.items():
+                if mode == "reach" and algorithm == "disDistm":
+                    result.add_row(
+                        dataset=name, mode=mode, algorithm=algorithm,
+                        status="skipped: reach shortcuts carry no distances "
+                        "(disDistm accepts hopset only)",
+                    )
+                    continue
+                reference: Optional[Tuple] = None
+                swept: List[str] = []
+                evaluations = []
+                elapsed = 0.0
+                for backend in sorted(EXECUTORS):
+                    try:
+                        cluster = SimulatedCluster.from_graph(
+                            graph, card, partitioner="chunk", seed=seed,
+                            executor=backend,
+                        )
+                        start = time.perf_counter()
+                        evaluations = [
+                            evaluate(cluster, q, algorithm, shortcuts=mode)
+                            for q in queries
+                        ]
+                        elapsed = time.perf_counter() - start
+                    except ShortcutError:
+                        raise
+                    except Exception as exc:  # pragma: no cover - env-dependent
+                        result.add_row(
+                            dataset=name, mode=mode, algorithm=algorithm,
+                            backends=backend,
+                            status=f"skipped: backend unavailable ({exc})",
+                        )
+                        continue
+                    signature = (
+                        "".join("T" if r.answer else "F" for r in evaluations),
+                        sum(r.stats.total_visits for r in evaluations),
+                        sum(r.stats.traffic_bytes for r in evaluations),
+                        sum(r.stats.num_messages for r in evaluations),
+                        sum(r.stats.supersteps for r in evaluations),
+                    )
+                    if reference is None:
+                        reference = signature
+                    elif signature != reference:  # pragma: no cover - guard
+                        raise AssertionError(
+                            f"{algorithm}/{mode} diverged on the {backend} "
+                            f"backend: {signature} vs {reference}"
+                        )
+                    swept.append(backend)
+                if reference is None:  # pragma: no cover - every backend down
+                    continue
+                answers, _visits, _traffic, _messages, supersteps = reference
+                base_supersteps.setdefault(algorithm, supersteps)
+                details = [r.details.get("shortcuts") for r in evaluations]
+                built = [d for d in details if d]
+                result.add_row(
+                    dataset=name, mode=mode, algorithm=algorithm,
+                    backends="/".join(swept),
+                    answers=answers,
+                    supersteps=supersteps,
+                    reduction=base_supersteps[algorithm] / supersteps,
+                    shortcut_edges=built[0]["edges"] if built else 0,
+                    shortcut_msgs=sum(d["messages"] for d in built),
+                    build_ms=built[0]["build_seconds"] * 1e3 if built else 0.0,
+                    time_ms=elapsed * 1e3,
+                    status="ok",
+                )
     return result
 
 
@@ -2104,6 +2246,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "mutation": exp_mutation,
     "oracles": exp_oracles,
     "baselines": exp_baselines,
+    "shortcuts": exp_shortcuts,
     "kernels": exp_kernels,
     "serving": exp_serving,
     "snap": exp_snap,

@@ -55,6 +55,7 @@ from .distributed.cluster import SimulatedCluster
 from .distributed.executors import EXECUTORS
 from .errors import ReproError
 from .graph import graph_io
+from .graph.shortcuts import SHORTCUT_MODES, set_default_shortcuts
 from .partition.partitioners import PARTITIONERS
 from .workload.datasets import DATASETS, load_dataset
 
@@ -100,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "none); built per fragment, cached by mutation "
                         "stamp, maintained incrementally under edge "
                         "mutation (DESIGN.md §12)")
+    parser.add_argument("--shortcuts", choices=sorted(SHORTCUT_MODES),
+                        default=None,
+                        help="shortcut precompute for the message-passing "
+                        "baselines disReachm/disDistm (default: "
+                        "REPRO_SHORTCUTS env var, else none); 'reach' and "
+                        "'hopset' cut supersteps to sub-diameter with "
+                        "answers bit-identical (DESIGN.md §13)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="also print per-site visit counts")
 
@@ -274,6 +282,10 @@ def main(argv=None) -> int:
             # Same mechanism for the reachability index; only disReach
             # plans consult it.
             set_default_oracle(args.oracle)
+        if args.shortcuts is not None:
+            # Same mechanism for the shortcut overlay; only the
+            # message-passing baselines consult it.
+            set_default_shortcuts(args.shortcuts)
         if args.graph:
             graph = graph_io.load(args.graph)
         else:

@@ -138,6 +138,7 @@ def evaluate(
     executor: Union[str, ExecutorBackend, None] = None,
     kernel: Optional[str] = None,
     oracle: Optional[str] = None,
+    shortcuts: Optional[str] = None,
 ) -> QueryResult:
     """Evaluate ``query`` on ``cluster``.
 
@@ -147,9 +148,12 @@ def evaluate(
     ``socket``); ``kernel`` selects the local-evaluation kernel for the
     partial-evaluation algorithms and ``oracle`` a registered reachability
     index for ``disReach`` (the baselines take neither — passing one
-    raises :class:`QueryError`).  Backends, kernels and oracles change
-    wall-clock behavior only — answers and modeled costs are identical
-    under all.
+    raises :class:`QueryError`).  ``shortcuts`` selects a precomputed
+    shortcut overlay (DESIGN.md §13) for the message-passing baselines
+    ``disReachm``/``disDistm`` — the only algorithms that pay O(diameter)
+    supersteps; every other algorithm rejects it.  Backends, kernels,
+    oracles and shortcuts change superstep/wall-clock behavior only —
+    answers are identical under all.
     """
     if algorithm is None:
         try:
@@ -185,6 +189,15 @@ def evaluate(
                 "(only disReach does)"
             )
         kwargs["oracle"] = oracle
+    if shortcuts is not None:
+        import inspect
+
+        if "shortcuts" not in inspect.signature(fn).parameters:
+            raise QueryError(
+                f"algorithm {algorithm!r} does not take shortcuts "
+                "(only the message-passing baselines do)"
+            )
+        kwargs["shortcuts"] = shortcuts
     if executor is None:
         return fn(cluster, query, **kwargs)
     with cluster.using_executor(executor):

@@ -92,6 +92,14 @@ class _IncrementalSession:
         self.remaps = 0
         #: The re-initialization result of the most recent remap.
         self.last_remap: Optional[QueryResult] = None
+        #: Pre-repartition partials staged for reuse by the in-flight remap
+        #: (fragments whose boundary anatomy survived the move unchanged).
+        #: Populated by :meth:`_begin_remap`, drained by the remap's
+        #: :class:`~repro.serving.plans.SessionRemapPlan`, cleared when the
+        #: fresh partials install — empty at every other moment.
+        self._remap_reuse: Dict[int, dict] = {}
+        #: Fragments the most recent remap reused instead of re-evaluating.
+        self.last_remap_reused = 0
         cluster.register_session(self)
 
     # -- subclass hooks --------------------------------------------------
@@ -140,10 +148,26 @@ class _IncrementalSession:
         self._partials = partials
         self._answer = answer
         self._epoch = self.cluster.partition_epoch
+        self.last_remap_reused = len(self._remap_reuse)
+        self._remap_reuse = {}
 
-    def _begin_remap(self) -> bool:
+    def _begin_remap(self, preserved: Tuple[int, ...] = ()) -> bool:
         """Cluster hook: drop stale partials; ``True`` iff a re-evaluation
-        is needed (the session was initialized)."""
+        is needed (the session was initialized).
+
+        ``preserved`` names fragments whose boundary anatomy (fid, node
+        set, in/out-node sets, local graph content) the repartition left
+        byte-identical — the cluster verified this against the outgoing
+        fragmentation.  Their partials depend only on that anatomy (plus
+        the standing query), so they are staged for the remap to reuse
+        instead of re-evaluating; everything else is dropped as stale.
+        """
+        if self._answer is not None:
+            self._remap_reuse = {
+                fid: self._partials[fid]
+                for fid in preserved
+                if fid in self._partials
+            }
         self._partials.clear()
         return self._answer is not None
 
@@ -159,16 +183,18 @@ class _IncrementalSession:
             },
         )
 
-    def _on_repartition(self) -> bool:
+    def _on_repartition(self, preserved: Tuple[int, ...] = ()) -> bool:
         """Per-session (unbatched) remap — the batched path's reference.
 
         :meth:`SimulatedCluster.repartition` normally batches every open
         session's remap through the serving engine; this method remains the
         one-session-at-a-time equivalent (used with
         ``repartition(batch_remaps=False)`` and by the equivalence tests).
+        ``preserved`` reaches :meth:`_begin_remap` either way, so the
+        incremental-remap delta applies identically on both paths.
         Returns whether a re-evaluation actually ran.
         """
-        if not self._begin_remap():
+        if not self._begin_remap(preserved):
             # Never initialized: nothing to remap; initialize() will bind
             # to whatever fragmentation is current when it runs.
             return False

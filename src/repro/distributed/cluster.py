@@ -368,6 +368,11 @@ class SimulatedCluster:
         # every mutation, while maintained oracles must *survive* one —
         # apply_edge_mutation routes each delta into the store explicitly.
         self.oracle_store = OracleStore(self)
+        # Shortcut overlays (DESIGN.md §13), cached per mode.  Keyed on the
+        # partition epoch plus every fragment version, so any mutation or
+        # repartition makes the cached set unreachable and the next query
+        # rebuilds from the restored graph (mutate-then-rebuild soundness).
+        self._shortcut_sets: Dict[tuple, "ShortcutSet"] = {}
 
     def _install_fragmentation(
         self,
@@ -461,6 +466,32 @@ class SimulatedCluster:
         """
         self._fragment_versions[fid] = self.fragment_version(fid) + 1
         return self._fragment_versions[fid]
+
+    def shortcut_set(self, kind: str) -> "ShortcutSet":
+        """The cached shortcut overlay for ``kind`` (``reach``/``hopset``).
+
+        Built once per (mode, fragmentation state) from the restored global
+        graph with the pinned seed 0 — construction is deterministic, so
+        every executor backend sees the same augmented adjacency.  The cache
+        key folds in the partition epoch and all fragment versions: any edge
+        mutation or repartition invalidates the overlay, and the next call
+        rebuilds it against the current graph (DESIGN.md §13).
+        """
+        from ..graph.shortcuts import build_shortcuts
+
+        key = (
+            kind,
+            self._partition_epoch,
+            tuple(sorted(self._fragment_versions.items())),
+        )
+        cached = self._shortcut_sets.get(key)
+        if cached is None:
+            graph = self.fragmentation.restore_graph()
+            cached = build_shortcuts(graph, kind, seed=0)
+            # Older fragmentation states can never come back (versions and
+            # the epoch are monotone), so keep only the current overlay.
+            self._shortcut_sets = {key: cached}
+        return self._shortcut_sets[key]
 
     # ------------------------------------------------------------------
     # dynamic graphs: epoch, registries, in-place edge mutation (§8)
@@ -758,7 +789,24 @@ class SimulatedCluster:
         self._retired_versions.update(self._fragment_versions)
         old_fids = tuple(self._fragment_versions)
         old_fragments = self.fragmentation.fragments
+        # Boundary-anatomy snapshot for the incremental-remap delta: a new
+        # fragment matching an outgoing one on fid, node set, in/out-node
+        # sets AND local graph content produces byte-identical partial
+        # answers, so open sessions may keep its pre-move partials instead
+        # of re-evaluating it during the remap.
+        old_by_fid = {frag.fid: frag for frag in old_fragments}
         self._install_fragmentation(fragmentation, fragment_assignment)
+        preserved = tuple(
+            sorted(
+                frag.fid
+                for frag in fragmentation
+                if frag.fid in old_by_fid
+                and frag.nodes == old_by_fid[frag.fid].nodes
+                and frag.in_nodes == old_by_fid[frag.fid].in_nodes
+                and frag.virtual_nodes == old_by_fid[frag.fid].virtual_nodes
+                and frag.local_graph == old_by_fid[frag.fid].local_graph
+            )
+        )
         self._fragment_versions = {
             f.fid: self._retired_versions.get(f.fid, -1) + 1 for f in fragmentation
         }
@@ -771,9 +819,13 @@ class SimulatedCluster:
         # Versions alone keep registered caches *sound*; eager invalidation
         # reclaims the memory of every retired fragment generation.
         self._invalidate_caches(old_fids)
-        remapped, remap_saved, remap_rounds, remap_tasks = self._remap_sessions(
-            batch=batch_remaps
-        )
+        (
+            remapped,
+            remap_saved,
+            remap_rounds,
+            remap_tasks,
+            remap_reused,
+        ) = self._remap_sessions(batch=batch_remaps, preserved=preserved)
         report = RepartitionReport(
             partitioner=label,
             before=before,
@@ -785,34 +837,45 @@ class SimulatedCluster:
             remap_visits_saved=remap_saved,
             remap_rounds=remap_rounds,
             remap_tasks=remap_tasks,
+            remap_fragments_reused=remap_reused,
         )
         monitor = self.mutation_monitor
         if monitor is not None:
             monitor.note_repartition(report)
         return report
 
-    def _remap_sessions(self, batch: bool = True) -> Tuple[int, int, int, int]:
+    def _remap_sessions(
+        self, batch: bool = True, preserved: Tuple[int, ...] = ()
+    ) -> Tuple[int, int, int, int, int]:
         """Remap every live registered session onto the new fragmentation.
 
-        Returns ``(sessions_remapped, visits_saved, map_rounds, tasks)``.
-        With ``batch=True`` the open sessions' full re-evaluations run as
-        ONE :func:`~repro.serving.engine.execute_plans` batch: identical
-        per-fragment tasks are deduplicated across sessions and served
-        from/into the first-registered serving cache, while each session's
-        per-query replayed stats remain bit-identical to a per-session
-        remap.  ``visits_saved`` is the per-session visit total minus what
-        the batched round actually charged — the measurable saving of the
-        dedup.
+        Returns ``(sessions_remapped, visits_saved, map_rounds, tasks,
+        fragments_reused)``.  With ``batch=True`` the open sessions' full
+        re-evaluations run as ONE :func:`~repro.serving.engine.
+        execute_plans` batch: identical per-fragment tasks are deduplicated
+        across sessions and served from/into the first-registered serving
+        cache, while each session's per-query replayed stats remain
+        bit-identical to a per-session remap.  ``visits_saved`` is the
+        per-session visit total minus what the batched round actually
+        charged — the measurable saving of the dedup.  ``preserved`` names
+        fragments whose boundary anatomy survived the repartition
+        unchanged; each session reuses its pre-move partials for them (the
+        incremental-remap delta), and ``fragments_reused`` totals those
+        reuses across sessions.
         """
         sessions = sorted(
             self._sessions, key=lambda s: getattr(s, "_registration_order", 0)
         )
         if not batch:
-            remapped = sum(1 for session in sessions if session._on_repartition())
-            return remapped, 0, 0, 0
-        live = [session for session in sessions if session._begin_remap()]
+            remapped = reused = 0
+            for session in sessions:
+                if session._on_repartition(preserved):
+                    remapped += 1
+                    reused += session.last_remap_reused
+            return remapped, 0, 0, 0, reused
+        live = [session for session in sessions if session._begin_remap(preserved)]
         if not live:
-            return 0, 0, 0, 0
+            return 0, 0, 0, 0, 0
         # Imported here: serving.engine imports this module at load time.
         from ..serving.engine import execute_plans
         from ..serving.plans import SessionRemapPlan
@@ -829,7 +892,8 @@ class SimulatedCluster:
             session._finish_remap(query_result)
         workload = result.workload
         saved = workload.total_visits - workload.batch.total_visits
-        return len(live), saved, workload.batch.supersteps, workload.tasks_executed
+        reused = sum(session.last_remap_reused for session in live)
+        return len(live), saved, workload.batch.supersteps, workload.tasks_executed, reused
 
     def _charge_shipping(
         self, graph: DiGraph, old_site_of_node: Dict[Node, int]

@@ -50,5 +50,10 @@ class KernelError(ReproError):
     """An unknown or unavailable local-evaluation kernel was requested."""
 
 
+class ShortcutError(ReproError):
+    """An unknown shortcut mode was requested, or a shortcut set was used
+    with a program whose semantics it cannot preserve."""
+
+
 class MapReduceError(ReproError):
     """The simulated MapReduce runtime was misconfigured."""

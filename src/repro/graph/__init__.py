@@ -5,6 +5,9 @@ from .generators import (
     assign_labels,
     erdos_renyi,
     forest_fire,
+    grid_graph,
+    long_cycle,
+    path_graph,
     preferential_attachment,
     synthetic_graph,
 )
@@ -12,6 +15,18 @@ from .graph_io import from_edge_list, from_json, load, save, to_edge_list, to_js
 from .product import product_nodes, product_successors
 from .reachsets import decode_mask, reachable_seed_masks, reachable_seed_sets
 from .scc import condensation, is_acyclic, tarjan_scc
+from .shortcuts import (
+    SHORTCUT_MODES,
+    ShortcutSet,
+    ShortcutStats,
+    build_hopset,
+    build_reach_shortcuts,
+    build_shortcuts,
+    default_shortcuts,
+    pick_pivots,
+    resolve_shortcuts,
+    set_default_shortcuts,
+)
 from .shortest_paths import (
     bellman_ford,
     dijkstra,
@@ -33,13 +48,20 @@ __all__ = [
     "Edge",
     "Label",
     "Node",
+    "SHORTCUT_MODES",
+    "ShortcutSet",
+    "ShortcutStats",
     "assign_labels",
     "bellman_ford",
     "bfs_distance",
     "bfs_distances",
     "bfs_order",
+    "build_hopset",
+    "build_reach_shortcuts",
+    "build_shortcuts",
     "condensation",
     "decode_mask",
+    "default_shortcuts",
     "descendants",
     "dfs_order",
     "dijkstra",
@@ -49,15 +71,21 @@ __all__ = [
     "from_edge_list",
     "from_json",
     "graph_weighted_successors",
+    "grid_graph",
     "is_acyclic",
     "is_reachable",
     "load",
+    "long_cycle",
+    "path_graph",
+    "pick_pivots",
     "preferential_attachment",
     "product_nodes",
     "product_successors",
     "reachable_seed_masks",
     "reachable_seed_sets",
+    "resolve_shortcuts",
     "save",
+    "set_default_shortcuts",
     "synthetic_graph",
     "tarjan_scc",
     "to_edge_list",

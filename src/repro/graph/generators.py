@@ -9,7 +9,11 @@ densification law of Leskovec et al. [20].  We provide:
 * :func:`preferential_attachment` — scale-free digraphs (social-network shape);
 * :func:`forest_fire` — the densification-law generator cited by the paper;
 * :func:`synthetic_graph` — the paper-facing entry point with (|V|, |E|, |L|)
-  knobs used by every scalability experiment.
+  knobs used by every scalability experiment;
+* :func:`path_graph` / :func:`grid_graph` / :func:`long_cycle` — pinned
+  high-diameter topologies (diameter Θ(n) or Θ(√n)) that stress superstep
+  counts; the shortcut-precompute experiments (DESIGN.md §13) measure
+  their sub-diameter speedups on these.
 
 All generators are deterministic given ``seed`` and label nodes uniformly at
 random from ``L0 .. L{num_labels-1}`` unless a label list is supplied.
@@ -154,6 +158,95 @@ def forest_fire(
             n_bwd = _geometric(rng, backward_prob)
             frontier.extend(neighbors[:n_fwd])
             frontier.extend(back[:n_bwd])
+    _label(graph, num_labels, labels, seed)
+    return graph
+
+
+def path_graph(
+    num_nodes: int,
+    seed: int = 0,
+    num_labels: int = 0,
+    labels: Optional[Sequence[str]] = None,
+) -> DiGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``: diameter ``n - 1``.
+
+    The worst case for level-synchronous message passing — disReachm pays
+    one superstep per hop — and the best case for shortcut precompute.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    graph = DiGraph()
+    for i in range(num_nodes):
+        graph.add_node(i)
+    for i in range(num_nodes - 1):
+        graph.add_edge(i, i + 1)
+    _label(graph, num_labels, labels, seed)
+    return graph
+
+
+def grid_graph(
+    num_nodes: int,
+    cols: Optional[int] = None,
+    seed: int = 0,
+    num_labels: int = 0,
+    labels: Optional[Sequence[str]] = None,
+) -> DiGraph:
+    """Directed grid with ``cols`` columns (edges right and down).
+
+    ``cols=None`` gives the square ⌈√n⌉ × ⌈√n⌉ grid (diameter Θ(√n));
+    a small fixed ``cols`` gives a tall n/cols × cols grid whose diameter
+    is Θ(n) — the high-diameter mesh the shortcut benchmarks pin.  Node
+    ``(i, j)`` gets id ``i * cols + j``; ids ≥ ``num_nodes`` are dropped,
+    so the last row may be ragged but the id space is exactly
+    ``0 .. num_nodes - 1``.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if cols is None:
+        cols = max(1, round(num_nodes**0.5))
+    if cols <= 0:
+        raise ValueError("cols must be positive")
+    graph = DiGraph()
+    for i in range(num_nodes):
+        graph.add_node(i)
+    for node in range(num_nodes):
+        right = node + 1
+        if right % cols != 0 and right < num_nodes:
+            graph.add_edge(node, right)
+        down = node + cols
+        if down < num_nodes:
+            graph.add_edge(node, down)
+    _label(graph, num_labels, labels, seed)
+    return graph
+
+
+def long_cycle(
+    num_nodes: int,
+    chord_every: int = 0,
+    seed: int = 0,
+    num_labels: int = 0,
+    labels: Optional[Sequence[str]] = None,
+) -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``: every pair reachable,
+    diameter ``n - 1``.
+
+    ``chord_every > 0`` adds a forward chord ``i -> i + 2`` at every
+    ``chord_every``-th node — still Θ(n) diameter, but no longer a pure
+    cycle, which keeps shortcut construction from degenerating to the
+    path case.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    graph = DiGraph()
+    for i in range(num_nodes):
+        graph.add_node(i)
+    for i in range(num_nodes):
+        graph.add_edge(i, (i + 1) % num_nodes)
+    if chord_every > 0 and num_nodes > 2:
+        for i in range(0, num_nodes, chord_every):
+            target = (i + 2) % num_nodes
+            if not graph.has_edge(i, target):
+                graph.add_edge(i, target)
     _label(graph, num_labels, labels, seed)
     return graph
 

@@ -153,6 +153,10 @@ class RepartitionReport:
     charged (the measurable dedup saving, 0 when at most one session was
     open), ``remap_rounds`` the parallel map rounds the batch ran, and
     ``remap_tasks`` the distinct per-fragment evaluations it executed.
+    ``remap_fragments_reused`` counts the incremental-remap deltas: per
+    session, fragments whose boundary anatomy (fid, node set, in/out-node
+    sets, local graph content) survived the move unchanged keep their
+    pre-move partials instead of re-evaluating.
     """
 
     #: Partitioner name (or ``"<callable>"``/``"<assignment>"``) applied.
@@ -175,6 +179,9 @@ class RepartitionReport:
     remap_rounds: int = 0
     #: Distinct per-fragment local-eval tasks the batched remap executed.
     remap_tasks: int = 0
+    #: Anatomy-preserved fragments whose pre-move session partials were
+    #: reused instead of re-evaluated, summed over remapped sessions.
+    remap_fragments_reused: int = 0
 
     @property
     def boundary_delta(self) -> int:
@@ -202,7 +209,8 @@ class RepartitionReport:
             tail += (
                 f" remapped {self.sessions_remapped} session(s) in "
                 f"{self.remap_rounds} round(s), {self.remap_tasks} tasks, "
-                f"saved {self.remap_visits_saved} visits"
+                f"saved {self.remap_visits_saved} visits, reused "
+                f"{self.remap_fragments_reused} fragment partial(s)"
             )
         return (
             f"before: {self.before.summary()}\n"

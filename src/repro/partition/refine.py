@@ -18,8 +18,9 @@ This module optimizes the theorem quantity directly:
   ``refined`` in :data:`~repro.partition.partitioners.PARTITIONERS`;
 * :func:`multilevel_partition` — label-propagation coarsening to a small
   weighted cluster graph, a balance-capped greedy seed partition there,
-  projection back to the original nodes, then the same refinement pass.
-  Registered as ``multilevel``.
+  then a V-cycle: project back one level at a time, running a weighted
+  refinement pass (:func:`_refine_level`) at *every* uncoarsening level
+  before the final fine-grained refinement.  Registered as ``multilevel``.
 
 Invariants (asserted by ``tests/test_refine.py``): outputs always build a
 fragmentation passing :func:`~repro.partition.validation.check_fragmentation`;
@@ -566,6 +567,90 @@ def _weighted_greedy_seed(
     return assignment
 
 
+def _refine_level(
+    adj: _Adjacency,
+    weights: Dict[Node, int],
+    assignment: Dict[Node, int],
+    k: int,
+    cap: int,
+    max_passes: int = DEFAULT_MAX_PASSES,
+) -> Dict[Node, int]:
+    """Weighted FM pass over one (possibly coarsened) level — the V-cycle.
+
+    The projection loop of :func:`_multilevel_seed` calls this at every
+    uncoarsening level, so cluster-granularity mistakes are corrected while
+    they are still single coarse-node moves instead of hundreds of fine-node
+    moves.  Same move rule as :func:`refine_assignment`, lifted to weighted
+    nodes: a move of ``u`` must strictly improve ``(weighted |Vf|, weighted
+    cut)`` lexicographically and keep the target fragment's summed node
+    weight under ``cap``.  Weighted boundary counts every fine node inside a
+    crossing coarse cluster — the exact upper bound projection can realize —
+    so shrinking it at a coarse level never trades away the fine objective
+    for a proxy.  Only strict improvements are applied: the weighted pair
+    never increases over the input assignment, and termination is
+    guaranteed.  Mutates and returns ``assignment``.
+    """
+    loads = [0] * k
+    for u, fid in assignment.items():
+        loads[fid] += weights[u]
+    cross: Dict[Node, int] = {u: 0 for u in adj}
+    for u, neighbors in adj.items():
+        for v, weight in neighbors.items():
+            if assignment[u] != assignment[v]:
+                cross[u] += weight
+    order = sorted(adj, key=repr)
+    for _ in range(max_passes):
+        improved = False
+        for u in order:
+            if cross[u] == 0:
+                continue  # interior: any move only creates crossing edges
+            here = assignment[u]
+            targets = sorted(
+                {assignment[v] for v in adj[u]} - {here}
+            )
+            best: Optional[Tuple[int, int, int, int]] = None
+            for target in targets:
+                if loads[target] + weights[u] > cap:
+                    continue
+                d_boundary = 0
+                d_cut = 0
+                new_cross_u = cross[u]
+                for v, weight in adj[u].items():
+                    fv = assignment[v]
+                    if fv == here:  # internal edges start crossing
+                        d_cut += weight
+                        new_cross_u += weight
+                        if cross[v] == 0:
+                            d_boundary += weights[v]
+                    elif fv == target:  # crossing edges become internal
+                        d_cut -= weight
+                        new_cross_u -= weight
+                        if cross[v] == weight:
+                            d_boundary -= weights[v]
+                if cross[u] > 0 and new_cross_u == 0:
+                    d_boundary -= weights[u]
+                key = (d_boundary, d_cut, loads[target], target)
+                if best is None or key < best:
+                    best = key
+            if best is not None and (best[0], best[1]) < (0, 0):
+                target = best[3]
+                for v, weight in adj[u].items():
+                    fv = assignment[v]
+                    if fv == here:
+                        cross[v] += weight
+                        cross[u] += weight
+                    elif fv == target:
+                        cross[v] -= weight
+                        cross[u] -= weight
+                loads[here] -= weights[u]
+                loads[target] += weights[u]
+                assignment[u] = target
+                improved = True
+        if not improved:
+            break
+    return assignment
+
+
 #: How many label-propagation coarsening seeds ``multilevel`` races by
 #: default.  Coarsening is randomized (the propagation sweep is shuffled),
 #: so different seeds explore different cluster structures; keeping the
@@ -586,10 +671,13 @@ def multilevel_partition(
 
     Pipeline: label-propagation coarsening until the cluster graph is small
     (or stops shrinking) -> balance-capped greedy seed partition of the
-    coarsest level -> projection back to the original nodes -> rebalance to
-    the cap -> :func:`refine_assignment`.  Coarsening lets the refinement
-    escape the local minima a flat pass gets stuck in: a whole cluster
-    lands on one side of the cut before single-node polish.
+    coarsest level -> V-cycle projection (each uncoarsening level gets a
+    weighted :func:`_refine_level` pass before the next is expanded) ->
+    rebalance to the cap -> :func:`refine_assignment`.  Coarsening lets the
+    refinement escape the local minima a flat pass gets stuck in: a whole
+    cluster lands on one side of the cut before single-node polish, and the
+    per-level passes fix cluster-granularity mistakes while they are still
+    one coarse move each.
 
     ``seeds`` coarsening seeds are raced end to end (coarsen, seed,
     project, rebalance, refine) and the assignment with the smallest
@@ -619,27 +707,50 @@ def multilevel_partition(
 
 
 def _multilevel_seed(graph: DiGraph, k: int, seed: int) -> Dict[Node, int]:
-    """The pre-refinement stage of :func:`multilevel_partition`.
+    """The pre-(fine-)refinement stage of :func:`multilevel_partition`.
 
-    Exposed separately so tests can assert the refinement stage never
-    increases the boundary count over the projected seed.
+    Coarsens, seeds the coarsest level, then projects back through the
+    V-cycle — a weighted :func:`_refine_level` pass at every uncoarsening
+    level.  Exposed separately so tests can assert the final refinement
+    stage never increases the boundary count over the projected seed.
     """
     rng = random.Random(seed)
     adj = _undirected_adjacency(graph)
     weights: Dict[Node, int] = {node: 1 for node in adj}
     max_cluster_weight = max(1, graph.num_nodes // (4 * k))
     mappings: List[Dict[Node, int]] = []
+    levels: List[Tuple[_Adjacency, Dict[Node, int]]] = []
     while len(adj) > max(4 * k, 32):
         label = _label_propagation(adj, weights, rng, max_cluster_weight)
         if len({label[u] for u in adj}) >= 0.95 * len(adj):
             break  # propagation stalled; further levels would be identical
+        levels.append((adj, weights))
         adj, weights, mapping = _coarsen(adj, weights, label)
         mappings.append(mapping)
+
+    def _level_cap(level_weights: Dict[Node, int]) -> int:
+        # The seed cap lifted to the level: even weighted share plus the
+        # heaviest node, so a feasible assignment always exists and the
+        # later fine-level rebalance has little left to undo.
+        total = sum(level_weights.values())
+        return -(-total // k) + max(level_weights.values(), default=1)
+
     coarse_assignment = _weighted_greedy_seed(adj, weights, k)
-    for mapping in reversed(mappings):
+    coarse_assignment = _refine_level(
+        adj, weights, coarse_assignment, k, _level_cap(weights)
+    )
+    # V-cycle: project one level at a time, refining at every level so a
+    # misplaced cluster is fixed with one coarse move before it shatters
+    # into many fine ones.
+    for (fine_adj, fine_weights), mapping in zip(
+        reversed(levels), reversed(mappings)
+    ):
         coarse_assignment = {
             fine: coarse_assignment[coarse] for fine, coarse in mapping.items()
         }
+        coarse_assignment = _refine_level(
+            fine_adj, fine_weights, coarse_assignment, k, _level_cap(fine_weights)
+        )
     return coarse_assignment
 
 

@@ -177,6 +177,15 @@ def execute_plans(
                     workload.cache_hits += 1
                     continue
                 entry = cache.get(key)
+                if entry is None:
+                    reused = plan.preresolved(fragment)
+                    if reused is not None:
+                        # Plan-supplied partial (a remap reusing a preserved
+                        # fragment's pre-move equations): resolved at zero
+                        # compute cost and cached for the rest of the batch
+                        # under the fragment's current version.
+                        entry = CacheEntry(reused, 0.0)
+                        cache.put(key, entry)
                 if entry is not None:
                     workload.cache_hits += 1
                     resolved[key] = entry

@@ -128,6 +128,18 @@ class QueryPlan(ABC):
         of the serving cache.
         """
 
+    def preresolved(self, fragment: Fragment) -> Optional[Dict]:
+        """Equations the plan already holds for ``fragment``, or ``None``.
+
+        The engine consults this before cache lookup and scheduling: a
+        non-``None`` return enters the batch as a zero-compute resolved
+        entry — no local-eval task runs for the fragment.  The soundness
+        contract matches :meth:`fragment_params`: the returned equations
+        must be exactly what :meth:`local_eval` would produce on the
+        fragment's current content.  The default knows nothing.
+        """
+        return None
+
     @abstractmethod
     def wrap_partial(self, site_equations: Dict) -> object:
         """Wrap one site's merged equations in its wire format."""
@@ -196,6 +208,20 @@ class SessionRemapPlan(QueryPlan):
         """The underlying plan's cache params — identical keys mean remap
         tasks dedupe with ordinary query tasks and cache entries."""
         return self.inner.fragment_params(fragment)
+
+    def preresolved(self, fragment: Fragment) -> Optional[Dict]:
+        """The session's pre-repartition partial for a preserved fragment.
+
+        :meth:`~repro.distributed.cluster.SimulatedCluster.repartition`
+        stages into ``session._remap_reuse`` the partials of fragments
+        whose boundary anatomy (fid, node set, in/out-node sets, local
+        graph content) survived the move byte-identically — the equations
+        of such a fragment cannot have changed, so the remap skips its
+        local-eval task instead of recomputing it (the incremental-remap
+        delta).  Empty outside a repartition remap, so ordinary
+        ``initialize()`` runs are never served stale partials.
+        """
+        return self.session._remap_reuse.get(fragment.fid)
 
     def wrap_partial(self, site_equations: Dict) -> object:
         """The underlying plan's wire format for one site's partial."""

@@ -25,7 +25,14 @@ from typing import Callable, Dict
 
 from ..errors import ReproError
 from ..graph.digraph import DiGraph
-from ..graph.generators import assign_labels, forest_fire, preferential_attachment
+from ..graph.generators import (
+    assign_labels,
+    forest_fire,
+    grid_graph,
+    long_cycle,
+    path_graph,
+    preferential_attachment,
+)
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,24 @@ DATASETS: Dict[str, DatasetSpec] = {
         DatasetSpec(
             "soc-LiveJournal1", 4_847_571, 68_993_773, 0, "snap",
             "LiveJournal friendships (real SNAP download, multi-million-edge)",
+        ),
+        # -- pinned high-diameter topologies (DESIGN.md §13) ---------------
+        # Not paper datasets: deterministic worst cases for level-synchronous
+        # message passing (supersteps = diameter = Θ(n)), pinned so the
+        # shortcut-precompute benchmarks measure sub-diameter speedups
+        # against a stable baseline.  "paper" sizes are chosen so the
+        # default 1/100 scale lands at 640 nodes.
+        DatasetSpec(
+            "path", 64_000, 63_999, 0, "path",
+            "directed path 0 -> 1 -> ... -> n-1 (diameter n-1)",
+        ),
+        DatasetSpec(
+            "grid", 64_000, 127_000, 0, "grid",
+            "tall directed grid, 8 columns (diameter ~n/8)",
+        ),
+        DatasetSpec(
+            "longcycle", 64_000, 73_000, 0, "longcycle",
+            "directed cycle with sparse forward chords (diameter ~n)",
         ),
     ]
 }
@@ -344,6 +369,23 @@ def _fit_edges(graph: DiGraph, num_edges: int, seed: int) -> None:
         graph.remove_edge(u, v)
 
 
+def _path(num_nodes: int, num_edges: int, seed: int) -> DiGraph:
+    """Pinned path: |E| is structural (n - 1); the spec's edge count is
+    only the paper-size bookkeeping, so it is ignored here."""
+    return path_graph(num_nodes, seed=seed)
+
+
+def _grid(num_nodes: int, num_edges: int, seed: int) -> DiGraph:
+    """Pinned tall grid: 8 fixed columns keep the diameter Θ(n) — the
+    regime where shortcut precompute has room for a ≥4× superstep cut."""
+    return grid_graph(num_nodes, cols=8, seed=seed)
+
+
+def _longcycle(num_nodes: int, num_edges: int, seed: int) -> DiGraph:
+    """Pinned chorded cycle: every pair reachable at Θ(n) diameter."""
+    return long_cycle(num_nodes, chord_every=7, seed=seed)
+
+
 _FAMILIES: Dict[str, Callable[[int, int, int], DiGraph]] = {
     "social": _social,
     "communication": _communication,
@@ -351,4 +393,7 @@ _FAMILIES: Dict[str, Callable[[int, int, int], DiGraph]] = {
     "copurchase": _copurchase,
     "citation": _citation,
     "internet": _internet,
+    "path": _path,
+    "grid": _grid,
+    "longcycle": _longcycle,
 }

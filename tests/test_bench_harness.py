@@ -59,13 +59,13 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_all_twenty_three_registered(self):
+    def test_all_twenty_four_registered(self):
         expected = {
             "table2", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
             "fig11f", "fig11g", "fig11h", "fig11i", "fig11j", "fig11k",
             "fig11l", "ablation-index", "ablation-partitioner", "workload",
             "partition", "mutation", "baselines", "kernels", "serving",
-            "snap", "oracles",
+            "snap", "oracles", "shortcuts",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -104,6 +104,9 @@ _TINY = {
     # batch/latency columns); test_exp_serving_smoke below runs it.
     # "snap" is absent likewise (its load/replay rows only carry their own
     # column subset); tests/test_snap.py::TestExpSnap smoke-runs it.
+    # "shortcuts" is absent likewise (the by-construction reach x disDistm
+    # skip row carries only the status columns); test_exp_shortcuts_smoke
+    # below runs it.
 }
 
 
@@ -118,6 +121,32 @@ def test_experiment_smoke(name):
         for column in result.columns:
             assert column in row, (name, column)
     # formatting must not crash
+    assert result.format_table()
+
+
+def test_exp_shortcuts_smoke():
+    """Tiny path-only shortcuts run: every mode present, reductions real."""
+    result = EXPERIMENTS["shortcuts"](scale=0.002, card=3, datasets=("path",))
+    assert isinstance(result, ExperimentResult)
+    rows = {(row["mode"], row["algorithm"]): row for row in result.rows}
+    assert set(rows) == {
+        ("none", "disReachm"), ("none", "disDistm"),
+        ("reach", "disReachm"), ("reach", "disDistm"),
+        ("hopset", "disReachm"), ("hopset", "disDistm"),
+    }
+    assert rows[("reach", "disDistm")]["status"].startswith("skipped")
+    for key, row in rows.items():
+        if key == ("reach", "disDistm"):
+            continue
+        assert row["status"] == "ok"
+        # same workload answers under every mode (identity), and the
+        # shortcut modes actually cut supersteps on the 200-node path
+        assert row["answers"] == rows[("none", row["algorithm"])]["answers"]
+        if row["mode"] == "none":
+            assert row["reduction"] == 1
+        else:
+            assert row["reduction"] > 1
+            assert row["supersteps"] < rows[("none", row["algorithm"])]["supersteps"]
     assert result.format_table()
 
 

@@ -475,7 +475,7 @@ class TestBaselinesGate:
         rows = gate.baselines_rows(payload)
         assert rows, "baseline.json must carry the pinned baselines run"
         backends = {backend for _a, backend in rows}
-        assert backends == {"sequential", "thread", "process"}
+        assert backends == {"sequential", "thread", "process", "socket"}
 
 
 def _kernels_payload(visits=24, traffic=97.526, messages=48, supersteps=6,

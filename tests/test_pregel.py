@@ -31,7 +31,7 @@ class FloodProgram(VertexProgram):
         return VertexOutcome(
             value=True,
             set_value=True,
-            messages=tuple((child, "T") for child in successors),
+            messages=tuple((child, "T") for child, _weight in successors),
         )
 
 
@@ -119,7 +119,7 @@ class TestSuperstepTask:
         second = run_superstep(*args)
         assert first == second
         assert first.updates == {"a": True}
-        assert set(first.outbox) == {("b", "T"), ("c", "T")}
+        assert set(first.outbox) == {("b", "T", False), ("c", "T", False)}
         assert not first.halted
 
     def test_combiner_collapses_per_target(self):
@@ -129,14 +129,14 @@ class TestSuperstepTask:
             FloodProgram(), (fragment,), {"a": ["T"], "b": ["T"]}, {}, 0
         )
         # Both parents target c; the combiner keeps one token.
-        assert result.outbox == (("c", "T"),)
+        assert result.outbox == (("c", "T", False),)
 
     def test_default_combiner_keeps_everything(self):
         @dataclass(frozen=True)
         class NoCombine(VertexProgram):
             def compute(self, vertex, value, messages, successors):
                 return VertexOutcome(
-                    messages=tuple((child, "T") for child in successors)
+                    messages=tuple((child, "T") for child, _weight in successors)
                 )
 
         g = DiGraph.from_edges([("a", "c"), ("b", "c")])
@@ -144,7 +144,7 @@ class TestSuperstepTask:
         result = run_superstep(
             NoCombine(), (fragment,), {"a": ["T"], "b": ["T"]}, {}, 0
         )
-        assert result.outbox == (("c", "T"), ("c", "T"))
+        assert result.outbox == (("c", "T", False), ("c", "T", False))
 
     def test_halt_reported(self):
         fragment = self._fragment()

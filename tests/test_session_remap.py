@@ -12,7 +12,12 @@ batching:
   per-fragment tasks executed stay strictly below ``sessions x
   fragments``, and ``remap_visits_saved`` is positive;
 * the batched remap shares the registered serving cache, so a query
-  served right after a repartition hits the remap's partials.
+  served right after a repartition hits the remap's partials;
+* the incremental-remap delta: fragments whose boundary anatomy the
+  repartition left unchanged reuse their pre-move session partials
+  (``RepartitionReport.remap_fragments_reused``), and the reused partials
+  are bit-identical to a from-scratch evaluation on the new
+  fragmentation.
 """
 
 import pytest
@@ -162,6 +167,104 @@ class TestDedupAndBackends:
         report = cluster.repartition("refined", seed=0)
         assert all(session.remaps == 1 for session in sessions)
         assert "remapped 4 session(s)" in report.summary()
+
+
+class TestIncrementalRemapDelta:
+    """Anatomy-preserved fragments reuse pre-move partials — identically."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 4),
+        specs=st.lists(
+            st.tuples(
+                st.booleans(), st.integers(0, N - 1), st.integers(0, N - 1)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        moved=st.sets(st.integers(0, N - 1), max_size=6),
+    )
+    def test_reused_partials_match_from_scratch(self, seed, specs, moved):
+        """Reuse is an identity: a remap that keeps some fragments' partials
+        produces the same standing answers AND the same per-fragment
+        equations as initializing fresh sessions directly on the new
+        fragmentation, and the report counts exactly the anatomy-preserved
+        fragments per session."""
+        specs = [spec for spec in specs if spec[1] != spec[2]]
+        if not specs:
+            return
+        graph, cluster = _cluster(seed=seed)
+        sessions = _open_sessions(cluster, specs)
+        k = len(cluster.fragmentation)
+        base = dict(cluster.fragmentation.placement)
+        target = dict(base)
+        for node in moved:
+            target[node] = (base[node] + 1) % k
+        report = cluster.repartition(target, num_fragments=k)
+
+        # A fragment's anatomy survives iff no node entered or left it.
+        touched = {base[node] for node in moved} | {target[node] for node in moved}
+        preserved = [fid for fid in range(k) if fid not in touched]
+        assert report.remap_fragments_reused == len(preserved) * len(specs)
+
+        reference_cluster = SimulatedCluster.from_graph(
+            graph, k, partitioner=target
+        )
+        reference = _open_sessions(reference_cluster, specs)
+        for session, ref_session in zip(sessions, reference):
+            assert session.answer == ref_session.answer
+            assert session._partials == ref_session._partials
+            assert session._remap_reuse == {}  # drained by the remap
+
+    def test_identity_repartition_reuses_everything(self):
+        _, cluster = _cluster()
+        sessions = _open_sessions(cluster, [(False, 0, N - 1), (True, 1, N - 1)])
+        assignment = dict(cluster.fragmentation.placement)
+        report = cluster.repartition(
+            assignment, num_fragments=len(cluster.fragmentation)
+        )
+        # Every fragment preserved, for both sessions: zero local-eval
+        # tasks run, and the answers stand.
+        assert report.remap_fragments_reused == len(cluster.fragmentation) * 2
+        assert report.remap_tasks == 0
+        assert all(session.remaps == 1 for session in sessions)
+        assert "reused" in report.summary()
+
+    def test_batched_matches_per_session_reuse(self):
+        results = []
+        for batch_remaps in (True, False):
+            graph, cluster = _cluster()
+            sessions = _open_sessions(cluster, [(False, 0, N - 1), (False, 1, 2)])
+            target = dict(cluster.fragmentation.placement)
+            target[0] = (target[0] + 1) % len(cluster.fragmentation)
+            report = cluster.repartition(
+                target,
+                num_fragments=len(cluster.fragmentation),
+                batch_remaps=batch_remaps,
+            )
+            results.append(
+                (
+                    report.remap_fragments_reused,
+                    [session.answer for session in sessions],
+                    [session._partials for session in sessions],
+                    [_modeled_signature(session.last_remap) for session in sessions],
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_mutation_after_reusing_remap_stays_sound(self):
+        graph, cluster = _cluster()
+        session = _open_sessions(cluster, [(False, 0, N - 1)])[0]
+        assignment = dict(cluster.fragmentation.placement)
+        cluster.repartition(assignment, num_fragments=len(cluster.fragmentation))
+        assert session.last_remap_reused == len(cluster.fragmentation)
+        # The standing query must keep tracking the mutated graph exactly.
+        result = session.add_edge(0, N - 1)
+        graph.add_edge(0, N - 1)
+        assert result.answer is reachable(graph, 0, N - 1) is True
+        session.remove_edge(0, N - 1)
+        graph.remove_edge(0, N - 1)
+        assert session.answer == reachable(graph, 0, N - 1)
 
 
 class TestSharedServingCache:

@@ -1,0 +1,397 @@
+"""Shortcut/hopset soundness (DESIGN.md §13).
+
+The contracts under test — the acceptance bar of the shortcut precompute:
+
+* **construction soundness** — every ``reach`` shortcut ``(u, v)`` connects
+  a pair already related by the transitive closure, so the augmented graph
+  has *exactly* the original closure; every ``hopset`` shortcut carries a
+  weight that is both an upper bound on the true distance and the length
+  of a real walk, so augmented shortest distances equal the original ones
+  exactly (hypothesis, random DAGs and digraphs);
+* **answer identity** — the Pregel baselines return bit-identical answers
+  (and, for ``disDistm``, distances) with shortcuts on and off, across all
+  executor backends and all available kernels;
+* **mutate-then-rebuild** — after any edge mutation the cluster's cached
+  shortcut set is unreachable (version-keyed) and the next query rebuilds
+  against the mutated graph, so answers track the graph exactly;
+* **mode machinery** — explicit argument beats the process default beats
+  ``REPRO_SHORTCUTS`` beats ``none``; distance programs reject the
+  weightless ``reach`` mode with :class:`ShortcutError`.
+"""
+
+import heapq
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reachable
+from repro.core.engine import evaluate
+from repro.core.kernels import available_kernels, set_default_kernel
+from repro.core.queries import BoundedReachQuery, ReachQuery
+from repro.distributed import SimulatedCluster
+from repro.distributed.executors import EXECUTORS
+from repro.errors import QueryError, ShortcutError
+from repro.graph import (
+    DiGraph,
+    build_hopset,
+    build_reach_shortcuts,
+    build_shortcuts,
+    erdos_renyi,
+    path_graph,
+    pick_pivots,
+    resolve_shortcuts,
+    set_default_shortcuts,
+)
+from repro.graph.shortcuts import SHORTCUTS_ENV_VAR
+
+BACKENDS = sorted(EXECUTORS)
+
+
+# ---------------------------------------------------------------------------
+# ground-truth helpers (straight BFS/Dijkstra, no repro machinery)
+# ---------------------------------------------------------------------------
+def _bfs_dist(graph, source):
+    dist = {source: 0}
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for child in graph.successors(node):
+                if child not in dist:
+                    dist[child] = dist[node] + 1
+                    nxt.append(child)
+        frontier = nxt
+    return dist
+
+
+def _augmented_dist(graph, shortcut_set, source):
+    """Dijkstra over original unit edges plus weighted shortcut edges."""
+    dist = {}
+    heap = [(0.0, repr(source), source)]
+    while heap:
+        d, _key, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        for child in graph.successors(node):
+            if child not in dist:
+                heapq.heappush(heap, (d + 1, repr(child), child))
+        for child, weight in shortcut_set.targets(node):
+            if child not in dist:
+                heapq.heappush(heap, (d + weight, repr(child), child))
+    return dist
+
+
+def _reach_set(graph, shortcut_set, source):
+    seen = {source}
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            children = list(graph.successors(node))
+            if shortcut_set is not None:
+                children += [child for child, _w in shortcut_set.targets(node)]
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    nxt.append(child)
+        frontier = nxt
+    return seen
+
+
+def digraphs(max_nodes=28):
+    """Small random digraphs, dense enough to have interesting closures."""
+    return st.builds(
+        lambda n, m, seed: erdos_renyi(n, min(m, n * (n - 1)), seed=seed),
+        st.integers(2, max_nodes),
+        st.integers(1, 3 * max_nodes),
+        st.integers(0, 10_000),
+    )
+
+
+def dags(max_nodes=24):
+    """Random DAGs: edges only from lower to higher node id."""
+
+    def build(n, pairs):
+        g = DiGraph()
+        for i in range(n):
+            g.add_node(i)
+        for a, b in pairs:
+            u, v = a % n, b % n
+            if u != v:
+                g.add_edge(min(u, v), max(u, v))
+        return g
+
+    return st.builds(
+        build,
+        st.integers(2, max_nodes),
+        st.lists(st.tuples(st.integers(0, 96), st.integers(0, 96)), max_size=60),
+    )
+
+
+class TestPickPivots:
+    def test_count_is_about_sqrt_n(self):
+        g = path_graph(400)
+        pivots = pick_pivots(g, seed=0)
+        assert len(pivots) == math.isqrt(399) + 1  # ceil(sqrt(400))
+
+    def test_stratified_one_pivot_per_window(self):
+        g = path_graph(100)
+        pivots = pick_pivots(g, seed=3)
+        stride = 100 // len(pivots)
+        for window, pivot in enumerate(pivots):
+            assert window * stride <= pivot < min((window + 1) * stride, 100)
+
+    def test_deterministic_in_seed(self):
+        g = erdos_renyi(50, 120, seed=1)
+        assert pick_pivots(g, seed=7) == pick_pivots(g, seed=7)
+
+    def test_count_clamped_and_empty(self):
+        assert pick_pivots(DiGraph()) == []
+        g = path_graph(5)
+        assert sorted(pick_pivots(g, count=50)) == [0, 1, 2, 3, 4]
+
+
+class TestConstruction:
+    def test_rejects_bad_modes(self):
+        g = path_graph(4)
+        with pytest.raises(ShortcutError, match="none"):
+            build_shortcuts(g, "none")
+        with pytest.raises(ShortcutError, match="unknown"):
+            build_shortcuts(g, "teleport")
+        with pytest.raises(ShortcutError, match="weightless"):
+            build_shortcuts(g, "reach", weight_fn=lambda u, v: 1.0)
+
+    def test_deterministic_rebuild(self):
+        g = erdos_renyi(40, 120, seed=5)
+        for kind in ("reach", "hopset"):
+            first = build_shortcuts(g, kind, seed=0)
+            again = build_shortcuts(g, kind, seed=0)
+            assert first.edges == again.edges
+            assert first.stats.pivots == again.stats.pivots
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=digraphs())
+    def test_shortcuts_disjoint_from_original_edges(self, graph):
+        for kind in ("reach", "hopset"):
+            built = build_shortcuts(graph, kind, seed=0)
+            for source, pairs in built.edges.items():
+                for target, weight in pairs:
+                    assert source != target
+                    assert not graph.has_edge(source, target)
+                    assert (weight is None) == (kind == "reach")
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=digraphs())
+    def test_reach_preserves_the_transitive_closure(self, graph):
+        built = build_reach_shortcuts(graph, seed=0)
+        nodes = sorted(graph.nodes())
+        for source in nodes[:6]:
+            assert _reach_set(graph, built, source) == _reach_set(
+                graph, None, source
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=st.one_of(digraphs(), dags()))
+    def test_hopset_preserves_exact_distances(self, graph):
+        built = build_hopset(graph, seed=0)
+        for source in sorted(graph.nodes())[:5]:
+            truth = _bfs_dist(graph, source)
+            augmented = _augmented_dist(graph, built, source)
+            assert set(augmented) == set(truth)
+            for node, d in truth.items():
+                assert augmented[node] == d
+
+    def test_hopset_weights_are_real_walk_lengths(self):
+        g = path_graph(50)
+        built = build_hopset(g, seed=0)
+        assert built.edge_count > 0
+        for source, pairs in built.edges.items():
+            truth = _bfs_dist(g, source)
+            for target, weight in pairs:
+                assert weight == truth[target]  # exact on a path
+
+
+class TestModeMachinery:
+    def teardown_method(self):
+        set_default_shortcuts(None)
+
+    def test_precedence_explicit_beats_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SHORTCUTS_ENV_VAR, "reach")
+        assert resolve_shortcuts() == "reach"
+        set_default_shortcuts("hopset")
+        assert resolve_shortcuts() == "hopset"
+        assert resolve_shortcuts("none") == "none"
+
+    def test_defaults_to_none(self, monkeypatch):
+        monkeypatch.delenv(SHORTCUTS_ENV_VAR, raising=False)
+        assert resolve_shortcuts() == "none"
+
+    def test_rejects_unknown_everywhere(self, monkeypatch):
+        with pytest.raises(ShortcutError, match="known"):
+            set_default_shortcuts("warp")
+        with pytest.raises(ShortcutError, match="known"):
+            resolve_shortcuts("warp")
+        monkeypatch.setenv(SHORTCUTS_ENV_VAR, "warp")
+        with pytest.raises(ShortcutError, match="known"):
+            resolve_shortcuts()
+
+
+def _signature(result):
+    stats = result.stats
+    return (
+        result.answer,
+        dict(stats.visits),
+        stats.traffic_bytes,
+        stats.num_messages,
+        stats.supersteps,
+    )
+
+
+class TestAnswerIdentity:
+    """Shortcuts change superstep counts only — never answers."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=digraphs(),
+        seed=st.integers(0, 3),
+        pair=st.tuples(st.integers(0, 27), st.integers(0, 27)),
+    )
+    def test_disreachm_identical_under_every_mode(self, graph, seed, pair):
+        cluster = SimulatedCluster.from_graph(graph, 3, partitioner="hash", seed=seed)
+        nodes = sorted(graph.nodes())
+        source = nodes[pair[0] % len(nodes)]
+        target = nodes[pair[1] % len(nodes)]
+        query = ReachQuery(source, target)
+        plain = evaluate(cluster, query, "disReachm", shortcuts="none")
+        assert plain.answer == reachable(graph, source, target)
+        for mode in ("reach", "hopset"):
+            boosted = evaluate(cluster, query, "disReachm", shortcuts=mode)
+            assert boosted.answer == plain.answer
+            if source != target:  # trivial queries never reach the engine
+                assert boosted.details["shortcuts"]["mode"] == mode
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=digraphs(),
+        pair=st.tuples(st.integers(0, 27), st.integers(0, 27)),
+        bound=st.integers(1, 30),
+    )
+    def test_disdistm_identical_answer_and_distance(self, graph, pair, bound):
+        cluster = SimulatedCluster.from_graph(graph, 3, partitioner="hash", seed=0)
+        nodes = sorted(graph.nodes())
+        source = nodes[pair[0] % len(nodes)]
+        target = nodes[pair[1] % len(nodes)]
+        if source == target:
+            return
+        query = BoundedReachQuery(source, target, bound)
+        plain = evaluate(cluster, query, "disDistm", shortcuts="none")
+        boosted = evaluate(cluster, query, "disDistm", shortcuts="hopset")
+        assert boosted.answer == plain.answer
+        assert boosted.details["distance"] == plain.details["distance"]
+        truth = _bfs_dist(graph, source).get(target)
+        assert plain.answer == (truth is not None and truth <= bound)
+
+    def test_distance_programs_reject_reach_mode(self):
+        g = path_graph(12)
+        cluster = SimulatedCluster.from_graph(g, 2, partitioner="chunk", seed=0)
+        with pytest.raises(ShortcutError, match="hopset"):
+            evaluate(
+                cluster, BoundedReachQuery(0, 11, 12), "disDistm", shortcuts="reach"
+            )
+
+    def test_non_message_passing_algorithms_reject_shortcuts(self):
+        g = path_graph(12)
+        cluster = SimulatedCluster.from_graph(g, 2, partitioner="chunk", seed=0)
+        with pytest.raises(QueryError, match="shortcuts"):
+            evaluate(cluster, ReachQuery(0, 11), "disReach", shortcuts="hopset")
+
+
+class TestBackendsAndKernels:
+    """Bit-identical modeled runs across executors x kernels."""
+
+    @pytest.mark.parametrize("mode", ["reach", "hopset"])
+    def test_identical_across_backends_and_kernels(self, mode):
+        g = path_graph(60)
+        queries = [
+            ("disReachm", ReachQuery(0, 59)),
+            ("disDistm", BoundedReachQuery(0, 59, 60)),
+        ]
+        for algorithm, query in queries:
+            if algorithm == "disDistm" and mode == "reach":
+                continue  # weightless mode: rejected, covered above
+            reference = None
+            for backend in BACKENDS:
+                cluster = SimulatedCluster.from_graph(
+                    g, 3, partitioner="chunk", seed=0, executor=backend
+                )
+                for kernel in available_kernels():
+                    # The Pregel baselines take no kernel argument; pinning
+                    # the process-wide default instead proves the kernel
+                    # seam cannot leak into the message-passing path.
+                    set_default_kernel(kernel)
+                    try:
+                        result = evaluate(cluster, query, algorithm, shortcuts=mode)
+                    finally:
+                        set_default_kernel(None)
+                    signature = _signature(result)
+                    if reference is None:
+                        reference = signature
+                    assert signature == reference, (algorithm, backend, kernel)
+
+    def test_superstep_reduction_on_a_path(self):
+        g = path_graph(300)
+        cluster = SimulatedCluster.from_graph(g, 3, partitioner="chunk", seed=0)
+        query = ReachQuery(0, 299)
+        plain = evaluate(cluster, query, "disReachm", shortcuts="none")
+        boosted = evaluate(cluster, query, "disReachm", shortcuts="hopset")
+        assert boosted.answer == plain.answer
+        assert plain.stats.supersteps >= 4 * boosted.stats.supersteps
+        assert boosted.details["shortcuts"]["messages"] > 0
+
+
+class TestMutateThenRebuild:
+    def test_cluster_caches_and_invalidates_shortcut_sets(self):
+        g = erdos_renyi(30, 80, seed=2)
+        cluster = SimulatedCluster.from_graph(g, 3, partitioner="hash", seed=0)
+        first = cluster.shortcut_set("hopset")
+        assert cluster.shortcut_set("hopset") is first  # cached
+        assert cluster.shortcut_set("reach") is not first  # per-mode
+        fid = next(iter(cluster.fragmentation)).fid
+        cluster.bump_fragment_version(fid)
+        rebuilt = cluster.shortcut_set("hopset")
+        assert rebuilt is not first
+        assert rebuilt.edges == first.edges  # same graph content
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=digraphs(max_nodes=20),
+        edits=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 19), st.integers(0, 19)),
+            min_size=1,
+            max_size=6,
+        ),
+        pair=st.tuples(st.integers(0, 19), st.integers(0, 19)),
+    )
+    def test_answers_track_mutations(self, graph, edits, pair):
+        cluster = SimulatedCluster.from_graph(graph, 3, partitioner="hash", seed=0)
+        nodes = sorted(graph.nodes())
+        shadow = graph.copy()
+        for add, a, b in edits:
+            u, v = nodes[a % len(nodes)], nodes[b % len(nodes)]
+            if u == v:
+                continue
+            if add and not shadow.has_edge(u, v):
+                cluster.apply_edge_mutation(u, v, True)
+                shadow.add_edge(u, v)
+            elif not add and shadow.has_edge(u, v):
+                cluster.apply_edge_mutation(u, v, False)
+                shadow.remove_edge(u, v)
+        source = nodes[pair[0] % len(nodes)]
+        target = nodes[pair[1] % len(nodes)]
+        truth = reachable(shadow, source, target)
+        query = ReachQuery(source, target)
+        for mode in ("none", "reach", "hopset"):
+            assert evaluate(cluster, query, "disReachm", shortcuts=mode).answer == truth
